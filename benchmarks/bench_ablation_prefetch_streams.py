@@ -1,0 +1,52 @@
+"""Ablations: two-level prefetch (II-E) and kernel streams (II-H).
+
+* Prefetch: disabling software prefetch exposes L2/DRAM miss latency in the
+  layer model; the cache simulator shows the mechanism (demand hits on
+  prefetched lines).
+* Streams: replacing replay with the branchy per-call logic adds dispatch
+  overhead to every microkernel invocation; the hit is largest for layers
+  with many small kernels.
+"""
+
+import numpy as np
+
+from conftest import emit, series_row
+
+from repro.arch.machine import SKX
+from repro.models.resnet50 import resnet50_layers
+from repro.perf.model import ConvPerfModel
+
+
+def compute():
+    model = ConvPerfModel(SKX)
+    rows = {"base": [], "no_prefetch": [], "no_streams": []}
+    for lid, p in resnet50_layers(28):
+        rows["base"].append(model.estimate_forward(p).gflops)
+        rows["no_prefetch"].append(
+            model.estimate_forward(p, prefetch=False).gflops
+        )
+        rows["no_streams"].append(
+            model.estimate_forward(p, streams=False).gflops
+        )
+    return rows
+
+
+def test_prefetch_and_streams(benchmark):
+    rows = benchmark(compute)
+    ids = list(range(1, 21))
+    emit(
+        "Ablation: prefetch / kernel streams (SKX fwd GFLOPS)",
+        [series_row("layer", ids, "7d"),
+         series_row("base", rows["base"]),
+         series_row("no-pf", rows["no_prefetch"]),
+         series_row("branchy", rows["no_streams"])],
+    )
+    base = np.array(rows["base"])
+    nopf = np.array(rows["no_prefetch"])
+    nost = np.array(rows["no_streams"])
+    assert np.all(nopf <= base + 1e-9)
+    assert np.all(nost <= base + 1e-9)
+    # prefetch matters most on the bandwidth-lean layers; streams overhead
+    # shows up where kernels are small
+    assert (base / nopf).max() > 1.02
+    assert (base / nost).max() > 1.01

@@ -1,0 +1,48 @@
+"""Ablation: register blocking sweep (section II-B).
+
+Sweeps RB_Q for a 3x3 kernel on SKX and shows FMA-latency exposure
+vanishing once RB_P*RB_Q passes fma_latency*fma_ports -- the reason the
+paper blocks output pixels into registers at all.
+"""
+
+from conftest import emit, series_row
+
+from repro.arch.machine import SKX
+from repro.jit.codegen import ConvKernelDesc, generate_conv_kernel
+from repro.jit.timing import time_kernel
+
+
+def sweep():
+    effs = []
+    qs = [1, 2, 4, 6, 8, 12, 16, 22, 28]
+    for rb_q in qs:
+        desc = ConvKernelDesc(
+            vlen=16, rb_p=1, rb_q=rb_q, R=3, S=3, stride=1,
+            i_strides=(100000, 1000, 16),
+            w_strides=(100000, 800, 256, 16),
+            o_strides=(900, 16),
+            fused_memop=True,
+        )
+        t = time_kernel(generate_conv_kernel(desc), SKX)
+        effs.append((rb_q, t.efficiency(SKX), t.bottleneck))
+    return qs, effs
+
+
+def test_register_blocking_sweep(benchmark):
+    qs, effs = benchmark(sweep)
+    emit(
+        "Ablation: RB_Q sweep, 3x3 kernel on SKX",
+        [series_row("RB_Q", qs, "7d"),
+         series_row("eff", [100 * e for _, e, _ in effs], "7.1f"),
+         series_row("bound", [b[:6] for _, _, b in effs], ">7s")],
+    )
+    by_q = {q: (e, b) for q, e, b in effs}
+    target = SKX.fma_ports * SKX.fma_latency
+    # below the latency window: exposed; above: compute-bound and flat
+    assert by_q[1][1] == "fma_latency"
+    assert by_q[1][0] < 0.25
+    assert by_q[28][0] > 0.8
+    assert by_q[12][0] > 3 * by_q[1][0]
+    # monotone non-decreasing until saturation
+    es = [e for _, e, _ in effs]
+    assert all(b >= a - 1e-9 for a, b in zip(es, es[1:]))

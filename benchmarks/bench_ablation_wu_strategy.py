@@ -1,0 +1,48 @@
+"""Ablation: weight-gradient parallelization strategies (section II-J).
+
+For each ResNet-50 layer on KNM, evaluates the full G spectrum (shared ->
+hybrid -> per-thread copies) with the section II-J bandwidth model and
+shows that (a) the dryrun's choice is optimal within the spectrum and
+(b) different layers genuinely prefer different strategies.
+"""
+
+from conftest import emit
+
+from repro.arch.machine import KNM
+from repro.models.resnet50 import resnet50_layers
+from repro.parallel.wu_strategies import (
+    choose_upd_strategy,
+    upd_strategy_traffic,
+)
+
+
+def compute():
+    rows = []
+    for lid, p in resnet50_layers(70):
+        best = choose_upd_strategy(p, KNM, 72)
+        extremes = {
+            g: upd_strategy_traffic(p, KNM, 72, g).est_time
+            for g in (1, 8, 72)
+        }
+        rows.append((lid, best, extremes))
+    return rows
+
+
+def test_wu_strategies(benchmark):
+    rows = benchmark(compute)
+    lines = [f"{'id':>3} {'chosen':>10} {'t(G=1)':>9} {'t(G=8)':>9} "
+             f"{'t(G=72)':>9}"]
+    for lid, best, ext in rows:
+        lines.append(
+            f"{lid:>3} {best.name:>10} {ext[1]*1e3:>8.2f}m "
+            f"{ext[8]*1e3:>8.2f}m {ext[72]*1e3:>8.2f}m"
+        )
+    emit("Ablation: dW strategies on KNM (bandwidth-model time)", lines)
+
+    chosen = {best.name for _, best, _ in rows}
+    assert len(chosen) >= 2  # different layers pick different strategies
+    for lid, best, ext in rows:
+        assert best.est_time <= min(ext.values()) + 1e-12
+    # the big-dW late layers avoid the full per-thread-copies extreme
+    late = [best for lid, best, _ in rows if lid in (19, 20)]
+    assert all(b.ncopies < 72 for b in late)

@@ -1,0 +1,52 @@
+"""Figure 4: ResNet-50 forward propagation on single-socket SKX.
+
+Six series over the 20 Table-I layer ids: this work, MKL-DNN, im2col,
+libxsmm, blas, autovec -- plus this work's % of machine peak (the right
+y-axis).  Expected shape (asserted): 3x3 layers ~80% peak, 1x1 ~70%,
+layers 2-3 lowest (~55%); im2col up to ~3x slower (more on the 7x7 stem),
+small-GEMM baselines up to ~9x, autovec up to ~16x.
+"""
+
+import statistics
+
+from conftest import emit, series_row
+
+from repro.arch.machine import SKX
+from repro.baselines import estimate_autovec, estimate_im2col, estimate_smallgemm
+from repro.models.resnet50 import resnet50_layers
+from repro.perf.model import ConvPerfModel
+
+
+def compute_fig4():
+    model = ConvPerfModel(SKX)
+    rows = {k: [] for k in
+            ("thiswork", "mkl", "im2col", "libxsmm", "blas", "autovec", "eff")}
+    for lid, p in resnet50_layers(28):
+        tw = model.estimate_forward(p)
+        rows["thiswork"].append(tw.gflops)
+        rows["eff"].append(100 * tw.efficiency)
+        rows["mkl"].append(model.estimate_forward(p, impl="mkl").gflops)
+        rows["im2col"].append(estimate_im2col(p, SKX).gflops)
+        rows["libxsmm"].append(estimate_smallgemm(p, SKX, "libxsmm").gflops)
+        rows["blas"].append(estimate_smallgemm(p, SKX, "blas").gflops)
+        rows["autovec"].append(estimate_autovec(p, SKX).gflops)
+    return rows
+
+
+def test_fig4(benchmark):
+    rows = benchmark(compute_fig4)
+    ids = list(range(1, 21))
+    lines = [series_row("layer", ids, "7d")]
+    for name in ("thiswork", "mkl", "im2col", "libxsmm", "blas", "autovec"):
+        lines.append(series_row(name, rows[name]))
+    lines.append(series_row("% peak", rows["eff"], "7.1f"))
+    emit("Fig. 4: ResNet-50 fwd, SKX (GFLOPS/layer)", lines)
+
+    tw = rows["thiswork"]
+    # shape assertions (paper section III-A)
+    r3 = [rows["eff"][i - 1] for i in (4, 8, 13, 18)]
+    assert all(70 <= e <= 90 for e in r3)
+    assert statistics.mean(rows["eff"][1:3]) < statistics.mean(r3)
+    assert max(t / x for t, x in zip(tw, rows["blas"])) > 6
+    assert max(t / a for t, a in zip(tw, rows["autovec"])) > 9
+    assert all(t >= i * 0.95 for t, i in zip(tw, rows["im2col"]))

@@ -1,0 +1,59 @@
+"""Figure 5: ResNet-50 (a) backward and (b) weight-update on SKX.
+
+This work vs MKL-DNN.  Expected shape: bwd ~ fwd (duality) with stride-2
+dips; upd efficiency ~10-15% below fwd (weight-reduction cost).
+"""
+
+import statistics
+
+from conftest import emit, series_row
+
+from repro.arch.machine import SKX
+from repro.models.resnet50 import resnet50_layers
+from repro.perf.model import ConvPerfModel
+
+
+def compute_fig5():
+    model = ConvPerfModel(SKX)
+    out = {k: [] for k in ("fwd", "bwd", "bwd_mkl", "upd", "upd_mkl",
+                           "bwd_eff", "upd_eff")}
+    for lid, p in resnet50_layers(28):
+        fw = model.estimate_forward(p)
+        bw = model.estimate_backward(p)
+        up = model.estimate_update(p)
+        out["fwd"].append(fw.efficiency)
+        out["bwd"].append(bw.gflops)
+        out["bwd_eff"].append(100 * bw.efficiency)
+        out["upd"].append(up.gflops)
+        out["upd_eff"].append(100 * up.efficiency)
+        out["bwd_mkl"].append(model.estimate_backward(p, impl="mkl").gflops)
+        out["upd_mkl"].append(model.estimate_update(p, impl="mkl").gflops)
+    return out
+
+
+def test_fig5(benchmark):
+    rows = benchmark(compute_fig5)
+    ids = list(range(1, 21))
+    lines = [series_row("layer", ids, "7d"),
+             series_row("bwd", rows["bwd"]),
+             series_row("bwd-mkl", rows["bwd_mkl"]),
+             series_row("% peak", rows["bwd_eff"], "7.1f")]
+    emit("Fig. 5a: ResNet-50 bwd, SKX (GFLOPS/layer)", lines)
+    lines = [series_row("layer", ids, "7d"),
+             series_row("upd", rows["upd"]),
+             series_row("upd-mkl", rows["upd_mkl"]),
+             series_row("% peak", rows["upd_eff"], "7.1f")]
+    emit("Fig. 5b: ResNet-50 upd, SKX (GFLOPS/layer)", lines)
+
+    # bwd ~ fwd for stride-1 layers (duality, section III-A)
+    layers = resnet50_layers(28)
+    for (lid, p), f, b in zip(layers, rows["fwd"], rows["bwd_eff"]):
+        if p.stride == 1:
+            assert abs(100 * f - b) < 25
+    # upd sits below fwd on the compute-bound layers
+    gaps = [
+        100 * f - u
+        for (lid, p), f, u in zip(layers, rows["fwd"], rows["upd_eff"])
+        if lid in (4, 8, 13, 18)
+    ]
+    assert -8 <= statistics.mean(gaps) <= 25

@@ -1,0 +1,51 @@
+"""Figure 6: ResNet-50 forward propagation on KNM (minibatch 70).
+
+Expected shape: 3x3 layers 70-75% of peak; 1x1 layers ~55% (L2-bound per
+the section III-B roofline -- notably below their SKX efficiency); MKL-DNN
+within a few percent (identical instruction sequences on KNM).
+"""
+
+import statistics
+
+from conftest import emit, series_row
+
+from repro.arch.machine import KNM, SKX
+from repro.models.resnet50 import resnet50_layers
+from repro.perf.model import ConvPerfModel
+
+
+def compute_fig6():
+    model = ConvPerfModel(KNM)
+    skx_model = ConvPerfModel(SKX)
+    rows = {k: [] for k in ("thiswork", "mkl", "eff", "skx_eff")}
+    for (lid, p), (_, ps) in zip(resnet50_layers(70), resnet50_layers(28)):
+        tw = model.estimate_forward(p)
+        rows["thiswork"].append(tw.gflops)
+        rows["eff"].append(100 * tw.efficiency)
+        rows["mkl"].append(model.estimate_forward(p, impl="mkl").gflops)
+        rows["skx_eff"].append(100 * skx_model.estimate_forward(ps).efficiency)
+    return rows
+
+
+def test_fig6(benchmark):
+    rows = benchmark(compute_fig6)
+    ids = list(range(1, 21))
+    emit(
+        "Fig. 6: ResNet-50 fwd, KNM (GFLOPS/layer)",
+        [
+            series_row("layer", ids, "7d"),
+            series_row("thiswork", rows["thiswork"]),
+            series_row("mkl", rows["mkl"]),
+            series_row("% peak", rows["eff"], "7.1f"),
+        ],
+    )
+    r3 = [rows["eff"][i - 1] for i in (4, 8, 13)]
+    assert all(65 <= e <= 85 for e in r3)
+    r1 = [rows["eff"][i - 1] for i in (5, 9, 10, 14, 15, 19, 20)]
+    assert 35 <= statistics.mean(r1) <= 60
+    # KNM 1x1 efficiency sits below SKX 1x1 efficiency (roofline story)
+    for i in (9, 14, 19):
+        assert rows["eff"][i - 1] < rows["skx_eff"][i - 1]
+    # MKL-DNN: same sequence, similar performance
+    for tw, mk in zip(rows["thiswork"], rows["mkl"]):
+        assert 0.8 <= mk / tw <= 1.2

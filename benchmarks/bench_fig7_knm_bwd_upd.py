@@ -1,0 +1,48 @@
+"""Figure 7: ResNet-50 (a) backward and (b) weight-update on KNM.
+
+Expected shape: bwd ~ fwd; upd efficiency in the 20-55% range (no shared
+LLC to absorb the gradient reduction, plus the 4FMA layout transpose --
+section III-B).
+"""
+
+from conftest import emit, series_row
+
+from repro.arch.machine import KNM
+from repro.models.resnet50 import resnet50_layers
+from repro.perf.model import ConvPerfModel
+
+
+def compute_fig7():
+    model = ConvPerfModel(KNM)
+    rows = {k: [] for k in ("bwd", "upd", "bwd_eff", "upd_eff", "fwd_eff")}
+    for lid, p in resnet50_layers(70):
+        rows["fwd_eff"].append(model.estimate_forward(p).efficiency)
+        bw = model.estimate_backward(p)
+        up = model.estimate_update(p)
+        rows["bwd"].append(bw.gflops)
+        rows["bwd_eff"].append(100 * bw.efficiency)
+        rows["upd"].append(up.gflops)
+        rows["upd_eff"].append(100 * up.efficiency)
+    return rows
+
+
+def test_fig7(benchmark):
+    rows = benchmark(compute_fig7)
+    ids = list(range(1, 21))
+    emit(
+        "Fig. 7a: ResNet-50 bwd, KNM (GFLOPS/layer)",
+        [series_row("layer", ids, "7d"), series_row("bwd", rows["bwd"]),
+         series_row("% peak", rows["bwd_eff"], "7.1f")],
+    )
+    emit(
+        "Fig. 7b: ResNet-50 upd, KNM (GFLOPS/layer)",
+        [series_row("layer", ids, "7d"), series_row("upd", rows["upd"]),
+         series_row("% peak", rows["upd_eff"], "7.1f")],
+    )
+    # upd range 20-55% of peak (section III-B; we allow a little slack)
+    effs = rows["upd_eff"]
+    assert min(effs) >= 10
+    assert max(effs) <= 60
+    # and strictly below forward on the big 3x3 layers
+    for i in (4, 8, 13, 18):
+        assert effs[i - 1] < 100 * rows["fwd_eff"][i - 1]

@@ -1,0 +1,59 @@
+"""Figure 8: ResNet-50 reduced-precision (int16) kernels on KNM.
+
+fp32 vs qi16f32 GFLOPS for (a) forward, (b) backward, (c) weight update.
+Expected averages (section III-B): fwd ~1.63x, bwd ~1.58x, upd ~1.3x, and
+never the ideal 2x (32-bit outputs + restricted accumulation chains).
+"""
+
+import statistics
+
+from conftest import emit, series_row
+
+from repro.arch.machine import KNM
+from repro.models.resnet50 import resnet50_layers
+from repro.perf.model import ConvPerfModel
+from repro.types import DType
+
+
+def compute_fig8():
+    model = ConvPerfModel(KNM)
+    rows = {k: [] for k in ("fwd32", "fwd16", "bwd32", "bwd16",
+                            "upd32", "upd16")}
+    for lid, p in resnet50_layers(70):
+        rows["fwd32"].append(model.estimate_forward(p).gflops)
+        rows["fwd16"].append(
+            model.estimate_forward(p, dtype=DType.QI16F32).gflops
+        )
+        rows["bwd32"].append(model.estimate_backward(p).gflops)
+        rows["bwd16"].append(
+            model.estimate_backward(p, dtype=DType.QI16F32).gflops
+        )
+        rows["upd32"].append(model.estimate_update(p).gflops)
+        rows["upd16"].append(
+            model.estimate_update(p, dtype=DType.QI16F32).gflops
+        )
+    return rows
+
+
+def test_fig8(benchmark):
+    rows = benchmark(compute_fig8)
+    ids = list(range(1, 21))
+    for tag, a, b in (("a: fwd", "fwd32", "fwd16"),
+                      ("b: bwd", "bwd32", "bwd16"),
+                      ("c: upd", "upd32", "upd16")):
+        speed = [q / f for f, q in zip(rows[a], rows[b])]
+        emit(
+            f"Fig. 8{tag}, KNM fp32 vs int16 (GFLOPS/layer)",
+            [series_row("layer", ids, "7d"),
+             series_row("fp32", rows[a]),
+             series_row("int16", rows[b]),
+             series_row("speedup", speed, "7.2f")],
+        )
+    sp_f = statistics.mean(q / f for f, q in zip(rows["fwd32"], rows["fwd16"]))
+    sp_b = statistics.mean(q / f for f, q in zip(rows["bwd32"], rows["bwd16"]))
+    sp_u = statistics.mean(q / f for f, q in zip(rows["upd32"], rows["upd16"]))
+    assert 1.45 <= sp_f <= 1.80  # paper: 1.63
+    assert 1.30 <= sp_b <= 1.75  # paper: 1.58
+    assert 1.15 <= sp_u <= 1.50  # paper: 1.3
+    for f, q in zip(rows["fwd32"], rows["fwd16"]):
+        assert q / f < 2.2  # never the ideal 2x

@@ -1,0 +1,55 @@
+"""Figure 9: end-to-end ResNet-50 training, 1-16 nodes of KNM and 2S-SKX.
+
+Prints img/s and parallel efficiency next to the paper's measurements and
+the published TensorFlow/P100 reference points.  Expected shape: single
+node ~192 img/s (KNM) / ~136 img/s (2S-SKX), ~90% parallel efficiency at
+16 nodes, ~1.5-2.3x over TensorFlow+MKL-DNN.
+"""
+
+import pytest
+
+from conftest import emit
+
+from repro.gxm.e2e import estimate_training, fig9_scaling
+from repro.arch.machine import KNM
+from repro.perf.references import PAPER_MEASURED, REFERENCE_IMG_PER_S
+
+
+def compute_fig9():
+    return {name: fig9_scaling(name) for name in ("KNM", "SKX")}
+
+
+def test_fig9(benchmark):
+    curves = benchmark(compute_fig9)
+    lines = []
+    for name, pts in curves.items():
+        for pt in pts:
+            paper = PAPER_MEASURED.get(("resnet50", name, pt.nodes))
+            ref = f"  paper={paper:.0f}" if paper else ""
+            lines.append(
+                f"{name:>4} {pt.nodes:>2} nodes: {pt.imgs_per_s:7.0f} img/s "
+                f"(par.eff {100*pt.parallel_efficiency:5.1f}%){ref}"
+            )
+    for (topo, label), v in REFERENCE_IMG_PER_S.items():
+        if topo == "resnet50":
+            lines.append(f"ref  {label}: {v:.0f} img/s")
+    emit("Fig. 9: end-to-end ResNet-50 training", lines)
+
+    knm, skx = curves["KNM"], curves["SKX"]
+    assert knm[0].imgs_per_s == pytest.approx(192, rel=0.2)
+    assert skx[0].imgs_per_s == pytest.approx(136, rel=0.25)
+    assert knm[-1].imgs_per_s == pytest.approx(2430, rel=0.25)
+    assert skx[-1].parallel_efficiency >= 0.75
+    tf = REFERENCE_IMG_PER_S[("resnet50", "2S-SKX TF+MKL-DNN [24]")]
+    assert 1.3 <= skx[0].imgs_per_s / tf <= 2.5
+
+
+def test_single_node_inception(benchmark):
+    est = benchmark(lambda: estimate_training(KNM, "inception_v3"))
+    emit(
+        "Section III-C: Inception-v3 single-node KNM",
+        [f"model: {est.imgs_per_s:.0f} img/s  "
+         f"(paper: {PAPER_MEASURED[('inception_v3', 'KNM', 1)]:.0f}; the "
+         "model is optimistic here -- see EXPERIMENTS.md)"],
+    )
+    assert est.imgs_per_s > 0

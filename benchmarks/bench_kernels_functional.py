@@ -1,0 +1,70 @@
+"""Wall-clock benchmarks of the *functional* engines themselves.
+
+These time the Python/numpy implementations (not the modelled machines):
+the blocked streams engine vs the reference loops vs the baselines on a
+scaled-down layer, plus one GxM training step.  Useful for tracking the
+library's own performance over time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.machine import SKX
+from repro.baselines import im2col_forward
+from repro.conv.backward import DirectConvBackward
+from repro.conv.forward import DirectConvForward
+from repro.conv.params import ConvParams
+from repro.conv.reference import conv2d_forward
+from repro.conv.upd import DirectConvUpd
+from repro.gxm.data import SyntheticImageDataset
+from repro.gxm.etg import ExecutionTaskGraph
+from repro.gxm.trainer import Trainer
+from repro.models.resnet50 import resnet_mini_topology
+
+P = ConvParams(N=2, C=32, K=32, H=14, W=14, R=3, S=3, stride=1)
+RNG = np.random.default_rng(0)
+X = RNG.standard_normal((P.N, P.C, P.H, P.W)).astype(np.float32)
+W = RNG.standard_normal((P.K, P.C, P.R, P.S)).astype(np.float32)
+DY = RNG.standard_normal((P.N, P.K, P.P, P.Q)).astype(np.float32)
+
+
+def test_blocked_forward(benchmark):
+    eng = DirectConvForward(P, machine=SKX, threads=4)
+    from repro.tensor.blocked import block_activations, block_weights
+
+    bx = block_activations(X, 16, pad_h=P.pad_h, pad_w=P.pad_w)
+    bw = block_weights(W, 16)
+    out = benchmark(lambda: eng(bx, bw))
+    assert np.isfinite(out.data).all()
+
+
+def test_reference_forward(benchmark):
+    out = benchmark(lambda: conv2d_forward(X, W, P))
+    assert out.shape == (P.N, P.K, P.P, P.Q)
+
+
+def test_im2col_forward(benchmark):
+    out = benchmark(lambda: im2col_forward(X, W, P))
+    assert out.shape == (P.N, P.K, P.P, P.Q)
+
+
+def test_blocked_backward(benchmark):
+    eng = DirectConvBackward(P, machine=SKX, threads=4)
+    out = benchmark(lambda: eng.run_nchw(DY, W))
+    assert out.shape == X.shape
+
+
+def test_blocked_update(benchmark):
+    eng = DirectConvUpd(P, machine=SKX, threads=4)
+    out = benchmark(lambda: eng.run_nchw(X, DY))
+    assert out.shape == W.shape
+
+
+def test_gxm_train_step(benchmark):
+    topo = resnet_mini_topology(num_classes=4, width=16)
+    etg = ExecutionTaskGraph(topo, (8, 16, 12, 12), seed=0)
+    tr = Trainer(etg, lr=0.01)
+    ds = SyntheticImageDataset(n=8, num_classes=4, shape=(16, 12, 12))
+    x, y = next(ds.batches(8))
+    loss = benchmark(lambda: tr.train_step(x, y))
+    assert np.isfinite(loss)

@@ -1,0 +1,46 @@
+"""Table I: the 20 ResNet-50 layer specifications.
+
+Regenerates the table's rows from the model zoo and benchmarks the blocking
+planner over all of them (the per-layer setup work the JIT does once).
+"""
+
+from conftest import emit, series_row
+
+from repro.arch.machine import KNM, SKX
+from repro.conv.blocking import choose_blocking, choose_upd_blocking
+from repro.models.resnet50 import RESNET50_TABLE1, resnet50_layers
+
+
+def plan_all():
+    plans = []
+    for machine, nb in ((SKX, 28), (KNM, 70)):
+        for lid, p in resnet50_layers(nb):
+            plans.append(
+                (
+                    lid,
+                    choose_blocking(p, machine),
+                    choose_upd_blocking(p, machine),
+                )
+            )
+    return plans
+
+
+def test_table1_rows(benchmark):
+    plans = benchmark(plan_all)
+    lines = [
+        f"{'id':>3} {'C':>5} {'K':>5} {'H':>4} {'W':>4} {'R':>2} {'S':>2} "
+        f"{'str':>3} | {'RBpxRBq(SKX)':>13} {'order':>9}"
+    ]
+    skx_plans = {lid: pl for lid, pl, _ in plans[:20]}
+    for lid in sorted(RESNET50_TABLE1):
+        c, k, h, w, r, s, stride = RESNET50_TABLE1[lid]
+        pl = skx_plans[lid]
+        lines.append(
+            f"{lid:>3} {c:>5} {k:>5} {h:>4} {w:>4} {r:>2} {s:>2} "
+            f"{stride:>3} | {pl.rb_p:>6}x{pl.rb_q:<6} {pl.loop_order:>9}"
+        )
+    emit("Table I: ResNet-50 layer specs + chosen blocking (SKX)", lines)
+    assert len(plans) == 40
+    # the paper's minibatches: 28 (SKX) and 70 (KNM)
+    assert resnet50_layers(28)[0][1].N == 28
+    assert resnet50_layers(70)[0][1].N == 70

@@ -1,0 +1,24 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper: the
+benchmarked callable computes the full data series (so pytest-benchmark
+reports how long the model evaluation takes), and the series itself is
+printed once in the paper's row format with the expected qualitative shape
+asserted.  Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, lines: list[str]) -> None:
+    """Print one figure's rows (visible with -s / on bench failures)."""
+    print(f"\n=== {title} ===")
+    for line in lines:
+        print(line)
+
+
+def series_row(name: str, values, fmt="7.0f") -> str:
+    return f"{name:>10} " + " ".join(format(v, fmt) for v in values)

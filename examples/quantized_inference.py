@@ -1,0 +1,67 @@
+"""Reduced precision (section II-K): int16 kernels vs fp32.
+
+Quantizes a layer's activations and weights to int16 (dynamic fixed point),
+runs the chain-limited int16 convolution, compares numerics to fp32, and
+prints the KNM timing model's speedups for all three passes (Fig. 8's
+averages: 1.63x / 1.58x / 1.3x).
+
+Run:  python examples/quantized_inference.py
+"""
+
+import numpy as np
+
+from repro.arch.machine import KNM
+from repro.conv.params import ConvParams
+from repro.conv.reference import conv2d_forward
+from repro.models.resnet50 import resnet50_layers
+from repro.perf.model import ConvPerfModel
+from repro.quant import qconv2d_forward, quantize
+from repro.types import DType
+
+
+def numerics() -> None:
+    p = ConvParams(N=2, C=64, K=32, H=14, W=14, R=3, S=3, stride=1)
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal((p.N, p.C, p.H, p.W)).astype(np.float32)
+    w = (rng.standard_normal((p.K, p.C, p.R, p.S)) * 0.1).astype(np.float32)
+    ref = conv2d_forward(x, w, p)
+    qx, qw = quantize(x), quantize(w)
+    out = qconv2d_forward(qx, qw, p)
+    rel = np.abs(out - ref).max() / np.abs(ref).max()
+    print(f"int16 vs fp32 layer {p.describe()}:")
+    print(f"  quant scales: x {qx.scale:.3e}, w {qw.scale:.3e}")
+    print(f"  max relative error: {rel:.2e}  (15-bit mantissa expected ~1e-3)")
+
+
+def speedups() -> None:
+    model = ConvPerfModel(KNM)
+    print("\nKNM fp32 -> int16 speedups per ResNet-50 layer "
+          "(paper averages: fwd 1.63x, bwd 1.58x, upd 1.3x):")
+    sums = [0.0, 0.0, 0.0]
+    rows = list(resnet50_layers(70))
+    for lid, p in rows:
+        f = model.estimate_forward(p).time_s / model.estimate_forward(
+            p, dtype=DType.QI16F32
+        ).time_s
+        b = model.estimate_backward(p).time_s / model.estimate_backward(
+            p, dtype=DType.QI16F32
+        ).time_s
+        u = model.estimate_update(p).time_s / model.estimate_update(
+            p, dtype=DType.QI16F32
+        ).time_s
+        sums[0] += f
+        sums[1] += b
+        sums[2] += u
+        print(f"  layer {lid:>2}: fwd x{f:.2f}  bwd x{b:.2f}  upd x{u:.2f}")
+    n = len(rows)
+    print(f"  averages: fwd x{sums[0]/n:.2f}  bwd x{sums[1]/n:.2f}  "
+          f"upd x{sums[2]/n:.2f}")
+
+
+def main() -> None:
+    numerics()
+    speedups()
+
+
+if __name__ == "__main__":
+    main()

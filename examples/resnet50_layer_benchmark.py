@@ -1,0 +1,56 @@
+"""ResNet-50 per-layer kernel study: the Fig. 4/5/6/7 tables as text.
+
+Prints, for SKX and KNM, the per-layer GFLOPS of this work, MKL-DNN and the
+alternative implementations for forward propagation, and this work's
+backward/update numbers -- the same series the paper plots.
+
+Run:  python examples/resnet50_layer_benchmark.py [SKX|KNM]
+"""
+
+import sys
+
+from repro.arch.machine import machine_by_name
+from repro.baselines import estimate_autovec, estimate_im2col, estimate_smallgemm
+from repro.models.resnet50 import resnet50_layers
+from repro.perf.model import ConvPerfModel
+
+
+def run(machine_name: str) -> None:
+    machine = machine_by_name(machine_name)
+    minibatch = 70 if machine.name == "KNM" else 28
+    model = ConvPerfModel(machine)
+    print(
+        f"\nResNet-50 on {machine.name} (minibatch {minibatch}, "
+        f"{machine.cores} threads, peak {machine.peak_flops/1e12:.2f} TFLOPS)"
+    )
+    hdr = (
+        f"{'id':>3} {'thiswork':>9} {'%peak':>6} {'MKL':>7} {'im2col':>7} "
+        f"{'libxsmm':>8} {'blas':>7} {'autovec':>8} | {'bwd':>7} {'upd':>7}"
+    )
+    print(hdr)
+    print("-" * len(hdr))
+    for lid, p in resnet50_layers(minibatch):
+        tw = model.estimate_forward(p)
+        mk = model.estimate_forward(p, impl="mkl")
+        bw = model.estimate_backward(p)
+        up = model.estimate_update(p)
+        i2c = estimate_im2col(p, machine)
+        xs = estimate_smallgemm(p, machine, "libxsmm")
+        bl = estimate_smallgemm(p, machine, "blas")
+        av = estimate_autovec(p, machine)
+        print(
+            f"{lid:>3} {tw.gflops:>9.0f} {100*tw.efficiency:>6.1f} "
+            f"{mk.gflops:>7.0f} {i2c.gflops:>7.0f} {xs.gflops:>8.0f} "
+            f"{bl.gflops:>7.0f} {av.gflops:>8.0f} | {bw.gflops:>7.0f} "
+            f"{up.gflops:>7.0f}"
+        )
+
+
+def main() -> None:
+    targets = sys.argv[1:] or ["SKX", "KNM"]
+    for name in targets:
+        run(name)
+
+
+if __name__ == "__main__":
+    main()

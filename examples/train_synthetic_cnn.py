@@ -1,0 +1,50 @@
+"""GxM training demo: a ResNet-style miniature on the synthetic dataset.
+
+Exercises the full section II-L pipeline -- topology text round-trip, NL
+extension with Split nodes, ETG compilation, and the FWD/BWD/UPD task
+execution -- then trains with SGD until the synthetic classes are separable,
+reporting loss/accuracy like GxM's per-iteration console output.
+
+Run:  python examples/train_synthetic_cnn.py
+"""
+
+from repro.gxm.data import SyntheticImageDataset
+from repro.gxm.etg import ExecutionTaskGraph
+from repro.gxm.parser import parse_topology
+from repro.gxm.trainer import Trainer
+from repro.models.resnet50 import resnet_mini_topology
+
+
+def main() -> None:
+    topo = resnet_mini_topology(num_classes=8, width=16)
+    # round-trip through the protobuf-style text format (the GxM input)
+    topo = parse_topology(topo.to_text())
+    print(f"topology {topo.name!r}: {len(topo.layers)} layers")
+
+    batch = 32
+    etg = ExecutionTaskGraph(
+        topo, input_shape=(batch, 16, 16, 16), engine="fast", seed=7
+    )
+    print(
+        f"ETG: {len(etg.enl.layers)} nodes after NL extension, "
+        f"{len(etg.tasks)} tasks "
+        f"({sum(1 for t in etg.tasks if t.pass_.name == 'UPD')} weight-update)"
+    )
+
+    ds = SyntheticImageDataset(n=512, num_classes=8, shape=(16, 16, 16), seed=3)
+    trainer = Trainer(etg, lr=0.05, momentum=0.9, weight_decay=1e-4)
+    for epoch in range(4):
+        trainer.fit(ds, batch_size=batch, epochs=1)
+        m = trainer.metrics
+        k = len(m.losses)
+        print(
+            f"epoch {epoch}: loss {m.losses[-1]:.4f}  "
+            f"top-1 {100 * m.accuracies[-1]:.1f}%  ({k} iterations)"
+        )
+    assert m.losses[-1] < m.losses[0], "training must reduce the loss"
+    print("done: loss went from "
+          f"{m.losses[0]:.3f} to {m.losses[-1]:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro: a reproduction of "Anatomy of High-Performance Deep Learning
+Convolutions on SIMD Architectures" (Georganas et al., SC'18).
+
+The public API groups into four levels:
+
+* **Kernels** -- JIT microkernel generation, functional interpretation and
+  timing (:mod:`repro.jit`, :mod:`repro.arch`).
+* **Layers** -- blocked direct-convolution engines with kernel streams and
+  fusion (:mod:`repro.conv`, :mod:`repro.streams`, :mod:`repro.quant`),
+  plus the non-conv operators (:mod:`repro.layers`).
+* **Framework** -- GxM graph compilation, training, and simulated
+  multi-node data parallelism (:mod:`repro.gxm`).
+* **Evaluation** -- the performance models and baselines that regenerate
+  every table and figure of the paper (:mod:`repro.perf`,
+  :mod:`repro.baselines`, :mod:`repro.models`, :mod:`repro.cachesim`).
+
+Quick start::
+
+    import numpy as np
+    from repro import ConvParams, DirectConvForward, SKX
+
+    p = ConvParams(N=2, C=64, K=64, H=28, W=28, R=3, S=3, stride=1)
+    conv = DirectConvForward(p, machine=SKX, threads=4)
+    x = np.random.randn(p.N, p.C, p.H, p.W).astype(np.float32)
+    w = np.random.randn(p.K, p.C, p.R, p.S).astype(np.float32)
+    y = conv.run_nchw(x, w)   # blocked layout + JIT'ed streams inside
+"""
+
+from repro.arch.machine import KNM, SKX, MachineConfig, machine_by_name
+from repro.conv.backward import DirectConvBackward
+from repro.conv.forward import DirectConvForward
+from repro.conv.fusion import BatchNormApply, Bias, EltwiseAdd, ReLU
+from repro.conv.params import ConvParams
+from repro.conv.upd import DirectConvUpd
+from repro.gxm.etg import ExecutionTaskGraph
+from repro.gxm.topology import TopologySpec
+from repro.gxm.trainer import SGD, Trainer
+from repro.perf.model import ConvPerfModel
+from repro.types import DType, Pass, ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConvParams",
+    "DirectConvForward",
+    "DirectConvBackward",
+    "DirectConvUpd",
+    "Bias",
+    "ReLU",
+    "BatchNormApply",
+    "EltwiseAdd",
+    "MachineConfig",
+    "SKX",
+    "KNM",
+    "machine_by_name",
+    "ConvPerfModel",
+    "TopologySpec",
+    "ExecutionTaskGraph",
+    "Trainer",
+    "SGD",
+    "DType",
+    "Pass",
+    "ReproError",
+    "__version__",
+]

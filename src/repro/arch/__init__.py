@@ -1,0 +1,27 @@
+"""Machine models: the virtual SIMD ISA, register file, and target CPUs.
+
+The paper JIT-emits AVX512 machine code; pure Python cannot (see DESIGN.md,
+"Substitutions").  We instead emit streams of explicit micro-ops over a
+virtual vector ISA (:mod:`repro.arch.isa`), allocate virtual zmm registers
+(:mod:`repro.arch.registers`), and time the streams against machine
+descriptions (:mod:`repro.arch.machine`) built from the parameters the paper
+publishes for Skylake-SP and Knights Mill.
+"""
+
+from repro.arch.isa import Op, Uop, KernelProgram
+from repro.arch.registers import RegisterFile, RegisterAllocator
+from repro.arch.machine import MachineConfig, SKX, KNM, machine_by_name
+from repro.arch.roofline import Roofline
+
+__all__ = [
+    "Op",
+    "Uop",
+    "KernelProgram",
+    "RegisterFile",
+    "RegisterAllocator",
+    "MachineConfig",
+    "SKX",
+    "KNM",
+    "machine_by_name",
+    "Roofline",
+]

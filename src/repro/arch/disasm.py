@@ -1,0 +1,100 @@
+"""µop-stream disassembler.
+
+The paper's artifact appendix notes the JITer ships "debugger support";
+this is our equivalent: render a generated :class:`KernelProgram` as a
+readable assembly-like listing, with registers named, memory operands shown
+as ``tensor[+offset]``, and an optional per-op annotation of the port each
+op occupies.  Used by the examples and invaluable when writing new
+generators.
+"""
+
+from __future__ import annotations
+
+from repro.arch.isa import KernelProgram, Op, Uop
+
+__all__ = ["disassemble", "format_uop", "summarize_program"]
+
+_MNEMONICS = {
+    Op.VZERO: "vxorps",
+    Op.VLOAD: "vmovups",
+    Op.VBCAST: "vbroadcastss",
+    Op.VSTORE: "vmovups",
+    Op.VSTORE_NT: "vmovntps",
+    Op.VFMA: "vfmadd231ps",
+    Op.VFMA_MEM: "vfmadd231ps",
+    Op.V4FMA: "v4fmaddps",
+    Op.VVNNI: "vp4dpwssd",
+    Op.VADD: "vaddps",
+    Op.VMUL: "vmulps",
+    Op.VMAX: "vmaxps",
+    Op.VCVT_I32F32: "vcvtdq2ps",
+    Op.PREFETCH1: "prefetcht0",
+    Op.PREFETCH2: "prefetcht1",
+}
+
+
+def _reg(idx: int | None) -> str:
+    return f"zmm{idx}" if idx is not None else "?"
+
+
+def _mem(u: Uop) -> str:
+    return f"{u.tensor}[{u.offset:+d}]" if u.tensor else "?"
+
+
+def format_uop(u: Uop) -> str:
+    """One µop as an AVX512-flavoured assembly line."""
+    m = _MNEMONICS[u.op]
+    if u.op is Op.VZERO:
+        r = _reg(u.dst)
+        return f"{m:<14} {r}, {r}, {r}"
+    if u.op in (Op.VLOAD, Op.VBCAST):
+        suffix = " {pair}" if u.imm == 2.0 else ""
+        return f"{m:<14} {_reg(u.dst)}, {_mem(u)}{suffix}"
+    if u.op in (Op.VSTORE, Op.VSTORE_NT):
+        return f"{m:<14} {_mem(u)}, {_reg(u.src1)}"
+    if u.op is Op.VFMA:
+        return f"{m:<14} {_reg(u.dst)}, {_reg(u.src1)}, {_reg(u.src2)}"
+    if u.op is Op.VFMA_MEM:
+        return f"{m:<14} {_reg(u.dst)}, {_reg(u.src1)}, {_mem(u)}{{1to16}}"
+    if u.op is Op.V4FMA:
+        depth = int(u.imm) or 4
+        regs = f"{_reg(u.src1)}-{_reg((u.src1 or 0) + depth - 1)}"
+        return f"{m:<14} {_reg(u.dst)}, {regs}, {_mem(u)}"
+    if u.op is Op.VVNNI:
+        if u.tensor is not None:
+            depth = int(u.imm) or 4
+            regs = f"{_reg(u.src1)}-{_reg((u.src1 or 0) + depth - 1)}"
+            return f"{m:<14} {_reg(u.dst)}, {regs}, {_mem(u)}"
+        return f"vpdpwssd       {_reg(u.dst)}, {_reg(u.src1)}, {_reg(u.src2)}"
+    if u.op in (Op.VADD, Op.VMUL, Op.VMAX):
+        return f"{m:<14} {_reg(u.dst)}, {_reg(u.src1)}, {_reg(u.src2)}"
+    if u.op is Op.VCVT_I32F32:
+        return f"{m:<14} {_reg(u.dst)}, {_reg(u.src1)}  # scale={u.imm:g}"
+    if u.op in (Op.PREFETCH1, Op.PREFETCH2):
+        return f"{m:<14} {_mem(u)}"
+    raise AssertionError(u.op)  # pragma: no cover
+
+
+def disassemble(
+    prog: KernelProgram, max_lines: int | None = None, addresses: bool = True
+) -> str:
+    """Full listing of a kernel program."""
+    lines = [f"; {prog.name}: {len(prog)} uops, {prog.flops} flops"]
+    body = prog.uops if max_lines is None else prog.uops[:max_lines]
+    for i, u in enumerate(body):
+        prefix = f"{i:5d}:  " if addresses else "  "
+        lines.append(prefix + format_uop(u))
+    if max_lines is not None and len(prog) > max_lines:
+        lines.append(f"        ... ({len(prog) - max_lines} more)")
+    return "\n".join(lines)
+
+
+def summarize_program(prog: KernelProgram) -> str:
+    """One-paragraph structural summary (op histogram + register usage)."""
+    hist = prog.summary()
+    ops = ", ".join(f"{k}={v}" for k, v in sorted(hist.items()))
+    return (
+        f"{prog.name}: {len(prog)} uops ({ops}); "
+        f"{prog.fma_count} FMA-family ops, {prog.flops} flops, "
+        f"registers used: {prog.max_register() + 1}"
+    )

@@ -1,0 +1,165 @@
+"""The virtual SIMD micro-op ISA the JIT emits.
+
+Each generated microkernel is a :class:`KernelProgram`: a flat sequence of
+:class:`Uop` over VLEN-wide virtual vector registers.  The op set mirrors the
+AVX512 subset the paper's kernels use:
+
+=============  ==============================================================
+op             semantics
+=============  ==============================================================
+VZERO          ``reg[dst] = 0``
+VLOAD          ``reg[dst] = mem[tensor][off : off+VLEN]`` (unit stride)
+VBCAST         ``reg[dst] = broadcast(mem[tensor][off])``
+VSTORE         ``mem[tensor][off : off+VLEN] = reg[src1]``
+VSTORE_NT      streaming (non-temporal) store, bypasses caches
+VFMA           ``reg[dst] += reg[src1] * reg[src2]``
+VFMA_MEM       ``reg[dst] += reg[src1] * broadcast(mem[tensor][off])``
+               (AVX512 fused memory-operand form; 15% slower on SKX, III-B)
+V4FMA          KNM 4-chained FMA: 4 FMAs issued as one op (section III)
+VVNNI          int16 pair dot-product accumulating into int32 (4VNNIW-like,
+               section II-K): ``reg[dst](i32) += a(i16 pairs) . b(i16 pairs)``
+VADD           ``reg[dst] = reg[src1] + reg[src2]``
+VMUL           ``reg[dst] = reg[src1] * reg[src2]``
+VMAX           ``reg[dst] = max(reg[src1], reg[src2])`` (ReLU fusion)
+VCVT_I32F32    ``reg[dst] = float(reg[src1]) * scale`` (dequantization)
+PREFETCH1      software prefetch into L1 (first level, section II-E)
+PREFETCH2      software prefetch into L2 (second level, section II-E)
+=============  ==============================================================
+
+Offsets are *element* offsets into a named flat tensor buffer; the layout
+strides were baked in by the code generator, exactly as a real JIT bakes
+displacements into instruction encodings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["Op", "Uop", "KernelProgram", "MEMORY_OPS", "COMPUTE_OPS"]
+
+
+class Op(enum.Enum):
+    VZERO = enum.auto()
+    VLOAD = enum.auto()
+    VBCAST = enum.auto()
+    VSTORE = enum.auto()
+    VSTORE_NT = enum.auto()
+    VFMA = enum.auto()
+    VFMA_MEM = enum.auto()
+    V4FMA = enum.auto()
+    VVNNI = enum.auto()
+    VADD = enum.auto()
+    VMUL = enum.auto()
+    VMAX = enum.auto()
+    VCVT_I32F32 = enum.auto()
+    PREFETCH1 = enum.auto()
+    PREFETCH2 = enum.auto()
+
+
+#: ops that reference memory (drive the load/store ports and cache traffic)
+MEMORY_OPS = frozenset(
+    {
+        Op.VLOAD,
+        Op.VBCAST,
+        Op.VSTORE,
+        Op.VSTORE_NT,
+        Op.VFMA_MEM,
+        Op.PREFETCH1,
+        Op.PREFETCH2,
+    }
+)
+
+#: ops that occupy an FMA/ALU port
+COMPUTE_OPS = frozenset(
+    {
+        Op.VFMA,
+        Op.VFMA_MEM,
+        Op.V4FMA,
+        Op.VVNNI,
+        Op.VADD,
+        Op.VMUL,
+        Op.VMAX,
+        Op.VCVT_I32F32,
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Uop:
+    """One micro-op.
+
+    ``dst``/``src1``/``src2`` are virtual register ids (or ``None``).
+    ``tensor`` names the memory operand's buffer ("I", "W", "O", ...);
+    ``offset`` is the element offset into that flat buffer.  ``imm`` carries
+    op-specific immediates (e.g. the dequantization scale for VCVT_I32F32).
+    """
+
+    op: Op
+    dst: Optional[int] = None
+    src1: Optional[int] = None
+    src2: Optional[int] = None
+    tensor: Optional[str] = None
+    offset: int = 0
+    imm: float = 0.0
+
+    def touches_memory(self) -> bool:
+        return self.op in MEMORY_OPS
+
+    def is_compute(self) -> bool:
+        return self.op in COMPUTE_OPS
+
+    def is_fma(self) -> bool:
+        return self.op in (Op.VFMA, Op.VFMA_MEM, Op.V4FMA, Op.VVNNI)
+
+
+@dataclass(slots=True)
+class KernelProgram:
+    """A generated microkernel: metadata plus the µop stream.
+
+    ``vlen`` is the SIMD width in elements.  ``flops`` is the number of
+    floating-point operations one invocation performs (2 per scalar MAC).
+    ``reads``/``writes`` summarize, per tensor name, the distinct element
+    footprint one invocation touches -- used by the traffic model and checked
+    against the µop stream in tests.
+    """
+
+    name: str
+    vlen: int
+    uops: list[Uop] = field(default_factory=list)
+    flops: int = 0
+    reads: dict[str, int] = field(default_factory=dict)
+    writes: dict[str, int] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def __iter__(self) -> Iterator[Uop]:
+        return iter(self.uops)
+
+    def __len__(self) -> int:
+        return len(self.uops)
+
+    def count(self, *ops: Op) -> int:
+        """Number of µops whose op is one of ``ops``."""
+        wanted = set(ops)
+        return sum(1 for u in self.uops if u.op in wanted)
+
+    @property
+    def fma_count(self) -> int:
+        return sum(1 for u in self.uops if u.is_fma())
+
+    def max_register(self) -> int:
+        """Highest register id referenced (for register-pressure checks)."""
+        regs = [-1]
+        for u in self.uops:
+            for r in (u.dst, u.src1, u.src2):
+                if r is not None:
+                    regs.append(r)
+        return max(regs)
+
+    def summary(self) -> dict[str, int]:
+        """Per-op µop histogram, for reports and tests."""
+        hist: dict[str, int] = {}
+        for u in self.uops:
+            hist[u.op.name] = hist.get(u.op.name, 0) + 1
+        return hist

@@ -1,0 +1,188 @@
+"""Target machine descriptions.
+
+The two evaluation platforms of section III, parameterized from the numbers
+the paper itself publishes:
+
+* **SKX** -- Intel Xeon Platinum 8180 (Skylake-SP), 28 cores/socket,
+  2.3 GHz AVX512: per-core peak 147 GFLOPS fp32 (2 FMA ports x 16 lanes x
+  2 flops x 2.3 GHz), per-core L2 bandwidth 147 GB/s read / 74 GB/s write,
+  105 GB/s socket STREAM triad, 38.5 MB shared LLC, 3.8 TFLOPS SGEMM/socket.
+* **KNM** -- Intel Xeon Phi 7295 (Knights Mill), 72 cores, 1.6 GHz:
+  per-core peak 192 GFLOPS fp32 (dual VPU with 4FMA chaining), per-core L2
+  bandwidth 54.4 GB/s read / 27 GB/s write, ~470 GB/s MCDRAM STREAM,
+  **no shared LLC**, 11.5 TFLOPS SGEMM/chip, 2x int16 throughput via 4VNNIW.
+
+The instruction-timing parameters (issue width, FMA latency, load ports)
+are the standard microarchitectural values for these parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.types import DType
+
+__all__ = ["MachineConfig", "SKX", "KNM", "machine_by_name"]
+
+
+@dataclass(frozen=True, slots=True)
+class MachineConfig:
+    """One CPU target for code generation and the timing model.
+
+    Bandwidths are bytes/second; capacities are bytes.  Per-core cache
+    bandwidths follow the paper's section III-B roofline discussion.
+    """
+
+    name: str
+    cores: int
+    freq_hz: float
+    vlen_bits: int = 512
+    fma_ports: int = 2
+    fma_latency: int = 4  # cycles until an FMA result can be accumulated again
+    issue_width: int = 4  # µops/cycle front-end
+    load_ports: int = 2
+    store_ports: int = 1
+    # caches
+    l1_bytes: int = 32 * 1024
+    l2_bytes: int = 1024 * 1024
+    llc_bytes: int = 0  # shared last-level cache (0 = none, like KNM)
+    l1_assoc: int = 8
+    l2_assoc: int = 16
+    line_bytes: int = 64
+    #: cores sharing one physical L2 (KNM tiles pair 2 cores on 1 MB);
+    #: read-shared data (weight slices) effectively sees this much more L2
+    l2_shared_cores: int = 1
+    # measured bandwidths (paper section III)
+    l1_read_bw: float = 0.0  # bytes/s per core (derived if 0)
+    l1_write_bw: float = 0.0
+    l2_read_bw: float = 0.0  # bytes/s per core
+    l2_write_bw: float = 0.0
+    llc_bw: float = 0.0  # bytes/s per core to/from the shared LLC
+    mem_bw: float = 0.0  # bytes/s per socket/chip (STREAM triad)
+    #: overlap penalty: fraction of non-binding resource time that is NOT
+    #: hidden under the binding resource (out-of-order depth, MSHRs);
+    #: calibrated against the paper's per-layer efficiency bands.
+    overlap_alpha: float = 0.2
+    # instruction-set quirks
+    fused_memop_penalty: float = 0.15  # SKX micro-op split penalty (III-B)
+    has_4fma: bool = False
+    vnni16_speedup: float = 1.0  # int16 MAC throughput multiplier (II-K)
+    # network (for multi-node runs, section III-C)
+    link_bw: float = 12.5e9  # Omnipath 100 Gb/s
+    link_latency_s: float = 1.5e-6
+    comm_cores: int = 0  # cores set aside for MLSL communication
+
+    def __post_init__(self) -> None:
+        if self.l1_read_bw == 0.0:
+            # 2 x 64B loads/cycle, 1 x 64B store/cycle -- AVX512 L1 ports
+            object.__setattr__(self, "l1_read_bw", 2 * 64 * self.freq_hz)
+        if self.l1_write_bw == 0.0:
+            object.__setattr__(self, "l1_write_bw", 64 * self.freq_hz)
+
+    # ---- derived peaks -------------------------------------------------
+    def vlen(self, dtype: DType = DType.F32) -> int:
+        """SIMD lanes for the *output/accumulator* type (always 32-bit)."""
+        return self.vlen_bits // 32
+
+    def input_vlen(self, dtype: DType = DType.F32) -> int:
+        """SIMD lanes for the input element type (32 for int16 on 512-bit)."""
+        return self.vlen_bits // (8 * dtype.input_itemsize)
+
+    @property
+    def flops_per_cycle_core(self) -> float:
+        """Peak fp32 flops/cycle/core (FMA counts as 2)."""
+        lanes = self.vlen_bits // 32
+        mult = 2.0 if self.has_4fma else 1.0  # 4FMA doubles effective MACs/cyc
+        return self.fma_ports * lanes * 2 * mult
+
+    @property
+    def peak_flops_core(self) -> float:
+        return self.flops_per_cycle_core * self.freq_hz
+
+    @property
+    def peak_flops(self) -> float:
+        return self.peak_flops_core * self.cores
+
+    def peak_macs_core(self, dtype: DType) -> float:
+        """Peak multiply-accumulates/second/core for ``dtype`` (II-K)."""
+        base = self.peak_flops_core / 2.0
+        if dtype is DType.QI16F32:
+            return base * self.vnni16_speedup
+        return base
+
+    @property
+    def mem_read_bw(self) -> float:
+        """Sustained DRAM read bandwidth (pure read streams sustain a bit
+        less than the nominal peak; 80 % of STREAM triad)."""
+        return self.mem_bw * 0.8
+
+    @property
+    def mem_write_bw(self) -> float:
+        """Sustained DRAM write bandwidth (non-temporal stores; about half
+        the triad figure once write-allocate/RFO effects are counted)."""
+        return self.mem_bw * 0.5
+
+    @property
+    def compute_cores(self) -> int:
+        """Cores available for compute in multi-node runs (III-C)."""
+        return self.cores - self.comm_cores
+
+    def scaled(self, **changes) -> "MachineConfig":
+        """A copy with some fields replaced (for what-if studies)."""
+        return replace(self, **changes)
+
+
+#: Dual-socket node uses 2 x SKX; kernel benchmarks are single-socket.
+SKX = MachineConfig(
+    name="SKX",
+    cores=28,
+    freq_hz=2.3e9,
+    fma_ports=2,
+    fma_latency=4,
+    l2_bytes=1024 * 1024,
+    llc_bytes=38 * 1024 * 1024 + 512 * 1024,
+    l2_read_bw=147e9,
+    l2_write_bw=74e9,
+    llc_bw=30e9,  # sustained per-core share of the mesh/LLC
+    mem_bw=105e9,
+    overlap_alpha=0.2,
+    fused_memop_penalty=0.15,
+    has_4fma=False,
+    vnni16_speedup=1.0,
+    comm_cores=4,  # per node (2 sockets) when running multi-node, III-C
+)
+
+# 1.5 GHz is the sustained AVX frequency: 2 ports x 16 lanes x 2 flops x
+# 2 (4FMA chaining) x 1.5 GHz = 192 GFLOPS/core, the figure section III states.
+KNM = MachineConfig(
+    name="KNM",
+    cores=72,
+    freq_hz=1.5e9,
+    fma_ports=2,
+    fma_latency=6,
+    l1_bytes=32 * 1024,
+    l2_bytes=512 * 1024,  # per-core share of the 1MB two-core tile L2
+    l2_shared_cores=2,
+    llc_bytes=0,
+    l2_read_bw=54.4e9,
+    l2_write_bw=27e9,
+    llc_bw=0.0,
+    mem_bw=470e9,  # MCDRAM
+    overlap_alpha=0.45,  # in-order-ish Silvermont cores hide less latency
+    fused_memop_penalty=0.0,  # same sequence as MKL-DNN on KNM (III-B)
+    has_4fma=True,
+    vnni16_speedup=2.0,  # 4VNNIW: 2x int16 MAC throughput (II-K)
+    comm_cores=10,  # III-C: 62 of 72 cores compute; the rest drive MLSL
+)
+
+_MACHINES = {"SKX": SKX, "KNM": KNM, "skx": SKX, "knm": KNM}
+
+
+def machine_by_name(name: str) -> MachineConfig:
+    """Look up a machine config by name (case-insensitive)."""
+    try:
+        return _MACHINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; available: SKX, KNM"
+        ) from None

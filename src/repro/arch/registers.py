@@ -1,0 +1,82 @@
+"""Virtual vector register file and allocator.
+
+AVX512 exposes 32 zmm registers.  The register blocking factors RB_P, RB_Q of
+section II-B are bounded by this file: the microkernel needs
+``RB_P * RB_Q`` accumulators plus registers for the loaded weight vector(s)
+and (when not using fused memory operands) the input broadcast.  The code
+generators allocate through :class:`RegisterAllocator` so that an infeasible
+blocking raises :class:`~repro.types.CodegenError` instead of silently
+"spilling" -- real JITs never spill in these kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import CodegenError
+
+__all__ = ["RegisterFile", "RegisterAllocator", "NUM_VREGS"]
+
+#: zmm register count on AVX512 targets.
+NUM_VREGS = 32
+
+
+@dataclass(frozen=True, slots=True)
+class RegisterFile:
+    """Width/count description of the target's vector register file."""
+
+    num_regs: int = NUM_VREGS
+    width_bits: int = 512
+
+    def vlen(self, itemsize: int) -> int:
+        """Elements per register for a given element size in bytes."""
+        return self.width_bits // (8 * itemsize)
+
+
+class RegisterAllocator:
+    """Linear allocator over a fixed register file.
+
+    Supports named allocation (so the generators read declaratively) and
+    scoped release for registers reused across loop iterations.
+    """
+
+    def __init__(self, regfile: RegisterFile | None = None) -> None:
+        self.regfile = regfile or RegisterFile()
+        self._free: list[int] = list(range(self.regfile.num_regs - 1, -1, -1))
+        self._named: dict[str, int] = {}
+
+    @property
+    def live_count(self) -> int:
+        return self.regfile.num_regs - len(self._free)
+
+    def alloc(self, name: str | None = None) -> int:
+        """Allocate one register; raise CodegenError when the file is full."""
+        if not self._free:
+            raise CodegenError(
+                "out of vector registers ({} live); reduce the register "
+                "blocking (RB_P*RB_Q)".format(self.live_count)
+            )
+        reg = self._free.pop()
+        if name is not None:
+            if name in self._named:
+                raise CodegenError(f"register name {name!r} already allocated")
+            self._named[name] = reg
+        return reg
+
+    def alloc_block(self, count: int, prefix: str) -> list[int]:
+        """Allocate ``count`` registers named ``prefix0..prefixN-1``."""
+        return [self.alloc(f"{prefix}{i}") for i in range(count)]
+
+    def get(self, name: str) -> int:
+        return self._named[name]
+
+    def free(self, reg: int) -> None:
+        if reg in self._free:
+            raise CodegenError(f"double free of register {reg}")
+        self._free.append(reg)
+        for name, r in list(self._named.items()):
+            if r == reg:
+                del self._named[name]
+
+    def free_named(self, name: str) -> None:
+        self.free(self._named[name])

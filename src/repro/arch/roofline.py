@@ -1,0 +1,81 @@
+"""Roofline helpers (section III-B).
+
+The paper explains the SKX/KNM efficiency gap on 1x1 layers with a per-core
+roofline: KNM's L2 read bandwidth (54.4 GB/s) against 192 GFLOPS peak puts
+1x1 convolutions in the L2-bound regime, while SKX's 147 GB/s against
+147 GFLOPS keeps them near the compute-bound corner.  :class:`Roofline`
+evaluates attainable performance for a set of per-level traffic volumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.machine import MachineConfig
+
+__all__ = ["Roofline", "RooflinePoint"]
+
+
+@dataclass(frozen=True, slots=True)
+class RooflinePoint:
+    """Attainable performance for one kernel on one core.
+
+    ``bound`` names the binding resource ("compute", "l1", "l2_read", ...).
+    """
+
+    flops: float
+    time_s: float
+    bound: str
+
+    @property
+    def gflops(self) -> float:
+        return self.flops / self.time_s / 1e9 if self.time_s > 0 else 0.0
+
+
+class Roofline:
+    """Per-core roofline for a machine.
+
+    ``attainable`` takes the flops of a kernel plus its traffic (bytes) at
+    each memory level and returns the binding time and resource.  Memory
+    bandwidth is the socket bandwidth divided by the number of active cores
+    (``active_cores``), as cores share the memory system.
+    """
+
+    def __init__(self, machine: MachineConfig, active_cores: int | None = None):
+        self.machine = machine
+        self.active_cores = active_cores or machine.cores
+
+    def attainable(
+        self,
+        flops: float,
+        l1_read: float = 0.0,
+        l1_write: float = 0.0,
+        l2_read: float = 0.0,
+        l2_write: float = 0.0,
+        mem_read: float = 0.0,
+        mem_write: float = 0.0,
+        compute_efficiency: float = 1.0,
+    ) -> RooflinePoint:
+        """Binding time for one core executing ``flops`` with given traffic.
+
+        ``compute_efficiency`` scales the compute roof (e.g. FMA-latency
+        exposure or fused-memory-operand penalties computed upstream).
+        """
+        m = self.machine
+        mem_share = m.mem_bw / self.active_cores
+        times = {
+            "compute": flops / (m.peak_flops_core * compute_efficiency),
+            "l1_read": l1_read / m.l1_read_bw,
+            "l1_write": l1_write / m.l1_write_bw,
+            "l2_read": l2_read / m.l2_read_bw,
+            "l2_write": l2_write / m.l2_write_bw,
+            "mem_read": mem_read / mem_share,
+            "mem_write": mem_write / mem_share,
+        }
+        bound = max(times, key=times.get)
+        return RooflinePoint(flops=flops, time_s=times[bound], bound=bound)
+
+    def operational_intensity_knee(self) -> float:
+        """Memory-roofline knee (flops/byte) for one core's DRAM share."""
+        m = self.machine
+        return m.peak_flops_core / (m.mem_bw / self.active_cores)

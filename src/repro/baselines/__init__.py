@@ -1,0 +1,35 @@
+"""Alternative convolution implementations benchmarked in section III.
+
+Each baseline has a *functional* numpy implementation (validated against the
+reference loops) and a *performance model* capturing the structural reasons
+the paper gives for its slowdown:
+
+* ``im2col`` -- flatten + big GEMM (the Caffe approach): pays the
+  R*S-fold data inflation and an extra full pass over the input
+  (memory-footprint + bandwidth downsides named in section I).
+* ``libxsmm`` -- blocked direct-conv loops with a JIT'ed small GEMM as the
+  innermost kernel: cannot hoist output loads/stores out of the ``r, s``
+  loops nor pixel-block short rows (the two section II-D optimizations a
+  batched-GEMM interface cannot express).
+* ``blas`` -- same loops calling MKL GEMM: adds the large fixed dispatch
+  overhead of statically-tuned BLAS on tall-and-skinny shapes ([14]).
+* ``autovec`` -- compiler-vectorized naive loops: a single accumulation
+  chain per output vector (FMA latency fully exposed) plus un-hoisted
+  output traffic.
+"""
+
+from repro.baselines.im2col import im2col_forward, estimate_im2col
+from repro.baselines.smallgemm_loops import (
+    smallgemm_forward,
+    estimate_smallgemm,
+)
+from repro.baselines.autovec import autovec_forward, estimate_autovec
+
+__all__ = [
+    "im2col_forward",
+    "estimate_im2col",
+    "smallgemm_forward",
+    "estimate_smallgemm",
+    "autovec_forward",
+    "estimate_autovec",
+]

@@ -1,0 +1,110 @@
+"""The compiler-autovectorized baseline ("autovec", section III).
+
+The small GEMM is spelled out as three nested scalar loops and the compiler
+vectorizes the innermost one.  What the compiler cannot do is the paper's
+register blocking: each output vector is a *single* accumulation chain, so
+every FMA waits out the full FMA latency; output values round-trip through
+memory per tap; and strided/short trip counts defeat vectorization entirely
+on part of the iterations.  Fig. 4 shows this up to 16x slower.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.machine import MachineConfig
+from repro.conv.params import ConvParams
+from repro.conv.reference import pad_input
+from repro.jit.codegen import ConvKernelDesc, generate_conv_kernel
+from repro.jit.kernel_cache import get_default_cache
+from repro.jit.timing import time_kernel
+from repro.perf.model import LayerPerf, combine_parts
+from repro.perf.traffic import forward_traffic
+from repro.conv.blocking import choose_blocking
+from repro.types import DType, Pass
+
+__all__ = ["autovec_forward", "estimate_autovec"]
+
+
+def autovec_forward(x: np.ndarray, w: np.ndarray, p: ConvParams) -> np.ndarray:
+    """Functional semantics of the three spelled-out loops (vectorized by
+    numpy the way icc would vectorize the inner loop)."""
+    xp = pad_input(x, p)
+    out = np.zeros((p.N, p.K, p.P, p.Q), dtype=np.float32)
+    for n in range(p.N):
+        for oj in range(p.P):
+            ij = oj * p.stride
+            for r in range(p.R):
+                for s in range(p.S):
+                    b = xp[n, :, ij + r, s : s + p.stride * p.Q : p.stride]
+                    out[n, :, oj, :] += w[:, :, r, s] @ b
+    return out
+
+
+def estimate_autovec(
+    p: ConvParams,
+    machine: MachineConfig,
+    threads: int | None = None,
+    dtype: DType = DType.F32,
+) -> LayerPerf:
+    """Performance model: single accumulation chain, un-hoisted output."""
+    m = machine
+    t = threads or m.cores
+    vlen = m.vlen(dtype)
+    cache = get_default_cache()
+    # rb_p = rb_q = 1: no register blocking -- one chain per output vector
+    desc = ConvKernelDesc(
+        vlen=vlen,
+        rb_p=1,
+        rb_q=1,
+        R=p.R,
+        S=p.S,
+        stride=p.stride,
+        i_strides=(p.Hp * p.Wp * vlen, p.Wp * vlen, vlen),
+        w_strides=(p.R * p.S * vlen * vlen, p.S * vlen * vlen, vlen * vlen, vlen),
+        o_strides=(p.Q * vlen, vlen),
+        cb_unroll=1,
+        zero_init=False,
+        hoist_output=False,
+        fused_memop=False,
+        use_4fma=False,  # the compiler does not emit 4FMA sequences
+        dtype=dtype,
+    )
+    prog = cache.get(desc, generate_conv_kernel)
+    kt = time_kernel(prog, m, call_overhead=10.0)
+    cb = p.C // vlen
+    kb = p.K // vlen
+    calls = p.N * kb * cb * p.P * p.Q
+    cycles_per_flop = kt.cycles / prog.flops
+    # peel/remainder scalar code, no unrolling, and store-to-load stalls on
+    # the per-tap output round-trips: ~1.8x over the idealized µop stream
+    t_comp = p.flops / t * cycles_per_flop / m.freq_hz * 1.8
+
+    plan = choose_blocking(p, m, dtype)
+    traffic = forward_traffic(p, plan, m, t, dtype)
+    # output re-accumulated through memory per tap and per c_b iteration
+    extra_o = (p.R * p.S * cb - 1) * p.N * p.K * p.P * p.Q * 4
+    parts = {
+        "compute": t_comp,
+        "l2_read": (traffic.l2_read + extra_o) / t / m.l2_read_bw,
+        "l2_write": (traffic.l2_write + extra_o) / t / m.l2_write_bw,
+        "mem_read": (traffic.mem_read + (0 if m.llc_bytes else traffic.llc_read))
+        / m.mem_read_bw,
+        "mem_write": traffic.mem_write / m.mem_write_bw,
+    }
+    if m.llc_bytes:
+        parts["llc_read"] = traffic.llc_read / t / m.llc_bw
+        parts["llc_write"] = traffic.llc_write / t / m.llc_bw
+    time_s, bound = combine_parts(parts, m.overlap_alpha)
+    return LayerPerf(
+        params=p,
+        machine=m.name,
+        impl="autovec",
+        pass_=Pass.FWD,
+        dtype=dtype,
+        time_s=time_s,
+        flops=p.flops,
+        bound=bound,
+        parts=parts,
+        notes={"efficiency": p.flops / time_s / (m.peak_flops_core * t)},
+    )

@@ -1,0 +1,111 @@
+"""The im2col + GEMM baseline (Caffe's method, section III "im2col").
+
+``im2col_forward`` materializes the ``(C*R*S) x (P*Q)`` patch matrix per
+sample and multiplies by the ``K x (C*R*S)`` weight matrix -- numerically
+identical to the reference convolution.
+
+``estimate_im2col`` prices it: one pass reading the input and writing the
+R*S-inflated patch matrix (pure bandwidth), then a large GEMM that re-reads
+the inflated matrix.  The GEMM itself runs near peak (MKL on large shapes),
+so the slowdown vs. direct convolution is the memory time -- about 3x on the
+bandwidth-heavy layers, little on compute-dominated ones, matching Fig. 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.arch.machine import MachineConfig
+from repro.conv.params import ConvParams
+from repro.conv.reference import pad_input
+from repro.perf.model import LayerPerf, combine_parts
+from repro.types import DType, Pass
+
+__all__ = ["im2col_forward", "im2col_matrix", "estimate_im2col"]
+
+#: large-GEMM efficiency of a tuned BLAS (SGEMM benchmarks in section III)
+GEMM_EFFICIENCY = 0.92
+
+
+def im2col_matrix(x: np.ndarray, p: ConvParams) -> np.ndarray:
+    """Patch matrix of shape ``(N, C*R*S, P*Q)`` (one column per output
+    pixel), built with stride tricks then materialized -- the copy *is* the
+    method's cost."""
+    xp = pad_input(x, p)
+    n, c, hp, wp = xp.shape
+    sn, sc, sh, sw = xp.strides
+    patches = as_strided(
+        xp,
+        shape=(n, c, p.R, p.S, p.P, p.Q),
+        strides=(sn, sc, sh, sw, sh * p.stride, sw * p.stride),
+    )
+    return np.ascontiguousarray(patches.reshape(n, c * p.R * p.S, p.P * p.Q))
+
+
+def im2col_forward(x: np.ndarray, w: np.ndarray, p: ConvParams) -> np.ndarray:
+    """Forward convolution via im2col + GEMM."""
+    cols = im2col_matrix(x, p)  # (N, C*R*S, P*Q)
+    wmat = w.reshape(p.K, p.C * p.R * p.S)
+    out = np.einsum("kc,ncp->nkp", wmat, cols, optimize=True)
+    return out.reshape(p.N, p.K, p.P, p.Q)
+
+
+def estimate_im2col(
+    p: ConvParams,
+    machine: MachineConfig,
+    threads: int | None = None,
+    dtype: DType = DType.F32,
+) -> LayerPerf:
+    """Performance model of im2col + MKL SGEMM."""
+    m = machine
+    t = threads or m.cores
+    isz = dtype.input_itemsize
+    in_bytes = p.N * p.C * p.Hp * p.Wp * isz
+    col_bytes = p.N * p.C * p.R * p.S * p.P * p.Q * isz
+    out_bytes = p.N * p.K * p.P * p.Q * 4
+    w_bytes = p.K * p.C * p.R * p.S * isz
+
+    # transform pass: read input, write patch matrix (write-allocate: the
+    # matrix is too large for caches on the big layers)
+    live = in_bytes + col_bytes + out_bytes + w_bytes
+    if m.llc_bytes:
+        frac = min(1.0, 0.75 * m.llc_bytes / live)
+    else:
+        frac = 0.0
+    transform_read = in_bytes * (p.R * p.S)  # gather re-reads input R*S times
+    t_transform = (
+        transform_read * (1 - frac) / m.mem_read_bw
+        + transform_read * frac / (t * max(m.llc_bw, m.l2_read_bw))
+        + col_bytes * (1 - frac) / m.mem_write_bw
+        + col_bytes * frac / (t * max(m.llc_bw, m.l2_write_bw))
+    )
+    # GEMM pass: near-peak compute on wide matrices, but the GEMM's N
+    # dimension is the pixel count -- late layers (P*Q = 49) are
+    # tall-and-skinny, where tuned BLAS loses efficiency ([14])
+    pq = p.P * p.Q
+    gemm_eff = GEMM_EFFICIENCY * pq / (pq + 160.0)
+    t_gemm_compute = p.flops / (m.peak_flops_core * t * gemm_eff)
+    t_gemm_mem = col_bytes * (1 - frac) / m.mem_read_bw + out_bytes * (
+        1 - frac
+    ) / m.mem_write_bw
+    parts = {
+        "transform": t_transform,
+        "compute": t_gemm_compute,
+        "gemm_mem": t_gemm_mem,
+    }
+    time_s, bound = combine_parts(parts, m.overlap_alpha)
+    # the transform pass cannot overlap the GEMM pass at all
+    time_s = max(time_s, t_transform + max(t_gemm_compute, t_gemm_mem))
+    return LayerPerf(
+        params=p,
+        machine=m.name,
+        impl="im2col",
+        pass_=Pass.FWD,
+        dtype=dtype,
+        time_s=time_s,
+        flops=p.flops,
+        bound=bound,
+        parts=parts,
+        notes={"efficiency": p.flops / time_s / (m.peak_flops_core * t)},
+    )

@@ -1,0 +1,150 @@
+"""Blocked direct-conv loops with small-GEMM microkernels ("libxsmm"/"blas").
+
+This is the paper's strongest baseline pair: the *same* blocked loop
+structure as this work, but the innermost kernel is a generic small GEMM
+``O'[: , :] += W'[r,s] x I'[r,s]`` per filter tap.  A batched-GEMM interface
+cannot express the two section II-D optimizations:
+
+(a) hoisting the output block's loads/stores out of the ``r, s`` loops --
+    every tap re-loads and re-stores the C matrix (R*S-fold output traffic,
+    plus store-to-load forwarding stalls between dependent GEMMs);
+(b) pixel blocking over rows when ``Q`` is shorter than the FMA-latency
+    window -- short-row layers run latency-exposed.
+
+The "blas" variant additionally pays MKL's fixed per-call dispatch overhead,
+which [14] measured in the thousands of cycles for tall-and-skinny shapes --
+this is what buries the 7x7-spatial layers (the up-to-9x cases of Fig. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.machine import MachineConfig
+from repro.conv.params import ConvParams
+from repro.conv.reference import pad_input
+from repro.jit.codegen import ConvKernelDesc, generate_conv_kernel
+from repro.jit.kernel_cache import get_default_cache
+from repro.jit.timing import time_kernel
+from repro.perf.model import LayerPerf, combine_parts
+from repro.perf.traffic import forward_traffic
+from repro.conv.blocking import choose_blocking
+from repro.types import DType, Pass
+
+__all__ = ["smallgemm_forward", "estimate_smallgemm"]
+
+#: per-small-GEMM dispatch overhead in cycles ([14]: statically-tuned BLAS
+#: pays a large fixed cost per call; a JIT'ed kernel pointer costs almost
+#: nothing)
+CALL_OVERHEAD = {"libxsmm": 80.0, "blas": 700.0}
+
+
+def smallgemm_forward(
+    x: np.ndarray, w: np.ndarray, p: ConvParams, vlen: int = 16
+) -> np.ndarray:
+    """Functional baseline: blocked loops, one small GEMM per ``(r, s)`` tap,
+    output re-accumulated through memory each tap (no hoisting)."""
+    xp = pad_input(x, p)
+    out = np.zeros((p.N, p.K, p.P, p.Q), dtype=np.float32)
+    kb = max(1, p.K // vlen)
+    cb = max(1, p.C // vlen)
+    kw = p.K // kb
+    cw = p.C // cb
+    for n in range(p.N):
+        for kbi in range(kb):
+            ks = slice(kbi * kw, (kbi + 1) * kw)
+            for cbi in range(cb):
+                cs = slice(cbi * cw, (cbi + 1) * cw)
+                for oj in range(p.P):
+                    ij = oj * p.stride
+                    for r in range(p.R):
+                        for s in range(p.S):
+                            # small GEMM: (kw x cw) @ (cw x Q)
+                            a = w[ks, cs, r, s]
+                            b = xp[n, cs, ij + r, s : s + p.stride * p.Q : p.stride]
+                            out[n, ks, oj, :] += a @ b
+    return out
+
+
+def estimate_smallgemm(
+    p: ConvParams,
+    machine: MachineConfig,
+    variant: str = "libxsmm",
+    threads: int | None = None,
+    dtype: DType = DType.F32,
+) -> LayerPerf:
+    """Performance model for the "libxsmm" and "blas" baselines."""
+    assert variant in CALL_OVERHEAD
+    m = machine
+    t = threads or m.cores
+    cache = get_default_cache()
+    vlen = m.vlen(dtype)
+
+    # one small GEMM per (n, k_b, c_b, oj, r, s): M=VLEN, N=Q, K=VLEN,
+    # realized as the un-hoisted kernel (hoist_output=False) so the µop
+    # stream carries the per-tap O loads/stores.
+    plan = choose_blocking(p, m, dtype)
+    desc = ConvKernelDesc(
+        vlen=vlen,
+        rb_p=1,
+        rb_q=plan.rb_q,
+        R=p.R,
+        S=p.S,
+        stride=p.stride,
+        i_strides=(p.Hp * p.Wp * vlen, p.Wp * vlen, vlen),
+        w_strides=(p.R * p.S * vlen * vlen, p.S * vlen * vlen, vlen * vlen, vlen),
+        o_strides=(p.Q * vlen, vlen),
+        cb_unroll=1,
+        zero_init=False,  # GEMM beta=1: always load C
+        hoist_output=False,  # the defining deficit (section II-D)
+        fused_memop=False,
+        use_4fma=m.has_4fma,
+        dtype=dtype,
+    )
+    prog = cache.get(desc, generate_conv_kernel)
+    overhead = CALL_OVERHEAD[variant]
+    # each (r, s) tap is a separate GEMM call for the dispatch overhead
+    kt = time_kernel(prog, m, call_overhead=0.0)
+    cb = p.C // vlen
+    kb = p.K // vlen
+    pb = -(-p.P // 1)
+    qb = -(-p.Q // plan.rb_q)
+    blocks = p.N * kb * cb * pb * qb
+    gemm_calls = blocks * p.R * p.S
+    cycles_per_flop = kt.cycles / prog.flops
+    t_comp = (
+        p.flops / t * cycles_per_flop + gemm_calls / t * overhead
+    ) / m.freq_hz
+
+    traffic = forward_traffic(p, plan, m, t, dtype)
+    # un-hoisted output: a batched-GEMM interface reduces into C through
+    # memory (beta=1), so the O block crosses L1<->L2 once per tap AND per
+    # c_b -- it can never stay in registers across the reduction
+    extra_o = (p.R * p.S * cb - 1) * p.N * p.K * p.P * p.Q * 4
+    parts = {
+        "compute": t_comp,
+        "l2_read": (traffic.l2_read + extra_o) / t / m.l2_read_bw,
+        "l2_write": (traffic.l2_write + extra_o) / t / m.l2_write_bw,
+        "mem_read": (traffic.mem_read + traffic.llc_read * (0 if m.llc_bytes else 1))
+        / m.mem_read_bw,
+        "mem_write": traffic.mem_write / m.mem_write_bw,
+    }
+    if m.llc_bytes:
+        parts["llc_read"] = traffic.llc_read / t / m.llc_bw
+        parts["llc_write"] = traffic.llc_write / t / m.llc_bw
+    time_s, bound = combine_parts(parts, m.overlap_alpha)
+    return LayerPerf(
+        params=p,
+        machine=m.name,
+        impl=variant,
+        pass_=Pass.FWD,
+        dtype=dtype,
+        time_s=time_s,
+        flops=p.flops,
+        bound=bound,
+        parts=parts,
+        notes={
+            "gemm_calls": gemm_calls,
+            "efficiency": p.flops / time_s / (m.peak_flops_core * t),
+        },
+    )

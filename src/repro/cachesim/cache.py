@@ -1,0 +1,115 @@
+"""One set-associative cache level."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Cache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/traffic counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    prefetch_fills: int = 0
+    prefetched_hits: int = 0  # demand hits on lines brought in by prefetch
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        a = self.accesses
+        return self.misses / a if a else 0.0
+
+    @property
+    def fill_bytes(self) -> int:
+        """Bytes fetched from the next level (demand misses only)."""
+        return self.misses
+
+    def reset(self) -> None:
+        self.hits = self.misses = 0
+        self.prefetch_fills = self.prefetched_hits = self.writebacks = 0
+
+
+class Cache:
+    """Set-associative, LRU, write-back/write-allocate cache.
+
+    Tracks, per line, whether it was filled by a prefetch so that demand
+    hits on prefetched lines can be reported separately (the quantity the
+    two-level prefetch strategy of section II-E optimizes).
+    """
+
+    def __init__(
+        self, size_bytes: int, assoc: int, line_bytes: int = 64, name: str = ""
+    ) -> None:
+        if size_bytes % (assoc * line_bytes):
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by assoc*line"
+            )
+        self.name = name or f"cache{size_bytes}"
+        self.line_bytes = line_bytes
+        self.assoc = assoc
+        self.n_sets = size_bytes // (assoc * line_bytes)
+        # per set: {tag: (lru_counter, dirty, prefetched)}
+        self._sets: list[dict[int, list]] = [dict() for _ in range(self.n_sets)]
+        self._clock = 0
+        self.stats = CacheStats()
+
+    def _locate(self, line_addr: int) -> tuple[dict, int]:
+        return self._sets[line_addr % self.n_sets], line_addr // self.n_sets
+
+    def lookup(self, line_addr: int) -> bool:
+        """Probe without filling; updates LRU on hit."""
+        s, tag = self._locate(line_addr)
+        entry = s.get(tag)
+        if entry is None:
+            return False
+        self._clock += 1
+        entry[0] = self._clock
+        return True
+
+    def access(
+        self, line_addr: int, write: bool = False, prefetch: bool = False
+    ) -> bool:
+        """Access one line; returns True on hit.  Misses fill the line
+        (write-allocate), evicting LRU.  Prefetch accesses fill but do not
+        count as demand hits/misses."""
+        s, tag = self._locate(line_addr)
+        self._clock += 1
+        entry = s.get(tag)
+        if entry is not None:
+            if not prefetch:
+                self.stats.hits += 1
+                if entry[2]:
+                    self.stats.prefetched_hits += 1
+                    entry[2] = False
+            entry[0] = self._clock
+            entry[1] = entry[1] or write
+            return True
+        # miss: fill
+        if prefetch:
+            self.stats.prefetch_fills += 1
+        else:
+            self.stats.misses += 1
+        if len(s) >= self.assoc:
+            victim = min(s, key=lambda t: s[t][0])
+            if s[victim][1]:
+                self.stats.writebacks += 1
+            del s[victim]
+        s[tag] = [self._clock, write, prefetch]
+        return False
+
+    def flush(self) -> None:
+        for s in self._sets:
+            for entry in s.values():
+                if entry[1]:
+                    self.stats.writebacks += 1
+            s.clear()
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)

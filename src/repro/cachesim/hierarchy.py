@@ -1,0 +1,118 @@
+"""L1 -> L2 -> (LLC) -> DRAM hierarchy driven by interpreter memory traces.
+
+``CacheHierarchy.touch`` plugs directly into
+:func:`repro.jit.interpreter.execute_kernel`'s ``touch`` callback: tensor
+names are mapped to disjoint address regions, element offsets become line
+addresses, and each demand access walks the inclusive hierarchy.  PREFETCH1
+fills L1+L2; PREFETCH2 fills L2 only (the paper's two prefetch levels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.machine import MachineConfig
+from repro.cachesim.cache import Cache
+
+__all__ = ["CacheHierarchy", "LevelTraffic"]
+
+
+@dataclass(frozen=True, slots=True)
+class LevelTraffic:
+    """Bytes moved between adjacent levels during a simulation."""
+
+    l1_fill: int  # L2 -> L1
+    l2_fill: int  # LLC/DRAM -> L2
+    llc_fill: int  # DRAM -> LLC (0 when the machine has no LLC)
+    l1_writeback: int
+    l2_writeback: int
+
+
+class CacheHierarchy:
+    """Inclusive L1/L2(/LLC) simulator for one core.
+
+    ``hw_prefetch`` optionally attaches a hardware prefetcher to L2
+    ("nextline" or "stride"); software PREFETCH1/PREFETCH2 µops are always
+    honored regardless.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        itemsize: int = 4,
+        hw_prefetch: str = "none",
+    ) -> None:
+        self.machine = machine
+        self.itemsize = itemsize
+        line = machine.line_bytes
+        self.line = line
+        self.l1 = Cache(machine.l1_bytes, machine.l1_assoc, line, "L1")
+        self.l2 = Cache(machine.l2_bytes, machine.l2_assoc, line, "L2")
+        self.llc = (
+            Cache(machine.llc_bytes, 16, line, "LLC")
+            if machine.llc_bytes
+            else None
+        )
+        if hw_prefetch == "nextline":
+            from repro.cachesim.prefetcher import NextLinePrefetcher
+
+            self.hw_prefetcher = NextLinePrefetcher(self.l2)
+        elif hw_prefetch == "stride":
+            from repro.cachesim.prefetcher import StridePrefetcher
+
+            self.hw_prefetcher = StridePrefetcher(self.l2)
+        elif hw_prefetch == "none":
+            self.hw_prefetcher = None
+        else:
+            raise ValueError(f"unknown hw_prefetch mode {hw_prefetch!r}")
+        self._regions: dict[str, int] = {}
+        self._next_region = 0
+
+    def region_base(self, tensor: str) -> int:
+        """Disjoint 1-GiB address region per tensor name."""
+        name = tensor[:-3] if tensor.endswith("_pf") else tensor
+        if name not in self._regions:
+            self._regions[name] = self._next_region
+            self._next_region += 1 << 30
+        return self._regions[name]
+
+    def touch(self, tensor: str, offset: int, count: int, kind: str) -> None:
+        """Interpreter callback: one memory µop's element range."""
+        base = self.region_base(tensor) + offset * self.itemsize
+        first = base // self.line
+        last = (base + max(1, count) * self.itemsize - 1) // self.line
+        for line_addr in range(first, last + 1):
+            if kind == "prefetch1":
+                if not self.l1.access(line_addr, prefetch=True):
+                    self.l2.access(line_addr, prefetch=True)
+            elif kind == "prefetch2":
+                self.l2.access(line_addr, prefetch=True)
+            else:
+                write = kind == "store"
+                if self.l1.access(line_addr, write=write):
+                    if self.hw_prefetcher is not None:
+                        self.hw_prefetcher.on_access(line_addr, True)
+                    continue
+                l2_hit = self.l2.access(line_addr, write=False)
+                if self.hw_prefetcher is not None:
+                    self.hw_prefetcher.on_access(line_addr, l2_hit)
+                if l2_hit:
+                    continue
+                if self.llc is not None:
+                    self.llc.access(line_addr, write=False)
+
+    def traffic(self) -> LevelTraffic:
+        line = self.line
+        return LevelTraffic(
+            l1_fill=self.l1.stats.misses * line,
+            l2_fill=self.l2.stats.misses * line,
+            llc_fill=(self.llc.stats.misses * line) if self.llc else 0,
+            l1_writeback=self.l1.stats.writebacks * line,
+            l2_writeback=self.l2.stats.writebacks * line,
+        )
+
+    def reset(self) -> None:
+        self.l1.stats.reset()
+        self.l2.stats.reset()
+        if self.llc:
+            self.llc.stats.reset()

@@ -1,0 +1,211 @@
+"""Command-line interface -- the artifact's run scripts, as one binary.
+
+The paper's artifact drives everything through shell scripts
+(``run_resnet50.sh <threads> <iters> <mb> <dtype> <pass> ...``); here the
+equivalents are subcommands of ``python -m repro``:
+
+========================  ====================================================
+command                   what it does
+========================  ====================================================
+``layers``                per-layer kernel study (Figs. 4-8) on one machine
+``fig``                   regenerate one numbered figure's data
+``train``                 GxM training of the miniature ResNet on synthetic
+                          data, with optional checkpointing
+``scaling``               Fig. 9 multi-node strong-scaling table
+``disasm``                JIT one kernel variant and print its µop listing
+========================  ====================================================
+
+Examples::
+
+    python -m repro layers --machine SKX --pass F
+    python -m repro fig 6
+    python -m repro train --epochs 4 --checkpoint /tmp/ck.npz
+    python -m repro scaling --machine KNM
+    python -m repro disasm --layer 8 --machine KNM
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.types import Pass
+
+__all__ = ["main", "build_parser"]
+
+_PASS = {"F": Pass.FWD, "B": Pass.BWD, "U": Pass.UPD,
+         "forward": Pass.FWD, "backward": Pass.BWD, "update": Pass.UPD}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="SC'18 direct-convolution reproduction toolkit",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("layers", help="per-layer kernel study (Figs. 4-8)")
+    p.add_argument("--machine", default="SKX", choices=["SKX", "KNM"])
+    p.add_argument("--pass", dest="pass_", default="F",
+                   choices=sorted(_PASS))
+    p.add_argument("--dtype", default="f32", choices=["f32", "qi16f32"])
+    p.add_argument("--no-baselines", action="store_true")
+
+    p = sub.add_parser("fig", help="regenerate one figure's data")
+    p.add_argument("number", type=int, choices=[4, 5, 6, 7, 8, 9])
+
+    p = sub.add_parser("train", help="train the mini ResNet on synthetic data")
+    p.add_argument("--epochs", type=int, default=4)
+    p.add_argument("--batch", type=int, default=32)
+    p.add_argument("--lr", type=float, default=0.05)
+    p.add_argument("--nodes", type=int, default=1,
+                   help="simulated data-parallel replicas")
+    p.add_argument("--checkpoint", default=None,
+                   help="path to dump trained weights (.npz)")
+    p.add_argument("--engine", default="fast", choices=["fast", "blocked"])
+
+    p = sub.add_parser("scaling", help="Fig. 9 multi-node scaling")
+    p.add_argument("--machine", default="KNM", choices=["SKX", "KNM"])
+    p.add_argument("--topology", default="resnet50",
+                   choices=["resnet50", "inception_v3"])
+
+    p = sub.add_parser("disasm", help="print one JIT'ed kernel's µops")
+    p.add_argument("--layer", type=int, default=8, choices=range(1, 21),
+                   metavar="TABLE1_ID")
+    p.add_argument("--machine", default="SKX", choices=["SKX", "KNM"])
+    p.add_argument("--dtype", default="f32", choices=["f32", "qi16f32"])
+    p.add_argument("--max-lines", type=int, default=48)
+    return ap
+
+
+def _cmd_layers(args) -> int:
+    from repro.perf.sweep import resnet50_forward_sweep, resnet50_pass_sweep
+    from repro.types import DType
+
+    dtype = DType(args.dtype)
+    pass_ = _PASS[args.pass_]
+    if pass_ is Pass.FWD:
+        fig = resnet50_forward_sweep(
+            args.machine, baselines=not args.no_baselines, dtype=dtype
+        )
+    else:
+        fig = resnet50_pass_sweep(args.machine, pass_, dtype=dtype)
+    print(fig.table())
+    effs = fig.efficiency.get("thiswork")
+    if effs:
+        print("   % peak " + " ".join(f"{100 * e:7.1f}" for e in effs))
+    return 0
+
+
+def _cmd_fig(args) -> int:
+    from repro.perf.sweep import (
+        resnet50_forward_sweep,
+        resnet50_lowprecision_sweep,
+        resnet50_pass_sweep,
+    )
+
+    n = args.number
+    if n == 4:
+        print(resnet50_forward_sweep("SKX").table())
+    elif n == 5:
+        print(resnet50_pass_sweep("SKX", Pass.BWD).table())
+        print(resnet50_pass_sweep("SKX", Pass.UPD).table())
+    elif n == 6:
+        print(resnet50_forward_sweep("KNM").table())
+    elif n == 7:
+        print(resnet50_pass_sweep("KNM", Pass.BWD).table())
+        print(resnet50_pass_sweep("KNM", Pass.UPD).table())
+    elif n == 8:
+        for p in (Pass.FWD, Pass.BWD, Pass.UPD):
+            print(resnet50_lowprecision_sweep(p).table())
+    elif n == 9:
+        return _cmd_scaling(argparse.Namespace(machine="KNM",
+                                               topology="resnet50")) or \
+            _cmd_scaling(argparse.Namespace(machine="SKX",
+                                            topology="resnet50"))
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.gxm.data import SyntheticImageDataset
+    from repro.gxm.etg import ExecutionTaskGraph
+    from repro.gxm.trainer import Trainer
+    from repro.models.resnet50 import resnet_mini_topology
+
+    topo = resnet_mini_topology(num_classes=8, width=16)
+    etg = ExecutionTaskGraph(
+        topo,
+        input_shape=(args.batch // args.nodes, 16, 16, 16)
+        if args.engine == "blocked"
+        else (args.batch, 16, 16, 16),
+        engine=args.engine,
+        seed=7,
+    )
+    ds = SyntheticImageDataset(n=512, num_classes=8, shape=(16, 16, 16),
+                               seed=3)
+    tr = Trainer(etg, lr=args.lr, nodes=args.nodes)
+    for epoch in range(args.epochs):
+        tr.fit(ds, batch_size=args.batch // args.nodes, epochs=1)
+        m = tr.metrics
+        print(
+            f"epoch {epoch}: loss {m.losses[-1]:.4f} "
+            f"top-1 {100 * m.accuracies[-1]:.1f}%"
+        )
+    if args.checkpoint:
+        from repro.gxm.checkpoint import save_checkpoint
+
+        save_checkpoint(etg, args.checkpoint)
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    from repro.gxm.e2e import fig9_scaling
+    from repro.perf.references import PAPER_MEASURED
+
+    pts = fig9_scaling(args.machine, args.topology)
+    print(f"{args.topology} on {args.machine}:")
+    for pt in pts:
+        paper = PAPER_MEASURED.get((args.topology, args.machine, pt.nodes))
+        ref = f"  (paper {paper:.0f})" if paper else ""
+        print(
+            f"  {pt.nodes:>2} nodes: {pt.imgs_per_s:7.0f} img/s, "
+            f"eff {100 * pt.parallel_efficiency:5.1f}%{ref}"
+        )
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    from repro.arch.disasm import disassemble, summarize_program
+    from repro.arch.machine import machine_by_name
+    from repro.models.resnet50 import resnet50_layer
+    from repro.perf.model import ConvPerfModel
+    from repro.types import DType
+
+    m = machine_by_name(args.machine)
+    model = ConvPerfModel(m)
+    dtype = DType(args.dtype)
+    p = resnet50_layer(args.layer, 70 if m.name == "KNM" else 28)
+    plan = model._plan(p, dtype, "thiswork")
+    desc = model._fwd_desc(p, plan, dtype, "thiswork")
+    from repro.jit.codegen import generate_conv_kernel
+
+    prog = generate_conv_kernel(desc)
+    print(summarize_program(prog))
+    print(disassemble(prog, max_lines=args.max_lines))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return {
+        "layers": _cmd_layers,
+        "fig": _cmd_fig,
+        "train": _cmd_train,
+        "scaling": _cmd_scaling,
+        "disasm": _cmd_disasm,
+    }[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

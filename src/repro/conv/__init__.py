@@ -1,0 +1,27 @@
+"""Direct convolution: parameters, reference semantics, and blocked engines.
+
+This package is the paper's core contribution (sections II-A..II-J):
+
+* :mod:`repro.conv.params`    -- layer descriptors (Table I rows live here)
+* :mod:`repro.conv.reference` -- Algorithms 1/6/8, the numerical gold standard
+* :mod:`repro.conv.blocking`  -- RB_P/RB_Q + cache-blocking heuristics
+* :mod:`repro.conv.forward`   -- Algorithms 2/3/4 (blocked fwd + fusion)
+* :mod:`repro.conv.backward`  -- section II-I duality + Algorithm 7 fallback
+* :mod:`repro.conv.upd`       -- Algorithm 9 weight-gradient kernels
+* :mod:`repro.conv.fusion`    -- fusable post-ops (Bias/ReLU/BN/eltwise)
+"""
+
+from repro.conv.params import ConvParams
+from repro.conv.blocking import BlockingPlan, choose_blocking
+from repro.conv.fusion import FusedOp, Bias, ReLU, BatchNormApply, EltwiseAdd
+
+__all__ = [
+    "ConvParams",
+    "BlockingPlan",
+    "choose_blocking",
+    "FusedOp",
+    "Bias",
+    "ReLU",
+    "BatchNormApply",
+    "EltwiseAdd",
+]

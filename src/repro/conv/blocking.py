@@ -1,0 +1,213 @@
+"""Blocking heuristics (sections II-B, II-C, II-D, II-J).
+
+The register blocking factors ``RB_P x RB_Q`` must (a) fit the accumulator
+budget of the 32-entry vector register file (a few registers are reserved for
+the loaded weight vector, the input broadcast and addressing), and (b) expose
+at least ``fma_latency * fma_ports`` independent accumulation chains so the
+FMA pipeline never stalls (section II-B).  When ``Q`` is not divisible by
+``RB_Q`` a *remainder variant* with different factors is generated instead of
+shrinking the main kernel (section II-H), and when ``Q`` itself is smaller
+than the latency-hiding threshold the kernel blocks over multiple output rows
+(optimization (b) of section II-D).
+
+For 1x1 convolutions the input feature-map loop is pulled inside the spatial
+loops so the output block stays in registers across the whole ``C_b``
+reduction (section II-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.machine import MachineConfig
+from repro.conv.params import ConvParams
+from repro.types import CodegenError, DType
+
+__all__ = ["BlockingPlan", "UpdBlockingPlan", "choose_blocking", "choose_upd_blocking"]
+
+#: registers reserved for weight vector(s), broadcast source and spill-free
+#: addressing -- the rest of the 32-entry file holds accumulators.
+RESERVED_REGS = 4
+
+
+@dataclass(frozen=True, slots=True)
+class BlockingPlan:
+    """Forward/backward blocking decisions for one layer on one machine."""
+
+    vlen: int
+    rb_p: int
+    rb_q: int
+    rb_p_rem: int  # remainder-variant factors (0 = no remainder kernel)
+    rb_q_rem: int
+    loop_order: str  # "cb_outer" (Alg. 2/3) or "cb_inner" (1x1, section II-C)
+    hoist_output: bool  # optimization (a) of section II-D
+    oj_block: int  # cache blocking: output rows per L2-resident block
+    acc_regs: int  # accumulators the main variant keeps live
+
+    @property
+    def has_remainder_q(self) -> bool:
+        return self.rb_q_rem > 0
+
+    @property
+    def has_remainder_p(self) -> bool:
+        return self.rb_p_rem > 0
+
+    def variants(self) -> list[tuple[int, int]]:
+        """All (rb_p, rb_q) kernel variants this plan requires (II-H)."""
+        out = [(self.rb_p, self.rb_q)]
+        if self.has_remainder_q:
+            out.append((self.rb_p, self.rb_q_rem))
+        if self.has_remainder_p:
+            out.append((self.rb_p_rem, self.rb_q))
+            if self.has_remainder_q:
+                out.append((self.rb_p_rem, self.rb_q_rem))
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class UpdBlockingPlan:
+    """Weight-gradient blocking (Algorithm 9): spatial block ``B_P x B_Q``."""
+
+    vlen: int
+    b_p: int
+    b_q: int
+    b_p_rem: int
+    b_q_rem: int
+
+
+def _largest_divisor_at_most(n: int, bound: int) -> int:
+    """Largest divisor of ``n`` that is <= ``bound`` (at least 1)."""
+    best = 1
+    for d in range(1, min(n, bound) + 1):
+        if n % d == 0:
+            best = d
+    return best
+
+
+def choose_blocking(
+    p: ConvParams,
+    machine: MachineConfig,
+    dtype: DType = DType.F32,
+    acc_budget_cap: int | None = None,
+) -> BlockingPlan:
+    """Pick register/cache blocking for forward propagation (and, by the
+    duality of section II-I, for backward propagation).
+
+    ``acc_budget_cap`` limits the accumulator budget -- used when something
+    else consumes registers: output-channel unrolling (the MKL-DNN SKX
+    strategy) or int16 kernels' int32/fp32 accumulator pairs (section II-K).
+    """
+    vlen = machine.vlen(dtype)
+    if p.C % vlen or p.K % vlen:
+        raise CodegenError(
+            f"feature maps must be multiples of VLEN={vlen}: C={p.C}, K={p.K}"
+        )
+    acc_budget = machine.fma_ports * machine.fma_latency * 2  # don't exceed;
+    acc_budget = min(
+        32 - RESERVED_REGS, max(acc_budget, machine.fma_ports * machine.fma_latency)
+    )
+    if acc_budget_cap is not None:
+        acc_budget = min(acc_budget, acc_budget_cap)
+    chain_target = machine.fma_ports * machine.fma_latency
+
+    q = p.Q
+    # Prefer an exact divisor of Q that satisfies the chain target; a
+    # remainder variant is the fallback, not the default.
+    rb_q = _largest_divisor_at_most(q, acc_budget)
+    rb_q_rem = 0
+    if rb_q < chain_target and q > acc_budget:
+        # No good divisor (e.g. Q prime-ish): take the largest block and
+        # generate a remainder kernel for the tail (section II-H).
+        rb_q = min(q, acc_budget)
+        rb_q_rem = q % rb_q
+    elif q <= acc_budget:
+        rb_q = q
+
+    # Optimization (b) of II-D: when the whole row is shorter than the
+    # latency-hiding threshold, block over multiple output rows.
+    rb_p = 1
+    while (
+        rb_p * rb_q < chain_target
+        and (rb_p + 1) * rb_q <= acc_budget
+        and rb_p < p.P
+    ):
+        rb_p += 1
+    rb_p_rem = p.P % rb_p if rb_p > 1 else 0
+
+    loop_order = "cb_inner" if p.is_1x1() else "cb_outer"
+    hoist_output = not p.is_1x1()
+
+    oj_block = _choose_oj_block(p, machine, vlen, rb_p)
+    return BlockingPlan(
+        vlen=vlen,
+        rb_p=rb_p,
+        rb_q=rb_q,
+        rb_p_rem=rb_p_rem,
+        rb_q_rem=rb_q_rem,
+        loop_order=loop_order,
+        hoist_output=hoist_output,
+        oj_block=oj_block,
+        acc_regs=rb_p * rb_q,
+    )
+
+
+def _choose_oj_block(
+    p: ConvParams, machine: MachineConfig, vlen: int, rb_p: int
+) -> int:
+    """Cache blocking over output rows (section II-C).
+
+    Pick the largest multiple of ``rb_p`` output rows whose working set
+    (input rows needed + output rows produced + one weight block) fits in
+    roughly half the L2, so streams stay L2-resident across the ``c_b`` loop.
+    """
+    budget = machine.l2_bytes // 2
+    w_block = p.R * p.S * vlen * vlen * 4
+    pb = p.P // rb_p if p.P >= rb_p else 1
+    best = rb_p
+    for blk in range(1, pb + 1):
+        rows_out = blk * rb_p
+        in_rows = rows_out * p.stride + p.R - 1
+        footprint = (
+            in_rows * p.Wp * p.C * 4  # input rows across all c_b
+            + rows_out * p.Q * vlen * 4  # output rows for one k_b
+            + w_block * (p.C // vlen)
+        )
+        if footprint <= budget:
+            best = rows_out
+    return max(best, rb_p)
+
+
+def choose_upd_blocking(
+    p: ConvParams,
+    machine: MachineConfig,
+    dtype: DType = DType.F32,
+) -> UpdBlockingPlan:
+    """Spatial blocking for the weight-gradient pass (section II-J).
+
+    ``B_P = P`` / ``B_Q = Q`` maximizes register reuse of the VLEN x VLEN
+    gradient block but reads ``H*W*VLEN`` input entries per kernel call; for
+    large spatial extents we shrink the block so the footprint stays in L2.
+    """
+    vlen = machine.vlen(dtype)
+    budget = machine.l2_bytes // 2
+    b_q = p.Q
+    b_p = p.P
+    while b_p > 1:
+        in_rows = b_p * p.stride + p.R - 1
+        in_cols = b_q * p.stride + p.S - 1
+        footprint = (
+            in_rows * in_cols * vlen * 4
+            + b_p * b_q * vlen * 4
+            + p.R * p.S * vlen * vlen * 4
+        )
+        if footprint <= budget:
+            break
+        b_p = b_p // 2
+    b_p = max(b_p, 1)
+    return UpdBlockingPlan(
+        vlen=vlen,
+        b_p=b_p,
+        b_q=b_q,
+        b_p_rem=p.P % b_p,
+        b_q_rem=0,
+    )

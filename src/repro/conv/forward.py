@@ -1,0 +1,465 @@
+"""Blocked forward propagation engine (Algorithms 2-5).
+
+:class:`DirectConvForward` is the paper's forward-convolution layer object:
+
+1. at construction it picks a blocking plan (section II-B/C), JITs the needed
+   microkernel variants through the kernel cache (section II-D/H), and
+   *dryruns* the Algorithm-4 loop nest once per thread, recording kernel
+   streams and RLE segments (section II-H);
+2. each call replays the streams (Algorithm 5) -- branch-free dispatch
+   through the variant table, fused operators applied via APPLY records while
+   the output block is hot (section II-G).
+
+Every microkernel invocation is realized two ways from the *same*
+descriptor: a numpy contraction closure (used for real execution -- pure
+Python per-element loops would be ~10^6 x too slow, see DESIGN.md) and the
+generated µop program (``execute_uops`` replays the identical streams through
+the instruction-level interpreter; tests prove the two agree bit-for-bit on
+small shapes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.arch.machine import SKX, MachineConfig
+from repro.conv.blocking import BlockingPlan, choose_blocking
+from repro.conv.fusion import EltwiseAdd, FusedOp
+from repro.conv.params import ConvParams
+from repro.jit.codegen import ConvKernelDesc, generate_conv_kernel
+from repro.jit.interpreter import execute_kernel
+from repro.jit.kernel_cache import KernelCache, get_default_cache
+from repro.parallel.partition import partition_forward
+from repro.streams.rle import encode_segments
+from repro.streams.stream import KernelStream
+from repro.tensor.blocked import BlockedTensor, block_activations, block_weights
+from repro.tensor.layout import ActivationLayout, WeightLayout
+from repro.types import DType, ShapeError
+
+__all__ = ["DirectConvForward"]
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+class DirectConvForward:
+    """One forward-convolution layer, set up once and replayed per minibatch.
+
+    Parameters
+    ----------
+    params:
+        Layer shape (Table I row).
+    machine:
+        Target machine; decides VLEN, instruction selection (fused memory
+        operands vs 4FMA) and the blocking heuristics.
+    fused_ops:
+        Post-operators applied via APPLY stream records after the final
+        ``c_b`` accumulation of each output sub-tensor (section II-G).
+    threads:
+        Simulated thread count; each thread gets its own kernel stream.
+    """
+
+    def __init__(
+        self,
+        params: ConvParams,
+        machine: MachineConfig = SKX,
+        dtype: DType = DType.F32,
+        fused_ops: Sequence[FusedOp] = (),
+        threads: int = 1,
+        plan: BlockingPlan | None = None,
+        prefetch: str = "both",
+        kernel_cache: KernelCache | None = None,
+    ) -> None:
+        self.params = params
+        self.machine = machine
+        self.dtype = dtype
+        self.fused_ops = list(fused_ops)
+        self.threads = max(1, threads)
+        self.plan = plan or choose_blocking(params, machine, dtype)
+        self.prefetch = prefetch
+        self.cache = kernel_cache or get_default_cache()
+
+        p = params
+        vlen = self.plan.vlen
+        self.in_layout = ActivationLayout(n=p.N, c=p.C, h=p.Hp, w=p.Wp, vlen=vlen)
+        self.w_layout = WeightLayout(k=p.K, c=p.C, r=p.R, s=p.S, vlen=vlen)
+        self.out_layout = ActivationLayout(n=p.N, c=p.K, h=p.P, w=p.Q, vlen=vlen)
+        self.cb = p.C // vlen
+        self.kb = p.K // vlen
+        self.pb = _ceil_div(p.P, self.plan.rb_p)
+        self.qb = _ceil_div(p.Q, self.plan.rb_q)
+
+        self._descs: list[ConvKernelDesc] = []
+        self._desc_index: dict[tuple, int] = {}
+        self.programs = []  # µop programs, parallel to self._descs
+        self._build_variants()
+        self._dryrun()
+
+    # ------------------------------------------------------------------
+    # variant construction (section II-D/H)
+    # ------------------------------------------------------------------
+    def _variant_id(self, rb_p: int, rb_q: int, zero_init: bool) -> int:
+        key = (rb_p, rb_q, zero_init)
+        return self._desc_index[key]
+
+    def _build_variants(self) -> None:
+        plan, p = self.plan, self.params
+        ist = self.in_layout.strides
+        wst = self.w_layout.strides
+        ost = self.out_layout.strides
+        cb_unroll = self.cb if plan.loop_order == "cb_inner" else 1
+        shapes = set()
+        rps = [plan.rb_p] + ([plan.rb_p_rem] if plan.has_remainder_p else [])
+        rqs = [plan.rb_q] + ([plan.rb_q_rem] if plan.has_remainder_q else [])
+        for rp in rps:
+            for rq in rqs:
+                shapes.add((rp, rq))
+        inits = [True] if cb_unroll == self.cb else [True, False]
+        for rp, rq in sorted(shapes):
+            for zi in inits:
+                desc = ConvKernelDesc(
+                    vlen=plan.vlen,
+                    rb_p=rp,
+                    rb_q=rq,
+                    R=p.R,
+                    S=p.S,
+                    stride=p.stride,
+                    i_strides=(ist[1], ist[2], ist[3]),
+                    w_strides=(wst[1], wst[2], wst[3], wst[4]),
+                    o_strides=(ost[2], ost[3]),
+                    cb_unroll=cb_unroll,
+                    zero_init=zi,
+                    hoist_output=plan.hoist_output or cb_unroll > 1,
+                    fused_memop=(
+                        not self.machine.has_4fma and self.dtype is DType.F32
+                    ),
+                    use_4fma=self.machine.has_4fma and self.dtype is DType.F32,
+                    use_4vnni=(
+                        self.machine.has_4fma and self.dtype is DType.QI16F32
+                    ),
+                    prefetch=self.prefetch,
+                    dtype=self.dtype,
+                )
+                self._desc_index[(rp, rq, zi)] = len(self._descs)
+                self._descs.append(desc)
+                self.programs.append(self.cache.get(desc, generate_conv_kernel))
+
+    # ------------------------------------------------------------------
+    # dryrun (section II-H)
+    # ------------------------------------------------------------------
+    def _block_coords(self, ojb: int, oib: int) -> tuple[int, int, int, int]:
+        """(oj, oi, rb_p, rb_q) for block indices, honoring remainders."""
+        plan, p = self.plan, self.params
+        oj = ojb * plan.rb_p
+        oi = oib * plan.rb_q
+        rp = min(plan.rb_p, p.P - oj)
+        rq = min(plan.rb_q, p.Q - oi)
+        return oj, oi, rp, rq
+
+    def _dryrun(self) -> None:
+        plan, p = self.plan, self.params
+        work = partition_forward(p.N, self.kb, self.pb, self.threads)
+        cb_inner = plan.loop_order == "cb_inner"
+        oj_chunk = max(1, plan.oj_block // plan.rb_p)
+        streams = []
+        for items in work:
+            st = KernelStream()
+            for item in items:
+                n, kb = item.n, item.kb
+                ojb_range = range(item.ojb_lo, item.ojb_hi)
+                if cb_inner:
+                    self._dryrun_cb_inner(st, n, kb, ojb_range)
+                else:
+                    self._dryrun_cb_outer(st, n, kb, ojb_range, oj_chunk)
+            streams.append(st.freeze())
+        self.streams = streams
+        self.segments = [encode_segments(s) for s in streams]
+
+    def _record_applies(self, st: KernelStream, variant: int, kb: int, o_off: int) -> None:
+        for op_idx in range(len(self.fused_ops)):
+            st.record_apply(op_idx, o_off, kb, variant)
+
+    def _dryrun_cb_inner(self, st: KernelStream, n: int, kb: int, ojb_range) -> None:
+        p = self.params
+        for ojb in ojb_range:
+            for oib in range(self.qb):
+                oj, oi, rp, rq = self._block_coords(ojb, oib)
+                variant = self._variant_id(rp, rq, True)
+                i_off = self.in_layout.offset(n, 0, oj * p.stride, oi * p.stride)
+                w_off = self.w_layout.offset(kb, 0, 0, 0)
+                o_off = self.out_layout.offset(n, kb, oj, oi)
+                st.record_conv(variant, i_off, w_off, o_off)
+                if self.fused_ops:
+                    self._record_applies(st, variant, kb, o_off)
+
+    def _dryrun_cb_outer(
+        self, st: KernelStream, n: int, kb: int, ojb_range, oj_chunk: int
+    ) -> None:
+        """Algorithm 4 loop nest with spatial cache blocking (section II-C):
+        output-row chunks are kept L2-resident across the whole c_b loop."""
+        p = self.params
+        ojbs = list(ojb_range)
+        for c0 in range(0, len(ojbs), oj_chunk):
+            chunk = ojbs[c0 : c0 + oj_chunk]
+            for cb in range(self.cb):
+                zero = cb == 0
+                last = cb == self.cb - 1
+                for ojb in chunk:
+                    for oib in range(self.qb):
+                        oj, oi, rp, rq = self._block_coords(ojb, oib)
+                        variant = self._variant_id(rp, rq, zero)
+                        i_off = self.in_layout.offset(
+                            n, cb, oj * p.stride, oi * p.stride
+                        )
+                        w_off = self.w_layout.offset(kb, cb, 0, 0)
+                        o_off = self.out_layout.offset(n, kb, oj, oi)
+                        st.record_conv(variant, i_off, w_off, o_off)
+                        if last and self.fused_ops:
+                            self._record_applies(st, variant, kb, o_off)
+
+    # ------------------------------------------------------------------
+    # replay: numpy-contraction kernels (the real execution path)
+    # ------------------------------------------------------------------
+    def _make_conv_closures(
+        self, x: np.ndarray, w: np.ndarray, o: np.ndarray
+    ) -> list[Callable]:
+        closures = []
+        itemsize = o.itemsize
+        in_itemsize = x.itemsize
+        for desc in self._descs:
+            iscb, ish, isw = desc.i_strides
+            wscb, wsr, wss, wsc = desc.w_strides
+            osh, osw = desc.o_strides
+            stn = desc.stride
+            ishape = (
+                desc.cb_unroll,
+                desc.rb_p,
+                desc.R,
+                desc.rb_q,
+                desc.S,
+                desc.vlen,
+            )
+            istr = tuple(
+                s * in_itemsize
+                for s in (iscb, stn * ish, ish, stn * isw, isw, 1)
+            )
+            wshape = (desc.cb_unroll, desc.R, desc.S, desc.vlen, desc.vlen)
+            wstr = tuple(s * in_itemsize for s in (wscb, wsr, wss, wsc, 1))
+            oshape = (desc.rb_p, desc.rb_q, desc.vlen)
+            ostr = tuple(s * itemsize for s in (osh, osw, 1))
+            zero_init = desc.zero_init
+
+            def call(
+                i_off: int,
+                w_off: int,
+                o_off: int,
+                pi: int,
+                pw: int,
+                po: int,
+                *,
+                _is=ishape,
+                _ist=istr,
+                _ws=wshape,
+                _wst=wstr,
+                _os=oshape,
+                _ost=ostr,
+                _zi=zero_init,
+            ) -> None:
+                iv = as_strided(x[i_off:], _is, _ist)
+                wv = as_strided(w[w_off:], _ws, _wst)
+                ov = as_strided(o[o_off:], _os, _ost)
+                acc = np.einsum("bprqsc,brsck->pqk", iv, wv, optimize=True)
+                if _zi:
+                    ov[...] = acc
+                else:
+                    ov += acc
+
+            closures.append(call)
+        return closures
+
+    def __call__(
+        self,
+        x: BlockedTensor,
+        w: BlockedTensor,
+        out: BlockedTensor | None = None,
+        parallel: bool = False,
+    ) -> BlockedTensor:
+        """Replay all thread streams on blocked buffers (Algorithm 5).
+
+        With ``parallel=True`` the per-thread streams replay concurrently on
+        a real thread pool -- safe because the section II-F partition gives
+        every stream a disjoint set of output blocks (and numpy contractions
+        release the GIL), so this demonstrates genuine shared-memory
+        parallelism of the recorded streams.
+        """
+        if x.layout != self.in_layout:
+            raise ShapeError(
+                f"input layout {x.layout} != expected {self.in_layout}"
+            )
+        if w.layout != self.w_layout:
+            raise ShapeError(f"weight layout {w.layout} != {self.w_layout}")
+        if out is None:
+            out = BlockedTensor(
+                np.zeros(self.out_layout.size, dtype=self.dtype.np_accum),
+                self.out_layout,
+            )
+        xb, wb, ob = x.data, w.data, out.data
+        kernels = self._make_conv_closures(xb, wb, ob)
+        itemsize = ob.itemsize
+
+        shape_by_variant = {}
+        for vid, desc in enumerate(self._descs):
+            osh, osw = desc.o_strides
+            shape_by_variant[vid] = (
+                (desc.rb_p, desc.rb_q, desc.vlen),
+                (osh * itemsize, osw * itemsize, itemsize),
+            )
+
+        if parallel and len(self.streams) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=len(self.streams)) as pool:
+                futures = [
+                    pool.submit(
+                        self._replay_stream, stream, segments, kernels, ob,
+                        shape_by_variant,
+                    )
+                    for stream, segments in zip(self.streams, self.segments)
+                ]
+                for f in futures:
+                    f.result()
+        else:
+            for stream, segments in zip(self.streams, self.segments):
+                self._replay_stream(
+                    stream, segments, kernels, ob, shape_by_variant
+                )
+        return out
+
+    def _replay_stream(self, stream, segments, kernels, ob, shape_by_variant):
+        """Algorithm 5 with APPLY dispatch resolving block shapes."""
+        from repro.streams.rle import SegmentKind
+
+        kinds = stream.kinds
+        i_off = stream.i_off
+        w_off = stream.w_off
+        o_off = stream.o_off
+        apply_op = stream.apply_op
+        n = len(stream)
+        for seg in segments:
+            if seg.kind is SegmentKind.APPLY:
+                t = seg.start
+                op = self.fused_ops[int(apply_op[t])]
+                shape, strides = shape_by_variant[int(i_off[t])]
+                block = as_strided(ob[int(o_off[t]) :], shape, strides)
+                if isinstance(op, EltwiseAdd):
+                    other = as_strided(
+                        op.other_flat[int(o_off[t]) :], shape, strides
+                    )
+                    op.apply_block(block, int(w_off[t]), other)
+                else:
+                    op.apply_block(block, int(w_off[t]))
+                continue
+            for t in range(seg.start, seg.start + seg.info):
+                nt = t + 1
+                while nt < n and kinds[nt] < 0:
+                    nt += 1
+                if nt >= n:
+                    nt = t
+                kernels[int(kinds[t])](
+                    int(i_off[t]),
+                    int(w_off[t]),
+                    int(o_off[t]),
+                    int(i_off[nt]),
+                    int(w_off[nt]),
+                    int(o_off[nt]),
+                )
+
+    # ------------------------------------------------------------------
+    # convenience and validation paths
+    # ------------------------------------------------------------------
+    def run_nchw(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """Block logical inputs, execute, return logical (N, K, P, Q)."""
+        p = self.params
+        bx = block_activations(
+            x, self.plan.vlen, pad_h=p.pad_h, pad_w=p.pad_w,
+            dtype=self.dtype.np_input,
+        )
+        bw = block_weights(w, self.plan.vlen, dtype=self.dtype.np_input)
+        return self(bx, bw).to_nchw()
+
+    def execute_uops(
+        self, x: BlockedTensor, w: BlockedTensor, out: BlockedTensor | None = None
+    ) -> BlockedTensor:
+        """Replay the identical streams through the µop interpreter.
+
+        Orders of magnitude slower than ``__call__``; used by tests to prove
+        the generated instruction streams compute the same convolution.
+        """
+        if out is None:
+            out = BlockedTensor(
+                np.zeros(self.out_layout.size, dtype=self.dtype.np_accum),
+                self.out_layout,
+            )
+        buffers: dict[str, np.ndarray] = {
+            "I": x.data,
+            "W": w.data,
+            "O": out.data,
+        }
+        from repro.streams.rle import SegmentKind
+
+        itemsize = out.data.itemsize
+        for stream, segments in zip(self.streams, self.segments):
+            kinds, i_off = stream.kinds, stream.i_off
+            w_off, o_off = stream.w_off, stream.o_off
+            n = len(stream)
+            for seg in segments:
+                if seg.kind is SegmentKind.APPLY:
+                    t = seg.start
+                    op = self.fused_ops[int(stream.apply_op[t])]
+                    desc = self._descs[int(i_off[t])]
+                    shape = (desc.rb_p, desc.rb_q, desc.vlen)
+                    strides = tuple(
+                        s * itemsize for s in (*desc.o_strides, 1)
+                    )
+                    block = as_strided(out.data[int(o_off[t]) :], shape, strides)
+                    if isinstance(op, EltwiseAdd):
+                        other = as_strided(
+                            op.other_flat[int(o_off[t]) :], shape, strides
+                        )
+                        op.apply_block(block, int(w_off[t]), other)
+                    else:
+                        op.apply_block(block, int(w_off[t]))
+                    continue
+                for t in range(seg.start, seg.start + seg.info):
+                    nt = t + 1
+                    while nt < n and kinds[nt] < 0:
+                        nt += 1
+                    if nt >= n:
+                        nt = t
+                    prog = self.programs[int(kinds[t])]
+                    execute_kernel(
+                        prog,
+                        buffers,
+                        {
+                            "I": int(i_off[t]),
+                            "W": int(w_off[t]),
+                            "O": int(o_off[t]),
+                            "I_pf": int(i_off[nt]),
+                            "W_pf": int(w_off[nt]),
+                            "O_pf": int(o_off[nt]),
+                        },
+                    )
+        return out
+
+    # ------------------------------------------------------------------
+    @property
+    def total_conv_calls(self) -> int:
+        return sum(s.conv_calls for s in self.streams)
+
+    @property
+    def variant_names(self) -> list[str]:
+        return [d.variant_name for d in self._descs]

@@ -1,0 +1,95 @@
+"""Convolution layer descriptors.
+
+Follows the paper's notation (section II): input tensor ``N x C x H x W``,
+weights ``K x C x R x S``, output ``N x K x P x Q``, with spatial stride and
+symmetric zero padding.  ``P = (H + 2*pad_h - R)//stride + 1`` and likewise
+for ``Q``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.types import ShapeError
+
+__all__ = ["ConvParams"]
+
+
+@dataclass(frozen=True, slots=True)
+class ConvParams:
+    """Shape and hyper-parameters of one convolution layer."""
+
+    N: int
+    C: int
+    K: int
+    H: int
+    W: int
+    R: int
+    S: int
+    stride: int = 1
+    pad_h: int = -1  # -1 = "same-style": (R-1)//2
+    pad_w: int = -1
+
+    def __post_init__(self) -> None:
+        if self.pad_h < 0:
+            object.__setattr__(self, "pad_h", (self.R - 1) // 2)
+        if self.pad_w < 0:
+            object.__setattr__(self, "pad_w", (self.S - 1) // 2)
+        for name in ("N", "C", "K", "H", "W", "R", "S", "stride"):
+            if getattr(self, name) <= 0:
+                raise ShapeError(f"{name} must be positive in {self}")
+        if self.R > self.H + 2 * self.pad_h or self.S > self.W + 2 * self.pad_w:
+            raise ShapeError(f"filter larger than padded input in {self}")
+
+    # ---- derived dimensions ---------------------------------------------
+    @property
+    def P(self) -> int:
+        return (self.H + 2 * self.pad_h - self.R) // self.stride + 1
+
+    @property
+    def Q(self) -> int:
+        return (self.W + 2 * self.pad_w - self.S) // self.stride + 1
+
+    @property
+    def Hp(self) -> int:
+        """Padded input height (physical storage)."""
+        return self.H + 2 * self.pad_h
+
+    @property
+    def Wp(self) -> int:
+        return self.W + 2 * self.pad_w
+
+    @property
+    def flops(self) -> int:
+        """Fp ops of one forward pass (each MAC counts 2); bwd and upd
+        perform the same number of MACs (sections II-I/II-J)."""
+        return 2 * self.N * self.K * self.C * self.P * self.Q * self.R * self.S
+
+    def input_bytes(self, itemsize: int = 4) -> int:
+        return self.N * self.C * self.H * self.W * itemsize
+
+    def output_bytes(self, itemsize: int = 4) -> int:
+        return self.N * self.K * self.P * self.Q * itemsize
+
+    def weight_bytes(self, itemsize: int = 4) -> int:
+        return self.K * self.C * self.R * self.S * itemsize
+
+    @property
+    def operational_intensity(self) -> float:
+        """Flops per byte of compulsory (first-touch) traffic."""
+        bytes_total = (
+            self.input_bytes() + self.output_bytes() * 2 + self.weight_bytes()
+        )
+        return self.flops / bytes_total
+
+    def with_minibatch(self, n: int) -> "ConvParams":
+        return replace(self, N=n)
+
+    def is_1x1(self) -> bool:
+        return self.R == 1 and self.S == 1
+
+    def describe(self) -> str:
+        return (
+            f"N{self.N} C{self.C} K{self.K} {self.H}x{self.W} "
+            f"{self.R}x{self.S}/{self.stride} -> {self.P}x{self.Q}"
+        )

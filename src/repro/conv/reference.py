@@ -1,0 +1,93 @@
+"""Reference semantics: Algorithms 1, 6 and 8 of the paper.
+
+These functions define *what* a convolution layer computes; every optimized
+engine in this library (blocked numpy, JIT'ed µop streams, baselines,
+quantized kernels) is validated against them.  They are written as the
+paper's naive loop nests, with the two innermost feature-map/spatial loops
+delegated to numpy contractions for tractable test times -- the iteration
+*order* of floating-point accumulation over (r, s) is preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.conv.params import ConvParams
+from repro.types import ShapeError
+
+__all__ = ["conv2d_forward", "conv2d_backward_data", "conv2d_update_weights", "pad_input"]
+
+
+def pad_input(x: np.ndarray, p: ConvParams) -> np.ndarray:
+    """Zero-pad logical NCHW input to the physical padded extent."""
+    if x.shape != (p.N, p.C, p.H, p.W):
+        raise ShapeError(f"input shape {x.shape} != {(p.N, p.C, p.H, p.W)}")
+    if p.pad_h == 0 and p.pad_w == 0:
+        return x
+    return np.pad(
+        x, ((0, 0), (0, 0), (p.pad_h, p.pad_h), (p.pad_w, p.pad_w)), mode="constant"
+    )
+
+
+def conv2d_forward(x: np.ndarray, w: np.ndarray, p: ConvParams) -> np.ndarray:
+    """Algorithm 1: ``O[n,k,oj,oi] += I[n,c,oj*str+r,oi*str+s] * W[k,c,r,s]``.
+
+    ``x`` is logical (N, C, H, W), ``w`` is (K, C, R, S); returns (N, K, P, Q).
+    """
+    if w.shape != (p.K, p.C, p.R, p.S):
+        raise ShapeError(f"weight shape {w.shape} != {(p.K, p.C, p.R, p.S)}")
+    xp = pad_input(x, p)
+    out = np.zeros((p.N, p.K, p.P, p.Q), dtype=np.result_type(x, w))
+    for r in range(p.R):
+        for s in range(p.S):
+            patch = xp[
+                :,
+                :,
+                r : r + p.stride * p.P : p.stride,
+                s : s + p.stride * p.Q : p.stride,
+            ]
+            out += np.einsum("ncpq,kc->nkpq", patch, w[:, :, r, s], optimize=True)
+    return out
+
+
+def conv2d_backward_data(dy: np.ndarray, w: np.ndarray, p: ConvParams) -> np.ndarray:
+    """Algorithm 6: ``dI[n,c,oj*str+r,oi*str+s] += dO[n,k,oj,oi] * W[k,c,r,s]``.
+
+    ``dy`` is (N, K, P, Q); returns the input gradient (N, C, H, W).
+    """
+    if dy.shape != (p.N, p.K, p.P, p.Q):
+        raise ShapeError(f"dO shape {dy.shape} != {(p.N, p.K, p.P, p.Q)}")
+    dxp = np.zeros((p.N, p.C, p.Hp, p.Wp), dtype=np.result_type(dy, w))
+    for r in range(p.R):
+        for s in range(p.S):
+            contrib = np.einsum("nkpq,kc->ncpq", dy, w[:, :, r, s], optimize=True)
+            dxp[
+                :,
+                :,
+                r : r + p.stride * p.P : p.stride,
+                s : s + p.stride * p.Q : p.stride,
+            ] += contrib
+    if p.pad_h or p.pad_w:
+        return np.ascontiguousarray(
+            dxp[:, :, p.pad_h : p.pad_h + p.H, p.pad_w : p.pad_w + p.W]
+        )
+    return dxp
+
+
+def conv2d_update_weights(x: np.ndarray, dy: np.ndarray, p: ConvParams) -> np.ndarray:
+    """Algorithm 8: ``dW[k,c,r,s] += I[n,c,oj*str+r,oi*str+s] * dO[n,k,oj,oi]``.
+
+    Returns the weight gradient (K, C, R, S).
+    """
+    xp = pad_input(x, p)
+    dw = np.zeros((p.K, p.C, p.R, p.S), dtype=np.result_type(x, dy))
+    for r in range(p.R):
+        for s in range(p.S):
+            patch = xp[
+                :,
+                :,
+                r : r + p.stride * p.P : p.stride,
+                s : s + p.stride * p.Q : p.stride,
+            ]
+            dw[:, :, r, s] = np.einsum("ncpq,nkpq->kc", patch, dy, optimize=True)
+    return dw

@@ -1,0 +1,90 @@
+"""Weight checkpointing.
+
+The artifact appendix lists "dumped weights in case of full topology
+training which can be used for inference tasks afterwards" among GxM's
+outputs.  ``save_checkpoint``/``load_checkpoint`` round-trip every
+trainable parameter plus BatchNorm running statistics through a single
+``.npz`` keyed by node name.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.gxm.etg import ExecutionTaskGraph
+from repro.gxm.nodes import ConvNode, _LayerNode
+from repro.layers.bn import BatchNorm2D
+from repro.layers.fc import Linear
+from repro.types import ReproError
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_VERSION = 1
+
+
+def _state_dict(etg: ExecutionTaskGraph) -> dict[str, np.ndarray]:
+    state: dict[str, np.ndarray] = {}
+    for name, node in etg.nodes.items():
+        if isinstance(node, ConvNode):
+            state[f"{name}/weight"] = node.weight
+        elif isinstance(node, _LayerNode) and isinstance(node.layer, Linear):
+            state[f"{name}/weight"] = node.layer.weight
+            state[f"{name}/bias"] = node.layer.bias
+        elif isinstance(node, _LayerNode) and isinstance(node.layer, BatchNorm2D):
+            bn = node.layer
+            state[f"{name}/gamma"] = bn.gamma
+            state[f"{name}/beta"] = bn.beta
+            state[f"{name}/running_mean"] = bn.running_mean
+            state[f"{name}/running_var"] = bn.running_var
+    return state
+
+
+def save_checkpoint(etg: ExecutionTaskGraph, path_or_file) -> None:
+    """Dump all trainable state of the ETG's nodes."""
+    state = _state_dict(etg)
+    meta = {
+        "version": _VERSION,
+        "topology": etg.topology.name,
+        "keys": sorted(state),
+    }
+    np.savez_compressed(
+        path_or_file,
+        __meta__=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        **state,
+    )
+
+
+def load_checkpoint(etg: ExecutionTaskGraph, path_or_file, strict: bool = True) -> list[str]:
+    """Load a checkpoint into the ETG's nodes (in place).
+
+    Returns the list of restored keys.  With ``strict`` every key present in
+    the ETG must exist in the file (extra file keys are always an error).
+    """
+    state = _state_dict(etg)
+    with np.load(path_or_file) as z:
+        meta = json.loads(bytes(z["__meta__"]).decode())
+        if meta.get("version") != _VERSION:
+            raise ReproError(f"unsupported checkpoint version {meta.get('version')}")
+        file_keys = set(meta["keys"])
+        etg_keys = set(state)
+        if file_keys - etg_keys:
+            raise ReproError(
+                f"checkpoint has keys the topology lacks: {sorted(file_keys - etg_keys)[:5]}"
+            )
+        if strict and etg_keys - file_keys:
+            raise ReproError(
+                f"checkpoint missing keys: {sorted(etg_keys - file_keys)[:5]}"
+            )
+        restored = []
+        for key in sorted(file_keys):
+            dst = state[key]
+            src = z[key]
+            if dst.shape != src.shape:
+                raise ReproError(
+                    f"shape mismatch for {key}: {dst.shape} vs {src.shape}"
+                )
+            dst[...] = src
+            restored.append(key)
+    return restored

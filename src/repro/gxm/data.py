@@ -1,0 +1,50 @@
+"""Synthetic image dataset (the ImageNet substitution, see DESIGN.md).
+
+Deterministic, learnable class structure: each class has a random smooth
+spatial prototype; samples are prototype + Gaussian noise, standardized.
+Exercises the identical training code path (augmentation-free).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SyntheticImageDataset"]
+
+
+class SyntheticImageDataset:
+    """``n`` labelled images of shape (C, H, W) over ``num_classes``."""
+
+    def __init__(
+        self,
+        n: int = 512,
+        num_classes: int = 8,
+        shape: tuple[int, int, int] = (16, 16, 16),
+        noise: float = 0.6,
+        seed: int = 0,
+    ):
+        rng = np.random.default_rng(seed)
+        c, h, w = shape
+        self.num_classes = num_classes
+        # smooth prototypes: low-frequency random fields
+        base = rng.standard_normal((num_classes, c, 4, 4)).astype(np.float32)
+        protos = np.repeat(np.repeat(base, h // 4, axis=2), w // 4, axis=3)
+        self.labels = rng.integers(0, num_classes, size=n).astype(np.int64)
+        self.images = (
+            protos[self.labels] + noise * rng.standard_normal((n, c, h, w))
+        ).astype(np.float32)
+        self.images -= self.images.mean()
+        self.images /= self.images.std() + 1e-8
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def batches(self, batch_size: int, epochs: int = 1, seed: int = 1):
+        """Yield (images, labels) minibatches, reshuffled per epoch."""
+        rng = np.random.default_rng(seed)
+        n = len(self)
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            for i in range(0, n - batch_size + 1, batch_size):
+                idx = order[i : i + batch_size]
+                yield self.images[idx], self.labels[idx]

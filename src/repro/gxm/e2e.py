@@ -1,0 +1,170 @@
+"""End-to-end training throughput model (Fig. 9).
+
+Reconstructs a full training iteration from the per-layer kernel estimates:
+
+* convolution fwd/bwd/upd times from :class:`repro.perf.model.ConvPerfModel`
+  weighted by each Table-I shape's occurrence count;
+* non-convolution layers (BatchNorm, ReLU, pooling, eltwise, loss) priced as
+  bandwidth-bound passes over the activations, with GxM's fusion removing
+  the ReLU/bias passes that ride on convolution outputs (section II-G);
+* a small framework dispatch overhead (GxM is light-weight -- the paper's
+  point is that TensorFlow's equivalent tax is what halves MKL-DNN's
+  end-to-end numbers);
+* multi-node: compute cores are reduced by the MLSL driver cores and the
+  gradient all-reduce is overlapped per layer (:mod:`repro.gxm.mlsl`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.machine import KNM, SKX, MachineConfig
+from repro.conv.params import ConvParams
+from repro.gxm.mlsl import MLSLSimulator, ScalingPoint
+from repro.models.inception_v3 import inception_v3_layers
+from repro.models.resnet50 import RESNET50_LAYER_COUNTS, resnet50_layers
+from repro.perf.model import ConvPerfModel
+
+__all__ = [
+    "dual_socket",
+    "TrainingEstimate",
+    "estimate_training",
+    "fig9_scaling",
+]
+
+#: activation passes of the un-fused non-conv layers per conv output:
+#: BN fwd (r+w) + BN bwd (2r+w) + pool/eltwise shares, with conv-adjacent
+#: ReLU/bias fused away by GxM
+NONCONV_PASS_FACTOR = 6.0
+#: GxM's own dispatch/synchronization tax (light-weight by design)
+FRAMEWORK_OVERHEAD = 0.06
+
+
+#: a second socket does not double throughput: cross-socket activation
+#: traffic (UPI), remote-LLC misses and NUMA-blind allocations cost ~20 %
+NUMA_EFFICIENCY = 0.8
+
+
+def dual_socket(machine: MachineConfig) -> MachineConfig:
+    """Two-socket node: double cores/LLC, NUMA-discounted bandwidth and
+    frequency stand-in for the cross-socket losses."""
+    return machine.scaled(
+        name=f"2S-{machine.name}",
+        cores=2 * machine.cores,
+        freq_hz=machine.freq_hz * NUMA_EFFICIENCY,
+        mem_bw=2 * machine.mem_bw * NUMA_EFFICIENCY,
+        llc_bytes=2 * machine.llc_bytes,
+    )
+
+
+@dataclass
+class TrainingEstimate:
+    """One machine's per-iteration breakdown."""
+
+    machine: str
+    minibatch: int
+    conv_fwd_s: float
+    conv_bwd_s: float
+    conv_upd_s: float
+    nonconv_s: float
+    framework_s: float
+    grad_bytes: float
+
+    @property
+    def iteration_s(self) -> float:
+        return (
+            self.conv_fwd_s
+            + self.conv_bwd_s
+            + self.conv_upd_s
+            + self.nonconv_s
+            + self.framework_s
+        )
+
+    @property
+    def imgs_per_s(self) -> float:
+        return self.minibatch / self.iteration_s
+
+
+def _topology_layers(topology: str, minibatch: int) -> list[tuple[ConvParams, int]]:
+    if topology == "resnet50":
+        return [
+            (p, RESNET50_LAYER_COUNTS[lid])
+            for lid, p in resnet50_layers(minibatch)
+        ]
+    if topology == "inception_v3":
+        return inception_v3_layers(minibatch)
+    raise KeyError(topology)
+
+
+def estimate_training(
+    machine: MachineConfig,
+    topology: str = "resnet50",
+    minibatch: int | None = None,
+    threads: int | None = None,
+) -> TrainingEstimate:
+    """Single-node per-iteration estimate."""
+    minibatch = minibatch or (70 if machine.name.endswith("KNM") else 28)
+    model = ConvPerfModel(machine, threads)
+    fwd = bwd = upd = 0.0
+    act_bytes = 0.0
+    grad_bytes = 0.0
+    for p, count in _topology_layers(topology, minibatch):
+        fwd += count * model.estimate_forward(p, fused=("relu",)).time_s
+        bwd += count * model.estimate_backward(p).time_s
+        upd += count * model.estimate_update(p).time_s
+        act_bytes += count * p.N * p.K * p.P * p.Q * 4
+        grad_bytes += count * p.weight_bytes()
+    nonconv = act_bytes * NONCONV_PASS_FACTOR / machine.mem_bw
+    compute = fwd + bwd + upd + nonconv
+    return TrainingEstimate(
+        machine=machine.name,
+        minibatch=minibatch,
+        conv_fwd_s=fwd,
+        conv_bwd_s=bwd,
+        conv_upd_s=upd,
+        nonconv_s=nonconv,
+        framework_s=compute * FRAMEWORK_OVERHEAD,
+        grad_bytes=grad_bytes,
+    )
+
+
+def fig9_scaling(
+    machine_name: str = "KNM",
+    topology: str = "resnet50",
+    node_counts: tuple[int, ...] = (1, 2, 4, 8, 16),
+) -> list[ScalingPoint]:
+    """The Fig. 9 strong-scaling series for one machine type.
+
+    Multi-node runs lose the MLSL driver cores (8/72 on KNM, 4/56 on a
+    dual-socket SKX node) and overlap the per-layer gradient all-reduce.
+    """
+    if machine_name.upper() == "KNM":
+        node_machine = KNM
+    else:
+        node_machine = dual_socket(SKX)
+    single = estimate_training(node_machine, topology)
+
+    # multi-node: fewer compute cores per node
+    comm_cores = KNM.comm_cores if machine_name.upper() == "KNM" else SKX.comm_cores
+    reduced = node_machine.scaled(cores=node_machine.cores - comm_cores)
+    multi = estimate_training(reduced, topology, minibatch=single.minibatch)
+
+    # gradient buckets back-to-front: approximate equal bwd+upd time shares
+    layers = _topology_layers(topology, single.minibatch)
+    total_w = sum(c * p.weight_bytes() for p, c in layers)
+    bwd_upd = multi.conv_bwd_s + multi.conv_upd_s
+    buckets = []
+    for p, c in reversed(layers):
+        share = c * p.weight_bytes() / total_w
+        buckets.append((c * p.weight_bytes(), bwd_upd * share))
+    fwd_time = (
+        multi.conv_fwd_s + multi.nonconv_s + multi.framework_s
+    )
+    sim = MLSLSimulator(node_machine)
+    return sim.scaling_curve(
+        list(node_counts),
+        single.minibatch,
+        fwd_time,
+        buckets,
+        single_node_time_s=single.iteration_s,
+    )

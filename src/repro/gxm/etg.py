@@ -1,0 +1,181 @@
+"""The Execution Task Graph: compile + execute (section II-L).
+
+``ExecutionTaskGraph`` compiles a topology through the Fig. 3 pipeline and
+executes one training step as the ETG's task order: every node contributes a
+FWD task, a BWD task and (for gradient-exchange node types) an UPD task.
+Tensors and gradients flow through name-keyed pools; after the NL Extender
+every tensor has exactly one consumer, so gradient routing needs no
+reductions outside Split nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.machine import SKX, MachineConfig
+from repro.gxm.graph import TaskRef, compile_etg
+from repro.gxm.nodes import LossNode, Node, build_node, output_shape
+from repro.gxm.topology import TopologySpec
+from repro.types import Pass, ReproError
+
+__all__ = ["ExecutionTaskGraph", "Task"]
+
+Task = TaskRef
+
+
+@dataclass
+class _TensorPools:
+    acts: dict
+    grads: dict
+
+
+class ExecutionTaskGraph:
+    """Executable form of a topology.
+
+    Parameters
+    ----------
+    topo:
+        The network list (builder or parsed text).
+    input_shape:
+        ``(N, C, H, W)`` of the Data layer (drives shape inference and
+        weight allocation).
+    engine:
+        ``"fast"`` or ``"blocked"`` convolution engine (see
+        :mod:`repro.gxm.nodes`).
+    """
+
+    def __init__(
+        self,
+        topo: TopologySpec,
+        input_shape: tuple[int, int, int, int],
+        engine: str = "fast",
+        machine: MachineConfig = SKX,
+        threads: int = 1,
+        seed: int = 0,
+        fuse: bool = False,
+    ):
+        if fuse:
+            from repro.gxm.fusion_pass import fuse_topology
+
+            topo = fuse_topology(topo)
+        self.topology = topo
+        self.enl, self.tasks = compile_etg(topo)
+        self.input_shape = input_shape
+        rng = np.random.default_rng(seed)
+
+        # shape inference over the extended NL (it is in dataflow order
+        # after compile; walk producer-first)
+        self._producer: dict[str, str] = {}
+        for layer in self.enl.layers:
+            for t in layer.tops:
+                self._producer[t] = layer.name
+        shapes: dict[str, tuple] = {}
+        self.nodes: dict[str, Node] = {}
+        for layer in self.enl.layers:
+            if layer.type == "Data":
+                in_shapes = [input_shape]
+            else:
+                in_shapes = [shapes[b] for b in layer.bottoms]
+            out = output_shape(layer, in_shapes)
+            if layer.type == "Split":
+                for t in layer.tops:
+                    shapes[t] = out
+            else:
+                for t in layer.tops:
+                    shapes[t] = out
+            self.nodes[layer.name] = build_node(
+                layer, in_shapes, engine, machine, threads, rng
+            )
+        self.shapes = shapes
+        self._loss_nodes = [
+            n for n in self.nodes.values() if isinstance(n, LossNode)
+        ]
+        if not self._loss_nodes:
+            raise ReproError("topology has no SoftmaxWithLoss layer")
+        self._pools = _TensorPools({}, {})
+
+    # ------------------------------------------------------------------
+    def params(self) -> list[np.ndarray]:
+        out = []
+        for n in self.nodes.values():
+            out.extend(n.params())
+        return out
+
+    def grads(self) -> list[np.ndarray]:
+        out = []
+        for n in self.nodes.values():
+            out.extend(n.grads())
+        return out
+
+    @property
+    def loss(self) -> float:
+        return self._loss_nodes[0].loss
+
+    def accuracy(self) -> float:
+        return self._loss_nodes[0].accuracy()
+
+    # ------------------------------------------------------------------
+    def train_step(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """Run every ETG task once (FWD + BWD + UPD); returns the loss."""
+        self._run(x, labels, training=True)
+        return self.loss
+
+    def forward_only(self, x: np.ndarray, labels: np.ndarray | None = None):
+        """Inference: only the FWD tasks (the ETG for inference, II-L)."""
+        self._run(x, labels, training=False)
+        return self.loss if labels is not None else None
+
+    # ------------------------------------------------------------------
+    def _run(self, x, labels, training: bool) -> None:
+        acts: dict[str, np.ndarray] = {}
+        grads: dict[str, np.ndarray] = {}
+        for ln in self._loss_nodes:
+            ln.labels = labels
+        for task in self.tasks:
+            layer = self.enl.layer(task.layer)
+            node = self.nodes[task.layer]
+            if task.pass_ is Pass.FWD:
+                if layer.type == "Data":
+                    acts[layer.tops[0]] = x
+                    continue
+                ins = [acts[b] for b in layer.bottoms]
+                out = node.forward(*ins)
+                if layer.type == "Split":
+                    for t, o in zip(layer.tops, out):
+                        acts[t] = o
+                else:
+                    acts[layer.tops[0]] = out
+            elif task.pass_ is Pass.BWD:
+                if not training:
+                    continue
+                if isinstance(node, LossNode):
+                    grads[layer.bottoms[0]] = node.backward()
+                    continue
+                if layer.type == "Split":
+                    dys = [grads[t] for t in layer.tops]
+                    grads[layer.bottoms[0]] = node.backward(*dys)
+                    continue
+                dy = grads.get(layer.tops[0])
+                if dy is None:
+                    raise ReproError(
+                        f"missing gradient for {layer.tops[0]!r}"
+                    )
+                dx = node.backward(dy)
+                if layer.type in ("Eltwise", "Concat"):
+                    for b, d in zip(layer.bottoms, dx):
+                        grads[b] = d
+                elif layer.bottoms:
+                    if layer.bottoms[0] in self._producer and not self._is_data(
+                        layer.bottoms[0]
+                    ):
+                        grads[layer.bottoms[0]] = dx
+            else:  # UPD
+                if training:
+                    node.update()
+        self._pools = _TensorPools(acts, grads)
+
+    def _is_data(self, tensor: str) -> bool:
+        prod = self._producer.get(tensor)
+        return prod is not None and self.enl.layer(prod).type == "Data"

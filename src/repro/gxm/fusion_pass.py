@@ -1,0 +1,97 @@
+"""GxM topology fusion pass (section II-G at graph level).
+
+"Most of this good MKL-DNN performance is lost during framework integration
+(TensorFlow in this case) for various reasons such as the lack of fusion"
+(section III-C) -- GxM's advantage is precisely that it fuses the
+bandwidth-bound operators following a convolution into the convolution's
+own kernel streams.
+
+:func:`fuse_topology` rewrites a network list: every ``Convolution -> ReLU``
+chain (the dominant pattern; Bias rides along when present) collapses into
+one Convolution layer with a ``fused_relu`` attribute, provided the
+intermediate tensor has no other consumer.  The runtime
+:class:`~repro.gxm.nodes.ConvNode` then applies ReLU while the output block
+is hot (via the streams engine's APPLY records in blocked mode, inline in
+fast mode) and reconstructs the ReLU mask from its own output during
+backward -- so training numerics are *identical* to the un-fused graph
+(tests assert this bit-for-bit).
+
+BatchNorm is deliberately not fused in training mode: its forward needs
+cross-sample statistics of the pre-activation, which breaks the
+one-sub-tensor-at-a-time fusion contract.  (Inference-time BN folding lives
+in :mod:`repro.gxm.inference`.)
+"""
+
+from __future__ import annotations
+
+from repro.gxm.topology import LayerSpec, TopologySpec
+
+__all__ = ["fuse_topology", "fusion_report"]
+
+
+def _consumers(topo: TopologySpec) -> dict[str, list[str]]:
+    out: dict[str, list[str]] = {}
+    for layer in topo.layers:
+        for b in layer.bottoms:
+            out.setdefault(b, []).append(layer.name)
+    return out
+
+
+def fuse_topology(topo: TopologySpec) -> TopologySpec:
+    """Return a new topology with Conv->ReLU chains fused.
+
+    The fused convolution keeps the *ReLU's* top name so downstream
+    consumers are untouched.
+    """
+    cons = _consumers(topo)
+    by_name = {l.name: l for l in topo.layers}
+    drop: set[str] = set()
+    fused_attr: dict[str, str] = {}  # conv name -> new top name
+    for layer in topo.layers:
+        if layer.type != "ReLU":
+            continue
+        src = layer.bottoms[0]
+        producer = next(
+            (l for l in topo.layers if src in l.tops), None
+        )
+        if producer is None or producer.type != "Convolution":
+            continue
+        if len(cons.get(src, [])) != 1:
+            continue  # the pre-activation is used elsewhere: cannot fuse
+        drop.add(layer.name)
+        fused_attr[producer.name] = layer.tops[0]
+
+    out = TopologySpec(name=topo.name)
+    for layer in topo.layers:
+        if layer.name in drop:
+            continue
+        if layer.name in fused_attr:
+            new_top = fused_attr[layer.name]
+            out.add(
+                LayerSpec(
+                    layer.name,
+                    "Convolution",
+                    list(layer.bottoms),
+                    [new_top],
+                    {**layer.attrs, "fused_relu": True},
+                )
+            )
+        else:
+            out.add(
+                LayerSpec(layer.name, layer.type, list(layer.bottoms),
+                          list(layer.tops), dict(layer.attrs))
+            )
+    return out
+
+
+def fusion_report(before: TopologySpec, after: TopologySpec) -> str:
+    """Human-readable summary of what the pass removed."""
+    removed = len(before.layers) - len(after.layers)
+    fused = sum(
+        1 for l in after.layers if l.attrs.get("fused_relu")
+    )
+    return (
+        f"fusion pass: {removed} ReLU layer(s) removed, "
+        f"{fused} convolution(s) now apply ReLU in-register "
+        f"({len(before.layers)} -> {len(after.layers)} layers)"
+    )

@@ -1,0 +1,150 @@
+"""The Fig. 3 task-graph construction pipeline.
+
+``parse -> NL -> (NL Extender) -> ENL -> ENG -> PETG -> UETG -> ETG``:
+
+* **NL Extender**: whenever a tensor feeds more than one consumer, a Split
+  node is inserted (forward distribution / backward gradient reduction).
+* **ENG**: the extended node graph -- one node per layer, edges along
+  tensor producer -> consumer relations (a networkx DiGraph).
+* **PETG**: the preliminary task graph -- each layer contributes a FWD task
+  (after its producers' FWD), a BWD task (after its consumers' BWD and its
+  own FWD), and, for trainable layers, an UPD task (after its own BWD).
+* **UETG**: tasks binned by dependency level (the "task binning approach").
+* **ETG**: duplicates eliminated, yielding the final executable order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.gxm.topology import GRADIENT_EXCHANGE_TYPES, LayerSpec, TopologySpec
+from repro.types import Pass, ReproError
+
+__all__ = [
+    "extend_network",
+    "build_node_graph",
+    "build_petg",
+    "bin_tasks",
+    "dedup_tasks",
+    "compile_etg",
+    "TaskRef",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TaskRef:
+    """One task of the ETG: a layer name plus the pass it executes."""
+
+    layer: str
+    pass_: Pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.layer}:{self.pass_.name}"
+
+
+def extend_network(topo: TopologySpec) -> TopologySpec:
+    """NL Extender: insert Split nodes for multi-consumer tensors."""
+    consumers: dict[str, list[tuple[int, int]]] = {}
+    for li, layer in enumerate(topo.layers):
+        for bi, b in enumerate(layer.bottoms):
+            consumers.setdefault(b, []).append((li, bi))
+    ext = TopologySpec(name=topo.name)
+    new_layers = [
+        LayerSpec(l.name, l.type, list(l.bottoms), list(l.tops), dict(l.attrs))
+        for l in topo.layers
+    ]
+    inserts: list[tuple[int, LayerSpec]] = []
+    for tensor, uses in consumers.items():
+        if len(uses) < 2:
+            continue
+        split_name = f"{tensor}__split"
+        tops = [f"{tensor}__s{i}" for i in range(len(uses))]
+        for i, (li, bi) in enumerate(uses):
+            new_layers[li].bottoms[bi] = tops[i]
+        # insert right after the producer (or at front for Data tensors)
+        prod_idx = 0
+        for li, layer in enumerate(new_layers):
+            if tensor in layer.tops:
+                prod_idx = li + 1
+                break
+        inserts.append(
+            (prod_idx, LayerSpec(split_name, "Split", [tensor], tops,
+                                 {"fanout": len(uses)}))
+        )
+    for idx, spec in sorted(inserts, key=lambda t: -t[0]):
+        new_layers.insert(idx, spec)
+    ext.layers = new_layers
+    return ext
+
+
+def build_node_graph(topo: TopologySpec) -> nx.DiGraph:
+    """ENG: nodes are layer names; edges follow tensor dataflow."""
+    g = nx.DiGraph()
+    producer: dict[str, str] = {}
+    for layer in topo.layers:
+        g.add_node(layer.name, spec=layer)
+        for t in layer.tops:
+            if t in producer and producer[t] != layer.name:
+                raise ReproError(f"tensor {t!r} produced twice")
+            producer[t] = layer.name
+    for layer in topo.layers:
+        for b in layer.bottoms:
+            if b not in producer:
+                raise ReproError(f"tensor {b!r} consumed but never produced")
+            if producer[b] != layer.name:
+                g.add_edge(producer[b], layer.name, tensor=b)
+    if not nx.is_directed_acyclic_graph(g):
+        raise ReproError("topology contains a cycle")
+    return g
+
+
+def build_petg(eng: nx.DiGraph) -> nx.DiGraph:
+    """PETG: expand each node into FWD/BWD(/UPD) tasks with dependencies."""
+    petg = nx.DiGraph()
+    for name, data in eng.nodes(data=True):
+        spec: LayerSpec = data["spec"]
+        fwd = TaskRef(name, Pass.FWD)
+        petg.add_node(fwd, spec=spec)
+        if spec.type not in ("Data",):
+            bwd = TaskRef(name, Pass.BWD)
+            petg.add_node(bwd, spec=spec)
+            petg.add_edge(fwd, bwd)
+            if spec.type in GRADIENT_EXCHANGE_TYPES:
+                upd = TaskRef(name, Pass.UPD)
+                petg.add_node(upd, spec=spec)
+                petg.add_edge(bwd, upd)
+    for u, v in eng.edges():
+        petg.add_edge(TaskRef(u, Pass.FWD), TaskRef(v, Pass.FWD))
+        bu, bv = TaskRef(u, Pass.BWD), TaskRef(v, Pass.BWD)
+        if petg.has_node(bu) and petg.has_node(bv):
+            petg.add_edge(bv, bu)  # gradients flow consumers -> producers
+    return petg
+
+
+def bin_tasks(petg: nx.DiGraph) -> list[list[TaskRef]]:
+    """UETG: bin tasks by dependency level (topological generations)."""
+    return [sorted(gen, key=repr) for gen in nx.topological_generations(petg)]
+
+
+def dedup_tasks(bins: list[list[TaskRef]]) -> list[TaskRef]:
+    """ETG: flatten bins, dropping duplicate (layer, pass) tasks."""
+    seen: set[TaskRef] = set()
+    order: list[TaskRef] = []
+    for b in bins:
+        for t in b:
+            if t not in seen:
+                seen.add(t)
+                order.append(t)
+    return order
+
+
+def compile_etg(topo: TopologySpec) -> tuple[TopologySpec, list[TaskRef]]:
+    """Run the full Fig. 3 pipeline; returns (extended topology, task order)."""
+    enl = extend_network(topo)
+    eng = build_node_graph(enl)
+    petg = build_petg(eng)
+    uetg = bin_tasks(petg)
+    etg = dedup_tasks(uetg)
+    return enl, etg

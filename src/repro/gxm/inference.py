@@ -1,0 +1,80 @@
+"""Inference mode (section II-L: "only the forward pass for inference").
+
+``InferenceSession`` wraps a trained ETG: switches BatchNorm nodes to their
+running statistics, runs only FWD tasks, and reports top-1/top-5 accuracy.
+``fold_batchnorms`` additionally returns the per-conv fused scale/shift
+parameters -- the exact tensors a fused conv+BN kernel (section II-G,
+``BatchNormApply``) consumes at inference time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gxm.etg import ExecutionTaskGraph
+from repro.gxm.nodes import _LayerNode
+from repro.layers.bn import BatchNorm2D
+
+__all__ = ["InferenceSession", "fold_batchnorms"]
+
+
+def fold_batchnorms(etg: ExecutionTaskGraph) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """(gamma', beta') per BatchNorm node, ready for fused application."""
+    folded = {}
+    for name, node in etg.nodes.items():
+        if isinstance(node, _LayerNode) and isinstance(node.layer, BatchNorm2D):
+            folded[name] = node.layer.folded_scale_shift()
+    return folded
+
+
+@dataclass
+class EvalResult:
+    loss: float
+    top1: float
+    top5: float
+    n: int
+
+
+class InferenceSession:
+    """Forward-only execution over a trained graph."""
+
+    def __init__(self, etg: ExecutionTaskGraph):
+        self.etg = etg
+        self._bns = [
+            node.layer
+            for node in etg.nodes.values()
+            if isinstance(node, _LayerNode) and isinstance(node.layer, BatchNorm2D)
+        ]
+
+    def __enter__(self) -> "InferenceSession":
+        for bn in self._bns:
+            bn.training = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for bn in self._bns:
+            bn.training = True
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities for one batch."""
+        self.etg.forward_only(x, None)
+        loss_node = self.etg._loss_nodes[0]
+        return loss_node.layer._probs
+
+    def evaluate(self, dataset, batch_size: int) -> EvalResult:
+        """Loss and top-1/top-5 accuracy over one pass of the dataset."""
+        losses, top1, top5, n = [], 0, 0, 0
+        for x, y in dataset.batches(batch_size, epochs=1):
+            loss = self.etg.forward_only(x, y)
+            losses.append(loss * len(y))
+            probs = self.etg._loss_nodes[0].layer._probs
+            order = np.argsort(-probs, axis=1)
+            top1 += int((order[:, 0] == y).sum())
+            k = min(5, probs.shape[1])
+            top5 += int((order[:, :k] == y[:, None]).any(axis=1).sum())
+            n += len(y)
+        return EvalResult(
+            loss=sum(losses) / n, top1=top1 / n, top5=top5 / n, n=n
+        )

@@ -1,0 +1,104 @@
+"""Simulated MLSL: multi-node gradient exchange timing (section III-C).
+
+The paper trains data-parallel over 16 nodes of Omnipath, reserving cores
+per node to drive communication (8 of 72 on KNM, 4 of 56 on a dual-socket
+SKX node) and overlapping the weight-gradient all-reduce with the backward
+pass.  ``MLSLSimulator`` reproduces that schedule: each layer's gradient
+bucket becomes eligible when its UPD task finishes (back-to-front), rides a
+ring all-reduce, and only the part still in flight after the last bucket's
+compute is exposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.machine import MachineConfig
+
+__all__ = ["ring_allreduce_time", "MLSLSimulator", "ScalingPoint"]
+
+
+def ring_allreduce_time(
+    nbytes: float, nodes: int, link_bw: float, latency_s: float
+) -> float:
+    """Ring all-reduce: ``2*(T-1)/T`` of the buffer crosses each link, in
+    ``2*(T-1)`` latency-bound steps."""
+    if nodes <= 1 or nbytes <= 0:
+        return 0.0
+    steps = 2 * (nodes - 1)
+    return steps * latency_s + 2.0 * (nodes - 1) / nodes * nbytes / link_bw
+
+
+@dataclass(frozen=True, slots=True)
+class ScalingPoint:
+    """One point of the Fig. 9 strong-scaling curve."""
+
+    nodes: int
+    imgs_per_s: float
+    parallel_efficiency: float
+    exposed_comm_s: float
+    iteration_s: float
+
+
+class MLSLSimulator:
+    """Timing model of data-parallel training for one machine type.
+
+    ``grad_buckets`` lists, back-to-front (the order gradients become
+    ready), each gradient-exchange layer's ``(bytes, compute_time_s)`` where
+    compute_time is the bwd+upd time *after* which this bucket is ready.
+    """
+
+    def __init__(self, machine: MachineConfig):
+        self.machine = machine
+
+    def iteration_time(
+        self,
+        nodes: int,
+        fwd_time_s: float,
+        grad_buckets: list[tuple[float, float]],
+    ) -> tuple[float, float]:
+        """(iteration_time, exposed_comm) for one global minibatch step."""
+        m = self.machine
+        if nodes <= 1:
+            return fwd_time_s + sum(t for _, t in grad_buckets), 0.0
+        # walk the backward pass; each bucket's all-reduce starts when its
+        # compute finishes and proceeds concurrently with later compute
+        t_compute = fwd_time_s
+        t_comm_free = fwd_time_s  # when the network is next available
+        for nbytes, t in grad_buckets:
+            t_compute += t
+            ar = ring_allreduce_time(nbytes, nodes, m.link_bw, m.link_latency_s)
+            start = max(t_compute, t_comm_free)
+            t_comm_free = start + ar
+        exposed = max(0.0, t_comm_free - t_compute)
+        return t_compute + exposed, exposed
+
+    def scaling_curve(
+        self,
+        node_counts: list[int],
+        per_node_minibatch: int,
+        fwd_time_s: float,
+        grad_buckets: list[tuple[float, float]],
+        single_node_time_s: float | None = None,
+    ) -> list[ScalingPoint]:
+        """Strong-scale (fixed per-node minibatch) the iteration time."""
+        base_imgs = None
+        out = []
+        for n in node_counts:
+            it, exposed = self.iteration_time(n, fwd_time_s, grad_buckets)
+            if n == 1 and single_node_time_s is not None:
+                it = single_node_time_s
+            imgs = per_node_minibatch * n / it
+            if base_imgs is None:
+                base_imgs = imgs / n if n == 1 else imgs / n
+            eff = imgs / (base_imgs * n)
+            out.append(
+                ScalingPoint(
+                    nodes=n,
+                    imgs_per_s=imgs,
+                    parallel_efficiency=eff,
+                    exposed_comm_s=exposed,
+                    iteration_s=it,
+                )
+            )
+        return out

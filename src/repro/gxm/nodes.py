@@ -1,0 +1,339 @@
+"""Runtime nodes: the executable form of each layer spec.
+
+ConvNode is the bridge to this library's core: its three tasks run the
+forward, backward-by-duality and weight-update convolutions.  Two engines
+are offered: ``"fast"`` (the vectorized reference semantics -- what GxM uses
+for actual training throughput in Python) and ``"blocked"`` (the full
+blocked/streams engine of :mod:`repro.conv`, bit-compatible but paying
+Python-loop overhead per microkernel call; used for demonstrations and
+cross-validation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.machine import SKX, MachineConfig
+from repro.conv.backward import DirectConvBackward
+from repro.conv.forward import DirectConvForward
+from repro.conv.params import ConvParams
+from repro.conv.reference import (
+    conv2d_backward_data,
+    conv2d_forward,
+    conv2d_update_weights,
+)
+from repro.conv.upd import DirectConvUpd
+from repro.gxm.topology import LayerSpec
+from repro.layers import (
+    AvgPool2D,
+    BatchNorm2D,
+    EltwiseSum,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2D,
+    ReLULayer,
+    SoftmaxCrossEntropy,
+    Split,
+)
+from repro.types import ReproError, ShapeError
+
+__all__ = ["Node", "ConvNode", "build_node", "output_shape"]
+
+
+def _conv_geometry(spec: LayerSpec) -> tuple[int, int, int, int]:
+    """(R, S, pad_h, pad_w) supporting square and asymmetric filters."""
+    if "kernel" in spec.attrs:
+        r = s = spec.attrs["kernel"]
+    else:
+        r = spec.attrs["kernel_h"]
+        s = spec.attrs["kernel_w"]
+    ph = spec.attrs.get("pad", spec.attrs.get("pad_h", (r - 1) // 2))
+    pw = spec.attrs.get("pad", spec.attrs.get("pad_w", (s - 1) // 2))
+    return r, s, ph, pw
+
+
+class Node:
+    """Base runtime node: wraps a LayerSpec and a Layer-like object."""
+
+    def __init__(self, spec: LayerSpec):
+        self.spec = spec
+        self.name = spec.name
+
+    def forward(self, *xs):
+        raise NotImplementedError
+
+    def backward(self, *dys):
+        raise NotImplementedError
+
+    def update(self) -> None:
+        """Weight-gradient task (UPD); default layers have none."""
+
+    def params(self) -> list[np.ndarray]:
+        return []
+
+    def grads(self) -> list[np.ndarray]:
+        return []
+
+
+class ConvNode(Node):
+    """Convolution layer: FWD/BWD/UPD tasks over this library's kernels."""
+
+    def __init__(
+        self,
+        spec: LayerSpec,
+        in_shape: tuple[int, int, int, int],
+        engine: str = "fast",
+        machine: MachineConfig = SKX,
+        threads: int = 1,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(spec)
+        rng = rng or np.random.default_rng(0)
+        n, c, h, w = in_shape
+        k = spec.attrs["num_output"]
+        rh, rw, ph, pw = _conv_geometry(spec)
+        stride = spec.attrs.get("stride", 1)
+        self.p = ConvParams(
+            N=n, C=c, K=k, H=h, W=w, R=rh, S=rw, stride=stride,
+            pad_h=ph, pad_w=pw,
+        )
+        bound = (2.0 / (c * rh * rw)) ** 0.5
+        self.weight = (
+            rng.standard_normal((k, c, rh, rw)) * bound
+        ).astype(np.float32)
+        self.dweight = np.zeros_like(self.weight)
+        self.engine = engine
+        self.machine = machine
+        self.threads = threads
+        #: section II-G: ReLU applied while the output block is hot; the
+        #: backward mask is reconstructed from this node's own output
+        self.fused_relu = bool(spec.attrs.get("fused_relu", False))
+        self._x = None
+        self._dy = None
+        self._y = None
+        if engine == "blocked":
+            from repro.conv.fusion import ReLU as FusedReLU
+
+            fused_ops = [FusedReLU()] if self.fused_relu else []
+            self._fwd = DirectConvForward(
+                self.p, machine, threads=threads, fused_ops=fused_ops
+            )
+            self._bwd = DirectConvBackward(self.p, machine, threads=threads)
+            self._upd = DirectConvUpd(self.p, machine, threads=threads)
+        elif engine != "fast":
+            raise ReproError(f"unknown conv engine {engine!r}")
+
+    def _params_for(self, n: int) -> ConvParams:
+        """The fast engine accepts any minibatch; the blocked engine was set
+        up for a fixed N (kernel streams are recorded per layer setup)."""
+        if n == self.p.N:
+            return self.p
+        if self.engine == "blocked":
+            raise ShapeError(
+                f"blocked conv {self.name!r} was set up for N={self.p.N}, "
+                f"got N={n}; rebuild the ETG for the new minibatch"
+            )
+        return self.p.with_minibatch(n)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        p = self._params_for(x.shape[0])
+        if self.engine == "blocked":
+            y = self._fwd.run_nchw(x, self.weight)
+        else:
+            y = conv2d_forward(x, self.weight, p)
+            if self.fused_relu:
+                np.maximum(y, 0.0, out=y)
+        if self.fused_relu:
+            self._y = y
+        return y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self.fused_relu:
+            # reconstruct the ReLU mask from the fused output: positions
+            # clamped to zero pass no gradient
+            dy = np.where(self._y > 0, dy, 0.0).astype(np.float32)
+        self._dy = dy
+        p = self._params_for(dy.shape[0])
+        if self.engine == "blocked":
+            return self._bwd.run_nchw(dy, self.weight)
+        return conv2d_backward_data(dy, self.weight, p)
+
+    def update(self) -> None:
+        p = self._params_for(self._x.shape[0])
+        if self.engine == "blocked":
+            self.dweight[:] = self._upd.run_nchw(self._x, self._dy)
+        else:
+            self.dweight[:] = conv2d_update_weights(self._x, self._dy, p)
+
+    def params(self):
+        return [self.weight]
+
+    def grads(self):
+        return [self.dweight]
+
+
+class _LayerNode(Node):
+    """Wraps a stateless/stateful Layer with 1 input and 1 output."""
+
+    def __init__(self, spec: LayerSpec, layer):
+        super().__init__(spec)
+        self.layer = layer
+
+    def forward(self, x):
+        return self.layer.forward(x)
+
+    def backward(self, dy):
+        return self.layer.backward(dy)
+
+    def params(self):
+        return self.layer.params()
+
+    def grads(self):
+        return self.layer.grads()
+
+
+class SplitNode(Node):
+    def __init__(self, spec: LayerSpec):
+        super().__init__(spec)
+        self.layer = Split(spec.attrs["fanout"])
+
+    def forward(self, x):
+        self.layer.forward(x)
+        return tuple(x for _ in range(self.layer.fanout))
+
+    def backward(self, *dys):
+        out = None
+        for dy in dys:
+            out = dy if out is None else out + dy
+        return out
+
+
+class EltwiseNode(Node):
+    def __init__(self, spec: LayerSpec):
+        super().__init__(spec)
+        self.layer = EltwiseSum(len(spec.bottoms))
+
+    def forward(self, *xs):
+        return self.layer.forward(*xs)
+
+    def backward(self, dy):
+        return self.layer.backward(dy)
+
+
+class ConcatNode(Node):
+    def __init__(self, spec: LayerSpec):
+        super().__init__(spec)
+        from repro.layers.concat import Concat
+
+        self.layer = Concat(len(spec.bottoms))
+
+    def forward(self, *xs):
+        return self.layer.forward(*xs)
+
+    def backward(self, dy):
+        return self.layer.backward(dy)
+
+
+class LossNode(Node):
+    def __init__(self, spec: LayerSpec):
+        super().__init__(spec)
+        self.layer = SoftmaxCrossEntropy()
+        self.labels: np.ndarray | None = None
+        self.loss: float = 0.0
+
+    def forward(self, logits):
+        self.loss = self.layer.forward(logits, self.labels)
+        return self.loss
+
+    def backward(self):
+        return self.layer.backward()
+
+    def accuracy(self):
+        return self.layer.accuracy(self.labels)
+
+
+def output_shape(spec: LayerSpec, in_shapes: list[tuple]) -> tuple:
+    """Shape inference for the graph compiler."""
+    t = spec.type
+    if t == "Data":
+        return in_shapes[0]
+    s = in_shapes[0]
+    if t == "Convolution":
+        n, c, h, w = s
+        k = spec.attrs["num_output"]
+        r, sw_, ph, pw = _conv_geometry(spec)
+        stride = spec.attrs.get("stride", 1)
+        p = (h + 2 * ph - r) // stride + 1
+        q = (w + 2 * pw - sw_) // stride + 1
+        return (n, k, p, q)
+    if t == "Concat":
+        n, _, h, w = s
+        return (n, sum(shape[1] for shape in in_shapes), h, w)
+    if t in ("ReLU", "BatchNorm", "Split", "Eltwise"):
+        return s
+    if t in ("Pooling", "AvgPooling"):
+        n, c, h, w = s
+        k = spec.attrs["kernel"]
+        stride = spec.attrs.get("stride", k)
+        pad = spec.attrs.get("pad", 0)
+        return (
+            n,
+            c,
+            (h + 2 * pad - k) // stride + 1,
+            (w + 2 * pad - k) // stride + 1,
+        )
+    if t == "GlobalPool":
+        return (s[0], s[1])
+    if t == "InnerProduct":
+        return (s[0], spec.attrs["num_output"])
+    if t == "SoftmaxWithLoss":
+        return (s[0],)
+    raise ShapeError(f"cannot infer shape for {t}")
+
+
+def build_node(
+    spec: LayerSpec,
+    in_shapes: list[tuple],
+    engine: str = "fast",
+    machine: MachineConfig = SKX,
+    threads: int = 1,
+    rng: np.random.Generator | None = None,
+) -> Node:
+    """Instantiate the runtime node for a layer spec."""
+    t = spec.type
+    if t == "Data":
+        return Node(spec)  # placeholder; the ETG feeds it directly
+    if t == "Convolution":
+        return ConvNode(spec, in_shapes[0], engine, machine, threads, rng)
+    if t == "ReLU":
+        return _LayerNode(spec, ReLULayer())
+    if t == "BatchNorm":
+        return _LayerNode(spec, BatchNorm2D(in_shapes[0][1]))
+    if t == "Pooling":
+        return _LayerNode(
+            spec,
+            MaxPool2D(spec.attrs["kernel"], spec.attrs.get("stride"),
+                      spec.attrs.get("pad", 0)),
+        )
+    if t == "AvgPooling":
+        return _LayerNode(
+            spec,
+            AvgPool2D(spec.attrs["kernel"], spec.attrs.get("stride"),
+                      spec.attrs.get("pad", 0)),
+        )
+    if t == "GlobalPool":
+        return _LayerNode(spec, GlobalAvgPool())
+    if t == "InnerProduct":
+        return _LayerNode(
+            spec, Linear(in_shapes[0][1], spec.attrs["num_output"], rng)
+        )
+    if t == "Eltwise":
+        return EltwiseNode(spec)
+    if t == "Concat":
+        return ConcatNode(spec)
+    if t == "Split":
+        return SplitNode(spec)
+    if t == "SoftmaxWithLoss":
+        return LossNode(spec)
+    raise ReproError(f"no runtime node for layer type {t!r}")

@@ -1,0 +1,104 @@
+"""Protobuf-text topology parser (the "Parser" block of Fig. 3).
+
+Understands the subset of protobuf text format GxM topologies use: a
+top-level ``name`` and repeated ``layer { ... }`` messages with scalar
+fields (``key: value``) where repeated ``bottom``/``top`` fields accumulate.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.gxm.topology import LayerSpec, TopologySpec
+from repro.types import ReproError
+
+__all__ = ["parse_topology", "TopologyParseError"]
+
+
+class TopologyParseError(ReproError):
+    pass
+
+
+_TOKEN = re.compile(
+    r"""
+    (?P<brace_open>\{) | (?P<brace_close>\}) |
+    (?P<kv>([A-Za-z_][A-Za-z0-9_]*)\s*:\s*("[^"]*"|-?\d+\.\d+|-?\d+|true|false)) |
+    (?P<ident>[A-Za-z_][A-Za-z0-9_]*) |
+    (?P<comment>\#[^\n]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _parse_value(raw: str):
+    if raw.startswith('"'):
+        return raw[1:-1]
+    if raw in ("true", "false"):
+        return raw == "true"
+    if "." in raw:
+        return float(raw)
+    return int(raw)
+
+
+def parse_topology(text: str) -> TopologySpec:
+    """Parse topology text into a :class:`TopologySpec`."""
+    topo = TopologySpec(name="unnamed")
+    pos = 0
+    in_layer = False
+    current: dict | None = None
+    depth = 0
+    for m in _TOKEN.finditer(text):
+        if m.lastgroup == "comment":
+            continue
+        if m.group("brace_open"):
+            depth += 1
+            if not in_layer:
+                raise TopologyParseError("unexpected '{' outside a layer block")
+            continue
+        if m.group("brace_close"):
+            depth -= 1
+            if depth == 0 and in_layer:
+                assert current is not None
+                try:
+                    topo.layers.append(
+                        LayerSpec(
+                            name=current.pop("name"),
+                            type=current.pop("type"),
+                            bottoms=current.pop("bottom", []),
+                            tops=current.pop("top", []),
+                            attrs=current,
+                        )
+                    )
+                except KeyError as e:
+                    raise TopologyParseError(
+                        f"layer block missing required field {e}"
+                    ) from None
+                in_layer = False
+                current = None
+            continue
+        if m.group("ident"):
+            if m.group("ident") == "layer":
+                if in_layer:
+                    raise TopologyParseError("nested layer blocks")
+                in_layer = True
+                current = {}
+            continue
+        if m.group("kv"):
+            key, raw = re.match(
+                r"([A-Za-z_][A-Za-z0-9_]*)\s*:\s*(.+)", m.group("kv")
+            ).groups()
+            value = _parse_value(raw.strip())
+            if not in_layer:
+                if key == "name":
+                    topo.name = value
+                continue
+            assert current is not None
+            if key in ("bottom", "top"):
+                current.setdefault(key, []).append(value)
+            else:
+                current[key] = value
+    if in_layer:
+        raise TopologyParseError("unterminated layer block")
+    if not topo.layers:
+        raise TopologyParseError("no layer blocks found")
+    return topo

@@ -1,0 +1,145 @@
+"""GxM execution profiler.
+
+The artifact appendix: "The GxM framework reports time per iteration and
+img/s as console output ... the most important performance figures in case
+of CNN training."  :class:`TaskProfiler` wraps an ETG and records wall time
+per task, aggregating by layer type and pass -- the per-iteration report the
+paper's console output shows, plus the breakdown that motivates fusion
+(how much of a step the bandwidth-bound operators eat).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gxm.etg import ExecutionTaskGraph
+from repro.types import Pass
+
+__all__ = ["TaskProfiler", "IterationProfile"]
+
+
+@dataclass
+class IterationProfile:
+    """Timing of one training step."""
+
+    total_s: float
+    minibatch: int
+    by_pass: dict[str, float] = field(default_factory=dict)
+    by_type: dict[str, float] = field(default_factory=dict)
+    by_task: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def imgs_per_s(self) -> float:
+        return self.minibatch / self.total_s if self.total_s > 0 else 0.0
+
+    def report(self, top: int = 5) -> str:
+        lines = [
+            f"iteration: {self.total_s * 1e3:.1f} ms, "
+            f"{self.imgs_per_s:.1f} img/s (minibatch {self.minibatch})"
+        ]
+        for name, t in sorted(self.by_pass.items()):
+            lines.append(
+                f"  {name:>8}: {t * 1e3:7.2f} ms "
+                f"({100 * t / self.total_s:5.1f}%)"
+            )
+        lines.append("  costliest layer types:")
+        for name, t in sorted(
+            self.by_type.items(), key=lambda kv: -kv[1]
+        )[:top]:
+            lines.append(
+                f"    {name:>14}: {t * 1e3:7.2f} ms "
+                f"({100 * t / self.total_s:5.1f}%)"
+            )
+        return "\n".join(lines)
+
+
+class TaskProfiler:
+    """Profile ETG steps by intercepting per-task execution.
+
+    Usage::
+
+        prof = TaskProfiler(etg)
+        loss = prof.step(x, labels)
+        print(prof.last.report())
+    """
+
+    def __init__(self, etg: ExecutionTaskGraph, clock=time.perf_counter):
+        self.etg = etg
+        self.clock = clock
+        self.last: IterationProfile | None = None
+        self.history: list[IterationProfile] = []
+
+    def step(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """One profiled train step (functionally identical to
+        ``etg.train_step``)."""
+        etg = self.etg
+        by_task: dict[str, float] = {}
+        t_start = self.clock()
+
+        # re-implement the task walk with timers around each task; the
+        # tensor plumbing is delegated back to the ETG's own _run by
+        # monkey-free interception: we time at task granularity using the
+        # ETG's public ordering and node objects.
+        acts: dict[str, np.ndarray] = {}
+        grads: dict[str, np.ndarray] = {}
+        from repro.gxm.nodes import LossNode
+
+        for ln in etg._loss_nodes:
+            ln.labels = labels
+        for task in etg.tasks:
+            layer = etg.enl.layer(task.layer)
+            node = etg.nodes[task.layer]
+            t0 = self.clock()
+            if task.pass_ is Pass.FWD:
+                if layer.type == "Data":
+                    acts[layer.tops[0]] = x
+                else:
+                    ins = [acts[b] for b in layer.bottoms]
+                    out = node.forward(*ins)
+                    if layer.type == "Split":
+                        for t, o in zip(layer.tops, out):
+                            acts[t] = o
+                    else:
+                        acts[layer.tops[0]] = out
+            elif task.pass_ is Pass.BWD:
+                if isinstance(node, LossNode):
+                    grads[layer.bottoms[0]] = node.backward()
+                elif layer.type == "Split":
+                    dys = [grads[t] for t in layer.tops]
+                    grads[layer.bottoms[0]] = node.backward(*dys)
+                else:
+                    dy = grads[layer.tops[0]]
+                    dx = node.backward(dy)
+                    if layer.type in ("Eltwise", "Concat"):
+                        for b, d in zip(layer.bottoms, dx):
+                            grads[b] = d
+                    elif layer.bottoms and not etg._is_data(layer.bottoms[0]):
+                        grads[layer.bottoms[0]] = dx
+            else:
+                node.update()
+            dt = self.clock() - t0
+            by_task[f"{task.layer}:{task.pass_.name}"] = (
+                by_task.get(f"{task.layer}:{task.pass_.name}", 0.0) + dt
+            )
+
+        total = self.clock() - t_start
+        by_pass: dict[str, float] = {}
+        by_type: dict[str, float] = {}
+        for key, dt in by_task.items():
+            lname, pname = key.rsplit(":", 1)
+            by_pass[pname] = by_pass.get(pname, 0.0) + dt
+            ltype = etg.enl.layer(lname).type
+            by_type[ltype] = by_type.get(ltype, 0.0) + dt
+        prof = IterationProfile(
+            total_s=total,
+            minibatch=len(labels),
+            by_pass=by_pass,
+            by_type=by_type,
+            by_task=by_task,
+        )
+        self.last = prof
+        self.history.append(prof)
+        return etg.loss

@@ -1,0 +1,73 @@
+"""Learning-rate schedules.
+
+The paper trains ResNet-50 to SOTA accuracy with the standard large-batch
+recipe ([8]: warmup + step decay).  These schedules plug into
+:class:`~repro.gxm.trainer.Trainer` via ``lr_schedule``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LRSchedule", "ConstantLR", "StepDecay", "WarmupThenDecay",
+           "PolynomialDecay"]
+
+
+class LRSchedule:
+    """Maps an iteration index to a learning rate."""
+
+    def lr(self, iteration: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(LRSchedule):
+    def __init__(self, lr: float):
+        self._lr = lr
+
+    def lr(self, iteration: int) -> float:
+        return self._lr
+
+
+class StepDecay(LRSchedule):
+    """``base * gamma^k`` after each milestone (the ResNet recipe)."""
+
+    def __init__(self, base: float, milestones: list[int], gamma: float = 0.1):
+        if sorted(milestones) != list(milestones):
+            raise ValueError("milestones must be ascending")
+        self.base = base
+        self.milestones = list(milestones)
+        self.gamma = gamma
+
+    def lr(self, iteration: int) -> float:
+        k = sum(1 for m in self.milestones if iteration >= m)
+        return self.base * (self.gamma**k)
+
+
+class WarmupThenDecay(LRSchedule):
+    """Linear warmup from ``base/divisor`` to ``base`` over ``warmup``
+    iterations, then the wrapped schedule -- the [8] large-minibatch recipe
+    the paper's multi-node runs rely on."""
+
+    def __init__(self, after: LRSchedule, warmup: int, divisor: float = 10.0):
+        self.after = after
+        self.warmup = max(0, warmup)
+        self.divisor = divisor
+
+    def lr(self, iteration: int) -> float:
+        target = self.after.lr(self.warmup)
+        if iteration < self.warmup:
+            start = target / self.divisor
+            frac = iteration / self.warmup
+            return start + (target - start) * frac
+        return self.after.lr(iteration)
+
+
+class PolynomialDecay(LRSchedule):
+    """``base * (1 - t/total)^power`` over a fixed budget."""
+
+    def __init__(self, base: float, total: int, power: float = 2.0):
+        self.base = base
+        self.total = max(1, total)
+        self.power = power
+
+    def lr(self, iteration: int) -> float:
+        t = min(iteration, self.total)
+        return self.base * (1.0 - t / self.total) ** self.power

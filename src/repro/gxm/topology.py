@@ -1,0 +1,168 @@
+"""Topology description: the DNN as a list of layer specs.
+
+GxM parses a Protobuf-format topology description (section II-L); this
+module defines the in-memory form plus a builder API, and renders/loads the
+textual format (see :mod:`repro.gxm.parser`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.types import ShapeError
+
+__all__ = ["LayerSpec", "TopologySpec"]
+
+#: layer types GxM understands; Split is inserted by the NL Extender
+LAYER_TYPES = {
+    "Data",
+    "Convolution",
+    "ReLU",
+    "BatchNorm",
+    "Pooling",
+    "AvgPooling",
+    "GlobalPool",
+    "InnerProduct",
+    "Eltwise",
+    "Concat",
+    "SoftmaxWithLoss",
+    "Split",
+}
+
+#: node types that exchange weight gradients in multi-node training (II-L)
+GRADIENT_EXCHANGE_TYPES = {"Convolution", "BatchNorm", "InnerProduct"}
+
+
+@dataclass
+class LayerSpec:
+    """One layer of the Network List."""
+
+    name: str
+    type: str
+    bottoms: list[str] = field(default_factory=list)
+    tops: list[str] = field(default_factory=list)
+    attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.type not in LAYER_TYPES:
+            raise ShapeError(f"unknown layer type {self.type!r} in {self.name}")
+
+    def to_text(self) -> str:
+        lines = [f'layer {{', f'  name: "{self.name}"', f'  type: "{self.type}"']
+        for b in self.bottoms:
+            lines.append(f'  bottom: "{b}"')
+        for t in self.tops:
+            lines.append(f'  top: "{t}"')
+        for k, v in self.attrs.items():
+            if isinstance(v, str):
+                lines.append(f'  {k}: "{v}"')
+            else:
+                lines.append(f"  {k}: {v}")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+@dataclass
+class TopologySpec:
+    """An ordered Network List plus a name."""
+
+    name: str
+    layers: list[LayerSpec] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        parts = [f'name: "{self.name}"']
+        parts.extend(layer.to_text() for layer in self.layers)
+        return "\n".join(parts) + "\n"
+
+    def layer(self, name: str) -> LayerSpec:
+        for l in self.layers:
+            if l.name == name:
+                return l
+        raise KeyError(name)
+
+    # ---- builder API ------------------------------------------------------
+    def add(self, spec: LayerSpec) -> "TopologySpec":
+        self.layers.append(spec)
+        return self
+
+    def data(self, name: str = "data", **attrs) -> str:
+        self.add(LayerSpec(name, "Data", [], [name], attrs))
+        return name
+
+    def conv(
+        self, name: str, bottom: str, num_output: int,
+        kernel: int | tuple[int, int],
+        stride: int = 1, pad: int | tuple[int, int] | None = None,
+        relu: bool = False, batchnorm: bool = False,
+    ) -> str:
+        kh, kw = (kernel, kernel) if isinstance(kernel, int) else kernel
+        if pad is None:
+            ph, pw = (kh - 1) // 2, (kw - 1) // 2
+        else:
+            ph, pw = (pad, pad) if isinstance(pad, int) else pad
+        attrs = {"num_output": num_output, "stride": stride}
+        if kh == kw and ph == pw:
+            attrs.update({"kernel": kh, "pad": ph})
+        else:
+            attrs.update({"kernel_h": kh, "kernel_w": kw,
+                          "pad_h": ph, "pad_w": pw})
+        self.add(LayerSpec(name, "Convolution", [bottom], [name], attrs))
+        top = name
+        if batchnorm:
+            bn = f"{name}_bn"
+            self.add(LayerSpec(bn, "BatchNorm", [top], [bn], {}))
+            top = bn
+        if relu:
+            rl = f"{name}_relu"
+            self.add(LayerSpec(rl, "ReLU", [top], [rl], {}))
+            top = rl
+        return top
+
+    def pool(
+        self, name: str, bottom: str, kernel: int,
+        stride: int | None = None, pad: int = 0,
+    ) -> str:
+        self.add(
+            LayerSpec(name, "Pooling", [bottom], [name],
+                      {"kernel": kernel, "stride": stride or kernel,
+                       "pad": pad})
+        )
+        return name
+
+    def global_pool(self, name: str, bottom: str) -> str:
+        self.add(LayerSpec(name, "GlobalPool", [bottom], [name], {}))
+        return name
+
+    def avg_pool(
+        self, name: str, bottom: str, kernel: int, stride: int = 1,
+        pad: int = 0,
+    ) -> str:
+        self.add(
+            LayerSpec(name, "AvgPooling", [bottom], [name],
+                      {"kernel": kernel, "stride": stride, "pad": pad})
+        )
+        return name
+
+    def concat(self, name: str, bottoms: list[str]) -> str:
+        self.add(LayerSpec(name, "Concat", list(bottoms), [name], {}))
+        return name
+
+    def eltwise(self, name: str, a: str, b: str, relu: bool = False) -> str:
+        self.add(LayerSpec(name, "Eltwise", [a, b], [name], {}))
+        top = name
+        if relu:
+            rl = f"{name}_relu"
+            self.add(LayerSpec(rl, "ReLU", [top], [rl], {}))
+            top = rl
+        return top
+
+    def fc(self, name: str, bottom: str, num_output: int) -> str:
+        self.add(
+            LayerSpec(name, "InnerProduct", [bottom], [name],
+                      {"num_output": num_output})
+        )
+        return name
+
+    def loss(self, name: str, bottom: str) -> str:
+        self.add(LayerSpec(name, "SoftmaxWithLoss", [bottom], [name], {}))
+        return name

@@ -1,0 +1,123 @@
+"""SGD training loop over an ExecutionTaskGraph.
+
+Supports simulated data-parallel multi-node training: the global minibatch
+is split across ``nodes`` replicas, each runs fwd/bwd/upd on its shard, and
+the weight gradients are all-reduced (averaged) before the SGD step --
+numerically the MLSL exchange of section II-L.  (One process hosts all
+replicas; the *timing* of the exchange is modelled in
+:mod:`repro.gxm.mlsl`.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gxm.etg import ExecutionTaskGraph
+
+__all__ = ["SGD", "Trainer", "TrainMetrics"]
+
+
+class SGD:
+    """SGD with momentum and weight decay, updating arrays in place."""
+
+    def __init__(
+        self,
+        params: list[np.ndarray],
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ):
+        self.params = params
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p) for p in params]
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        for p, g, v in zip(self.params, grads, self._velocity):
+            if self.weight_decay:
+                g = g + self.weight_decay * p
+            v *= self.momentum
+            v += g
+            p -= self.lr * v
+
+
+@dataclass
+class TrainMetrics:
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    def smoothed_losses(self, k: int = 5) -> list[float]:
+        out = []
+        for i in range(len(self.losses)):
+            lo = max(0, i - k + 1)
+            out.append(sum(self.losses[lo : i + 1]) / (i + 1 - lo))
+        return out
+
+
+class Trainer:
+    """Minibatch SGD driver, optionally data-parallel over ``nodes``."""
+
+    def __init__(
+        self,
+        etg: ExecutionTaskGraph,
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        nodes: int = 1,
+        lr_schedule=None,
+    ):
+        self.etg = etg
+        self.nodes = nodes
+        self.opt = SGD(etg.params(), lr, momentum, weight_decay)
+        self.lr_schedule = lr_schedule
+        self.iteration = 0
+        self.metrics = TrainMetrics()
+
+    def train_step(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """One global-minibatch step; with ``nodes > 1`` the batch is
+        sharded and the gradients averaged (the MLSL all-reduce)."""
+        if self.lr_schedule is not None:
+            self.opt.lr = self.lr_schedule.lr(self.iteration)
+        self.iteration += 1
+        if self.nodes == 1:
+            loss = self.etg.train_step(x, labels)
+            acc = self.etg.accuracy()
+            self.opt.step(self.etg.grads())
+        else:
+            shards = np.array_split(np.arange(len(labels)), self.nodes)
+            acc_grads = None
+            loss = 0.0
+            acc = 0.0
+            for shard in shards:
+                loss += self.etg.train_step(x[shard], labels[shard]) * len(
+                    shard
+                )
+                acc += self.etg.accuracy() * len(shard)
+                g = [gr.copy() for gr in self.etg.grads()]
+                if acc_grads is None:
+                    acc_grads = g
+                else:
+                    for a, b in zip(acc_grads, g):
+                        a += b
+            loss /= len(labels)
+            acc /= len(labels)
+            # all-reduce: average over replicas
+            for a in acc_grads:
+                a /= self.nodes
+            self.opt.step(acc_grads)
+        self.metrics.losses.append(float(loss))
+        self.metrics.accuracies.append(float(acc))
+        return float(loss)
+
+    def fit(self, dataset, batch_size: int, epochs: int = 1) -> TrainMetrics:
+        # per-node batch x nodes = global minibatch, like the paper's runs
+        for x, y in dataset.batches(batch_size * self.nodes, epochs):
+            self.train_step(x, y)
+        return self.metrics

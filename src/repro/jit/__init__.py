@@ -1,0 +1,33 @@
+"""The JIT: microkernel code generators, interpreter, timing, kernel cache.
+
+This package is the Python analogue of LIBXSMM's runtime code generator
+(section II-D): each generator turns a *kernel descriptor* into a
+:class:`~repro.arch.isa.KernelProgram` -- an explicit µop stream with the
+paper's register blocking, load/store hoisting, pixel blocking, fused
+post-ops and two-level prefetching baked in.  The
+:mod:`~repro.jit.interpreter` executes streams functionally on numpy buffers
+(correctness), :mod:`~repro.jit.timing` prices them on a machine model
+(performance), and :mod:`~repro.jit.kernel_cache` memoizes generation the way
+the paper's runtime amortizes JIT cost across a topology's layer setups.
+"""
+
+from repro.jit.codegen import ConvKernelDesc, generate_conv_kernel
+from repro.jit.gemm import GemmDesc, generate_gemm_kernel
+from repro.jit.upd_codegen import UpdKernelDesc, generate_upd_kernel
+from repro.jit.interpreter import execute_kernel
+from repro.jit.timing import KernelTiming, time_kernel
+from repro.jit.kernel_cache import KernelCache, get_default_cache
+
+__all__ = [
+    "ConvKernelDesc",
+    "generate_conv_kernel",
+    "GemmDesc",
+    "generate_gemm_kernel",
+    "UpdKernelDesc",
+    "generate_upd_kernel",
+    "execute_kernel",
+    "KernelTiming",
+    "time_kernel",
+    "KernelCache",
+    "get_default_cache",
+]

@@ -1,0 +1,133 @@
+"""Register-blocking autotuner.
+
+The heuristics in :mod:`repro.conv.blocking` encode the paper's reasoning
+(latency window, register budget, divisibility); this module *searches* the
+feasible ``(RB_P, RB_Q)`` space instead, pricing every candidate with the
+timing model (or, optionally, the cycle-level scheduler) and returning the
+best -- the "fine-tuning for each topology" that static approaches need and
+a JIT can afford to do once per layer at setup time (section I).
+
+Tests assert the heuristic plan is within a few percent of the tuned
+optimum across Table I -- evidence the paper's closed-form rules capture
+what an exhaustive search finds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.machine import MachineConfig
+from repro.conv.blocking import RESERVED_REGS, BlockingPlan, choose_blocking
+from repro.conv.params import ConvParams
+from repro.jit.codegen import ConvKernelDesc, generate_conv_kernel
+from repro.jit.timing import time_kernel
+from repro.types import CodegenError, DType
+
+__all__ = ["TuneResult", "autotune_blocking"]
+
+
+@dataclass
+class TuneResult:
+    """Outcome of one layer's search."""
+
+    plan: BlockingPlan
+    cycles_per_flop: float
+    candidates: int
+    ranking: list[tuple[int, int, float]]  # (rb_p, rb_q, cycles/flop)
+
+    @property
+    def best(self) -> tuple[int, int]:
+        return (self.plan.rb_p, self.plan.rb_q)
+
+
+def _price(
+    p: ConvParams, machine: MachineConfig, rb_p: int, rb_q: int, dtype: DType
+) -> float:
+    """Steady-state cycles/flop of the (rb_p, rb_q) main variant, including
+    the amortized per-call overhead at this granularity."""
+    vlen = machine.vlen(dtype)
+    desc = ConvKernelDesc(
+        vlen=vlen,
+        rb_p=rb_p,
+        rb_q=rb_q,
+        R=p.R,
+        S=p.S,
+        stride=p.stride,
+        i_strides=(p.Hp * p.Wp * vlen, p.Wp * vlen, vlen),
+        w_strides=(p.R * p.S * vlen * vlen, p.S * vlen * vlen,
+                   vlen * vlen, vlen),
+        o_strides=(p.Q * vlen, vlen),
+        cb_unroll=(p.C // vlen) if p.is_1x1() else 1,
+        zero_init=True,
+        fused_memop=not machine.has_4fma and dtype is DType.F32,
+        use_4fma=machine.has_4fma and dtype is DType.F32,
+        use_4vnni=machine.has_4fma and dtype is DType.QI16F32,
+        dtype=dtype,
+    )
+    prog = generate_conv_kernel(desc)
+    t = time_kernel(prog, machine)
+    return t.cycles / prog.flops
+
+
+def autotune_blocking(
+    p: ConvParams,
+    machine: MachineConfig,
+    dtype: DType = DType.F32,
+    max_candidates: int = 64,
+) -> TuneResult:
+    """Search feasible (RB_P, RB_Q) pairs; return the cheapest as a plan.
+
+    Candidates must (a) fit the accumulator budget, (b) not exceed the
+    spatial extents, and (c) divide the spatial extents *or* leave a
+    remainder a second variant can cover (always true, so only (a)/(b)
+    bind).  Ranking uses steady-state cycles/flop of the main variant.
+    """
+    budget = 32 - RESERVED_REGS
+    if dtype is DType.QI16F32:
+        budget = min(budget, 13)
+    heur = choose_blocking(
+        p, machine, DType.F32,
+        acc_budget_cap=13 if dtype is DType.QI16F32 else None,
+    )
+    ranking: list[tuple[int, int, float]] = []
+    seen = 0
+    for rb_q in range(1, min(p.Q, budget) + 1):
+        max_p = min(p.P, budget // rb_q)
+        for rb_p in range(1, max_p + 1):
+            if seen >= max_candidates:
+                break
+            # prefer low-waste candidates: skip blocks whose remainder
+            # exceeds half the block (they'd spend most calls in tails)
+            if p.Q % rb_q > rb_q // 2 and rb_q != p.Q:
+                continue
+            try:
+                cpf = _price(p, machine, rb_p, rb_q, dtype)
+            except CodegenError:
+                continue
+            # charge the tail work at the remainder variant's rate
+            waste = 1.0
+            if p.Q % rb_q:
+                waste += 0.1 * (p.Q % rb_q) / p.Q
+            if p.P % rb_p:
+                waste += 0.1 * (p.P % rb_p) / p.P
+            ranking.append((rb_p, rb_q, cpf * waste))
+            seen += 1
+    if not ranking:
+        raise CodegenError(f"no feasible blocking for {p.describe()}")
+    ranking.sort(key=lambda t: t[2])
+    rb_p, rb_q, cpf = ranking[0]
+    plan = BlockingPlan(
+        vlen=machine.vlen(dtype),
+        rb_p=rb_p,
+        rb_q=rb_q,
+        rb_p_rem=p.P % rb_p if rb_p > 1 else 0,
+        rb_q_rem=p.Q % rb_q,
+        loop_order=heur.loop_order,
+        hoist_output=heur.hoist_output,
+        oj_block=heur.oj_block,
+        acc_regs=rb_p * rb_q,
+    )
+    return TuneResult(
+        plan=plan, cycles_per_flop=cpf, candidates=len(ranking),
+        ranking=ranking,
+    )

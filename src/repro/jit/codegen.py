@@ -1,0 +1,514 @@
+"""Forward-convolution microkernel generator (section II-D).
+
+Given a :class:`ConvKernelDesc`, :func:`generate_conv_kernel` emits the µop
+stream a real JIT would encode as AVX512 instructions.  The generated kernel
+computes an ``RB_P x RB_Q x (KB_UNROLL*VLEN)`` output block:
+
+.. code-block:: text
+
+    for cb in range(cb_unroll):            # 1 for Alg. 3; C_b for 1x1 (II-C)
+        for r, s in filter taps:
+            for x in range(VLEN):          # GEMM reduction dim
+                w0 = VLOAD  W[cb, r, s, x, :]          # basic block step (a)
+                for p, q in RB_P x RB_Q:               # basic block step (b)
+                    acc[p,q] += w0 * broadcast(I[cb, p*str+r, q*str+s, x])
+
+with the paper's extra optimizations:
+
+* output loads/stores hoisted outside the ``r, s`` loops (optimization (a) of
+  section II-D) unless ``hoist_output=False`` -- the un-hoisted form is
+  exactly what the "libxsmm"/"blas" small-GEMM baselines are stuck with;
+* pixel blocking over rows via ``RB_P`` (optimization (b));
+* SKX fused memory operands (``fused_memop``): the broadcast is folded into
+  the FMA, halving load-port pressure at a ~15 % backend µop-split cost
+  (section III-B);
+* KNM 4-chained FMA (``use_4fma``): four reduction steps issue as one op
+  whose memory operand covers four consecutive input elements, quartering
+  broadcast traffic (section III);
+* output-channel unrolling (``kb_unroll``): one broadcast feeds FMAs into
+  several ``k_b`` accumulator groups -- the "more aggressive blocking over
+  output channels" MKL-DNN uses on SKX instead of fused memory operands
+  (section III-B);
+* fused post-ops (section II-G) and two-level prefetches (section II-E);
+* an int16 VNNI path (section II-K) with bounded accumulation-chain length.
+
+Kernel-call convention: at invocation the caller supplies *base element
+offsets* per tensor name ("I", "W", "O", fused-op inputs, and the "_pf"
+prefetch bases); every µop offset in the program is relative to its tensor's
+base -- identical to the paper's base-pointer + offset formulation (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.isa import KernelProgram, Op, Uop
+from repro.arch.registers import RegisterAllocator
+from repro.types import CodegenError, DType
+
+__all__ = ["ConvKernelDesc", "generate_conv_kernel", "interleave_prefetches"]
+
+
+@dataclass(frozen=True, slots=True)
+class ConvKernelDesc:
+    """Everything that distinguishes one JIT'ed forward-conv kernel variant.
+
+    Strides are *element* strides baked in from the tensor layouts:
+    ``i_strides=(cb, h, w)`` with the innermost ``c`` stride 1;
+    ``w_strides=(cb, r, s, c)`` with the innermost ``k`` stride 1;
+    ``o_strides=(h, w)`` with the innermost ``k`` stride 1.
+    """
+
+    vlen: int
+    rb_p: int
+    rb_q: int
+    R: int
+    S: int
+    stride: int
+    i_strides: tuple[int, int, int]
+    w_strides: tuple[int, int, int, int]
+    o_strides: tuple[int, int]
+    cb_unroll: int = 1
+    kb_unroll: int = 1  # output-channel blocking (the MKL-DNN SKX strategy)
+    w_skb: int = 0  # weight stride between k_b blocks (kb_unroll > 1)
+    o_skb: int = 0  # output stride between k_b blocks (kb_unroll > 1)
+    zero_init: bool = False
+    hoist_output: bool = True
+    fused_memop: bool = False
+    use_4fma: bool = False  # KNM 4-chained FMA with 4-element memory operand
+    fused: tuple[str, ...] = ()
+    prefetch: str = "none"  # none | l1 | l2 | both
+    dtype: DType = DType.F32
+    use_4vnni: bool = False  # KNM 4VNNIW: quad-chained int16 pair dot-product
+    acc_chain_limit: int = 0  # int16: max VNNI ops per int32 accumulator
+    dequant_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rb_p < 1 or self.rb_q < 1:
+            raise CodegenError("register blocking factors must be >= 1")
+        if self.prefetch not in ("none", "l1", "l2", "both"):
+            raise CodegenError(f"unknown prefetch mode {self.prefetch!r}")
+        for op in self.fused:
+            if op not in ("bias", "relu", "bn", "add"):
+                raise CodegenError(f"unknown fused op {op!r}")
+        if self.dtype is DType.QI16F32 and self.vlen % 2:
+            raise CodegenError("int16 kernels need an even VLEN")
+        if self.use_4fma and self.vlen % 4:
+            raise CodegenError("4FMA needs the reduction VLEN divisible by 4")
+        if self.use_4fma and self.fused_memop:
+            raise CodegenError("4FMA already fuses its memory operand")
+        if self.kb_unroll > 1 and (self.w_skb == 0 or self.o_skb == 0):
+            raise CodegenError("kb_unroll > 1 requires w_skb/o_skb strides")
+        if self.kb_unroll > 1 and self.dtype is not DType.F32:
+            raise CodegenError("kb_unroll is only implemented for f32")
+
+    @property
+    def variant_name(self) -> str:
+        tag = "q16" if self.dtype is DType.QI16F32 else "f32"
+        return (
+            f"conv_{tag}_rb{self.rb_p}x{self.rb_q}_{self.R}x{self.S}"
+            f"s{self.stride}_cb{self.cb_unroll}_kb{self.kb_unroll}"
+            + ("_4fma" if self.use_4fma else "")
+            + ("_b0" if self.zero_init else "")
+            + ("".join("_" + f for f in self.fused))
+        )
+
+    @property
+    def n_acc(self) -> int:
+        return self.rb_p * self.rb_q * self.kb_unroll
+
+    # ---- per-invocation footprints (drive prefetch + traffic model) -----
+    def input_footprint(self) -> int:
+        rows = (self.rb_p - 1) * self.stride + self.R
+        cols = (self.rb_q - 1) * self.stride + self.S
+        return self.cb_unroll * rows * cols * self.vlen
+
+    def weight_footprint(self) -> int:
+        return self.cb_unroll * self.kb_unroll * self.R * self.S * self.vlen * self.vlen
+
+    def output_footprint(self) -> int:
+        return self.rb_p * self.rb_q * self.kb_unroll * self.vlen
+
+
+def _acc_index(desc: ConvKernelDesc, kbu: int, p: int, q: int) -> int:
+    return (kbu * desc.rb_p + p) * desc.rb_q + q
+
+
+def _acc_offset(desc: ConvKernelDesc, kbu: int, p: int, q: int) -> int:
+    o_sh, o_sw = desc.o_strides
+    return kbu * desc.o_skb + p * o_sh + q * o_sw
+
+
+def _emit_acc_loads(
+    uops: list[Uop], desc: ConvKernelDesc, acc: list[int], zero: bool
+) -> None:
+    for kbu in range(desc.kb_unroll):
+        for p in range(desc.rb_p):
+            for q in range(desc.rb_q):
+                reg = acc[_acc_index(desc, kbu, p, q)]
+                if zero:
+                    uops.append(Uop(Op.VZERO, dst=reg))
+                else:
+                    uops.append(
+                        Uop(
+                            Op.VLOAD,
+                            dst=reg,
+                            tensor="O",
+                            offset=_acc_offset(desc, kbu, p, q),
+                        )
+                    )
+
+
+def _emit_acc_stores(
+    uops: list[Uop], desc: ConvKernelDesc, acc: list[int], streaming: bool = False
+) -> None:
+    op = Op.VSTORE_NT if streaming else Op.VSTORE
+    for kbu in range(desc.kb_unroll):
+        for p in range(desc.rb_p):
+            for q in range(desc.rb_q):
+                uops.append(
+                    Uop(
+                        op,
+                        src1=acc[_acc_index(desc, kbu, p, q)],
+                        tensor="O",
+                        offset=_acc_offset(desc, kbu, p, q),
+                    )
+                )
+
+
+def _emit_fused_ops(
+    uops: list[Uop],
+    desc: ConvKernelDesc,
+    acc: list[int],
+    alloc: RegisterAllocator,
+) -> None:
+    """Post-ops applied while the output block is in registers (II-G).
+
+    Per-channel parameters (bias/bn) address their buffers with the k_b
+    sub-block stride VLEN when kb_unroll > 1.
+    """
+    for fop in desc.fused:
+        if fop == "bias":
+            breg = alloc.alloc("bias")
+            for kbu in range(desc.kb_unroll):
+                uops.append(
+                    Uop(Op.VLOAD, dst=breg, tensor="B", offset=kbu * desc.vlen)
+                )
+                for p in range(desc.rb_p):
+                    for q in range(desc.rb_q):
+                        a = acc[_acc_index(desc, kbu, p, q)]
+                        uops.append(Uop(Op.VADD, dst=a, src1=a, src2=breg))
+            alloc.free(breg)
+        elif fop == "bn":
+            g = alloc.alloc("gamma")
+            b = alloc.alloc("beta")
+            for kbu in range(desc.kb_unroll):
+                uops.append(Uop(Op.VLOAD, dst=g, tensor="G", offset=kbu * desc.vlen))
+                uops.append(Uop(Op.VLOAD, dst=b, tensor="Bt", offset=kbu * desc.vlen))
+                for p in range(desc.rb_p):
+                    for q in range(desc.rb_q):
+                        a = acc[_acc_index(desc, kbu, p, q)]
+                        uops.append(Uop(Op.VMUL, dst=a, src1=a, src2=g))
+                        uops.append(Uop(Op.VADD, dst=a, src1=a, src2=b))
+            alloc.free(g)
+            alloc.free(b)
+        elif fop == "add":
+            e = alloc.alloc("elt")
+            for kbu in range(desc.kb_unroll):
+                for p in range(desc.rb_p):
+                    for q in range(desc.rb_q):
+                        off = _acc_offset(desc, kbu, p, q)
+                        a = acc[_acc_index(desc, kbu, p, q)]
+                        uops.append(Uop(Op.VLOAD, dst=e, tensor="E", offset=off))
+                        uops.append(Uop(Op.VADD, dst=a, src1=a, src2=e))
+            alloc.free(e)
+        elif fop == "relu":
+            z = alloc.alloc("zero")
+            uops.append(Uop(Op.VZERO, dst=z))
+            for a in acc:
+                uops.append(Uop(Op.VMAX, dst=a, src1=a, src2=z))
+            alloc.free(z)
+
+
+def _emit_f32_body(
+    uops: list[Uop], desc: ConvKernelDesc, acc: list[int], alloc: RegisterAllocator
+) -> None:
+    i_scb, i_sh, i_sw = desc.i_strides
+    w_scb, w_sr, w_ss, w_sc = desc.w_strides
+    xstep = 4 if desc.use_4fma else 1
+    n_wregs = desc.kb_unroll * xstep
+    wregs = alloc.alloc_block(n_wregs, "wvec")
+    if desc.use_4fma and any(
+        wregs[i] + 1 != wregs[i + 1] for i in range(len(wregs) - 1)
+    ):
+        raise CodegenError("4FMA requires contiguous weight registers")
+    breg = None
+    if not (desc.fused_memop or desc.use_4fma):
+        breg = alloc.alloc("bcast")
+
+    for cb in range(desc.cb_unroll):
+        for r in range(desc.R):
+            for s in range(desc.S):
+                if not desc.hoist_output:
+                    first = desc.zero_init and cb == 0 and r == 0 and s == 0
+                    _emit_acc_loads(uops, desc, acc, zero=first)
+                for x in range(0, desc.vlen, xstep):
+                    for kbu in range(desc.kb_unroll):
+                        for j in range(xstep):
+                            woff = (
+                                cb * w_scb
+                                + kbu * desc.w_skb
+                                + r * w_sr
+                                + s * w_ss
+                                + (x + j) * w_sc
+                            )
+                            uops.append(
+                                Uop(
+                                    Op.VLOAD,
+                                    dst=wregs[kbu * xstep + j],
+                                    tensor="W",
+                                    offset=woff,
+                                )
+                            )
+                    for p in range(desc.rb_p):
+                        for q in range(desc.rb_q):
+                            ioff = (
+                                cb * i_scb
+                                + (p * desc.stride + r) * i_sh
+                                + (q * desc.stride + s) * i_sw
+                                + x
+                            )
+                            if breg is not None:
+                                uops.append(
+                                    Uop(Op.VBCAST, dst=breg, tensor="I", offset=ioff)
+                                )
+                            for kbu in range(desc.kb_unroll):
+                                a = acc[_acc_index(desc, kbu, p, q)]
+                                w0 = wregs[kbu * xstep]
+                                if desc.use_4fma:
+                                    uops.append(
+                                        Uop(
+                                            Op.V4FMA,
+                                            dst=a,
+                                            src1=w0,
+                                            tensor="I",
+                                            offset=ioff,
+                                            imm=float(xstep),
+                                        )
+                                    )
+                                elif desc.fused_memop:
+                                    uops.append(
+                                        Uop(
+                                            Op.VFMA_MEM,
+                                            dst=a,
+                                            src1=w0,
+                                            tensor="I",
+                                            offset=ioff,
+                                        )
+                                    )
+                                else:
+                                    uops.append(
+                                        Uop(Op.VFMA, dst=a, src1=w0, src2=breg)
+                                    )
+                if not desc.hoist_output:
+                    _emit_acc_stores(uops, desc, acc)
+    for r_ in wregs:
+        alloc.free(r_)
+    if breg is not None:
+        alloc.free(breg)
+
+
+def _emit_q16_body(
+    uops: list[Uop], desc: ConvKernelDesc, acc: list[int], alloc: RegisterAllocator
+) -> None:
+    """int16 VNNI body (section II-K).
+
+    ``acc`` here are the *fp32* result registers; a parallel set of int32
+    accumulators is flushed into them every ``acc_chain_limit`` VVNNI ops to
+    bound the accumulation chain (overflow avoidance), at the documented cost
+    of extra register pressure and conversion work.
+    """
+    i_scb, i_sh, i_sw = desc.i_strides
+    w_scb, w_sr, w_ss, w_sc = desc.w_strides
+    nacc = len(acc)
+    iacc = alloc.alloc_block(nacc, "iacc")
+    tmp = alloc.alloc("cvt")
+    quad = 4 if desc.use_4vnni else 1
+    wregs = alloc.alloc_block(quad, "wvec")
+    if quad > 1 and any(
+        wregs[i] + 1 != wregs[i + 1] for i in range(len(wregs) - 1)
+    ):
+        raise CodegenError("4VNNI requires contiguous weight registers")
+    breg = alloc.alloc("bcast") if quad == 1 else None
+    pairs = desc.vlen // 2
+    limit = desc.acc_chain_limit or (
+        -(-desc.cb_unroll * desc.R * desc.S * pairs // quad)
+    )
+    for a in iacc:
+        uops.append(Uop(Op.VZERO, dst=a))
+    chain = 0
+
+    def flush() -> None:
+        nonlocal chain
+        for a32, af in zip(iacc, acc):
+            uops.append(
+                Uop(Op.VCVT_I32F32, dst=tmp, src1=a32, imm=desc.dequant_scale)
+            )
+            uops.append(Uop(Op.VADD, dst=af, src1=af, src2=tmp))
+            uops.append(Uop(Op.VZERO, dst=a32))
+        chain = 0
+
+    for cb in range(desc.cb_unroll):
+        for r in range(desc.R):
+            for s in range(desc.S):
+                for x2 in range(0, pairs, quad):
+                    # packed weight vectors: VLEN k-lanes x int16 pair each
+                    for j in range(quad):
+                        woff = (
+                            cb * w_scb + r * w_sr + s * w_ss + (x2 + j) * w_sc
+                        )
+                        uops.append(
+                            Uop(Op.VLOAD, dst=wregs[j], tensor="W", offset=woff)
+                        )
+                    for p in range(desc.rb_p):
+                        for q in range(desc.rb_q):
+                            ioff = (
+                                cb * i_scb
+                                + (p * desc.stride + r) * i_sh
+                                + (q * desc.stride + s) * i_sw
+                                + 2 * x2
+                            )
+                            a32 = iacc[p * desc.rb_q + q]
+                            if quad > 1:
+                                # 4VNNIW: one op, 4 weight regs, one memory
+                                # operand covering 4 int16 pairs
+                                uops.append(
+                                    Uop(
+                                        Op.VVNNI,
+                                        dst=a32,
+                                        src1=wregs[0],
+                                        tensor="I",
+                                        offset=ioff,
+                                        imm=float(quad),
+                                    )
+                                )
+                            else:
+                                # imm=2: broadcast the int16 pair at offset
+                                uops.append(
+                                    Uop(
+                                        Op.VBCAST,
+                                        dst=breg,
+                                        tensor="I",
+                                        offset=ioff,
+                                        imm=2.0,
+                                    )
+                                )
+                                uops.append(
+                                    Uop(Op.VVNNI, dst=a32, src1=wregs[0], src2=breg)
+                                )
+                    chain += 1
+                    if chain >= limit:
+                        flush()
+    if chain:
+        flush()
+    for r in (tmp, *wregs, *iacc):
+        alloc.free(r)
+    if breg is not None:
+        alloc.free(breg)
+
+
+def _prefetch_uops(desc: ConvKernelDesc, line_elems: int) -> list[Uop]:
+    """Second-level prefetches covering the *next* invocation's sub-tensors
+    (section II-E).  Offsets are relative to the ``*_pf`` base arguments the
+    caller threads through (Fig. 1's pi_off/pw_off/po_off)."""
+    pf: list[Uop] = []
+    if desc.prefetch not in ("l2", "both"):
+        return pf
+    for tensor, footprint in (
+        ("I_pf", desc.input_footprint()),
+        ("W_pf", desc.weight_footprint()),
+        ("O_pf", desc.output_footprint()),
+    ):
+        for off in range(0, footprint, line_elems):
+            pf.append(Uop(Op.PREFETCH2, tensor=tensor, offset=off))
+    return pf
+
+
+def interleave_prefetches(body: list[Uop], prefetches: list[Uop]) -> list[Uop]:
+    """Sprinkle prefetch µops evenly through the FMA stream (section II-E:
+    "software prefetch instructions are sprinkled throughout the FMA
+    instructions")."""
+    if not prefetches:
+        return body
+    out: list[Uop] = []
+    step = max(1, len(body) // (len(prefetches) + 1))
+    it = iter(prefetches)
+    pending = next(it, None)
+    for i, u in enumerate(body):
+        out.append(u)
+        if pending is not None and i % step == step - 1:
+            out.append(pending)
+            pending = next(it, None)
+    while pending is not None:
+        out.append(pending)
+        pending = next(it, None)
+    return out
+
+
+def generate_conv_kernel(desc: ConvKernelDesc) -> KernelProgram:
+    """JIT one forward-convolution microkernel variant from its descriptor."""
+    alloc = RegisterAllocator()
+    acc = alloc.alloc_block(desc.n_acc, "acc")
+
+    uops: list[Uop] = []
+    if desc.hoist_output:
+        _emit_acc_loads(uops, desc, acc, zero=desc.zero_init)
+
+    body: list[Uop] = []
+    if desc.dtype is DType.F32:
+        _emit_f32_body(body, desc, acc, alloc)
+    else:
+        _emit_q16_body(body, desc, acc, alloc)
+
+    # L1 prefetch of the next (r,s) weight block is subsumed in VLOADs here;
+    # explicit L1 prefetches target the *input* rows used later in this call.
+    if desc.prefetch in ("l1", "both"):
+        line = 64 // desc.dtype.input_itemsize
+        l1pf = [
+            Uop(Op.PREFETCH1, tensor="I", offset=off)
+            for off in range(0, desc.input_footprint(), line * 4)
+        ]
+        body = interleave_prefetches(body, l1pf)
+    body = interleave_prefetches(
+        body, _prefetch_uops(desc, 64 // desc.dtype.input_itemsize)
+    )
+    uops.extend(body)
+
+    if desc.hoist_output:
+        _emit_fused_ops(uops, desc, acc, alloc)
+        _emit_acc_stores(uops, desc, acc)
+    elif desc.fused:
+        raise CodegenError("fused post-ops require hoisted output")
+
+    prog = KernelProgram(
+        name=desc.variant_name,
+        vlen=desc.vlen,
+        uops=uops,
+        flops=2
+        * desc.cb_unroll
+        * desc.kb_unroll
+        * desc.R
+        * desc.S
+        * desc.vlen
+        * desc.rb_p
+        * desc.rb_q
+        * desc.vlen,
+        reads={
+            "I": desc.input_footprint(),
+            "W": desc.weight_footprint(),
+            **({} if desc.zero_init else {"O": desc.output_footprint()}),
+        },
+        writes={"O": desc.output_footprint()},
+        meta={"desc": desc},
+    )
+    return prog

@@ -1,0 +1,147 @@
+"""Binary encoding of kernel programs.
+
+A real JIT emits machine code into an executable buffer; our analogue
+serializes the µop stream into a compact byte encoding (one opcode byte,
+register bytes, varint memory operands against a per-program tensor table)
+and decodes it back losslessly.  Beyond fidelity, the encoded size is a
+useful first-order *code-size* metric -- the combinatorial explosion of
+kernel variants (section I) is ultimately an instruction-bytes/I-cache
+budget, and :func:`code_size_report` quantifies it per variant.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.arch.isa import KernelProgram, Op, Uop
+from repro.types import ReproError
+
+__all__ = ["encode_program", "decode_program", "code_size_report"]
+
+_MAGIC = b"RJK1"
+_NO_REG = 0xFF
+
+
+def _varint(value: int) -> bytes:
+    """Unsigned LEB128."""
+    if value < 0:
+        raise ReproError(f"negative offset {value} cannot be encoded")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _read_varint(buf: bytes, pos: int) -> tuple[int, int]:
+    shift = 0
+    value = 0
+    while True:
+        byte = buf[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+
+
+def encode_program(prog: KernelProgram) -> bytes:
+    """Serialize a kernel program to bytes (lossless)."""
+    tensors: list[str] = []
+    t_index: dict[str, int] = {}
+    body = bytearray()
+    for u in prog.uops:
+        body.append(u.op.value)
+        flags = 0
+        if u.tensor is not None:
+            flags |= 1
+        if u.imm:
+            flags |= 2
+        body.append(flags)
+        for r in (u.dst, u.src1, u.src2):
+            body.append(_NO_REG if r is None else r)
+        if u.tensor is not None:
+            if u.tensor not in t_index:
+                t_index[u.tensor] = len(tensors)
+                tensors.append(u.tensor)
+            body.append(t_index[u.tensor])
+            body += _varint(u.offset)
+        if u.imm:
+            body += struct.pack("<d", u.imm)
+
+    head = bytearray(_MAGIC)
+    name_b = prog.name.encode()
+    head += _varint(len(name_b))
+    head += name_b
+    head += _varint(prog.vlen)
+    head += _varint(prog.flops)
+    head += _varint(len(tensors))
+    for t in tensors:
+        tb = t.encode()
+        head += _varint(len(tb))
+        head += tb
+    head += _varint(len(prog.uops))
+    return bytes(head) + bytes(body)
+
+
+def decode_program(data: bytes) -> KernelProgram:
+    """Inverse of :func:`encode_program`."""
+    if data[:4] != _MAGIC:
+        raise ReproError("not an encoded kernel program (bad magic)")
+    pos = 4
+    n, pos = _read_varint(data, pos)
+    name = data[pos : pos + n].decode()
+    pos += n
+    vlen, pos = _read_varint(data, pos)
+    flops, pos = _read_varint(data, pos)
+    ntens, pos = _read_varint(data, pos)
+    tensors = []
+    for _ in range(ntens):
+        n, pos = _read_varint(data, pos)
+        tensors.append(data[pos : pos + n].decode())
+        pos += n
+    count, pos = _read_varint(data, pos)
+    uops: list[Uop] = []
+    for _ in range(count):
+        op = Op(data[pos])
+        pos += 1
+        flags = data[pos]
+        pos += 1
+        regs = []
+        for _ in range(3):
+            b = data[pos]
+            pos += 1
+            regs.append(None if b == _NO_REG else b)
+        tensor = None
+        offset = 0
+        if flags & 1:
+            tensor = tensors[data[pos]]
+            pos += 1
+            offset, pos = _read_varint(data, pos)
+        imm = 0.0
+        if flags & 2:
+            (imm,) = struct.unpack_from("<d", data, pos)
+            pos += 8
+        uops.append(
+            Uop(op, dst=regs[0], src1=regs[1], src2=regs[2],
+                tensor=tensor, offset=offset, imm=imm)
+        )
+    return KernelProgram(name=name, vlen=vlen, uops=uops, flops=flops)
+
+
+def code_size_report(progs: list[KernelProgram]) -> str:
+    """Encoded-size table: the variant explosion as an I-cache budget."""
+    lines = [f"{'variant':<48} {'uops':>7} {'bytes':>8} {'B/uop':>6}"]
+    total = 0
+    for p in progs:
+        size = len(encode_program(p))
+        total += size
+        lines.append(
+            f"{p.name:<48} {len(p):>7} {size:>8} {size / max(len(p), 1):>6.1f}"
+        )
+    lines.append(f"{'TOTAL':<48} {'':>7} {total:>8}")
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Small-GEMM microkernel generator (LIBXSMM-style, reference [14]).
+
+Computes ``C (VLEN x N) += A (VLEN x K) * B (K x N)`` with the vector
+dimension along the rows of ``A``/``C`` (unit stride), which is how both the
+Algorithm-7 backward fallback and the "libxsmm" baseline consume it: one
+column of ``A`` is loaded per reduction step, each ``B`` element is broadcast
+and FMA'd into per-column accumulators.
+
+``nb`` register-blocks the ``N`` dimension; when ``N > nb`` the kernel emits
+several accumulator groups back-to-back (same weight reloads), which is what
+a batched sequence of small GEMMs looks like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.isa import KernelProgram, Op, Uop
+from repro.arch.registers import RegisterAllocator
+from repro.types import CodegenError
+
+__all__ = ["GemmDesc", "generate_gemm_kernel"]
+
+
+@dataclass(frozen=True, slots=True)
+class GemmDesc:
+    """One small GEMM: ``C[vlen, n] += A[vlen, k] @ B[k, n]``.
+
+    Strides are element strides: ``a_sk`` between consecutive columns of A,
+    ``b_sk``/``b_sn`` for B's reduction/column dims, ``c_sn`` between C
+    columns.  Row (vector) stride is always 1.
+    """
+
+    vlen: int
+    k: int
+    n: int
+    a_sk: int
+    b_sk: int
+    b_sn: int
+    c_sn: int
+    nb: int = 0  # register blocking over n; 0 = auto
+    zero_init: bool = False
+
+    def __post_init__(self) -> None:
+        if min(self.vlen, self.k, self.n) < 1:
+            raise CodegenError(f"bad GEMM dims in {self}")
+
+    @property
+    def variant_name(self) -> str:
+        return f"gemm_{self.vlen}x{self.n}x{self.k}_nb{self.effective_nb}"
+
+    @property
+    def effective_nb(self) -> int:
+        return self.nb if self.nb > 0 else min(self.n, 28)
+
+
+def generate_gemm_kernel(desc: GemmDesc) -> KernelProgram:
+    """Emit the µop stream for one small GEMM."""
+    nb = desc.effective_nb
+    uops: list[Uop] = []
+    alloc = RegisterAllocator()
+    acc = alloc.alloc_block(nb, "acc")
+    areg = alloc.alloc("avec")
+    breg = alloc.alloc("bcast")
+
+    for j0 in range(0, desc.n, nb):
+        cols = min(nb, desc.n - j0)
+        for j in range(cols):
+            coff = (j0 + j) * desc.c_sn
+            if desc.zero_init:
+                uops.append(Uop(Op.VZERO, dst=acc[j]))
+            else:
+                uops.append(Uop(Op.VLOAD, dst=acc[j], tensor="C", offset=coff))
+        for kk in range(desc.k):
+            uops.append(Uop(Op.VLOAD, dst=areg, tensor="A", offset=kk * desc.a_sk))
+            for j in range(cols):
+                boff = kk * desc.b_sk + (j0 + j) * desc.b_sn
+                uops.append(Uop(Op.VBCAST, dst=breg, tensor="B", offset=boff))
+                uops.append(Uop(Op.VFMA, dst=acc[j], src1=areg, src2=breg))
+        for j in range(cols):
+            coff = (j0 + j) * desc.c_sn
+            uops.append(Uop(Op.VSTORE, src1=acc[j], tensor="C", offset=coff))
+
+    return KernelProgram(
+        name=desc.variant_name,
+        vlen=desc.vlen,
+        uops=uops,
+        flops=2 * desc.vlen * desc.k * desc.n,
+        reads={
+            "A": desc.vlen * desc.k,
+            "B": desc.k * desc.n,
+            **({} if desc.zero_init else {"C": desc.vlen * desc.n}),
+        },
+        writes={"C": desc.vlen * desc.n},
+        meta={"desc": desc},
+    )

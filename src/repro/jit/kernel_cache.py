@@ -1,0 +1,59 @@
+"""JIT kernel cache.
+
+Layer fusion multiplies the number of required kernel variants (section I:
+the "combinatorial explosion"); the paper's answer is runtime, on-demand
+generation.  :class:`KernelCache` memoizes generated programs by their frozen
+descriptor so each variant is generated exactly once per process -- the
+Python analogue of "our JIT does not incur the overheads of recompilation".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.arch.isa import KernelProgram
+
+__all__ = ["KernelCache", "get_default_cache"]
+
+
+class KernelCache:
+    """Descriptor-keyed memo table with hit/miss statistics."""
+
+    def __init__(self) -> None:
+        self._programs: dict[Hashable, KernelProgram] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self, desc: Hashable, generator: Callable[[Hashable], KernelProgram]
+    ) -> KernelProgram:
+        prog = self._programs.get(desc)
+        if prog is None:
+            self.misses += 1
+            prog = generator(desc)
+            self._programs[desc] = prog
+        else:
+            self.hits += 1
+        return prog
+
+    def __len__(self) -> int:
+        return len(self._programs)
+
+    def __contains__(self, desc: Hashable) -> bool:
+        return desc in self._programs
+
+    def clear(self) -> None:
+        self._programs.clear()
+        self.hits = self.misses = 0
+
+    @property
+    def variants(self) -> list[str]:
+        return [p.name for p in self._programs.values()]
+
+
+_default = KernelCache()
+
+
+def get_default_cache() -> KernelCache:
+    """The process-wide kernel cache used by the convolution engines."""
+    return _default

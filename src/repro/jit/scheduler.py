@@ -1,0 +1,174 @@
+"""Cycle-level µop scheduling simulator.
+
+The analytic timing model (:mod:`repro.jit.timing`) prices a kernel with
+closed-form port/latency formulas; this module *simulates* the same stream
+through a simplified out-of-order core -- explicit register dependency
+tracking, per-port occupancy, front-end issue width, and a finite reorder
+window -- and the tests require the two to agree.  This is the
+reproduction's answer to "how do you know the timing formulas are right?":
+two independent mechanisms, one validated against the other (and the cache
+simulator validates the traffic side the same way).
+
+Machine resources modeled:
+
+* ``fma_ports`` FMA/ALU pipes.  Occupancy per op: 1 cycle for plain vector
+  ops; ``1 + fused_memop_penalty`` for VFMA_MEM (the SKX µop split);
+  2 cycles for V4FMA (4 chained FMAs against a doubled-capacity datapath);
+  1 cycle for quad VVNNI on VNNI-capable parts, 2 otherwise.
+* ``load_ports`` load pipes (VLOAD/VBCAST/memory operands), 1 cycle each,
+  ``l1_latency`` cycles to deliver.
+* one store pipe.
+* a front end issuing ``issue_width`` µops/cycle in order, with a reorder
+  window of ``rob_size`` µops between issue and completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.isa import KernelProgram, Op, Uop
+from repro.arch.machine import MachineConfig
+
+__all__ = ["ScheduleResult", "CycleSimulator", "L1_LATENCY"]
+
+#: L1 load-to-use latency in cycles
+L1_LATENCY = 4
+#: reorder-buffer depth (issue-to-oldest-incomplete distance)
+ROB_SIZE = 224
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of simulating one kernel invocation."""
+
+    cycles: float
+    issued: int
+    port_busy: dict[str, float] = field(default_factory=dict)
+    stall_dep: int = 0  # ops that waited on a register dependency
+    stall_port: int = 0  # ops that waited on a busy port
+
+    #: pipe counts recorded at simulation time, for utilization math
+    n_ports: dict[str, int] = field(default_factory=dict)
+
+    def utilization(self, port: str) -> float:
+        """Average busy fraction per pipe of the class."""
+        if not self.cycles:
+            return 0.0
+        pipes = self.n_ports.get(port, 1)
+        return self.port_busy.get(port, 0.0) / (self.cycles * pipes)
+
+
+class CycleSimulator:
+    """Greedy list scheduler over the µop stream."""
+
+    def __init__(self, machine: MachineConfig, rob_size: int = ROB_SIZE):
+        self.machine = machine
+        self.rob_size = rob_size
+
+    # ------------------------------------------------------------------
+    def _resource(self, u: Uop) -> tuple[str, float, float] | None:
+        """(port_class, occupancy_cycles, result_latency) or None (free)."""
+        m = self.machine
+        op = u.op
+        if op is Op.VFMA:
+            return ("fma", 1.0, float(m.fma_latency))
+        if op is Op.VFMA_MEM:
+            return ("fma", 1.0 + m.fused_memop_penalty,
+                    float(m.fma_latency + 1))
+        if op is Op.V4FMA:
+            # 4 chained FMAs; doubled datapath -> 2 port-cycles
+            return ("fma", 2.0, float(m.fma_latency + 3))
+        if op is Op.VVNNI:
+            if u.tensor is not None:  # quad memory form
+                occ = 1.0 if m.vnni16_speedup >= 2.0 else 2.0
+                return ("fma", occ, float(m.fma_latency + 3))
+            occ = 1.0 if m.vnni16_speedup >= 2.0 else 2.0
+            return ("fma", occ, float(m.fma_latency))
+        if op in (Op.VADD, Op.VMUL, Op.VMAX, Op.VCVT_I32F32):
+            return ("fma", 1.0, 3.0)
+        if op in (Op.VLOAD, Op.VBCAST):
+            return ("load", 1.0, float(L1_LATENCY))
+        if op in (Op.VSTORE, Op.VSTORE_NT):
+            return ("store", 1.0, 1.0)
+        if op in (Op.PREFETCH1, Op.PREFETCH2):
+            return ("load", 0.5, 0.0)
+        if op is Op.VZERO:
+            return None  # zero idiom: eliminated in rename
+        raise AssertionError(op)  # pragma: no cover
+
+    def _extra_load(self, u: Uop) -> bool:
+        """Memory-operand compute ops also occupy a load pipe."""
+        return u.op in (Op.VFMA_MEM, Op.V4FMA) or (
+            u.op is Op.VVNNI and u.tensor is not None
+        )
+
+    # ------------------------------------------------------------------
+    def simulate(self, prog: KernelProgram) -> ScheduleResult:
+        m = self.machine
+        n_ports = {"fma": m.fma_ports, "load": m.load_ports, "store": m.store_ports}
+        port_free = {
+            k: [0.0] * n for k, n in n_ports.items()
+        }
+        port_busy = {k: 0.0 for k in n_ports}
+        reg_ready: dict[int, float] = {}
+        completion: list[float] = []
+        res = ScheduleResult(cycles=0.0, issued=0)
+        finish_max = 0.0
+
+        for idx, u in enumerate(prog.uops):
+            front = idx / m.issue_width
+            # reorder window: cannot issue further than rob_size past the
+            # oldest incomplete op
+            if idx >= self.rob_size:
+                front = max(front, completion[idx - self.rob_size])
+            spec = self._resource(u)
+            if spec is None:  # eliminated zero idiom
+                if u.dst is not None:
+                    reg_ready[u.dst] = front
+                completion.append(front)
+                continue
+            port, occ, lat = spec
+            dep = front
+            for r in (u.src1, u.src2):
+                if r is not None:
+                    dep = max(dep, reg_ready.get(r, 0.0))
+            if u.op is Op.V4FMA or (u.op is Op.VVNNI and u.tensor is not None):
+                depth = int(u.imm) or 4
+                for j in range(depth):
+                    dep = max(dep, reg_ready.get((u.src1 or 0) + j, 0.0))
+            # accumulator read-modify-write: dst is also a source
+            if u.is_fma() and u.dst is not None:
+                dep = max(dep, reg_ready.get(u.dst, 0.0))
+            if dep > front:
+                res.stall_dep += 1
+
+            # pick the earliest-free pipe of the class
+            pipes = port_free[port]
+            pi = min(range(len(pipes)), key=pipes.__getitem__)
+            start = max(dep, pipes[pi])
+            if pipes[pi] > dep:
+                res.stall_port += 1
+            pipes[pi] = start + occ
+            port_busy[port] += occ
+            if self._extra_load(u):
+                # the memory-operand load is split off in rename and issues
+                # independently on a load pipe (address deps only); it does
+                # not convoy the FMA pipe
+                lp = port_free["load"]
+                li = min(range(len(lp)), key=lp.__getitem__)
+                lp[li] = max(front, lp[li]) + 1.0
+                port_busy["load"] += 1.0
+            finish = start + lat
+            if u.dst is not None:
+                reg_ready[u.dst] = finish
+            completion.append(start + occ)
+            finish_max = max(finish_max, finish)
+            res.issued += 1
+
+        res.cycles = max(
+            finish_max,
+            max((max(p) for p in port_free.values()), default=0.0),
+        )
+        res.port_busy = port_busy
+        res.n_ports = dict(n_ports)
+        return res

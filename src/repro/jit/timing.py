@@ -1,0 +1,138 @@
+"""Microkernel timing model.
+
+Prices a generated µop stream on a machine description, assuming operands are
+L1-resident (the cache/memory side is handled by :mod:`repro.perf`).  The
+model captures the effects the paper discusses:
+
+* FMA port throughput (2 ports; KNM's 4FMA chaining doubles effective MACs
+  per port-cycle, VNNI doubles int16 MACs per op);
+* FMA latency exposure when the register blocking provides fewer independent
+  accumulation chains than ``latency x ports`` (section II-B) -- this is what
+  ruins the "autovec" baseline and what RB_P x RB_Q exists to fix;
+* load/store port pressure (the un-hoisted small-GEMM baselines drown here);
+* front-end issue width, with SKX's fused-memory-operand µop split charged as
+  the ~15 % penalty of section III-B;
+* a fixed per-invocation call/loop overhead (why [14] JITs small GEMMs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.isa import KernelProgram, Op
+from repro.arch.machine import MachineConfig
+
+__all__ = ["KernelTiming", "time_kernel", "CALL_OVERHEAD_CYCLES"]
+
+#: fixed cost of dispatching one JIT'ed kernel from the replay loop
+CALL_OVERHEAD_CYCLES = 30.0
+
+
+@dataclass(frozen=True, slots=True)
+class KernelTiming:
+    """Timing verdict for one kernel invocation with L1-resident data."""
+
+    cycles: float
+    bottleneck: str
+    fma_cycles: float
+    load_cycles: float
+    store_cycles: float
+    issue_cycles: float
+    latency_cycles: float
+    flops: int
+
+    def time_s(self, machine: MachineConfig) -> float:
+        return self.cycles / machine.freq_hz
+
+    def gflops(self, machine: MachineConfig) -> float:
+        t = self.time_s(machine)
+        return self.flops / t / 1e9 if t > 0 else 0.0
+
+    def efficiency(self, machine: MachineConfig) -> float:
+        return self.gflops(machine) * 1e9 / machine.peak_flops_core
+
+
+def time_kernel(
+    prog: KernelProgram,
+    machine: MachineConfig,
+    call_overhead: float = CALL_OVERHEAD_CYCLES,
+) -> KernelTiming:
+    """Estimate cycles for one invocation of ``prog`` on one core."""
+    n_fma = n_fma_mem = n_4fma = n_vnni = n_alu = 0
+    n_load = n_store = n_prefetch = 0
+    chain_ops: dict[int, int] = {}
+
+    for u in prog.uops:
+        op = u.op
+        if op is Op.VFMA:
+            n_fma += 1
+            chain_ops[u.dst] = chain_ops.get(u.dst, 0) + 1
+        elif op is Op.VFMA_MEM:
+            n_fma_mem += 1
+            n_load += 1
+            chain_ops[u.dst] = chain_ops.get(u.dst, 0) + 1
+        elif op is Op.V4FMA:
+            n_4fma += 1
+            n_load += 1  # one 4-element memory operand
+            chain_ops[u.dst] = chain_ops.get(u.dst, 0) + 1
+        elif op is Op.VVNNI:
+            # quad (4VNNIW memory) form does `imm` pair-ops with one load
+            depth = int(u.imm) if u.tensor is not None and u.imm else 1
+            n_vnni += depth
+            if u.tensor is not None:
+                n_load += 1
+            chain_ops[u.dst] = chain_ops.get(u.dst, 0) + 1
+        elif op in (Op.VADD, Op.VMUL, Op.VMAX, Op.VCVT_I32F32):
+            n_alu += 1
+        elif op in (Op.VLOAD, Op.VBCAST):
+            n_load += 1
+        elif op in (Op.VSTORE, Op.VSTORE_NT):
+            n_store += 1
+        elif op in (Op.PREFETCH1, Op.PREFETCH2):
+            n_prefetch += 1
+
+    # --- FMA port pressure ------------------------------------------------
+    # Everything is expressed in vector-FMA "slots": one V4FMA performs 4
+    # chained vector FMAs; one VVNNI performs the MAC work of 2 fp32 FMAs
+    # and costs 1 slot when the machine has the doubled int16 datapath.
+    penalty = machine.fused_memop_penalty
+    vnni_cost = 1.0 if machine.vnni16_speedup >= 2.0 else 2.0
+    fma_slots = (
+        n_fma + n_fma_mem * (1.0 + penalty) + 4.0 * n_4fma + n_vnni * vnni_cost + n_alu
+    )
+    port_capacity = machine.fma_ports * (2.0 if machine.has_4fma else 1.0)
+    fma_cycles = fma_slots / port_capacity
+
+    # --- FMA latency exposure (section II-B) -------------------------------
+    # The longest dependency chain (ops accumulating into one register) must
+    # observe `fma_latency` cycles between successive accumulations.
+    max_chain = max(chain_ops.values(), default=0)
+    latency_cycles = max_chain * machine.fma_latency
+
+    # --- memory ports -------------------------------------------------------
+    load_cycles = (n_load + 0.5 * n_prefetch) / machine.load_ports
+    store_cycles = n_store / machine.store_ports
+
+    # --- front end ----------------------------------------------------------
+    total_uops = len(prog.uops) + n_fma_mem * penalty
+    issue_cycles = total_uops / machine.issue_width
+
+    parts = {
+        "fma": fma_cycles,
+        "fma_latency": latency_cycles,
+        "load": load_cycles,
+        "store": store_cycles,
+        "issue": issue_cycles,
+    }
+    bottleneck = max(parts, key=parts.get)
+    cycles = parts[bottleneck] + call_overhead
+    return KernelTiming(
+        cycles=cycles,
+        bottleneck=bottleneck,
+        fma_cycles=fma_cycles,
+        load_cycles=load_cycles,
+        store_cycles=store_cycles,
+        issue_cycles=issue_cycles,
+        latency_cycles=latency_cycles,
+        flops=prog.flops,
+    )

@@ -1,0 +1,117 @@
+"""Weight-gradient microkernel generator (Algorithm 9, section II-J).
+
+One invocation accumulates a ``VLEN_c x VLEN_k`` block of ``dW`` for a fixed
+``(k_b, c_b, r, s)`` over a ``B_P x B_Q`` spatial block:
+
+.. code-block:: text
+
+    for p, q in B_P x B_Q:
+        do = VLOAD dO[p, q, :]                     # k-lane vector
+        for c in range(VLEN):
+            acc[c] += do * broadcast(I[p*str, q*str, c])
+
+The VLEN accumulators (one per input channel ``c``) are exactly the paper's
+"register blocking up to a factor of VLEN": VLEN independent FMA chains.
+The ``(r, s)`` shift and the block's position are supplied by the caller as
+base offsets, so a single variant serves every filter tap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.isa import KernelProgram, Op, Uop
+from repro.arch.registers import RegisterAllocator
+from repro.types import CodegenError, DType
+
+__all__ = ["UpdKernelDesc", "generate_upd_kernel"]
+
+
+@dataclass(frozen=True, slots=True)
+class UpdKernelDesc:
+    """One weight-gradient kernel variant.
+
+    ``i_strides=(h, w)`` with channel stride 1; ``o_strides=(h, w)`` with
+    k-lane stride 1.  ``dW`` block is stored with c-stride ``vlen`` and
+    k-stride 1 (the KCRSck layout's innermost two dims).
+    """
+
+    vlen: int
+    b_p: int
+    b_q: int
+    stride: int
+    i_strides: tuple[int, int]
+    o_strides: tuple[int, int]
+    zero_init: bool = False
+    fused_memop: bool = False  # fold the input broadcast into the FMA (SKX)
+    dtype: DType = DType.F32
+
+    def __post_init__(self) -> None:
+        if self.b_p < 1 or self.b_q < 1:
+            raise CodegenError("spatial block factors must be >= 1")
+
+    @property
+    def variant_name(self) -> str:
+        return f"upd_{self.vlen}_bp{self.b_p}x{self.b_q}s{self.stride}" + (
+            "_b0" if self.zero_init else ""
+        )
+
+    def input_footprint(self) -> int:
+        return self.b_p * self.b_q * self.vlen  # strided pixels, one cb
+
+    def output_footprint(self) -> int:
+        return self.b_p * self.b_q * self.vlen
+
+
+def generate_upd_kernel(desc: UpdKernelDesc) -> KernelProgram:
+    """Emit the µop stream for one weight-gradient microkernel."""
+    alloc = RegisterAllocator()
+    acc = alloc.alloc_block(desc.vlen, "acc")
+    dreg = alloc.alloc("dovec")
+    breg = alloc.alloc("bcast")
+    i_sh, i_sw = desc.i_strides
+    o_sh, o_sw = desc.o_strides
+
+    uops: list[Uop] = []
+    for c in range(desc.vlen):
+        if desc.zero_init:
+            uops.append(Uop(Op.VZERO, dst=acc[c]))
+        else:
+            uops.append(Uop(Op.VLOAD, dst=acc[c], tensor="dW", offset=c * desc.vlen))
+    for p in range(desc.b_p):
+        for q in range(desc.b_q):
+            ooff = p * o_sh + q * o_sw
+            uops.append(Uop(Op.VLOAD, dst=dreg, tensor="dO", offset=ooff))
+            ibase = (p * desc.stride) * i_sh + (q * desc.stride) * i_sw
+            for c in range(desc.vlen):
+                if desc.fused_memop:
+                    uops.append(
+                        Uop(
+                            Op.VFMA_MEM,
+                            dst=acc[c],
+                            src1=dreg,
+                            tensor="I",
+                            offset=ibase + c,
+                        )
+                    )
+                else:
+                    uops.append(
+                        Uop(Op.VBCAST, dst=breg, tensor="I", offset=ibase + c)
+                    )
+                    uops.append(Uop(Op.VFMA, dst=acc[c], src1=dreg, src2=breg))
+    for c in range(desc.vlen):
+        uops.append(Uop(Op.VSTORE, src1=acc[c], tensor="dW", offset=c * desc.vlen))
+
+    return KernelProgram(
+        name=desc.variant_name,
+        vlen=desc.vlen,
+        uops=uops,
+        flops=2 * desc.vlen * desc.vlen * desc.b_p * desc.b_q,
+        reads={
+            "I": desc.input_footprint(),
+            "dO": desc.output_footprint(),
+            **({} if desc.zero_init else {"dW": desc.vlen * desc.vlen}),
+        },
+        writes={"dW": desc.vlen * desc.vlen},
+        meta={"desc": desc},
+    )

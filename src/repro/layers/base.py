@@ -1,0 +1,34 @@
+"""Layer protocol for GxM nodes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Layer"]
+
+
+class Layer:
+    """Minimal trainable-operator interface.
+
+    ``forward`` caches whatever ``backward`` needs (activations, masks); the
+    GxM task graph guarantees backward of a node runs after its forward and
+    before its parameters are updated, mirroring the ETG ordering.
+    """
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def params(self) -> list[np.ndarray]:
+        """Trainable parameter arrays (shared, updated in place)."""
+        return []
+
+    def grads(self) -> list[np.ndarray]:
+        """Gradients matching ``params()``, filled by ``backward``."""
+        return []
+
+    @property
+    def flops_forward(self) -> int:
+        return 0

@@ -1,0 +1,75 @@
+"""Batch normalization (training mode).
+
+GxM nodes of this type exchange gradients in multi-node training
+(section II-L lists batch normalization among the communication endpoints).
+The forward's scale/shift application is exactly the fusable
+:class:`~repro.conv.fusion.BatchNormApply` post-op.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layers.base import Layer
+
+__all__ = ["BatchNorm2D"]
+
+
+class BatchNorm2D(Layer):
+    """Per-channel batch norm over (N, H, W) with running statistics."""
+
+    def __init__(self, channels: int, eps: float = 1e-5, momentum: float = 0.9):
+        self.gamma = np.ones(channels, dtype=np.float32)
+        self.beta = np.zeros(channels, dtype=np.float32)
+        self.dgamma = np.zeros_like(self.gamma)
+        self.dbeta = np.zeros_like(self.beta)
+        self.running_mean = np.zeros(channels, dtype=np.float32)
+        self.running_var = np.ones(channels, dtype=np.float32)
+        self.eps = eps
+        self.momentum = momentum
+        self.training = True
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv = 1.0 / np.sqrt(var + self.eps)
+        xhat = (x - mean[None, :, None, None]) * inv[None, :, None, None]
+        self._cache = (xhat, inv)
+        return (
+            self.gamma[None, :, None, None] * xhat
+            + self.beta[None, :, None, None]
+        ).astype(np.float32)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        xhat, inv = self._cache
+        m = dy.shape[0] * dy.shape[2] * dy.shape[3]
+        self.dgamma[:] = (dy * xhat).sum(axis=(0, 2, 3))
+        self.dbeta[:] = dy.sum(axis=(0, 2, 3))
+        g = self.gamma[None, :, None, None]
+        term = (
+            dy
+            - self.dbeta[None, :, None, None] / m
+            - xhat * self.dgamma[None, :, None, None] / m
+        )
+        return (g * inv[None, :, None, None] * term).astype(np.float32)
+
+    def params(self):
+        return [self.gamma, self.beta]
+
+    def grads(self):
+        return [self.dgamma, self.dbeta]
+
+    def folded_scale_shift(self) -> tuple[np.ndarray, np.ndarray]:
+        """(gamma', beta') for the fused inference-style application."""
+        inv = 1.0 / np.sqrt(self.running_var + self.eps)
+        return self.gamma * inv, self.beta - self.gamma * inv * self.running_mean

@@ -1,0 +1,42 @@
+"""Channel concatenation -- the Inception join (the paper's
+"Batch-concatenation" layer, section I: layout-agnostic, bandwidth-bound).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layers.base import Layer
+from repro.types import ShapeError
+
+__all__ = ["Concat"]
+
+
+class Concat(Layer):
+    """Concatenate NCHW inputs along the channel dimension."""
+
+    def __init__(self, n_inputs: int):
+        self.n_inputs = n_inputs
+        self._splits: list[int] = []
+
+    def forward(self, *xs: np.ndarray) -> np.ndarray:
+        if len(xs) != self.n_inputs:
+            raise ShapeError(
+                f"Concat expected {self.n_inputs} inputs, got {len(xs)}"
+            )
+        base = xs[0].shape
+        for x in xs[1:]:
+            if x.shape[0] != base[0] or x.shape[2:] != base[2:]:
+                raise ShapeError(
+                    f"Concat inputs disagree: {base} vs {x.shape}"
+                )
+        self._splits = [x.shape[1] for x in xs]
+        return np.concatenate(xs, axis=1)
+
+    def backward(self, dy: np.ndarray) -> tuple[np.ndarray, ...]:
+        outs = []
+        c0 = 0
+        for c in self._splits:
+            outs.append(np.ascontiguousarray(dy[:, c0 : c0 + c]))
+            c0 += c
+        return tuple(outs)

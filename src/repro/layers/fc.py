@@ -1,0 +1,48 @@
+"""Fully-connected (inner-product) layer -- a GxM gradient-exchange node."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layers.base import Layer
+from repro.types import ShapeError
+
+__all__ = ["Linear"]
+
+
+class Linear(Layer):
+    """``y = x @ W.T + b`` over (N, in_features)."""
+
+    def __init__(self, in_features: int, out_features: int, rng=None):
+        rng = rng or np.random.default_rng(0)
+        bound = (2.0 / in_features) ** 0.5
+        self.weight = (
+            rng.standard_normal((out_features, in_features)) * bound
+        ).astype(np.float32)
+        self.bias = np.zeros(out_features, dtype=np.float32)
+        self.dweight = np.zeros_like(self.weight)
+        self.dbias = np.zeros_like(self.bias)
+        self._x = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.weight.shape[1]:
+            raise ShapeError(
+                f"Linear expected (N, {self.weight.shape[1]}), got {x.shape}"
+            )
+        self._x = x
+        return x @ self.weight.T + self.bias
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        self.dweight[:] = dy.T @ self._x
+        self.dbias[:] = dy.sum(axis=0)
+        return dy @ self.weight
+
+    def params(self):
+        return [self.weight, self.bias]
+
+    def grads(self):
+        return [self.dweight, self.dbias]
+
+    @property
+    def flops_forward(self) -> int:
+        return 2 * self.weight.size

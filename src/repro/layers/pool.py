@@ -1,0 +1,136 @@
+"""Spatial pooling layers."""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.layers.base import Layer
+from repro.types import ShapeError
+
+__all__ = ["MaxPool2D", "AvgPool2D", "GlobalAvgPool"]
+
+
+def _windows(x: np.ndarray, k: int, stride: int, pad: int) -> np.ndarray:
+    """View of shape (N, C, P, Q, k, k) over the (padded) input."""
+    if pad:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (pad, pad), (pad, pad)),
+            mode="constant",
+            constant_values=-np.inf,
+        )
+    n, c, h, w = x.shape
+    p = (h - k) // stride + 1
+    q = (w - k) // stride + 1
+    sn, sc, sh, sw = x.strides
+    return (
+        as_strided(
+            x,
+            shape=(n, c, p, q, k, k),
+            strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        ),
+        x,
+    )
+
+
+class MaxPool2D(Layer):
+    """Max pooling with argmax-routing backward."""
+
+    def __init__(self, kernel: int, stride: int | None = None, pad: int = 0):
+        self.k = kernel
+        self.stride = stride or kernel
+        self.pad = pad
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        win, xp = _windows(x, self.k, self.stride, self.pad)
+        n, c, p, q, _, _ = win.shape
+        flat = win.reshape(n, c, p, q, self.k * self.k)
+        arg = flat.argmax(axis=-1)
+        out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+        self._cache = (x.shape, xp.shape, arg)
+        return np.ascontiguousarray(out)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        x_shape, xp_shape, arg = self._cache
+        n, c, hp, wp = xp_shape
+        dxp = np.zeros((n, c, hp, wp), dtype=dy.dtype)
+        p, q = dy.shape[2], dy.shape[3]
+        ki = arg // self.k
+        kj = arg % self.k
+        oj = np.arange(p)[None, None, :, None]
+        oi = np.arange(q)[None, None, None, :]
+        rows = oj * self.stride + ki
+        cols = oi * self.stride + kj
+        nn = np.arange(n)[:, None, None, None]
+        cc = np.arange(c)[None, :, None, None]
+        np.add.at(dxp, (nn, cc, rows, cols), dy)
+        if self.pad:
+            dxp = dxp[:, :, self.pad : -self.pad, self.pad : -self.pad]
+        if dxp.shape != x_shape:
+            out = np.zeros(x_shape, dtype=dy.dtype)
+            out[:, :, : dxp.shape[2], : dxp.shape[3]] = dxp
+            return out
+        return dxp
+
+
+class AvgPool2D(Layer):
+    """Average pooling (count-include-pad when ``pad > 0``, like Inception's
+    3x3/1 same-size pooling branches)."""
+
+    def __init__(self, kernel: int, stride: int | None = None, pad: int = 0):
+        self.k = kernel
+        self.stride = stride or kernel
+        self.pad = pad
+        self._in_shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._in_shape = x.shape
+        if self.pad:
+            x = np.pad(
+                x,
+                ((0, 0), (0, 0), (self.pad, self.pad), (self.pad, self.pad)),
+                mode="constant",
+            )
+        win, _ = _windows(x, self.k, self.stride, 0)
+        return win.mean(axis=(-1, -2))
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        n, c, h, w = self._in_shape
+        hp, wp = h + 2 * self.pad, w + 2 * self.pad
+        dxp = np.zeros((n, c, hp, wp), dtype=dy.dtype)
+        scale = 1.0 / (self.k * self.k)
+        p, q = dy.shape[2], dy.shape[3]
+        for i in range(self.k):
+            for j in range(self.k):
+                dxp[
+                    :,
+                    :,
+                    i : i + p * self.stride : self.stride,
+                    j : j + q * self.stride : self.stride,
+                ] += dy * scale
+        if self.pad:
+            return np.ascontiguousarray(
+                dxp[:, :, self.pad : self.pad + h, self.pad : self.pad + w]
+            )
+        return dxp
+
+
+class GlobalAvgPool(Layer):
+    """Spatial global average -> (N, C)."""
+
+    def __init__(self) -> None:
+        self._in_shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError(f"expected NCHW, got {x.shape}")
+        self._in_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        n, c, h, w = self._in_shape
+        return np.broadcast_to(
+            dy[:, :, None, None] / (h * w), self._in_shape
+        ).astype(dy.dtype, copy=True)

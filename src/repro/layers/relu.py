@@ -1,0 +1,23 @@
+"""ReLU activation (fusable into convolutions, section II-G)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layers.base import Layer
+
+__all__ = ["ReLULayer"]
+
+
+class ReLULayer(Layer):
+    """``y = max(x, 0)``; backward masks the gradient."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0).astype(x.dtype, copy=False)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        return np.where(self._mask, dy, 0.0).astype(dy.dtype, copy=False)

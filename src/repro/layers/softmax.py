@@ -1,0 +1,39 @@
+"""Softmax + cross-entropy loss head."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layers.base import Layer
+
+__all__ = ["SoftmaxCrossEntropy"]
+
+
+class SoftmaxCrossEntropy(Layer):
+    """Combined softmax/NLL: ``forward`` returns per-batch mean loss;
+    ``backward`` needs no incoming gradient."""
+
+    def __init__(self) -> None:
+        self._probs = None
+        self._labels = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray | None = None):
+        z = logits - logits.max(axis=1, keepdims=True)
+        e = np.exp(z)
+        probs = e / e.sum(axis=1, keepdims=True)
+        self._probs = probs
+        if labels is None:
+            return probs
+        self._labels = labels
+        n = logits.shape[0]
+        loss = -np.log(probs[np.arange(n), labels] + 1e-12).mean()
+        return float(loss)
+
+    def backward(self, dy: float = 1.0) -> np.ndarray:
+        n = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(n), self._labels] -= 1.0
+        return (grad / n * dy).astype(np.float32)
+
+    def accuracy(self, labels: np.ndarray) -> float:
+        return float((self._probs.argmax(axis=1) == labels).mean())

@@ -1,0 +1,24 @@
+"""Network topologies evaluated in the paper.
+
+* :mod:`repro.models.resnet50` -- Table I's 20 distinct convolution shapes
+  plus the full ResNet-50 bottleneck topology for GxM.
+* :mod:`repro.models.inception_v3` -- the Inception-v3 convolution set used
+  for the section III average-GFLOPS comparisons.
+"""
+
+from repro.models.resnet50 import (
+    RESNET50_TABLE1,
+    resnet50_layer,
+    resnet50_layers,
+    RESNET50_LAYER_COUNTS,
+)
+from repro.models.inception_v3 import INCEPTION_V3_CONVS, inception_v3_layers
+
+__all__ = [
+    "RESNET50_TABLE1",
+    "resnet50_layer",
+    "resnet50_layers",
+    "RESNET50_LAYER_COUNTS",
+    "INCEPTION_V3_CONVS",
+    "inception_v3_layers",
+]

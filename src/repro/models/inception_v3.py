@@ -1,0 +1,218 @@
+"""Inception-v3 [21] convolution layers.
+
+The paper reports only topology-average GFLOPS for Inception-v3 (sections
+III-A/III-B), so this module enumerates the network's convolution shapes
+(with occurrence counts) rather than assigning figure ids.  Shapes follow
+the canonical 299x299 Inception-v3: the stem, three 35x35 Inception-A
+blocks, the grid reduction, four 17x17 Inception-B blocks with factorized
+7x1/1x7 convolutions, the second reduction, and two 8x8 Inception-C blocks
+with 3x1/1x3 branches.
+
+Channel counts that are not VLEN multiples (the C=3 stem input, the 35- and
+80-channel stem intermediates) are padded to the next vector block, as in
+:mod:`repro.models.resnet50`.
+"""
+
+from __future__ import annotations
+
+from repro.conv.params import ConvParams
+
+__all__ = ["INCEPTION_V3_CONVS", "inception_v3_layers"]
+
+#: (C, K, H, W, R, S, stride, pad_h, pad_w, count)
+#: Derived from (and test-verified against) the compiled
+#: :func:`inception_v3_topology` graph -- 94 convolutions in total.
+INCEPTION_V3_CONVS: list[tuple[int, int, int, int, int, int, int, int, int, int]] = [
+    # ---- stem -----------------------------------------------------------
+    (3, 32, 299, 299, 3, 3, 2, 0, 0, 1),
+    (32, 32, 149, 149, 3, 3, 1, 0, 0, 1),
+    (32, 64, 147, 147, 3, 3, 1, 1, 1, 1),
+    (64, 80, 73, 73, 1, 1, 1, 0, 0, 1),
+    (80, 192, 73, 73, 3, 3, 1, 0, 0, 1),
+    # ---- Inception-A x3 + reduction-A (35x35) -----------------------------
+    (192, 64, 35, 35, 1, 1, 1, 0, 0, 2),
+    (192, 48, 35, 35, 1, 1, 1, 0, 0, 1),
+    (48, 64, 35, 35, 5, 5, 1, 2, 2, 3),
+    (64, 96, 35, 35, 3, 3, 1, 1, 1, 4),
+    (96, 96, 35, 35, 3, 3, 1, 1, 1, 3),
+    (192, 32, 35, 35, 1, 1, 1, 0, 0, 1),
+    (256, 64, 35, 35, 1, 1, 1, 0, 0, 3),
+    (256, 48, 35, 35, 1, 1, 1, 0, 0, 1),
+    (288, 64, 35, 35, 1, 1, 1, 0, 0, 4),
+    (288, 48, 35, 35, 1, 1, 1, 0, 0, 1),
+    (288, 384, 35, 35, 3, 3, 2, 0, 0, 1),
+    (96, 96, 35, 35, 3, 3, 2, 0, 0, 1),
+    # ---- Inception-B x4 + reduction-B (17x17, factorized 7x1/1x7) ---------
+    (768, 192, 17, 17, 1, 1, 1, 0, 0, 12),
+    (768, 128, 17, 17, 1, 1, 1, 0, 0, 2),
+    (128, 128, 17, 17, 1, 7, 1, 0, 3, 2),
+    (128, 192, 17, 17, 7, 1, 1, 3, 0, 1),
+    (128, 128, 17, 17, 7, 1, 1, 3, 0, 2),
+    (128, 192, 17, 17, 1, 7, 1, 0, 3, 1),
+    (768, 160, 17, 17, 1, 1, 1, 0, 0, 4),
+    (160, 160, 17, 17, 1, 7, 1, 0, 3, 4),
+    (160, 192, 17, 17, 7, 1, 1, 3, 0, 2),
+    (160, 160, 17, 17, 7, 1, 1, 3, 0, 4),
+    (160, 192, 17, 17, 1, 7, 1, 0, 3, 2),
+    (192, 192, 17, 17, 1, 7, 1, 0, 3, 4),
+    (192, 192, 17, 17, 7, 1, 1, 3, 0, 4),
+    (192, 320, 17, 17, 3, 3, 2, 0, 0, 1),
+    (192, 192, 17, 17, 3, 3, 2, 0, 0, 1),
+    # ---- Inception-C x2 (8x8, 1x3/3x1 branches) ---------------------------
+    (1280, 320, 8, 8, 1, 1, 1, 0, 0, 1),
+    (1280, 384, 8, 8, 1, 1, 1, 0, 0, 1),
+    (384, 384, 8, 8, 1, 3, 1, 0, 1, 4),
+    (384, 384, 8, 8, 3, 1, 1, 1, 0, 4),
+    (1280, 448, 8, 8, 1, 1, 1, 0, 0, 1),
+    (448, 384, 8, 8, 3, 3, 1, 1, 1, 2),
+    (1280, 192, 8, 8, 1, 1, 1, 0, 0, 1),
+    (2048, 320, 8, 8, 1, 1, 1, 0, 0, 1),
+    (2048, 384, 8, 8, 1, 1, 1, 0, 0, 1),
+    (2048, 448, 8, 8, 1, 1, 1, 0, 0, 1),
+    (2048, 192, 8, 8, 1, 1, 1, 0, 0, 1),
+]
+
+
+
+def inception_v3_layers(
+    minibatch: int = 28, pad_channels_to: int = 16
+) -> list[tuple[ConvParams, int]]:
+    """All Inception-v3 convolutions as ``(params, occurrence_count)``."""
+    out: list[tuple[ConvParams, int]] = []
+    for c, k, h, w, r, s, stride, ph, pw, count in INCEPTION_V3_CONVS:
+        pad = pad_channels_to
+        c_pad = -(-c // pad) * pad
+        k_pad = -(-k // pad) * pad
+        out.append(
+            (
+                ConvParams(
+                    N=minibatch, C=c_pad, K=k_pad, H=h, W=w, R=r, S=s,
+                    stride=stride, pad_h=ph, pad_w=pw,
+                ),
+                count,
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Full GxM topology (used by tests to cross-validate INCEPTION_V3_CONVS and
+# by the end-to-end estimator; functional training is feasible at miniature
+# input sizes via `inception_mini_topology`).
+# ---------------------------------------------------------------------------
+
+from repro.gxm.topology import TopologySpec  # noqa: E402
+
+
+def _cbr(topo, name, bottom, k, kernel, stride=1, pad=None):
+    """conv + BN + ReLU, Inception's universal building block."""
+    return topo.conv(
+        name, bottom, k, kernel, stride=stride, pad=pad,
+        relu=True, batchnorm=True,
+    )
+
+
+def _inception_a(topo, name, bottom, pool_proj):
+    b1 = _cbr(topo, f"{name}_1x1", bottom, 64, 1)
+    b2 = _cbr(topo, f"{name}_5x5_r", bottom, 48, 1)
+    b2 = _cbr(topo, f"{name}_5x5", b2, 64, 5, pad=2)
+    b3 = _cbr(topo, f"{name}_3x3_r", bottom, 64, 1)
+    b3 = _cbr(topo, f"{name}_3x3a", b3, 96, 3, pad=1)
+    b3 = _cbr(topo, f"{name}_3x3b", b3, 96, 3, pad=1)
+    b4 = topo.avg_pool(f"{name}_pool", bottom, 3, 1, pad=1)
+    b4 = _cbr(topo, f"{name}_proj", b4, pool_proj, 1)
+    return topo.concat(f"{name}_out", [b1, b2, b3, b4])
+
+
+def _reduction_a(topo, name, bottom):
+    b1 = _cbr(topo, f"{name}_3x3", bottom, 384, 3, stride=2, pad=0)
+    b2 = _cbr(topo, f"{name}_dbl_r", bottom, 64, 1)
+    b2 = _cbr(topo, f"{name}_dbl_a", b2, 96, 3, pad=1)
+    b2 = _cbr(topo, f"{name}_dbl_b", b2, 96, 3, stride=2, pad=0)
+    b3 = topo.pool(f"{name}_pool", bottom, 3, 2)
+    return topo.concat(f"{name}_out", [b1, b2, b3])
+
+
+def _inception_b(topo, name, bottom, c7):
+    b1 = _cbr(topo, f"{name}_1x1", bottom, 192, 1)
+    b2 = _cbr(topo, f"{name}_7x7_r", bottom, c7, 1)
+    b2 = _cbr(topo, f"{name}_1x7", b2, c7, (1, 7))
+    b2 = _cbr(topo, f"{name}_7x1", b2, 192, (7, 1))
+    b3 = _cbr(topo, f"{name}_dbl_r", bottom, c7, 1)
+    b3 = _cbr(topo, f"{name}_dbl_7x1a", b3, c7, (7, 1))
+    b3 = _cbr(topo, f"{name}_dbl_1x7a", b3, c7, (1, 7))
+    b3 = _cbr(topo, f"{name}_dbl_7x1b", b3, c7, (7, 1))
+    b3 = _cbr(topo, f"{name}_dbl_1x7b", b3, 192, (1, 7))
+    b4 = topo.avg_pool(f"{name}_pool", bottom, 3, 1, pad=1)
+    b4 = _cbr(topo, f"{name}_proj", b4, 192, 1)
+    return topo.concat(f"{name}_out", [b1, b2, b3, b4])
+
+
+def _reduction_b(topo, name, bottom):
+    b1 = _cbr(topo, f"{name}_3x3_r", bottom, 192, 1)
+    b1 = _cbr(topo, f"{name}_3x3", b1, 320, 3, stride=2, pad=0)
+    b2 = _cbr(topo, f"{name}_7x7_r", bottom, 192, 1)
+    b2 = _cbr(topo, f"{name}_1x7", b2, 192, (1, 7))
+    b2 = _cbr(topo, f"{name}_7x1", b2, 192, (7, 1))
+    b2 = _cbr(topo, f"{name}_3x3b", b2, 192, 3, stride=2, pad=0)
+    b3 = topo.pool(f"{name}_pool", bottom, 3, 2)
+    return topo.concat(f"{name}_out", [b1, b2, b3])
+
+
+def _inception_c(topo, name, bottom):
+    b1 = _cbr(topo, f"{name}_1x1", bottom, 320, 1)
+    b2 = _cbr(topo, f"{name}_3x3_r", bottom, 384, 1)
+    b2a = _cbr(topo, f"{name}_1x3", b2, 384, (1, 3))
+    b2b = _cbr(topo, f"{name}_3x1", b2, 384, (3, 1))
+    b3 = _cbr(topo, f"{name}_dbl_r", bottom, 448, 1)
+    b3 = _cbr(topo, f"{name}_dbl_3x3", b3, 384, 3, pad=1)
+    b3a = _cbr(topo, f"{name}_dbl_1x3", b3, 384, (1, 3))
+    b3b = _cbr(topo, f"{name}_dbl_3x1", b3, 384, (3, 1))
+    b4 = topo.avg_pool(f"{name}_pool", bottom, 3, 1, pad=1)
+    b4 = _cbr(topo, f"{name}_proj", b4, 192, 1)
+    return topo.concat(f"{name}_out", [b1, b2a, b2b, b3a, b3b, b4])
+
+
+def inception_v3_topology(num_classes: int = 1000) -> TopologySpec:
+    """The full Inception-v3 [21] network as a GxM topology (299x299)."""
+    topo = TopologySpec("inception_v3")
+    t = topo.data("data")
+    t = _cbr(topo, "conv1", t, 32, 3, stride=2, pad=0)     # 149
+    t = _cbr(topo, "conv2", t, 32, 3, pad=0)               # 147
+    t = _cbr(topo, "conv3", t, 64, 3, pad=1)               # 147
+    t = topo.pool("pool1", t, 3, 2)                        # 73
+    t = _cbr(topo, "conv4", t, 80, 1, pad=0)
+    t = _cbr(topo, "conv5", t, 192, 3, pad=0)              # 71
+    t = topo.pool("pool2", t, 3, 2)                        # 35
+    t = _inception_a(topo, "mixed0", t, pool_proj=32)      # 256
+    t = _inception_a(topo, "mixed1", t, pool_proj=64)      # 288
+    t = _inception_a(topo, "mixed2", t, pool_proj=64)      # 288
+    t = _reduction_a(topo, "mixed3", t)                    # 17x17x768
+    for i, c7 in enumerate((128, 160, 160, 192)):
+        t = _inception_b(topo, f"mixed{4 + i}", t, c7)
+    t = _reduction_b(topo, "mixed8", t)                    # 8x8x1280
+    t = _inception_c(topo, "mixed9", t)                    # 2048
+    t = _inception_c(topo, "mixed10", t)                   # 2048
+    t = topo.global_pool("gap", t)
+    t = topo.fc("fc", t, num_classes)
+    topo.loss("loss", t)
+    return topo
+
+
+def inception_mini_topology(num_classes: int = 8) -> TopologySpec:
+    """A miniature with the same block types (A + reduction + concat) for
+    tractable functional training in the tests/examples."""
+    topo = TopologySpec("inception-mini")
+    t = topo.data("data")
+    t = _cbr(topo, "stem", t, 16, 3, pad=1)
+    b1 = _cbr(topo, "m_1x1", t, 8, 1)
+    b2 = _cbr(topo, "m_3x3_r", t, 8, 1)
+    b2 = _cbr(topo, "m_3x3", b2, 8, 3, pad=1)
+    b3 = topo.avg_pool("m_pool", t, 3, 1, pad=1)
+    b3 = _cbr(topo, "m_proj", b3, 8, 1)
+    t = topo.concat("m_out", [b1, b2, b3])
+    t = _cbr(topo, "red", t, 32, 3, stride=2, pad=0)
+    t = topo.global_pool("gap", t)
+    t = topo.fc("fc", t, num_classes)
+    topo.loss("loss", t)
+    return topo

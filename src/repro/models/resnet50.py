@@ -1,0 +1,161 @@
+"""ResNet-50 convolution layers (Table I) and occurrence counts.
+
+Table I lists the 20 *distinct* convolution shapes of ResNet-50 [17]; the
+kernel benchmarks (Figs. 4-8) are indexed by these ids.  The paper used
+minibatch 28 on SKX and 70 on KNM.
+
+Layer 1 has C=3 input channels, which is not a multiple of VLEN; like
+LIBXSMM, the reproduction physically pads the channel dimension to one
+vector block and reports efficiency against the *logical* (C=3) flops --
+which is why the first layer cannot reach the efficiency of the interior
+layers on any implementation.
+
+``RESNET50_LAYER_COUNTS`` maps each Table-I id to how many times that shape
+occurs in the full network -- needed to reconstruct end-to-end time (Fig. 9)
+from per-layer kernel times.
+"""
+
+from __future__ import annotations
+
+from repro.conv.params import ConvParams
+from repro.gxm.topology import TopologySpec
+
+__all__ = [
+    "RESNET50_TABLE1",
+    "RESNET50_LAYER_COUNTS",
+    "resnet50_layer",
+    "resnet50_layers",
+    "resnet50_topology",
+    "resnet_mini_topology",
+]
+
+#: Table I: id -> (C, K, H, W, R, S, stride)
+RESNET50_TABLE1: dict[int, tuple[int, int, int, int, int, int, int]] = {
+    1: (3, 64, 224, 224, 7, 7, 2),
+    2: (64, 256, 56, 56, 1, 1, 1),
+    3: (64, 64, 56, 56, 1, 1, 1),
+    4: (64, 64, 56, 56, 3, 3, 1),
+    5: (256, 64, 56, 56, 1, 1, 1),
+    6: (256, 512, 56, 56, 1, 1, 2),
+    7: (256, 128, 56, 56, 1, 1, 2),
+    8: (128, 128, 28, 28, 3, 3, 1),
+    9: (128, 512, 28, 28, 1, 1, 1),
+    10: (512, 128, 28, 28, 1, 1, 1),
+    11: (512, 1024, 28, 28, 1, 1, 2),
+    12: (512, 256, 28, 28, 1, 1, 2),
+    13: (256, 256, 14, 14, 3, 3, 1),
+    14: (256, 1024, 14, 14, 1, 1, 1),
+    15: (1024, 256, 14, 14, 1, 1, 1),
+    16: (1024, 2048, 14, 14, 1, 1, 2),
+    17: (1024, 512, 14, 14, 1, 1, 2),
+    18: (512, 512, 7, 7, 3, 3, 1),
+    19: (512, 2048, 7, 7, 1, 1, 1),
+    20: (2048, 512, 7, 7, 1, 1, 1),
+}
+
+#: how often each distinct shape occurs in the full ResNet-50
+#: (bottleneck blocks: conv2_x x3, conv3_x x4, conv4_x x6, conv5_x x3;
+#: verified against the compiled resnet50_topology() in the tests)
+RESNET50_LAYER_COUNTS: dict[int, int] = {
+    1: 1,   # stem
+    2: 4,   # 64->256 1x1: expand x3 + the conv2 shortcut projection
+    3: 1,   # first conv2 reduce (64->64)
+    4: 3,   # 3x3 in each conv2 block
+    5: 2,   # 256->64 reduce in the later conv2 blocks
+    6: 1,   # conv3 shortcut projection (256->512 /2)
+    7: 1,   # conv3 first reduce (256->128 /2)
+    8: 4,   # 3x3 in each conv3 block
+    9: 4,   # 1x1 expand 128->512
+    10: 3,  # reduce 512->128 in later conv3 blocks
+    11: 1,  # conv4 shortcut projection
+    12: 1,  # conv4 first reduce
+    13: 6,  # 3x3 in each conv4 block
+    14: 6,  # 1x1 expand 256->1024
+    15: 5,  # reduce 1024->256 in later conv4 blocks
+    16: 1,  # conv5 shortcut projection
+    17: 1,  # conv5 first reduce
+    18: 3,  # 3x3 in each conv5 block
+    19: 3,  # 1x1 expand 512->2048
+    20: 2,  # reduce 2048->512 in later conv5 blocks
+}
+
+
+def resnet50_layer(
+    layer_id: int, minibatch: int = 28, pad_channels_to: int = 16
+) -> ConvParams:
+    """Table-I row as a :class:`ConvParams` (channels padded to VLEN)."""
+    c, k, h, w, r, s, stride = RESNET50_TABLE1[layer_id]
+    if c % pad_channels_to:
+        c = -(-c // pad_channels_to) * pad_channels_to
+    return ConvParams(N=minibatch, C=c, K=k, H=h, W=w, R=r, S=s, stride=stride)
+
+
+def resnet50_layers(
+    minibatch: int = 28, pad_channels_to: int = 16
+) -> list[tuple[int, ConvParams]]:
+    """All 20 Table-I layers in id order."""
+    return [
+        (i, resnet50_layer(i, minibatch, pad_channels_to))
+        for i in sorted(RESNET50_TABLE1)
+    ]
+
+
+def _bottleneck(
+    topo: TopologySpec, name: str, bottom: str, in_ch: int, mid: int,
+    stride: int = 1,
+) -> str:
+    """One ResNet bottleneck block: 1x1 reduce, 3x3, 1x1 expand + shortcut."""
+    out_ch = 4 * mid
+    t = topo.conv(f"{name}_a", bottom, mid, 1, stride=stride, relu=True,
+                  batchnorm=True)
+    t = topo.conv(f"{name}_b", t, mid, 3, relu=True, batchnorm=True)
+    t = topo.conv(f"{name}_c", t, out_ch, 1, batchnorm=True)
+    if stride != 1 or in_ch != out_ch:
+        sc = topo.conv(f"{name}_sc", bottom, out_ch, 1, stride=stride,
+                       batchnorm=True)
+    else:
+        sc = bottom
+    return topo.eltwise(f"{name}_sum", t, sc, relu=True)
+
+
+def resnet50_topology(num_classes: int = 1000) -> TopologySpec:
+    """The full ResNet-50 bottleneck topology as a GxM network list.
+
+    Compiles through the Fig. 3 pipeline; a functional training step at
+    small N is feasible (the "fast" engine), and the per-layer conv shapes
+    reproduce Table I.
+    """
+    topo = TopologySpec("resnet50")
+    t = topo.data("data")
+    t = topo.conv("conv1", t, 64, 7, stride=2, pad=3, relu=True,
+                  batchnorm=True)
+    t = topo.pool("pool1", t, 3, 2, pad=1)  # 112 -> 56
+    stages = [(3, 64, 1), (4, 128, 2), (6, 256, 2), (3, 512, 2)]
+    in_ch = 64
+    for si, (blocks, mid, first_stride) in enumerate(stages, start=2):
+        for bi in range(blocks):
+            stride = first_stride if bi == 0 else 1
+            t = _bottleneck(topo, f"res{si}{chr(ord('a') + bi)}", t, in_ch,
+                            mid, stride)
+            in_ch = 4 * mid
+    t = topo.global_pool("gap", t)
+    t = topo.fc("fc1000", t, num_classes)
+    topo.loss("loss", t)
+    return topo
+
+
+def resnet_mini_topology(
+    num_classes: int = 8, width: int = 16
+) -> TopologySpec:
+    """A ResNet-style miniature (two bottleneck stages) for fast functional
+    training on the synthetic dataset -- same node types and graph shape as
+    the full network, tractable in pure numpy."""
+    topo = TopologySpec("resnet-mini")
+    t = topo.data("data")
+    t = topo.conv("conv1", t, width, 3, relu=True, batchnorm=True)
+    t = _bottleneck(topo, "res2a", t, width, width // 2 or 8, 1)
+    t = _bottleneck(topo, "res3a", t, 2 * width, width, 2)
+    t = topo.global_pool("gap", t)
+    t = topo.fc("fc", t, num_classes)
+    topo.loss("loss", t)
+    return topo

@@ -1,0 +1,27 @@
+"""Parallelization: work partitioning, thread timing, dW strategies.
+
+Functional execution in this reproduction is single-process (numpy already
+uses the machine's vector units; Python threads would add nothing but GIL
+contention), but the *partitioning decisions* are fully implemented: each
+simulated thread gets its own kernel stream from the dryrun, and the timing
+model aggregates per-thread costs including imbalance -- the quantities that
+actually decide the paper's Figs. 4-9.
+"""
+
+from repro.parallel.partition import WorkItem, partition_forward, split_range
+from repro.parallel.threadsim import ThreadTimes
+from repro.parallel.wu_strategies import (
+    UpdStrategy,
+    choose_upd_strategy,
+    upd_strategy_traffic,
+)
+
+__all__ = [
+    "WorkItem",
+    "partition_forward",
+    "split_range",
+    "ThreadTimes",
+    "UpdStrategy",
+    "choose_upd_strategy",
+    "upd_strategy_traffic",
+]

@@ -1,0 +1,71 @@
+"""Work partitioning for the forward/backward passes (section II-F).
+
+The iteration space of Algorithm 3 exposes ``N x K_b x P_b x Q_b``
+independent microkernel invocations.  The paper's policy: divide the
+minibatch dimension first (threads then share the weight tensor in shared
+caches), spill into the output-feature dimension when ``T > N``, and into
+the spatial dimensions when ``T > N x K_b``.
+
+``partition_forward`` realizes this as a balanced split of the
+lexicographically ordered ``(n, k_b, oj_b)`` space -- contiguous ranges of
+that order produce exactly the paper's hierarchy, with no thread straddling
+an ``n`` boundary unless it must.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WorkItem", "partition_forward", "split_range"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkItem:
+    """A contiguous run of oj-blocks for one ``(n, k_b)`` slice."""
+
+    n: int
+    kb: int
+    ojb_lo: int
+    ojb_hi: int  # exclusive
+
+    @property
+    def blocks(self) -> int:
+        return self.ojb_hi - self.ojb_lo
+
+
+def split_range(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into ``parts`` balanced contiguous pieces
+    (earlier pieces take the remainder; empty pieces allowed)."""
+    base, rem = divmod(total, parts)
+    out = []
+    lo = 0
+    for i in range(parts):
+        size = base + (1 if i < rem else 0)
+        out.append((lo, lo + size))
+        lo += size
+    return out
+
+
+def partition_forward(
+    n: int, kb: int, pb: int, threads: int
+) -> list[list[WorkItem]]:
+    """Per-thread work lists over the ``(n, k_b, oj_b)`` space.
+
+    Splits the flattened space into ``threads`` contiguous balanced ranges;
+    because ``n`` is the outermost coordinate, minibatch parallelism is
+    exhausted before feature-map parallelism, which is exhausted before
+    spatial parallelism -- the section II-F policy.
+    """
+    total = n * kb * pb
+    assignments: list[list[WorkItem]] = []
+    for lo, hi in split_range(total, threads):
+        items: list[WorkItem] = []
+        pos = lo
+        while pos < hi:
+            nn, rest = divmod(pos, kb * pb)
+            kk, oj = divmod(rest, pb)
+            run = min(hi - pos, pb - oj)
+            items.append(WorkItem(n=nn, kb=kk, ojb_lo=oj, ojb_hi=oj + run))
+            pos += run
+        assignments.append(items)
+    return assignments

@@ -1,0 +1,38 @@
+"""Per-thread timing aggregation.
+
+Simulated threads execute their streams independently; wall-clock time for a
+layer is the *maximum* per-thread time (a barrier separates layers in GxM).
+``ThreadTimes`` also reports load imbalance, which matters for layers whose
+work-item count does not divide the thread count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ThreadTimes"]
+
+
+@dataclass
+class ThreadTimes:
+    """Collection of per-thread execution times (seconds)."""
+
+    times: list[float]
+
+    @property
+    def wall(self) -> float:
+        return max(self.times) if self.times else 0.0
+
+    @property
+    def total(self) -> float:
+        return sum(self.times)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.times) if self.times else 0.0
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean - 1; zero for perfectly balanced threads."""
+        m = self.mean
+        return self.wall / m - 1.0 if m > 0 else 0.0

@@ -1,0 +1,31 @@
+"""Layer-level performance model.
+
+Combines three mechanistic ingredients:
+
+* the µop-stream timing of each JIT'ed microkernel
+  (:mod:`repro.jit.timing`) -- FMA ports/latency, load/store ports,
+  instruction-selection penalties;
+* a working-set traffic analysis of the blocked loop nest
+  (:mod:`repro.perf.traffic`) -- which tensor streams from which level, with
+  the re-read factors the loop order implies (validated against
+  :mod:`repro.cachesim` on microkernel traces);
+* the section II-F/II-J parallelization policies.
+
+The per-layer estimate is a partial-overlap roofline:
+``T = max(parts) + alpha * (sum(parts) - max(parts))`` where ``alpha`` is a
+per-machine calibration constant (see ``MachineConfig.overlap_alpha``).
+"""
+
+from repro.perf.traffic import TrafficEstimate, forward_traffic, upd_traffic
+from repro.perf.model import LayerPerf, ConvPerfModel
+from repro.perf.report import format_table, gflops_row
+
+__all__ = [
+    "TrafficEstimate",
+    "forward_traffic",
+    "upd_traffic",
+    "LayerPerf",
+    "ConvPerfModel",
+    "format_table",
+    "gflops_row",
+]

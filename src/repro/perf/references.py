@@ -1,0 +1,27 @@
+"""Published reference numbers quoted by the paper (section III-C).
+
+These are *comparison data*, not systems under test: the paper itself cites
+them from Google's TensorFlow benchmarks [23] and Intel's TensorFlow
+optimization post [24].  They are reproduced here so the Fig. 9 bench can
+print the same series.
+"""
+
+__all__ = ["REFERENCE_IMG_PER_S", "PAPER_MEASURED"]
+
+#: external comparison points: img/s for training
+REFERENCE_IMG_PER_S = {
+    ("resnet50", "P100+cuDNN (TF, fp32) [23]"): 219.0,
+    ("resnet50", "2S-SKX TF+MKL-DNN [24]"): 90.0,
+    ("inception_v3", "P100+cuDNN (TF, fp32) [23]"): 142.0,
+    ("inception_v3", "2S-SKX TF+MKL-DNN [24]"): 58.0,
+}
+
+#: the paper's own measured end-to-end results (targets for the model)
+PAPER_MEASURED = {
+    ("resnet50", "KNM", 1): 192.0,
+    ("resnet50", "SKX", 1): 136.0,  # dual-socket node
+    ("resnet50", "KNM", 16): 2430.0,
+    ("resnet50", "SKX", 16): 1696.0,
+    ("inception_v3", "KNM", 1): 98.0,
+    ("inception_v3", "SKX", 1): 84.0,
+}

@@ -1,0 +1,39 @@
+"""Paper-style result formatting.
+
+The figures plot GFLOPS per ResNet-50 layer id with one series per
+implementation; ``format_table`` renders the same rows as fixed-width text,
+plus the %-of-peak column the figures carry on their right axes.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.perf.model import LayerPerf
+
+__all__ = ["gflops_row", "format_table", "format_series"]
+
+
+def gflops_row(perfs: Sequence[LayerPerf]) -> list[float]:
+    return [round(p.gflops, 1) for p in perfs]
+
+
+def format_series(name: str, values: Sequence[float], fmt: str = "7.0f") -> str:
+    return f"{name:>10} " + " ".join(format(v, fmt) for v in values)
+
+
+def format_table(
+    title: str,
+    layer_ids: Sequence[int],
+    series: Mapping[str, Sequence[LayerPerf]],
+    peak_series: str | None = None,
+) -> str:
+    """Render one figure's data: one row per implementation, GFLOPS per
+    layer id, with a %-of-peak row for ``peak_series`` (right y-axis)."""
+    lines = [title, format_series("layer", list(layer_ids), "7d")]
+    for name, perfs in series.items():
+        lines.append(format_series(name, [p.gflops for p in perfs]))
+    if peak_series and peak_series in series:
+        effs = [100.0 * p.efficiency for p in series[peak_series]]
+        lines.append(format_series("% peak", effs, "7.1f"))
+    return "\n".join(lines)

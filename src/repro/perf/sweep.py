@@ -1,0 +1,150 @@
+"""Figure dataset API: one call per paper table/figure.
+
+The benchmarks, examples and CLI all consume these functions, so the data
+behind every figure is produced by exactly one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.machine import MachineConfig, machine_by_name
+from repro.baselines import (
+    estimate_autovec,
+    estimate_im2col,
+    estimate_smallgemm,
+)
+from repro.models.inception_v3 import inception_v3_layers
+from repro.models.resnet50 import resnet50_layers
+from repro.perf.model import ConvPerfModel
+from repro.types import DType, Pass
+
+__all__ = ["FigureData", "resnet50_forward_sweep", "resnet50_pass_sweep",
+           "resnet50_lowprecision_sweep", "inception_averages"]
+
+
+@dataclass
+class FigureData:
+    """Series keyed by implementation name, one value per layer id."""
+
+    title: str
+    layer_ids: list[int]
+    series: dict[str, list[float]] = field(default_factory=dict)
+    efficiency: dict[str, list[float]] = field(default_factory=dict)
+
+    def table(self) -> str:
+        lines = [self.title,
+                 "layer " + " ".join(f"{i:>7d}" for i in self.layer_ids)]
+        for name, vals in self.series.items():
+            lines.append(f"{name:>10} " + " ".join(f"{v:7.0f}" for v in vals))
+        return "\n".join(lines)
+
+
+def _minibatch(machine: MachineConfig) -> int:
+    return 70 if machine.name.endswith("KNM") else 28
+
+
+def resnet50_forward_sweep(
+    machine: MachineConfig | str,
+    baselines: bool = True,
+    dtype: DType = DType.F32,
+) -> FigureData:
+    """Fig. 4 (SKX) / Fig. 6 (KNM) data."""
+    m = machine_by_name(machine) if isinstance(machine, str) else machine
+    model = ConvPerfModel(m)
+    layers = resnet50_layers(_minibatch(m))
+    fig = FigureData(
+        title=f"ResNet-50 fwd on {m.name} (GFLOPS)",
+        layer_ids=[lid for lid, _ in layers],
+    )
+    names = ["thiswork", "mkl"]
+    fig.series = {n: [] for n in names}
+    fig.efficiency = {"thiswork": []}
+    if baselines:
+        for n in ("im2col", "libxsmm", "blas", "autovec"):
+            fig.series[n] = []
+    for lid, p in layers:
+        tw = model.estimate_forward(p, dtype=dtype)
+        fig.series["thiswork"].append(tw.gflops)
+        fig.efficiency["thiswork"].append(tw.efficiency)
+        fig.series["mkl"].append(
+            model.estimate_forward(p, impl="mkl", dtype=dtype).gflops
+        )
+        if baselines:
+            fig.series["im2col"].append(estimate_im2col(p, m, dtype=dtype).gflops)
+            fig.series["libxsmm"].append(
+                estimate_smallgemm(p, m, "libxsmm", dtype=dtype).gflops
+            )
+            fig.series["blas"].append(
+                estimate_smallgemm(p, m, "blas", dtype=dtype).gflops
+            )
+            fig.series["autovec"].append(
+                estimate_autovec(p, m, dtype=dtype).gflops
+            )
+    return fig
+
+
+def resnet50_pass_sweep(
+    machine: MachineConfig | str, pass_: Pass, dtype: DType = DType.F32
+) -> FigureData:
+    """Fig. 5 (SKX) / Fig. 7 (KNM) data for BWD or UPD."""
+    m = machine_by_name(machine) if isinstance(machine, str) else machine
+    model = ConvPerfModel(m)
+    layers = resnet50_layers(_minibatch(m))
+    fig = FigureData(
+        title=f"ResNet-50 {pass_.value} on {m.name} (GFLOPS)",
+        layer_ids=[lid for lid, _ in layers],
+    )
+    fig.series = {"thiswork": [], "mkl": []}
+    fig.efficiency = {"thiswork": []}
+    est = (
+        model.estimate_backward if pass_ is Pass.BWD else model.estimate_update
+    )
+    for lid, p in layers:
+        tw = est(p, dtype=dtype)
+        fig.series["thiswork"].append(tw.gflops)
+        fig.efficiency["thiswork"].append(tw.efficiency)
+        fig.series["mkl"].append(est(p, impl="mkl", dtype=dtype).gflops)
+    return fig
+
+
+def resnet50_lowprecision_sweep(pass_: Pass) -> FigureData:
+    """Fig. 8 data: fp32 vs int16 on KNM for one pass."""
+    from repro.arch.machine import KNM
+
+    model = ConvPerfModel(KNM)
+    layers = resnet50_layers(70)
+    fig = FigureData(
+        title=f"ResNet-50 {pass_.value} on KNM: fp32 vs int16 (GFLOPS)",
+        layer_ids=[lid for lid, _ in layers],
+    )
+    fig.series = {"fp32": [], "int16": [], "speedup": []}
+    est = {
+        Pass.FWD: model.estimate_forward,
+        Pass.BWD: model.estimate_backward,
+        Pass.UPD: model.estimate_update,
+    }[pass_]
+    for lid, p in layers:
+        f = est(p)
+        q = est(p, dtype=DType.QI16F32)
+        fig.series["fp32"].append(f.gflops)
+        fig.series["int16"].append(q.gflops)
+        fig.series["speedup"].append(f.time_s / q.time_s)
+    return fig
+
+
+def inception_averages(machine: MachineConfig | str) -> dict[str, tuple]:
+    """Section III-A/B text: Inception-v3 topology-average GFLOPS."""
+    import statistics
+
+    m = machine_by_name(machine) if isinstance(machine, str) else machine
+    model = ConvPerfModel(m)
+    out = {}
+    for impl in ("thiswork", "mkl"):
+        f, b, u = [], [], []
+        for p, _count in inception_v3_layers(_minibatch(m)):
+            f.append(model.estimate_forward(p, impl=impl).gflops)
+            b.append(model.estimate_backward(p, impl=impl).gflops)
+            u.append(model.estimate_update(p, impl=impl).gflops)
+        out[impl] = tuple(statistics.mean(v) for v in (f, b, u))
+    return out

@@ -1,0 +1,251 @@
+"""Working-set traffic analysis for the blocked convolution loops.
+
+For each tensor the model answers: *how many times does it cross each cache
+boundary, given the loop order and block sizes?*  This is the communication
+analysis of Demmel & Dinh [15] specialized to the paper's loop nests:
+
+* **L2 -> L1**: every microkernel call streams its input block; the weight
+  block is L1-resident across the spatial loop *iff* the call working set
+  fits L1 (for 1x1 layers with many input channels it does not -- the
+  mechanism behind their lower efficiency); output blocks move per call in
+  the ``c_b``-outer order and once in the ``c_b``-inner order.
+* **beyond L2**: re-read factors follow from the loop order.  Two orders are
+  evaluated -- Algorithm 3's ``n, k_b, chunk, c_b`` (input re-streamed per
+  ``k_b``) and the chunk-outer variant ``n, chunk, k_b, c_b`` (weights
+  re-streamed per chunk) -- and the cheaper one is chosen, which is what
+  "properly blocked to maximize cache reuse" (section III-B) amounts to.
+* **LLC vs DRAM**: on SKX a tensor whose live footprint fits the shared LLC
+  is served there (activations are LLC-hot in steady-state training: the
+  previous layer just wrote them); larger tensors stream from DRAM.  KNM has
+  no LLC -- everything beyond L2 is MCDRAM (the Fig. 6 vs Fig. 4 story).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.machine import MachineConfig
+from repro.conv.blocking import BlockingPlan, UpdBlockingPlan
+from repro.conv.params import ConvParams
+from repro.types import DType
+
+__all__ = ["TrafficEstimate", "forward_traffic", "upd_traffic"]
+
+#: usable fraction of a cache level (conflict/metadata slack)
+CAP_FRACTION = 0.75
+
+
+@dataclass
+class TrafficEstimate:
+    """Aggregate traffic in bytes, summed over all cores of one socket/chip.
+
+    ``llc_*`` is traffic served by a shared last-level cache; ``mem_*`` is
+    DRAM/MCDRAM.  ``l2_*`` is the L2->L1 demand stream (per-core bandwidths
+    apply, so the model divides by the thread count downstream).
+    """
+
+    l2_read: float = 0.0
+    l2_write: float = 0.0
+    llc_read: float = 0.0
+    llc_write: float = 0.0
+    mem_read: float = 0.0
+    mem_write: float = 0.0
+    notes: dict = field(default_factory=dict)
+
+    def scaled(self, factor: float) -> "TrafficEstimate":
+        return TrafficEstimate(
+            l2_read=self.l2_read * factor,
+            l2_write=self.l2_write * factor,
+            llc_read=self.llc_read * factor,
+            llc_write=self.llc_write * factor,
+            mem_read=self.mem_read * factor,
+            mem_write=self.mem_write * factor,
+            notes=dict(self.notes),
+        )
+
+
+def _beyond_split(
+    est: TrafficEstimate,
+    machine: MachineConfig,
+    read_bytes: float,
+    write_bytes: float,
+    live_bytes: float,
+) -> None:
+    """Route beyond-L2 traffic between the shared LLC and DRAM.
+
+    ``live_bytes`` is the total working footprint competing for the LLC
+    during this pass (all tensors of the layer).  The fraction of it that
+    fits determines how much of this tensor's traffic the LLC absorbs --
+    a smooth version of "does it fit?" that captures partially-resident
+    tensors (e.g. a 90 MB output against a 38 MB LLC).
+    """
+    if machine.llc_bytes and live_bytes > 0:
+        frac = min(1.0, CAP_FRACTION * machine.llc_bytes / live_bytes)
+        est.llc_read += read_bytes * frac
+        est.llc_write += write_bytes * frac
+        est.mem_read += read_bytes * (1.0 - frac)
+        est.mem_write += write_bytes * (1.0 - frac)
+    else:
+        est.mem_read += read_bytes
+        est.mem_write += write_bytes
+
+
+def forward_traffic(
+    p: ConvParams,
+    plan: BlockingPlan,
+    machine: MachineConfig,
+    threads: int,
+    dtype: DType = DType.F32,
+    fused_extra_l2: float = 0.0,
+) -> TrafficEstimate:
+    """Socket-wide traffic of one forward pass with the paper's blocking.
+
+    ``fused_extra_l2`` adds L2 traffic for fused operators' parameter reads
+    (their output read+write is free -- that is the point of fusion).
+    """
+    isz = dtype.input_itemsize
+    osz = dtype.output_itemsize
+    vlen = plan.vlen
+    cb = p.C // vlen
+    kb = p.K // vlen
+    pb = -(-p.P // plan.rb_p)
+    qb = -(-p.Q // plan.rb_q)
+    calls = p.N * kb * pb * qb
+
+    # strided convolutions with 1-wide taps skip whole cache lines/rows of
+    # the input: only 1/stride of the rows (R==1) and of the in-row lines
+    # (S==1, one VLEN pixel block = one 64B line) are ever touched.
+    touch_frac = (1.0 / p.stride if p.R == 1 else 1.0) * (
+        1.0 / p.stride if p.S == 1 else 1.0
+    )
+    in_bytes = p.N * p.C * p.Hp * p.Wp * isz * touch_frac
+    w_bytes = p.K * p.C * p.R * p.S * isz
+    out_bytes = p.N * p.K * p.P * p.Q * osz
+    slab_in = in_bytes / p.N  # one sample's touched input
+    slab_out = out_bytes / (p.N * kb)  # one (n, k_b) output plane
+
+    est = TrafficEstimate()
+
+    # ---- L2 -> L1 ---------------------------------------------------------
+    rows = (plan.rb_p - 1) * p.stride + p.R
+    cols = (plan.rb_q - 1) * p.stride + p.S
+    cbu = cb if plan.loop_order == "cb_inner" else 1
+    ifp = cbu * rows * cols * vlen * isz
+    wfp = cbu * p.R * p.S * vlen * vlen * isz
+    ofp = plan.rb_p * plan.rb_q * vlen * osz
+
+    call_ws = ifp + wfp + 2 * ofp
+    weights_l1_resident = call_ws <= CAP_FRACTION * machine.l1_bytes
+    est.notes["weights_l1_resident"] = weights_l1_resident
+
+    est.l2_read += calls * ifp
+    if weights_l1_resident:
+        # weight block fetched once per (n, k_b, c_b, chunk)
+        chunks = max(1, p.P // max(plan.oj_block, 1))
+        est.l2_read += p.N * kb * cb * chunks * (p.R * p.S * vlen * vlen * isz)
+    else:
+        est.l2_read += calls * wfp
+    if plan.loop_order == "cb_inner":
+        est.l2_write += calls * ofp  # written once, never re-read
+    else:
+        conv_calls_per_point = cb
+        est.l2_read += calls * (conv_calls_per_point - 1) / conv_calls_per_point * ofp
+        est.l2_write += calls * ofp
+    est.l2_read += fused_extra_l2
+
+    # ---- beyond L2 ---------------------------------------------------------
+    # The thread grid can be factored T = tn x tk (minibatch x feature-map
+    # groups, section II-F): each of the tk column groups collectively
+    # streams the whole input once, and each of the tn row groups streams
+    # the whole weight tensor once (re-per-chunk if even the 1/tk weight
+    # slice exceeds L2).  "Properly blocked to maximize cache reuse"
+    # (section III-B) means picking the cheapest factorization -- which is
+    # what lets big-weight layers (e.g. Table-I id 18) avoid re-reading
+    # 9 MB of weights per minibatch sample.
+    l2b = CAP_FRACTION * machine.l2_bytes
+    # read-shared weight slices see the whole tile L2 (KNM pairs 2 cores)
+    l2b_w = l2b * machine.l2_shared_cores
+    chunks = max(1.0, p.P / max(plan.oj_block, 1))
+    in_total = p.N * slab_in
+    best = None
+    for tk in sorted({d for d in range(1, threads + 1) if threads % d == 0}):
+        tn = threads // tk
+        w_slice = w_bytes / tk
+        if w_slice <= l2b_w:
+            cost_w = min(tn, p.N) * w_bytes  # one stream per row group
+        else:
+            cost_w = p.N * chunks * w_bytes  # re-read per sample (and chunk)
+        cost_in = tk * in_total  # each kb column group streams the input
+        total = cost_w + cost_in
+        if best is None or total < best[0]:
+            best = (total, cost_in, cost_w, tk)
+    _, in_reads, w_reads, tk_pick = best
+    est.notes["beyond_mode"] = f"grid_tk{tk_pick}"
+
+    # live LLC footprint this layer competes for (activations were written
+    # by the previous layer, weights are shared once across cores)
+    live = in_bytes + out_bytes + w_bytes
+    _beyond_split(est, machine, in_reads, 0.0, live)
+    if machine.llc_bytes and w_bytes <= CAP_FRACTION * machine.llc_bytes / 4:
+        # one shared LLC copy serves all cores; DRAM sees it once
+        est.llc_read += w_reads - w_bytes
+        est.mem_read += w_bytes
+    else:
+        _beyond_split(est, machine, w_reads, 0.0, live)
+    # outputs: written once (streamed); accumulation read-backs stay in L2
+    _beyond_split(est, machine, 0.0, out_bytes, live)
+    return est
+
+
+def upd_traffic(
+    p: ConvParams,
+    plan: UpdBlockingPlan,
+    machine: MachineConfig,
+    threads: int,
+    ncopies: int,
+    dtype: DType = DType.F32,
+) -> TrafficEstimate:
+    """Socket-wide traffic of one weight-gradient pass (section II-J).
+
+    The gradient-copy reduction is the pass's defining cost: ``G`` copies are
+    written and re-read once each (KNM lacks an LLC to absorb this, the
+    Fig. 7b mechanism), and on KNM the upfront transpose of the gradient
+    input tensor for 4FMA adds a full read+write of ``dO`` (section III-B).
+    """
+    isz = dtype.input_itemsize
+    osz = 4  # gradients accumulate in 32 bits (section II-K)
+    in_bytes = p.N * p.C * p.Hp * p.Wp * isz
+    do_bytes = p.N * p.K * p.P * p.Q * isz
+    dw_bytes = p.R * p.S * p.C * p.K * osz
+
+    est = TrafficEstimate()
+    vlen = plan.vlen
+    # L2->L1: every (r, s) tap re-streams the input block and dO block
+    est.l2_read += p.R * p.S * (in_bytes + do_bytes)
+    est.l2_read += (p.N * (p.K // vlen) * (p.C // vlen)) * dw_bytes / (
+        (p.K // vlen) * (p.C // vlen)
+    )  # dW blocks cycled per minibatch sample
+    est.l2_write += p.N * dw_bytes
+
+    # beyond L2: within a copy group of T/G threads, each thread reads the
+    # group's minibatch share of I once per 1/tc of the feature maps, so the
+    # group collectively reads its share group_threads/tc times; summed over
+    # groups: in_bytes * group_threads / tc (section II-J's T/T_c factor).
+    group_threads = max(1, threads // ncopies)
+    tk = min(group_threads, max(1, p.K // vlen))
+    tc = min(max(1, group_threads // tk), max(1, p.C // vlen))
+    in_reads = in_bytes * group_threads / tc
+    do_reads = do_bytes * group_threads / tk
+    red_rw = 2.0 * ncopies * dw_bytes if ncopies > 1 else 2.0 * dw_bytes
+
+    if machine.has_4fma:
+        # transpose of dO's W/feature dims for 4FMA: memory-bound pre-pass
+        est_extra = 2.0 * do_bytes
+    else:
+        est_extra = 0.0
+
+    _beyond_split(est, machine, in_reads, 0.0, in_bytes)
+    _beyond_split(est, machine, do_reads + est_extra / 2, est_extra / 2, do_bytes)
+    _beyond_split(est, machine, red_rw / 2, red_rw / 2, ncopies * dw_bytes)
+    est.notes["ncopies"] = ncopies
+    return est

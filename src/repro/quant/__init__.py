@@ -1,0 +1,20 @@
+"""Reduced precision: quantized int16 kernels (section II-K).
+
+KNM's 4VNNIW instructions multiply int16 pairs and accumulate into int32.
+This package provides the tensor quantization (:mod:`repro.quant.qtensor`)
+and a functional int16 convolution whose accumulation-chain length is
+bounded exactly like the real kernels' (:mod:`repro.quant.qkernels`) --
+including the documented costs: 32-bit outputs (no bandwidth win there) and
+restricted register reuse from chain flushing.
+"""
+
+from repro.quant.qtensor import QuantTensor, quantize, dequantize
+from repro.quant.qkernels import qconv2d_forward, CHAIN_LIMIT_PAIRS
+
+__all__ = [
+    "QuantTensor",
+    "quantize",
+    "dequantize",
+    "qconv2d_forward",
+    "CHAIN_LIMIT_PAIRS",
+]

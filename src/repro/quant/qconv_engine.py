@@ -1,0 +1,146 @@
+"""Blocked int16 forward engine (section II-K through the full machinery).
+
+:class:`QuantConvForward` subclasses the fp32 streams engine: same blocked
+layouts, same dryrun/replay kernel streams, but the JIT'ed variants are the
+VNNI kernels (``dtype=QI16F32``: packed-pair weights, int32 accumulators,
+chain-limited flushes -- 4VNNIW form on KNM) and the functional microkernel
+performs the identical chunked int32 accumulation with overflow detection.
+
+Register pressure halves the accumulator budget (int32+fp32 pairs), which
+the blocking plan reflects -- exactly the paper's "restricted accumulation
+chain limits the register data reuse".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.arch.machine import KNM, MachineConfig
+from repro.conv.blocking import choose_blocking
+from repro.conv.forward import DirectConvForward
+from repro.conv.fusion import FusedOp
+from repro.conv.params import ConvParams
+from repro.jit.kernel_cache import KernelCache
+from repro.quant.qkernels import CHAIN_LIMIT_PAIRS, QuantOverflowError
+from repro.quant.qtensor import QuantTensor, quantize
+from repro.tensor.blocked import BlockedTensor, block_activations, block_weights
+from repro.types import DType
+
+__all__ = ["QuantConvForward"]
+
+
+class QuantConvForward(DirectConvForward):
+    """int16 x int16 -> fp32 forward convolution with kernel streams."""
+
+    def __init__(
+        self,
+        params: ConvParams,
+        machine: MachineConfig = KNM,
+        fused_ops: Sequence[FusedOp] = (),
+        threads: int = 1,
+        chain_limit: int = CHAIN_LIMIT_PAIRS,
+        prefetch: str = "both",
+        kernel_cache: KernelCache | None = None,
+    ) -> None:
+        self.chain_limit = chain_limit
+        plan = choose_blocking(params, machine, DType.F32, acc_budget_cap=13)
+        super().__init__(
+            params,
+            machine=machine,
+            dtype=DType.QI16F32,
+            fused_ops=fused_ops,
+            threads=threads,
+            plan=plan,
+            prefetch=prefetch,
+            kernel_cache=kernel_cache,
+        )
+        self._scale = 1.0  # set per invocation from the quantized operands
+
+    # ------------------------------------------------------------------
+    def _make_conv_closures(
+        self, x: np.ndarray, w: np.ndarray, o: np.ndarray
+    ) -> list[Callable]:
+        """int16 microkernel closures: chunked int32 accumulation with the
+        chain-limit flush schedule, matching the µop generator's."""
+        closures = []
+        scale = self._scale
+        chunk_c = 2 * self.chain_limit
+        for desc in self._descs:
+            iscb, ish, isw = desc.i_strides
+            wscb, wsr, wss, wsc = desc.w_strides
+            osh, osw = desc.o_strides
+            stn = desc.stride
+            ishape = (
+                desc.cb_unroll, desc.rb_p, desc.R, desc.rb_q, desc.S,
+                desc.vlen,
+            )
+            istr = tuple(
+                s * 2 for s in (iscb, stn * ish, ish, stn * isw, isw, 1)
+            )
+            wshape = (desc.cb_unroll, desc.R, desc.S, desc.vlen, desc.vlen)
+            wstr = tuple(s * 2 for s in (wscb, wsr, wss, wsc, 1))
+            oshape = (desc.rb_p, desc.rb_q, desc.vlen)
+            ostr = tuple(s * 4 for s in (osh, osw, 1))
+            zero_init = desc.zero_init
+            vlen = desc.vlen
+
+            def call(
+                i_off, w_off, o_off, pi, pw, po, *,
+                _is=ishape, _ist=istr, _ws=wshape, _wst=wstr,
+                _os=oshape, _ost=ostr, _zi=zero_init, _v=vlen,
+            ) -> None:
+                iv = as_strided(x[i_off:], _is, _ist)
+                wv = as_strided(w[w_off:], _ws, _wst)
+                ov = as_strided(o[o_off:], _os, _ost)
+                acc = np.zeros(_os, dtype=np.float32)
+                # reduction channels chunked by the accumulation-chain limit
+                for c0 in range(0, _v, chunk_c):
+                    c1 = min(c0 + chunk_c, _v)
+                    part = np.einsum(
+                        "bprqsc,brsck->pqk",
+                        iv[..., c0:c1].astype(np.int64),
+                        wv[:, :, :, c0:c1, :].astype(np.int64),
+                        optimize=True,
+                    )
+                    peak = int(np.abs(part).max(initial=0))
+                    if peak >= 2**31:
+                        raise QuantOverflowError(
+                            f"int32 overflow in blocked q16 kernel "
+                            f"(|acc|={peak})"
+                        )
+                    acc += part.astype(np.float32) * scale
+                if _zi:
+                    ov[...] = acc
+                else:
+                    ov += acc
+
+            closures.append(call)
+        return closures
+
+    # ------------------------------------------------------------------
+    def run_quantized(
+        self, qx: QuantTensor, qw: QuantTensor
+    ) -> np.ndarray:
+        """Blocked int16 execution from logical quantized tensors; returns
+        the fp32 (N, K, P, Q) output."""
+        p = self.params
+        self._scale = qx.scale * qw.scale
+        bx = block_activations(
+            qx.data.reshape(p.N, p.C, p.H, p.W),
+            self.plan.vlen, pad_h=p.pad_h, pad_w=p.pad_w, dtype=np.int16,
+        )
+        bw = block_weights(
+            qw.data.reshape(p.K, p.C, p.R, p.S), self.plan.vlen,
+            dtype=np.int16,
+        )
+        out = BlockedTensor(
+            np.zeros(self.out_layout.size, dtype=np.float32), self.out_layout
+        )
+        return self(bx, bw, out).to_nchw()
+
+    def run_nchw(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """Quantize fp32 operands and execute (convenience)."""
+        return self.run_quantized(quantize(x), quantize(w))

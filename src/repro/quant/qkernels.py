@@ -1,0 +1,94 @@
+"""Functional int16 convolution with bounded accumulation chains (II-K).
+
+The kernel multiplies int16 activations by int16 weights, accumulating into
+int32.  To avoid int32 overflow the accumulation chain is restricted: after
+``CHAIN_LIMIT_PAIRS`` channel-pairs the int32 partial sum is converted to
+fp32 and drained into the fp32 result -- exactly the structure the µop
+generator emits (:func:`repro.jit.codegen.generate_conv_kernel` with
+``dtype=QI16F32``), and the reason the paper's low-precision kernels lose
+register reuse relative to a 2x ideal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.conv.params import ConvParams
+from repro.quant.qtensor import QuantTensor
+from repro.types import ReproError, ShapeError
+
+__all__ = ["qconv2d_forward", "CHAIN_LIMIT_PAIRS", "QuantOverflowError", "safe_bits"]
+
+#: int16 pairs accumulated into one int32 register before a flush.
+#: Guaranteed overflow-free when operands are quantized to
+#: ``safe_bits(CHAIN_LIMIT_PAIRS)`` bits; with full 15-bit operands the
+#: guarantee relies on the statistics of trained tensors ([18]).
+CHAIN_LIMIT_PAIRS = 8
+
+
+class QuantOverflowError(ReproError):
+    """An int32 accumulator would have overflowed on real hardware."""
+
+
+def safe_bits(chain_limit: int = CHAIN_LIMIT_PAIRS) -> int:
+    """Largest operand bit-width with a worst-case int32 guarantee for
+    ``chain_limit`` VNNI ops: ``2 * L * (2^b)^2 < 2^31``."""
+    import math
+
+    return int((31 - 1 - math.ceil(math.log2(chain_limit))) // 2)
+
+
+def qconv2d_forward(
+    qx: QuantTensor,
+    qw: QuantTensor,
+    p: ConvParams,
+    chain_limit: int = CHAIN_LIMIT_PAIRS,
+) -> np.ndarray:
+    """int16 forward convolution; returns fp32 output (32-bit output rule).
+
+    ``qx`` is logical (N, C, H, W) int16; ``qw`` is (K, C, R, S) int16.
+    The reduction over (r, s, c) is performed in int32 chunks of
+    ``2 * chain_limit`` channels, each drained to fp32 -- numerically
+    identical to the hardware kernels' flush schedule.
+    """
+    if qx.shape != (p.N, p.C, p.H, p.W):
+        raise ShapeError(f"input shape {qx.shape} != {(p.N, p.C, p.H, p.W)}")
+    if qw.shape != (p.K, p.C, p.R, p.S):
+        raise ShapeError(f"weight shape {qw.shape} != {(p.K, p.C, p.R, p.S)}")
+    x = qx.data
+    w = qw.data
+    xp = np.pad(
+        x, ((0, 0), (0, 0), (p.pad_h, p.pad_h), (p.pad_w, p.pad_w)), mode="constant"
+    )
+    out = np.zeros((p.N, p.K, p.P, p.Q), dtype=np.float32)
+    scale = qx.scale * qw.scale
+    chunk = 2 * chain_limit  # channels per int32 chain
+    for r in range(p.R):
+        for s in range(p.S):
+            patch = xp[
+                :,
+                :,
+                r : r + p.stride * p.P : p.stride,
+                s : s + p.stride * p.Q : p.stride,
+            ]
+            for c0 in range(0, p.C, chunk):
+                c1 = min(c0 + chunk, p.C)
+                # int64 emulation of the int32 accumulator, with overflow
+                # detection: hardware would silently wrap here, which is
+                # exactly what the chain-length restriction prevents
+                acc = np.einsum(
+                    "ncpq,kc->nkpq",
+                    patch[:, c0:c1].astype(np.int64),
+                    w[:, c0:c1, r, s].astype(np.int64),
+                    optimize=True,
+                )
+                peak = int(np.abs(acc).max()) if acc.size else 0
+                if peak >= 2**31:
+                    raise QuantOverflowError(
+                        f"int32 accumulator overflow (|acc|={peak}); reduce "
+                        f"the accumulation chain (limit={chain_limit} pairs) "
+                        "or quantize to fewer bits (section II-K)"
+                    )
+                # flush: int32 partial -> fp32 result (VCVT + VADD)
+                out += acc.astype(np.float32) * scale
+    return out

@@ -1,0 +1,54 @@
+"""int16 tensor quantization (dynamic fixed point, following [18]).
+
+A tensor is represented by int16 values and one power-of-two scale chosen so
+the largest magnitude uses the full 15-bit range.  Products of two such
+tensors are exact in int32 as long as the accumulation chain is bounded
+(section II-K) -- :data:`repro.quant.qkernels.CHAIN_LIMIT_PAIRS` enforces
+that bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.types import ShapeError
+
+__all__ = ["QuantTensor", "quantize", "dequantize"]
+
+
+@dataclass
+class QuantTensor:
+    """int16 data plus its dequantization scale (``real = data * scale``)."""
+
+    data: np.ndarray
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.data.dtype != np.int16:
+            raise ShapeError(f"QuantTensor needs int16 data, got {self.data.dtype}")
+
+    def dequantize(self) -> np.ndarray:
+        return self.data.astype(np.float32) * self.scale
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+
+def quantize(x: np.ndarray, bits: int = 15) -> QuantTensor:
+    """Quantize to int16 with a power-of-two scale (DFP16 of [18])."""
+    max_abs = float(np.abs(x).max())
+    if max_abs == 0.0:
+        return QuantTensor(np.zeros(x.shape, dtype=np.int16), 1.0)
+    # smallest power-of-two scale that fits max_abs into `bits` bits
+    exp = math.ceil(math.log2(max_abs / (2**bits - 1)))
+    scale = 2.0**exp
+    q = np.clip(np.round(x / scale), -(2**bits), 2**bits - 1)
+    return QuantTensor(q.astype(np.int16), scale)
+
+
+def dequantize(q: QuantTensor) -> np.ndarray:
+    return q.dequantize()

@@ -1,0 +1,62 @@
+"""The replay phase: Algorithm 5.
+
+``replay`` walks the RLE segments of a thread's frozen stream and dispatches
+through two tables: ``kernels[variant](i_off, w_off, o_off, pi, pw, po)`` for
+convolution calls and ``apply_ops[op](o_off, kb)`` for fused operators.  The
+prefetch arguments of call ``t`` are the compute offsets of call ``t+1``
+(Fig. 1); the final call prefetches its own operands, matching the paper's
+convention that the last iteration has nothing new to fetch.
+
+The loop contains no boundary/fusion conditionals -- precisely the point of
+the kernel-streams framework (section II-H).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.streams.rle import Segment, SegmentKind
+from repro.streams.stream import FrozenStream
+
+__all__ = ["replay"]
+
+ConvKernel = Callable[[int, int, int, int, int, int], None]
+ApplyOp = Callable[[int, int], None]
+
+
+def replay(
+    stream: FrozenStream,
+    segments: Sequence[Segment],
+    kernels: Sequence[ConvKernel],
+    apply_ops: Sequence[ApplyOp],
+) -> int:
+    """Execute one thread's recorded stream; returns the number of conv calls."""
+    kinds = stream.kinds
+    i_off = stream.i_off
+    w_off = stream.w_off
+    o_off = stream.o_off
+    n = len(stream)
+    conv_calls = 0
+    for seg in segments:
+        if seg.kind is SegmentKind.APPLY:
+            t = seg.start
+            apply_ops[seg.info](int(o_off[t]), int(w_off[t]))
+            continue
+        # CONV-STREAK: Algorithm 5's inner loop
+        for t in range(seg.start, seg.start + seg.info):
+            # prefetch args = next *conv* call's offsets (skip APPLY records)
+            nt = t + 1
+            while nt < n and kinds[nt] < 0:
+                nt += 1
+            if nt >= n:
+                nt = t
+            kernels[int(kinds[t])](
+                int(i_off[t]),
+                int(w_off[t]),
+                int(o_off[t]),
+                int(i_off[nt]),
+                int(w_off[nt]),
+                int(o_off[nt]),
+            )
+            conv_calls += 1
+    return conv_calls

@@ -1,0 +1,53 @@
+"""Run-length encoding of kernel streams into segments (Fig. 2).
+
+A typical forward pass is long streaks of convolution calls punctuated by
+fused APPLY calls.  ``encode_segments`` compresses the per-call kind stream
+into ``(CONV_STREAK, length)`` / ``(APPLY, op)`` segments, which is the
+"specialized run-length encoding procedure" of section II-H; the replay loop
+(Algorithm 5) then iterates segments instead of testing every call's kind.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.streams.stream import APPLY_CALL, FrozenStream
+
+__all__ = ["SegmentKind", "Segment", "encode_segments"]
+
+
+class SegmentKind(enum.Enum):
+    CONV_STREAK = "conv-streak"
+    APPLY = "apply"
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """One RLE segment: ``info`` is the streak length for CONV_STREAK and the
+    fused-operator index for APPLY.  ``start`` indexes the call streams."""
+
+    kind: SegmentKind
+    info: int
+    start: int
+
+
+def encode_segments(stream: FrozenStream) -> list[Segment]:
+    """Compress a frozen call stream into segments."""
+    segments: list[Segment] = []
+    i = 0
+    n = len(stream)
+    kinds = stream.kinds
+    while i < n:
+        if kinds[i] == APPLY_CALL:
+            segments.append(
+                Segment(SegmentKind.APPLY, int(stream.apply_op[i]), i)
+            )
+            i += 1
+        else:
+            j = i
+            while j < n and kinds[j] != APPLY_CALL:
+                j += 1
+            segments.append(Segment(SegmentKind.CONV_STREAK, j - i, i))
+            i = j
+    return segments

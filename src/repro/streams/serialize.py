@@ -1,0 +1,68 @@
+"""Kernel-stream serialization.
+
+The dryrun phase "has to be performed only once during the setup of the CNN
+layer" (section II-H); persisting the frozen streams lets a process skip
+even that on restart -- the stream buffers are pure offset arrays, so they
+round-trip losslessly through ``.npz``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.streams.stream import FrozenStream
+from repro.types import ReproError
+
+__all__ = ["save_streams", "load_streams", "streams_digest"]
+
+_FORMAT_VERSION = 1
+
+
+def save_streams(path_or_file, streams: list[FrozenStream], meta: dict | None = None) -> None:
+    """Persist per-thread frozen streams (and optional layer metadata)."""
+    payload = {"__meta__": np.frombuffer(
+        json.dumps({"version": _FORMAT_VERSION, "threads": len(streams),
+                    **(meta or {})}).encode(), dtype=np.uint8
+    )}
+    for i, s in enumerate(streams):
+        payload[f"kinds_{i}"] = s.kinds
+        payload[f"i_off_{i}"] = s.i_off
+        payload[f"w_off_{i}"] = s.w_off
+        payload[f"o_off_{i}"] = s.o_off
+        payload[f"apply_op_{i}"] = s.apply_op
+    np.savez_compressed(path_or_file, **payload)
+
+
+def load_streams(path_or_file) -> tuple[list[FrozenStream], dict]:
+    """Load streams saved by :func:`save_streams`; returns (streams, meta)."""
+    with np.load(path_or_file) as z:
+        meta = json.loads(bytes(z["__meta__"]).decode())
+        if meta.get("version") != _FORMAT_VERSION:
+            raise ReproError(
+                f"unsupported stream file version {meta.get('version')}"
+            )
+        streams = []
+        for i in range(meta["threads"]):
+            streams.append(
+                FrozenStream(
+                    kinds=z[f"kinds_{i}"],
+                    i_off=z[f"i_off_{i}"],
+                    w_off=z[f"w_off_{i}"],
+                    o_off=z[f"o_off_{i}"],
+                    apply_op=z[f"apply_op_{i}"],
+                )
+            )
+    return streams, meta
+
+
+def streams_digest(streams: list[FrozenStream]) -> str:
+    """Stable content digest, for cache-key/consistency checks."""
+    import hashlib
+
+    h = hashlib.sha256()
+    for s in streams:
+        for arr in (s.kinds, s.i_off, s.w_off, s.o_off, s.apply_op):
+            h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()[:16]

@@ -1,0 +1,94 @@
+"""Stream buffers recorded by the dryrun phase.
+
+Following Fig. 2, a thread's execution is captured by five parallel streams:
+the kernel id per call, three offset streams (input/weight/output), and the
+argument stream for APPLY calls.  They are stored as compact numpy arrays --
+the Python analogue of the paper's auxiliary *stream buffers* -- so the
+replay loop touches only flat memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.types import ReproError
+
+__all__ = ["KernelStream", "CONV_CALL", "APPLY_CALL"]
+
+#: sentinel kernel ids; real conv variants are numbered 0..N-1
+CONV_CALL = 0
+APPLY_CALL = -1
+
+
+@dataclass
+class KernelStream:
+    """Recorded call stream for one thread.
+
+    ``kinds[i] >= 0`` is a convolution call using variant ``kinds[i]`` with
+    offsets ``(i_off[i], w_off[i], o_off[i])``; ``kinds[i] == APPLY_CALL``
+    applies fused operator ``apply_op[i]`` to the output sub-tensor at
+    ``o_off[i]``.  For APPLY records, ``w_off`` carries the output-feature
+    block index ``kb`` (per-channel parameters) and ``i_off`` carries the
+    preceding conv call's variant id (the APPLY covers that call's output
+    block shape).
+    """
+
+    kinds: list[int] = field(default_factory=list)
+    i_off: list[int] = field(default_factory=list)
+    w_off: list[int] = field(default_factory=list)
+    o_off: list[int] = field(default_factory=list)
+    apply_op: list[int] = field(default_factory=list)
+
+    def record_conv(self, variant: int, i_off: int, w_off: int, o_off: int) -> None:
+        if variant < 0:
+            raise ReproError("conv variant ids must be >= 0")
+        self.kinds.append(variant)
+        self.i_off.append(i_off)
+        self.w_off.append(w_off)
+        self.o_off.append(o_off)
+        self.apply_op.append(-1)
+
+    def record_apply(
+        self, op_index: int, o_off: int, kb: int, variant: int = 0
+    ) -> None:
+        self.kinds.append(APPLY_CALL)
+        self.i_off.append(variant)
+        self.w_off.append(kb)
+        self.o_off.append(o_off)
+        self.apply_op.append(op_index)
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def freeze(self) -> "FrozenStream":
+        return FrozenStream(
+            kinds=np.asarray(self.kinds, dtype=np.int32),
+            i_off=np.asarray(self.i_off, dtype=np.int64),
+            w_off=np.asarray(self.w_off, dtype=np.int64),
+            o_off=np.asarray(self.o_off, dtype=np.int64),
+            apply_op=np.asarray(self.apply_op, dtype=np.int32),
+        )
+
+
+@dataclass(frozen=True)
+class FrozenStream:
+    """Immutable, array-backed form used by replay."""
+
+    kinds: np.ndarray
+    i_off: np.ndarray
+    w_off: np.ndarray
+    o_off: np.ndarray
+    apply_op: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.kinds.size)
+
+    @property
+    def conv_calls(self) -> int:
+        return int((self.kinds >= 0).sum())
+
+    @property
+    def apply_calls(self) -> int:
+        return int((self.kinds == APPLY_CALL).sum())

@@ -1,0 +1,27 @@
+"""Blocked tensor layouts (section II-B).
+
+The paper lays activations out as ``[N][C/VLEN][H][W][VLEN]`` and weights as
+``[K/VLEN][C/VLEN][R][S][VLEN_c][VLEN_k]`` so that the innermost, fast-running
+dimension is the vectorized feature-map block.  :class:`BlockedTensor` wraps a
+flat numpy buffer with one of these layouts and converts to/from the logical
+NCHW / KCRS views used by reference code and by GxM's non-conv layers.
+"""
+
+from repro.tensor.layout import ActivationLayout, WeightLayout
+from repro.tensor.blocked import BlockedTensor, block_activations, block_weights
+from repro.tensor.transforms import (
+    bwd_weight_transform,
+    vnni_pack_weights,
+    vnni_unpack_weights,
+)
+
+__all__ = [
+    "ActivationLayout",
+    "WeightLayout",
+    "BlockedTensor",
+    "block_activations",
+    "block_weights",
+    "bwd_weight_transform",
+    "vnni_pack_weights",
+    "vnni_unpack_weights",
+]

@@ -1,0 +1,120 @@
+"""BlockedTensor: a flat buffer plus a blocked layout.
+
+The convolution engines and the µop interpreter both address tensors as flat
+1-D arrays with layout-derived offsets (exactly how the JIT'ed kernels see
+memory).  ``view()`` exposes the natural multi-dimensional numpy view for the
+blocked engines' inner contractions, and ``to_nchw``/``to_kcrs`` convert back
+to the logical order for validation against reference code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tensor.layout import ActivationLayout, WeightLayout
+from repro.types import ShapeError
+
+__all__ = ["BlockedTensor", "block_activations", "block_weights"]
+
+
+@dataclass(slots=True)
+class BlockedTensor:
+    """Flat storage + layout.  ``data`` always has ``layout.size`` elements."""
+
+    data: np.ndarray
+    layout: ActivationLayout | WeightLayout
+    pad_h: int = 0  # physical padding baked into layout.h/w (activations)
+    pad_w: int = 0
+
+    def __post_init__(self) -> None:
+        self.data = np.ascontiguousarray(self.data).reshape(-1)
+        if self.data.size != self.layout.size:
+            raise ShapeError(
+                f"buffer has {self.data.size} elements, layout needs "
+                f"{self.layout.size}"
+            )
+
+    # ---- views ---------------------------------------------------------
+    def view(self) -> np.ndarray:
+        """The blocked multi-dimensional view (no copy)."""
+        return self.data.reshape(self.layout.shape)
+
+    @property
+    def is_activation(self) -> bool:
+        return isinstance(self.layout, ActivationLayout)
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def copy(self) -> "BlockedTensor":
+        return BlockedTensor(self.data.copy(), self.layout, self.pad_h, self.pad_w)
+
+    def zero_(self) -> None:
+        self.data[:] = 0
+
+    # ---- conversions -----------------------------------------------------
+    def to_nchw(self) -> np.ndarray:
+        """Logical ``(N, C, H, W)`` array *without* the physical padding."""
+        if not self.is_activation:
+            raise ShapeError("to_nchw on a weight tensor; use to_kcrs")
+        lay = self.layout
+        v = self.view()  # (n, cb, h, w, c)
+        full = v.transpose(0, 1, 4, 2, 3).reshape(lay.n, lay.c, lay.h, lay.w)
+        ph, pw = self.pad_h, self.pad_w
+        if ph or pw:
+            full = full[:, :, ph : lay.h - ph, pw : lay.w - pw]
+        return np.ascontiguousarray(full)
+
+    def to_kcrs(self) -> np.ndarray:
+        """Logical ``(K, C, R, S)`` weight array."""
+        if self.is_activation:
+            raise ShapeError("to_kcrs on an activation tensor; use to_nchw")
+        lay = self.layout
+        v = self.view()  # (kb, cb, r, s, c, k)
+        # -> (kb, k, cb, c, r, s)
+        out = v.transpose(0, 5, 1, 4, 2, 3).reshape(lay.k, lay.c, lay.r, lay.s)
+        return np.ascontiguousarray(out)
+
+
+def block_activations(
+    x: np.ndarray, vlen: int, pad_h: int = 0, pad_w: int = 0, dtype=None
+) -> BlockedTensor:
+    """Block a logical ``(N, C, H, W)`` array into NCHWc layout.
+
+    ``pad_h``/``pad_w`` add *physical* zero padding around the spatial dims,
+    the form the direct kernels consume (padding is materialized once at
+    layer setup, like LIBXSMM's padded-copy code path).
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"expected (N, C, H, W), got shape {x.shape}")
+    n, c, h, w = x.shape
+    if c % vlen:
+        raise ShapeError(f"C={c} not divisible by VLEN={vlen}")
+    dtype = dtype or x.dtype
+    lay = ActivationLayout(n=n, c=c, h=h + 2 * pad_h, w=w + 2 * pad_w, vlen=vlen)
+    buf = np.zeros(lay.shape, dtype=dtype)
+    # (n, c, h, w) -> (n, cb, vlen, h, w) -> (n, cb, h, w, vlen)
+    src = x.reshape(n, c // vlen, vlen, h, w).transpose(0, 1, 3, 4, 2)
+    buf[:, :, pad_h : pad_h + h, pad_w : pad_w + w, :] = src
+    return BlockedTensor(buf, lay, pad_h=pad_h, pad_w=pad_w)
+
+
+def block_weights(w: np.ndarray, vlen: int, dtype=None) -> BlockedTensor:
+    """Block a logical ``(K, C, R, S)`` array into KCRSck layout."""
+    if w.ndim != 4:
+        raise ShapeError(f"expected (K, C, R, S), got shape {w.shape}")
+    k, c, r, s = w.shape
+    if k % vlen or c % vlen:
+        raise ShapeError(f"K={k} or C={c} not divisible by VLEN={vlen}")
+    dtype = dtype or w.dtype
+    lay = WeightLayout(k=k, c=c, r=r, s=s, vlen=vlen)
+    # (k, c, r, s) -> (kb, vk, cb, vc, r, s) -> (kb, cb, r, s, vc, vk)
+    src = (
+        w.reshape(k // vlen, vlen, c // vlen, vlen, r, s)
+        .transpose(0, 2, 4, 5, 3, 1)
+    )
+    buf = np.ascontiguousarray(src, dtype=dtype)
+    return BlockedTensor(buf, lay)

@@ -1,0 +1,121 @@
+"""Layout descriptors: dimension order and element strides.
+
+A layout maps logical coordinates to element offsets in a flat buffer.  The
+JIT bakes these strides into generated µop offsets, and the kernel-streams
+dryrun (section II-H) records offsets computed through these descriptors --
+so they are the single source of truth for addressing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import ShapeError
+
+__all__ = ["ActivationLayout", "WeightLayout"]
+
+
+def _check_divisible(value: int, block: int, what: str) -> None:
+    if value % block != 0:
+        raise ShapeError(
+            f"{what}={value} is not divisible by the vector block {block}; "
+            "pad the feature maps to a multiple of VLEN first"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ActivationLayout:
+    """``[N][C/VLEN][H][W][VLEN]`` activation layout (section II-B).
+
+    ``h``/``w`` are the *stored* spatial extents (they include any physical
+    padding the convolution requires).
+    """
+
+    n: int
+    c: int
+    h: int
+    w: int
+    vlen: int
+
+    def __post_init__(self) -> None:
+        _check_divisible(self.c, self.vlen, "C")
+        if min(self.n, self.c, self.h, self.w, self.vlen) <= 0:
+            raise ShapeError(f"non-positive activation dims: {self}")
+
+    @property
+    def cb(self) -> int:
+        return self.c // self.vlen
+
+    @property
+    def shape(self) -> tuple[int, int, int, int, int]:
+        return (self.n, self.cb, self.h, self.w, self.vlen)
+
+    @property
+    def size(self) -> int:
+        return self.n * self.c * self.h * self.w
+
+    @property
+    def strides(self) -> tuple[int, int, int, int, int]:
+        """Element strides for (n, cb, h, w, c)."""
+        s_c = 1
+        s_w = self.vlen
+        s_h = self.w * s_w
+        s_cb = self.h * s_h
+        s_n = self.cb * s_cb
+        return (s_n, s_cb, s_h, s_w, s_c)
+
+    def offset(self, n: int, cb: int, h: int, w: int, c: int = 0) -> int:
+        sn, scb, sh, sw, sc = self.strides
+        return n * sn + cb * scb + h * sh + w * sw + c * sc
+
+
+@dataclass(frozen=True, slots=True)
+class WeightLayout:
+    """``[K/VLEN][C/VLEN][R][S][VLEN_c][VLEN_k]`` weight layout (II-B).
+
+    The innermost ``k`` index is the output-channel vector the FMA writes;
+    the ``c`` index above it is the GEMM reduction dimension.
+    """
+
+    k: int
+    c: int
+    r: int
+    s: int
+    vlen: int
+
+    def __post_init__(self) -> None:
+        _check_divisible(self.k, self.vlen, "K")
+        _check_divisible(self.c, self.vlen, "C")
+        if min(self.k, self.c, self.r, self.s, self.vlen) <= 0:
+            raise ShapeError(f"non-positive weight dims: {self}")
+
+    @property
+    def kb(self) -> int:
+        return self.k // self.vlen
+
+    @property
+    def cb(self) -> int:
+        return self.c // self.vlen
+
+    @property
+    def shape(self) -> tuple[int, int, int, int, int, int]:
+        return (self.kb, self.cb, self.r, self.s, self.vlen, self.vlen)
+
+    @property
+    def size(self) -> int:
+        return self.k * self.c * self.r * self.s
+
+    @property
+    def strides(self) -> tuple[int, int, int, int, int, int]:
+        """Element strides for (kb, cb, r, s, c, k)."""
+        s_k = 1
+        s_c = self.vlen
+        s_s = self.vlen * self.vlen
+        s_r = self.s * s_s
+        s_cb = self.r * s_r
+        s_kb = self.cb * s_cb
+        return (s_kb, s_cb, s_r, s_s, s_c, s_k)
+
+    def offset(self, kb: int, cb: int, r: int, s: int, c: int = 0, k: int = 0) -> int:
+        skb, scb, sr, ss, sc, sk = self.strides
+        return kb * skb + cb * scb + r * sr + s * ss + c * sc + k * sk

@@ -1,0 +1,65 @@
+"""Weight-tensor transforms.
+
+Two transforms from the paper:
+
+* :func:`bwd_weight_transform` -- the section II-I duality transform
+  ``W'[c][k][-r][-s] = W[k][c][r][s]``: swap the feature-map dimensions and
+  flip the spatial ones, so the *forward* kernel computes the input gradient.
+* :func:`vnni_pack_weights` -- the KNM 4VNNIW pairing (section II-K): the
+  reduction dimension ``c`` is split into pairs so one VVNNI op consumes two
+  int16 channels per lane, accumulating into int32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.blocked import BlockedTensor
+from repro.tensor.layout import WeightLayout
+from repro.types import ShapeError
+
+__all__ = ["bwd_weight_transform", "vnni_pack_weights", "vnni_unpack_weights"]
+
+
+def bwd_weight_transform(w: BlockedTensor) -> BlockedTensor:
+    """Duality transform of a blocked weight tensor (section II-I).
+
+    Input layout ``(kb, cb, r, s, c, k)``; output layout ``(cb, kb, R-1-r,
+    S-1-s, k, c)`` -- i.e. a weight tensor whose "output" feature maps are the
+    original *input* maps, ready to be convolved with ``dO`` by the forward
+    kernel.
+    """
+    lay = w.layout
+    if not isinstance(lay, WeightLayout):
+        raise ShapeError("bwd_weight_transform expects a weight tensor")
+    v = w.view()  # (kb, cb, r, s, c, k)
+    t = v[:, :, ::-1, ::-1, :, :].transpose(1, 0, 2, 3, 5, 4)
+    new_lay = WeightLayout(k=lay.c, c=lay.k, r=lay.r, s=lay.s, vlen=lay.vlen)
+    return BlockedTensor(np.ascontiguousarray(t), new_lay)
+
+
+def vnni_pack_weights(w: BlockedTensor) -> np.ndarray:
+    """Pack blocked int16 weights into VNNI pair layout.
+
+    ``(kb, cb, r, s, c, k)`` -> ``(kb, cb, r, s, c/2, k, 2)``: adjacent
+    reduction channels are interleaved per output lane so a single VVNNI
+    instruction multiplies int16 pairs and accumulates int32.
+    """
+    lay = w.layout
+    if not isinstance(lay, WeightLayout):
+        raise ShapeError("vnni_pack_weights expects a weight tensor")
+    if lay.vlen % 2:
+        raise ShapeError("VNNI pairing needs an even VLEN")
+    v = w.view()
+    kb, cb, r, s, c, k = v.shape
+    packed = v.reshape(kb, cb, r, s, c // 2, 2, k).transpose(0, 1, 2, 3, 4, 6, 5)
+    return np.ascontiguousarray(packed)
+
+
+def vnni_unpack_weights(packed: np.ndarray, layout: WeightLayout) -> BlockedTensor:
+    """Inverse of :func:`vnni_pack_weights`."""
+    kb, cb, r, s, c2, k, two = packed.shape
+    if two != 2 or c2 * 2 != layout.vlen:
+        raise ShapeError(f"not a VNNI-packed tensor: shape {packed.shape}")
+    v = packed.transpose(0, 1, 2, 3, 4, 6, 5).reshape(layout.shape)
+    return BlockedTensor(np.ascontiguousarray(v), layout)

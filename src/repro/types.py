@@ -1,0 +1,76 @@
+"""Common value types shared across the library.
+
+The paper operates on fp32 tensors throughout, with an int16->int32
+reduced-precision path on Knights Mill (section II-K).  ``DType`` names the
+numeric formats a kernel can be generated for; everything downstream (layouts,
+codegen, the timing model) keys off these values.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = [
+    "DType",
+    "Pass",
+    "ReproError",
+    "ShapeError",
+    "CodegenError",
+    "UnsupportedError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ShapeError(ReproError):
+    """A tensor/convolution shape is invalid or incompatible."""
+
+
+class CodegenError(ReproError):
+    """The JIT code generator was asked for an impossible kernel."""
+
+
+class UnsupportedError(ReproError):
+    """A valid request that this implementation does not cover."""
+
+
+class DType(enum.Enum):
+    """Numeric formats supported by the kernel generators.
+
+    ``F32``    -- IEEE single precision (the paper's default).
+    ``QI16F32``-- quantized int16 inputs/weights with int32 accumulation and
+                  fp32 output, modelling KNM's 4VNNIW path (section II-K).
+    """
+
+    F32 = "f32"
+    QI16F32 = "qi16f32"
+
+    @property
+    def input_itemsize(self) -> int:
+        """Bytes per input/weight element."""
+        return 4 if self is DType.F32 else 2
+
+    @property
+    def output_itemsize(self) -> int:
+        """Bytes per output element (always 32-bit, per section II-K)."""
+        return 4
+
+    @property
+    def np_input(self) -> np.dtype:
+        return np.dtype(np.float32) if self is DType.F32 else np.dtype(np.int16)
+
+    @property
+    def np_accum(self) -> np.dtype:
+        return np.dtype(np.float32) if self is DType.F32 else np.dtype(np.int32)
+
+
+class Pass(enum.Enum):
+    """The three propagation passes of CNN training (sections II-A/I/J)."""
+
+    FWD = "forward"
+    BWD = "backward"
+    UPD = "update"

@@ -1,0 +1,85 @@
+"""Numerical-accuracy norms, as the paper's artifact reports them.
+
+The artifact appendix: "the layer example runs a simple loop nest as
+reference code for each convolution operation.  The JIT is compared using
+several norms (Linf of absolute error, L2 of absolute error, Linf of
+relative error, L2 of relative error)."  :func:`compare` computes exactly
+those four, and :func:`check` turns them into a pass/fail verdict with
+fp32-appropriate tolerances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.types import ReproError
+
+__all__ = ["ErrorNorms", "compare", "check", "ValidationError"]
+
+
+class ValidationError(ReproError):
+    """A kernel's output diverged from the reference beyond tolerance."""
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorNorms:
+    """The artifact's four norms for one (test, reference) pair."""
+
+    linf_abs: float
+    l2_abs: float
+    linf_rel: float
+    l2_rel: float
+
+    def __str__(self) -> str:
+        return (
+            f"Linf-abs={self.linf_abs:.3e}  L2-abs={self.l2_abs:.3e}  "
+            f"Linf-rel={self.linf_rel:.3e}  L2-rel={self.l2_rel:.3e}"
+        )
+
+
+def compare(test: np.ndarray, reference: np.ndarray) -> ErrorNorms:
+    """Compute the four artifact norms of ``test`` against ``reference``."""
+    t = np.asarray(test, dtype=np.float64).reshape(-1)
+    r = np.asarray(reference, dtype=np.float64).reshape(-1)
+    if t.shape != r.shape:
+        raise ValidationError(
+            f"shape mismatch: test {test.shape} vs reference {reference.shape}"
+        )
+    diff = np.abs(t - r)
+    linf_abs = float(diff.max(initial=0.0))
+    l2_abs = float(np.sqrt((diff**2).sum()))
+    denom = np.abs(r)
+    ref_scale = float(denom.max(initial=0.0))
+    # relative error guarded against zero reference entries: entries whose
+    # reference magnitude is numerically zero use the tensor's scale instead
+    guard = np.where(denom > 1e-30 * max(ref_scale, 1.0), denom,
+                     max(ref_scale, 1e-30))
+    rel = diff / guard
+    linf_rel = float(rel.max(initial=0.0))
+    ref_l2 = float(np.sqrt((r**2).sum()))
+    l2_rel = l2_abs / ref_l2 if ref_l2 > 0 else l2_abs
+    return ErrorNorms(linf_abs, l2_abs, linf_rel, l2_rel)
+
+
+def check(
+    test: np.ndarray,
+    reference: np.ndarray,
+    linf_rel_tol: float = 1e-3,
+    l2_rel_tol: float = 1e-4,
+    raise_on_fail: bool = True,
+) -> ErrorNorms:
+    """Validate and (optionally) raise with the full norm report.
+
+    Default tolerances suit fp32 kernels whose accumulation order differs
+    from the reference's; int16 kernels need looser ``linf_rel_tol``.
+    """
+    norms = compare(test, reference)
+    ok = norms.linf_rel <= linf_rel_tol and norms.l2_rel <= l2_rel_tol
+    if not ok and raise_on_fail:
+        raise ValidationError(
+            f"kernel output exceeds tolerance: {norms} "
+            f"(limits: Linf-rel {linf_rel_tol:g}, L2-rel {l2_rel_tol:g})"
+        )
+    return norms

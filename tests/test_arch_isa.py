@@ -1,0 +1,58 @@
+"""µop / KernelProgram structure tests."""
+
+from repro.arch.isa import COMPUTE_OPS, MEMORY_OPS, KernelProgram, Op, Uop
+
+
+class TestUop:
+    def test_memory_classification(self):
+        assert Uop(Op.VLOAD, dst=0, tensor="I").touches_memory()
+        assert Uop(Op.PREFETCH2, tensor="I_pf").touches_memory()
+        assert not Uop(Op.VFMA, dst=0, src1=1, src2=2).touches_memory()
+
+    def test_compute_classification(self):
+        assert Uop(Op.VFMA, dst=0, src1=1, src2=2).is_compute()
+        assert Uop(Op.VMAX, dst=0, src1=0, src2=1).is_compute()
+        assert not Uop(Op.VLOAD, dst=0, tensor="I").is_compute()
+
+    def test_fma_family(self):
+        for op in (Op.VFMA, Op.VFMA_MEM, Op.V4FMA, Op.VVNNI):
+            assert Uop(op, dst=0, src1=1, tensor="I").is_fma()
+        assert not Uop(Op.VADD, dst=0, src1=1, src2=2).is_fma()
+
+    def test_classes_disjoint_for_pure_ops(self):
+        assert Op.VFMA not in MEMORY_OPS
+        assert Op.VLOAD not in COMPUTE_OPS
+        # fused memory operand is deliberately in both
+        assert Op.VFMA_MEM in MEMORY_OPS and Op.VFMA_MEM in COMPUTE_OPS
+
+
+class TestKernelProgram:
+    def _prog(self):
+        uops = [
+            Uop(Op.VZERO, dst=0),
+            Uop(Op.VLOAD, dst=1, tensor="W", offset=0),
+            Uop(Op.VBCAST, dst=2, tensor="I", offset=4),
+            Uop(Op.VFMA, dst=0, src1=1, src2=2),
+            Uop(Op.VSTORE, src1=0, tensor="O", offset=0),
+        ]
+        return KernelProgram(name="t", vlen=4, uops=uops, flops=8)
+
+    def test_len_and_iter(self):
+        p = self._prog()
+        assert len(p) == 5
+        assert sum(1 for _ in p) == 5
+
+    def test_count(self):
+        p = self._prog()
+        assert p.count(Op.VLOAD, Op.VBCAST) == 2
+
+    def test_fma_count(self):
+        assert self._prog().fma_count == 1
+
+    def test_max_register(self):
+        assert self._prog().max_register() == 2
+
+    def test_summary(self):
+        s = self._prog().summary()
+        assert s["VFMA"] == 1
+        assert s["VLOAD"] == 1

@@ -1,0 +1,103 @@
+"""Machine configs must encode the paper's published hardware numbers."""
+
+import pytest
+
+from repro.arch.machine import KNM, SKX, machine_by_name
+from repro.arch.roofline import Roofline
+from repro.types import DType
+
+
+class TestSKX:
+    def test_per_core_peak_matches_paper(self):
+        # 2 FMA ports x 16 lanes x 2 flops x 2.3 GHz = 147.2 GFLOPS (III-B)
+        assert SKX.peak_flops_core == pytest.approx(147.2e9, rel=1e-3)
+
+    def test_l2_bandwidths(self):
+        assert SKX.l2_read_bw == pytest.approx(147e9)
+        assert SKX.l2_write_bw == pytest.approx(74e9)
+
+    def test_stream_triad(self):
+        assert SKX.mem_bw == pytest.approx(105e9)
+
+    def test_has_llc(self):
+        assert SKX.llc_bytes > 30 * 1024 * 1024
+
+    def test_vlen(self):
+        assert SKX.vlen() == 16
+        assert SKX.input_vlen(DType.QI16F32) == 32
+
+    def test_fused_memop_penalty(self):
+        # ~15% micro-op split penalty (section III-B)
+        assert SKX.fused_memop_penalty == pytest.approx(0.15)
+
+
+class TestKNM:
+    def test_per_core_peak_matches_paper(self):
+        # section III-B: "the core's peak performance is 192 GFLOPS"
+        assert KNM.peak_flops_core == pytest.approx(192e9, rel=1e-3)
+
+    def test_l2_bandwidths(self):
+        # section III-B: 54.4 GB/s read, 27 GB/s write per core
+        assert KNM.l2_read_bw == pytest.approx(54.4e9)
+        assert KNM.l2_write_bw == pytest.approx(27e9)
+
+    def test_no_llc(self):
+        assert KNM.llc_bytes == 0
+
+    def test_mcdram(self):
+        assert KNM.mem_bw == pytest.approx(470e9)
+
+    def test_4fma_and_vnni(self):
+        assert KNM.has_4fma
+        assert KNM.vnni16_speedup == pytest.approx(2.0)
+
+    def test_int16_mac_peak_doubles(self):
+        assert KNM.peak_macs_core(DType.QI16F32) == pytest.approx(
+            2 * KNM.peak_macs_core(DType.F32)
+        )
+
+    def test_compute_cores_match_paper(self):
+        # III-C: 62 of 72 cores compute in multi-node runs
+        assert KNM.compute_cores == 62
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert machine_by_name("skx") is SKX
+        assert machine_by_name("KNM") is KNM
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            machine_by_name("EPYC")
+
+    def test_scaled_copy(self):
+        half = SKX.scaled(cores=14)
+        assert half.cores == 14
+        assert SKX.cores == 28  # original untouched
+
+
+class TestRoofline:
+    def test_knm_1x1_regime_is_l2_bound(self):
+        """Section III-B: 1x1 operational intensity is L2-bound on KNM but
+        near compute-bound on SKX."""
+        # a representative 1x1 kernel: ~2 flops per L2 byte -- between the
+        # two machines' knees (KNM 3.5, SKX 1.0 flops/byte)
+        flops = 2e9
+        l2 = 1e9
+        knm = Roofline(KNM).attainable(flops, l2_read=l2)
+        skx = Roofline(SKX).attainable(flops, l2_read=l2)
+        assert knm.bound == "l2_read"
+        assert skx.bound == "compute"
+
+    def test_knee_ordering(self):
+        # KNM's DRAM knee sits lower (more bandwidth per flop)
+        assert (
+            Roofline(KNM).operational_intensity_knee()
+            < Roofline(SKX).operational_intensity_knee()
+        )
+
+    def test_compute_efficiency_scales_roof(self):
+        r = Roofline(SKX)
+        full = r.attainable(1e9, compute_efficiency=1.0)
+        half = r.attainable(1e9, compute_efficiency=0.5)
+        assert half.time_s == pytest.approx(2 * full.time_s)

@@ -1,0 +1,63 @@
+"""Register file / allocator tests."""
+
+import pytest
+
+from repro.arch.registers import NUM_VREGS, RegisterAllocator, RegisterFile
+from repro.types import CodegenError
+
+
+class TestRegisterFile:
+    def test_default_is_avx512(self):
+        rf = RegisterFile()
+        assert rf.num_regs == 32
+        assert rf.vlen(4) == 16  # fp32
+        assert rf.vlen(2) == 32  # int16
+
+
+class TestAllocator:
+    def test_sequential_ids(self):
+        a = RegisterAllocator()
+        regs = [a.alloc() for _ in range(5)]
+        assert regs == [0, 1, 2, 3, 4]
+
+    def test_exhaustion_raises_codegen_error(self):
+        a = RegisterAllocator()
+        for _ in range(NUM_VREGS):
+            a.alloc()
+        with pytest.raises(CodegenError, match="register blocking"):
+            a.alloc()
+
+    def test_free_and_reuse(self):
+        a = RegisterAllocator()
+        r0 = a.alloc("x")
+        a.free_named("x")
+        assert a.alloc() == r0
+
+    def test_double_free(self):
+        a = RegisterAllocator()
+        r = a.alloc()
+        a.free(r)
+        with pytest.raises(CodegenError, match="double free"):
+            a.free(r)
+
+    def test_named_lookup(self):
+        a = RegisterAllocator()
+        a.alloc("wvec")
+        assert a.get("wvec") == 0
+
+    def test_duplicate_name(self):
+        a = RegisterAllocator()
+        a.alloc("acc")
+        with pytest.raises(CodegenError, match="already allocated"):
+            a.alloc("acc")
+
+    def test_alloc_block_contiguous(self):
+        """4FMA/4VNNI codegen relies on contiguity of fresh blocks."""
+        a = RegisterAllocator()
+        block = a.alloc_block(8, "acc")
+        assert block == list(range(8))
+
+    def test_live_count(self):
+        a = RegisterAllocator()
+        a.alloc_block(10, "acc")
+        assert a.live_count == 10

@@ -1,0 +1,56 @@
+"""Autotuner, and evidence that the paper's heuristics are near-optimal."""
+
+import pytest
+
+from repro.arch.machine import KNM, SKX
+from repro.conv.blocking import choose_blocking
+from repro.conv.forward import DirectConvForward
+from repro.conv.params import ConvParams
+from repro.conv.reference import conv2d_forward
+from repro.jit.autotune import autotune_blocking, _price
+from repro.models.resnet50 import resnet50_layers
+from tests.conftest import assert_close, rand_conv_tensors
+
+
+class TestAutotune:
+    def test_returns_feasible_plan(self):
+        p = ConvParams(N=1, C=64, K=64, H=28, W=28, R=3, S=3, stride=1)
+        res = autotune_blocking(p, SKX)
+        assert res.plan.rb_p * res.plan.rb_q <= 28
+        assert res.candidates > 5
+        assert res.ranking[0][2] <= res.ranking[-1][2]
+
+    @pytest.mark.parametrize("machine", [SKX, KNM], ids=lambda m: m.name)
+    @pytest.mark.parametrize("lid", [4, 8, 13, 18, 5, 14])
+    def test_heuristic_within_5pct_of_tuned(self, machine, lid):
+        """The section II-B/D closed-form rules vs exhaustive search."""
+        p = dict(resnet50_layers(28))[lid]
+        res = autotune_blocking(p, machine)
+        heur = choose_blocking(p, machine)
+        heur_cpf = _price(
+            p, machine, heur.rb_p, heur.rb_q,
+            __import__("repro.types", fromlist=["DType"]).DType.F32,
+        )
+        assert heur_cpf <= res.cycles_per_flop * 1.06
+
+    def test_tuned_plan_executes_correctly(self, rng):
+        """A tuned plan drops into the engine and stays exact."""
+        p = ConvParams(N=1, C=16, K=16, H=10, W=10, R=3, S=3, stride=1)
+        res = autotune_blocking(p, SKX)
+        x, w, _ = rand_conv_tensors(p, rng)
+        eng = DirectConvForward(p, machine=SKX, threads=2, plan=res.plan)
+        assert_close(eng.run_nchw(x, w), conv2d_forward(x, w, p))
+
+    def test_q16_respects_halved_budget(self):
+        from repro.types import DType
+
+        p = ConvParams(N=1, C=32, K=32, H=28, W=28, R=3, S=3, stride=1)
+        res = autotune_blocking(p, KNM, dtype=DType.QI16F32)
+        assert res.plan.rb_p * res.plan.rb_q <= 13
+
+    def test_single_chain_never_wins(self):
+        """rb = 1x1 is latency-exposed; the tuner must avoid it whenever
+        the layer allows more."""
+        p = ConvParams(N=1, C=16, K=16, H=28, W=28, R=3, S=3, stride=1)
+        res = autotune_blocking(p, SKX)
+        assert res.plan.rb_p * res.plan.rb_q >= SKX.fma_ports * SKX.fma_latency

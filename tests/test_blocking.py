@@ -1,0 +1,120 @@
+"""Blocking heuristics (section II-B/C/D/J)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.machine import KNM, SKX
+from repro.conv.blocking import (
+    RESERVED_REGS,
+    choose_blocking,
+    choose_upd_blocking,
+)
+from repro.conv.params import ConvParams
+from repro.models.resnet50 import resnet50_layers
+from repro.types import CodegenError
+
+
+def params(q=56, r=3, stride=1, c=64, k=64):
+    h = w = q * stride if r == 1 else q
+    return ConvParams(N=1, C=c, K=k, H=h, W=w, R=r, S=r, stride=stride)
+
+
+class TestRegisterBlocking:
+    def test_acc_budget_respected(self):
+        for q in (7, 14, 17, 28, 56, 97):
+            plan = choose_blocking(params(q=q), SKX)
+            assert plan.rb_p * plan.rb_q <= 32 - RESERVED_REGS
+
+    def test_latency_hiding_chain_count(self):
+        """RB_P*RB_Q must reach fma_latency*fma_ports wherever Q allows."""
+        for m in (SKX, KNM):
+            target = m.fma_ports * m.fma_latency
+            for q in (7, 14, 28, 56):
+                plan = choose_blocking(params(q=q), m)
+                assert plan.rb_p * plan.rb_q >= min(target, q * 4)
+
+    def test_short_rows_get_pixel_blocking(self):
+        """Q=7 < latency window -> RB_P > 1 (optimization (b) of II-D)."""
+        plan = choose_blocking(params(q=7), SKX)
+        assert plan.rb_p >= 2
+
+    def test_exact_divisors_preferred(self):
+        for q in (14, 28, 56):
+            plan = choose_blocking(params(q=q), SKX)
+            assert q % plan.rb_q == 0
+            assert not plan.has_remainder_q
+
+    def test_remainder_variant_for_awkward_q(self):
+        # Q=29 (prime): no divisor in budget -> remainder kernel (II-H)
+        plan = choose_blocking(params(q=29), SKX)
+        assert plan.has_remainder_q
+        assert plan.rb_q_rem == 29 % plan.rb_q
+        assert len(plan.variants()) >= 2
+
+    def test_budget_cap(self):
+        plan = choose_blocking(params(q=56), SKX, acc_budget_cap=13)
+        assert plan.rb_p * plan.rb_q <= 13
+
+    def test_vlen_divisibility_enforced(self):
+        with pytest.raises(CodegenError):
+            choose_blocking(
+                ConvParams(N=1, C=24, K=16, H=8, W=8, R=1, S=1), SKX
+            )
+
+    @given(q=st.integers(1, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_variants_cover_q(self, q):
+        """Main + remainder variants must tile Q exactly."""
+        plan = choose_blocking(params(q=q), SKX)
+        full, rem = divmod(q, plan.rb_q)
+        assert full * plan.rb_q + rem == q
+        if rem:
+            assert plan.rb_q_rem == rem
+
+
+class TestLoopOrder:
+    def test_1x1_pulls_cb_inside(self):
+        assert choose_blocking(params(r=1), SKX).loop_order == "cb_inner"
+
+    def test_3x3_keeps_cb_outer(self):
+        assert choose_blocking(params(r=3), SKX).loop_order == "cb_outer"
+
+    def test_3x3_hoists_output(self):
+        assert choose_blocking(params(r=3), SKX).hoist_output
+
+
+class TestCacheBlocking:
+    def test_oj_block_fits_l2(self):
+        for lid, p in resnet50_layers(28):
+            plan = choose_blocking(p, SKX)
+            rows_in = plan.oj_block * p.stride + p.R - 1
+            footprint = rows_in * p.Wp * p.C * 4
+            # the blocked input rows alone must not blow L2
+            assert footprint <= SKX.l2_bytes or plan.oj_block == plan.rb_p
+
+    def test_smaller_l2_means_smaller_blocks(self):
+        p = params(q=56, c=256)
+        big = choose_blocking(p, SKX).oj_block
+        small = choose_blocking(p, SKX.scaled(l2_bytes=128 * 1024)).oj_block
+        assert small <= big
+
+
+class TestUpdBlocking:
+    def test_large_spatial_blocked(self):
+        p = ConvParams(N=1, C=64, K=64, H=112, W=112, R=3, S=3, stride=1)
+        plan = choose_upd_blocking(p, KNM)
+        assert plan.b_p < p.P
+
+    def test_small_spatial_unblocked(self):
+        p = ConvParams(N=1, C=64, K=64, H=7, W=7, R=3, S=3, stride=1)
+        plan = choose_upd_blocking(p, SKX)
+        assert (plan.b_p, plan.b_q) == (p.P, p.Q)
+
+    def test_footprint_within_budget(self):
+        for lid, p in resnet50_layers(28):
+            plan = choose_upd_blocking(p, KNM)
+            in_rows = plan.b_p * p.stride + p.R - 1
+            in_cols = plan.b_q * p.stride + p.S - 1
+            fp = (in_rows * in_cols + plan.b_p * plan.b_q) * 16 * 4
+            assert fp <= KNM.l2_bytes or plan.b_p == 1

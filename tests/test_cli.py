@@ -1,0 +1,60 @@
+"""CLI subcommands (the artifact's run scripts)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_layers_defaults(self):
+        args = build_parser().parse_args(["layers"])
+        assert args.machine == "SKX" and args.pass_ == "F"
+
+    def test_bad_machine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["layers", "--machine", "EPYC"])
+
+    def test_fig_numbers(self):
+        assert build_parser().parse_args(["fig", "6"]).number == 6
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig", "3"])
+
+
+class TestCommands:
+    def test_layers_fwd(self, capsys):
+        assert main(["layers", "--machine", "SKX", "--no-baselines"]) == 0
+        out = capsys.readouterr().out
+        assert "thiswork" in out and "% peak" in out
+
+    def test_layers_upd_knm(self, capsys):
+        assert main(["layers", "--machine", "KNM", "--pass", "U",
+                     "--no-baselines"]) == 0
+        assert "update" in capsys.readouterr().out
+
+    def test_disasm(self, capsys):
+        # enough lines to get past the accumulator-zeroing prologue
+        assert main(["disasm", "--layer", "4", "--machine", "SKX",
+                     "--max-lines", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "vfmadd231ps" in out or "v4fmaddps" in out
+
+    def test_disasm_q16(self, capsys):
+        assert main(["disasm", "--layer", "4", "--machine", "KNM",
+                     "--dtype", "qi16f32", "--max-lines", "8"]) == 0
+        assert "conv_q16" in capsys.readouterr().out
+
+    def test_scaling(self, capsys):
+        assert main(["scaling", "--machine", "KNM"]) == 0
+        out = capsys.readouterr().out
+        assert "16 nodes" in out and "img/s" in out
+
+    def test_train_one_epoch_with_checkpoint(self, capsys, tmp_path):
+        ck = tmp_path / "w.npz"
+        assert main(["train", "--epochs", "1", "--batch", "16",
+                     "--checkpoint", str(ck)]) == 0
+        assert ck.exists()
+        assert "epoch 0" in capsys.readouterr().out

@@ -1,0 +1,168 @@
+"""Concat layer, hardware prefetchers, and the full Inception-v3 topology."""
+
+import numpy as np
+import pytest
+
+from repro.arch.machine import MachineConfig
+from repro.cachesim.cache import Cache
+from repro.cachesim.hierarchy import CacheHierarchy
+from repro.cachesim.prefetcher import NextLinePrefetcher, StridePrefetcher
+from repro.gxm.data import SyntheticImageDataset
+from repro.gxm.etg import ExecutionTaskGraph
+from repro.gxm.graph import compile_etg
+from repro.gxm.nodes import _conv_geometry, output_shape
+from repro.gxm.trainer import Trainer
+from repro.layers.concat import Concat
+from repro.models.inception_v3 import (
+    INCEPTION_V3_CONVS,
+    inception_mini_topology,
+    inception_v3_topology,
+)
+from repro.types import ShapeError
+
+
+class TestConcat:
+    def test_forward(self, rng):
+        a = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        b = rng.standard_normal((2, 5, 4, 4)).astype(np.float32)
+        c = Concat(2)
+        y = c.forward(a, b)
+        assert y.shape == (2, 8, 4, 4)
+        assert np.array_equal(y[:, :3], a)
+        assert np.array_equal(y[:, 3:], b)
+
+    def test_backward_splits(self, rng):
+        a = rng.standard_normal((1, 2, 3, 3)).astype(np.float32)
+        b = rng.standard_normal((1, 4, 3, 3)).astype(np.float32)
+        c = Concat(2)
+        y = c.forward(a, b)
+        da, db = c.backward(y)
+        assert np.array_equal(da, a)
+        assert np.array_equal(db, b)
+
+    def test_mismatched_spatial(self, rng):
+        with pytest.raises(ShapeError):
+            Concat(2).forward(
+                np.zeros((1, 2, 4, 4), dtype=np.float32),
+                np.zeros((1, 2, 5, 4), dtype=np.float32),
+            )
+
+    def test_wrong_arity(self):
+        with pytest.raises(ShapeError):
+            Concat(3).forward(np.zeros((1, 1, 2, 2), dtype=np.float32))
+
+
+class TestHardwarePrefetchers:
+    def test_nextline_fills_adjacent(self):
+        c = Cache(4096, assoc=4)
+        pf = NextLinePrefetcher(c)
+        c.access(10)
+        pf.on_access(10, was_hit=False)
+        assert c.lookup(11)
+
+    def test_stride_detector_locks_on(self):
+        c = Cache(1 << 16, assoc=8)
+        pf = StridePrefetcher(c, degree=2)
+        for i in range(5):
+            pf.on_access(i * 7, was_hit=False)
+        # stride 7 detected: the last access prefetched +7 and +14 ahead
+        assert c.lookup(4 * 7 + 7)
+        assert c.lookup(4 * 7 + 14)
+
+    def test_streams_tracked_per_region(self):
+        c = Cache(1 << 16, assoc=8)
+        pf = StridePrefetcher(c, degree=1, region_bits=20)
+        # interleave two streams in different regions; both lock on
+        for i in range(5):
+            pf.on_access(i * 3, False)
+            pf.on_access((1 << 20) + i * 5, False)
+        assert c.lookup(4 * 3 + 3)
+        assert c.lookup((1 << 20) + 4 * 5 + 5)
+
+    def test_hierarchy_integration_reduces_l2_misses(self):
+        m = MachineConfig(name="T", cores=1, freq_hz=1e9,
+                          l1_bytes=1024, l2_bytes=1 << 16, l1_assoc=2)
+        base = CacheHierarchy(m)
+        hw = CacheHierarchy(m, hw_prefetch="stride")
+        for h in (base, hw):
+            for i in range(0, 256 * 16, 16):  # sequential stream
+                h.touch("I", i, 16, "load")
+        assert hw.l2.stats.misses < base.l2.stats.misses
+
+    def test_unknown_mode(self):
+        m = MachineConfig(name="T", cores=1, freq_hz=1e9)
+        with pytest.raises(ValueError):
+            CacheHierarchy(m, hw_prefetch="oracle")
+
+
+class TestInceptionTopology:
+    def test_compiles_and_shapes(self):
+        topo = inception_v3_topology()
+        enl, tasks = compile_etg(topo)
+        shapes = {}
+        for layer in enl.layers:
+            ins = (
+                [(2, 3, 299, 299)]
+                if layer.type == "Data"
+                else [shapes[b] for b in layer.bottoms]
+            )
+            out = output_shape(layer, ins)
+            for t in layer.tops:
+                shapes[t] = out
+        assert shapes["gap"] == (2, 2048)
+        assert shapes["mixed3_out"][1:] == (768, 17, 17)
+        assert shapes["mixed8_out"][1:] == (1280, 8, 8)
+
+    def test_conv_list_matches_topology(self):
+        """INCEPTION_V3_CONVS is derived from the graph; keep them in sync."""
+        topo = inception_v3_topology()
+        enl, _ = compile_etg(topo)
+        shapes = {}
+        got: dict[tuple, int] = {}
+        for layer in enl.layers:
+            ins = (
+                [(2, 3, 299, 299)]
+                if layer.type == "Data"
+                else [shapes[b] for b in layer.bottoms]
+            )
+            out = output_shape(layer, ins)
+            for t in layer.tops:
+                shapes[t] = out
+            if layer.type == "Convolution":
+                _, c, h, w = ins[0]
+                r, s, ph, pw = _conv_geometry(layer)
+                key = (c, layer.attrs["num_output"], h, w, r, s,
+                       layer.attrs.get("stride", 1), ph, pw)
+                got[key] = got.get(key, 0) + 1
+        want = {}
+        for *spec, count in INCEPTION_V3_CONVS:
+            want[tuple(spec)] = want.get(tuple(spec), 0) + count
+        assert got == want
+        assert sum(got.values()) == 94
+
+    def test_mini_inception_trains(self):
+        topo = inception_mini_topology(num_classes=4)
+        etg = ExecutionTaskGraph(topo, (16, 16, 12, 12), seed=2)
+        ds = SyntheticImageDataset(n=96, num_classes=4, shape=(16, 12, 12),
+                                   seed=8)
+        tr = Trainer(etg, lr=0.05)
+        tr.fit(ds, batch_size=16, epochs=3)
+        losses = tr.metrics.losses
+        assert losses[-1] < 0.8 * losses[0]
+
+    def test_asymmetric_conv_node(self, rng):
+        """1x7 / 7x1 convolutions run correctly through GxM nodes."""
+        from repro.gxm.topology import TopologySpec
+
+        topo = TopologySpec("asym")
+        d = topo.data("data")
+        t = topo.conv("c17", d, 16, (1, 7))
+        t = topo.conv("c71", t, 16, (7, 1))
+        t = topo.global_pool("gap", t)
+        t = topo.fc("fc", t, 4)
+        topo.loss("loss", t)
+        etg = ExecutionTaskGraph(topo, (2, 16, 9, 9), seed=0)
+        x = rng.standard_normal((2, 16, 9, 9)).astype(np.float32)
+        y = rng.integers(0, 4, 2)
+        assert np.isfinite(etg.train_step(x, y))
+        assert etg.shapes["c17"] == (2, 16, 9, 9)  # same-size padding

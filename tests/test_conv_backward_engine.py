@@ -1,0 +1,79 @@
+"""DirectConvBackward: duality scenarios + Algorithm-7 fallback."""
+
+import numpy as np
+import pytest
+
+from repro.arch.machine import KNM, SKX
+from repro.conv.backward import DirectConvBackward
+from repro.conv.params import ConvParams
+from repro.conv.reference import conv2d_backward_data
+from repro.types import UnsupportedError
+from tests.conftest import assert_close, rand_conv_tensors
+
+
+class TestModeSelection:
+    def test_stride1_uses_duality(self):
+        p = ConvParams(N=1, C=16, K=16, H=8, W=8, R=3, S=3, stride=1)
+        assert DirectConvBackward(p).mode == "duality"
+
+    def test_1x1_strided_uses_1x1_duality(self):
+        p = ConvParams(N=1, C=16, K=16, H=8, W=8, R=1, S=1, stride=2)
+        assert DirectConvBackward(p).mode == "duality_1x1"
+
+    def test_1x1_stride1_uses_plain_duality(self):
+        p = ConvParams(N=1, C=16, K=16, H=8, W=8, R=1, S=1, stride=1)
+        assert DirectConvBackward(p).mode == "duality"
+
+    def test_general_uses_gemm_fallback(self):
+        p = ConvParams(N=1, C=16, K=16, H=9, W=9, R=3, S=3, stride=2)
+        assert DirectConvBackward(p).mode == "gemm"
+
+    def test_duality_reuses_forward_machinery(self):
+        """The whole point of section II-I: one code generator serves both
+        passes."""
+        p = ConvParams(N=1, C=16, K=32, H=8, W=8, R=3, S=3, stride=1)
+        bwd = DirectConvBackward(p)
+        assert bwd.engine is not None
+        fp = bwd.engine.params
+        assert (fp.C, fp.K) == (p.K, p.C)  # feature maps swapped
+        assert fp.pad_h == p.R - 1 - p.pad_h  # full padding
+
+
+CASES = [
+    ConvParams(N=2, C=16, K=32, H=8, W=8, R=3, S=3, stride=1),
+    ConvParams(N=1, C=32, K=16, H=7, W=9, R=5, S=3, stride=1),
+    ConvParams(N=2, C=16, K=16, H=8, W=8, R=1, S=1, stride=1),
+    ConvParams(N=1, C=16, K=32, H=9, W=9, R=1, S=1, stride=2),
+    ConvParams(N=1, C=16, K=16, H=8, W=8, R=1, S=1, stride=4),
+    ConvParams(N=1, C=16, K=16, H=9, W=9, R=3, S=3, stride=2),
+    ConvParams(N=2, C=16, K=16, H=14, W=14, R=7, S=7, stride=2),
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p", CASES, ids=lambda p: p.describe())
+    @pytest.mark.parametrize("machine", [SKX, KNM], ids=lambda m: m.name)
+    def test_matches_reference(self, p, machine, rng):
+        _, w, dy = rand_conv_tensors(p, rng)
+        bwd = DirectConvBackward(p, machine=machine, threads=2)
+        assert_close(bwd.run_nchw(dy, w), conv2d_backward_data(dy, w, p))
+
+    def test_1x1_stride2_zeros_off_grid(self, rng):
+        """Scenario 2 of II-I: dI is nonzero only on the stride grid."""
+        p = ConvParams(N=1, C=16, K=16, H=8, W=8, R=1, S=1, stride=2)
+        _, w, dy = rand_conv_tensors(p, rng)
+        di = DirectConvBackward(p).run_nchw(dy, w)
+        assert np.all(di[:, :, 1::2, :] == 0)
+        assert np.all(di[:, :, :, 1::2] == 0)
+        assert np.any(di[:, :, ::2, ::2] != 0)
+
+    def test_padded_1x1_unsupported(self):
+        p = ConvParams(N=1, C=16, K=16, H=8, W=8, R=1, S=1, stride=2,
+                       pad_h=1, pad_w=1)
+        with pytest.raises(UnsupportedError):
+            DirectConvBackward(p)
+
+    def test_gemm_fallback_has_gemm_program(self):
+        p = ConvParams(N=1, C=16, K=16, H=9, W=9, R=3, S=3, stride=2)
+        bwd = DirectConvBackward(p)
+        assert bwd.gemm_program.flops == 2 * 16 * 16 * p.Q

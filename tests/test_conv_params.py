@@ -1,0 +1,90 @@
+"""ConvParams derived-dimension math."""
+
+import pytest
+
+from repro.conv.params import ConvParams
+from repro.models.resnet50 import RESNET50_TABLE1, resnet50_layer
+from repro.types import ShapeError
+
+
+class TestDerivedDims:
+    def test_same_padding_3x3(self):
+        p = ConvParams(N=1, C=16, K=16, H=56, W=56, R=3, S=3, stride=1)
+        assert p.pad_h == 1 and p.pad_w == 1
+        assert p.P == 56 and p.Q == 56
+
+    def test_7x7_stride2(self):
+        # ResNet-50 stem: 224 -> 112
+        p = ConvParams(N=1, C=16, K=64, H=224, W=224, R=7, S=7, stride=2)
+        assert p.pad_h == 3
+        assert p.P == 112 and p.Q == 112
+
+    def test_1x1_stride2(self):
+        # 56 -> 28 with no padding
+        p = ConvParams(N=1, C=16, K=16, H=56, W=56, R=1, S=1, stride=2)
+        assert p.pad_h == 0
+        assert p.P == 28 and p.Q == 28
+
+    def test_asymmetric_filter(self):
+        # Inception 1x7
+        p = ConvParams(N=1, C=16, K=16, H=17, W=17, R=1, S=7, stride=1)
+        assert p.pad_h == 0 and p.pad_w == 3
+        assert p.P == 17 and p.Q == 17
+
+    def test_explicit_padding(self):
+        p = ConvParams(N=1, C=16, K=16, H=10, W=10, R=3, S=3, stride=1,
+                       pad_h=0, pad_w=0)
+        assert p.P == 8 and p.Q == 8
+
+    def test_flops(self):
+        p = ConvParams(N=2, C=16, K=32, H=8, W=8, R=3, S=3, stride=1)
+        assert p.flops == 2 * 2 * 16 * 32 * 8 * 8 * 9
+
+    def test_tensor_bytes(self):
+        p = ConvParams(N=2, C=16, K=32, H=8, W=8, R=1, S=1, stride=1)
+        assert p.input_bytes() == 2 * 16 * 8 * 8 * 4
+        assert p.output_bytes() == 2 * 32 * 8 * 8 * 4
+        assert p.weight_bytes() == 32 * 16 * 4
+
+    def test_with_minibatch(self):
+        p = ConvParams(N=2, C=16, K=16, H=8, W=8, R=1, S=1)
+        assert p.with_minibatch(70).N == 70
+        assert p.N == 2
+
+    def test_is_1x1(self):
+        assert ConvParams(N=1, C=16, K=16, H=8, W=8, R=1, S=1).is_1x1()
+        assert not ConvParams(N=1, C=16, K=16, H=8, W=8, R=3, S=3).is_1x1()
+
+
+class TestValidation:
+    def test_nonpositive(self):
+        with pytest.raises(ShapeError):
+            ConvParams(N=0, C=16, K=16, H=8, W=8, R=1, S=1)
+
+    def test_filter_too_large(self):
+        with pytest.raises(ShapeError):
+            ConvParams(N=1, C=16, K=16, H=2, W=2, R=7, S=7, stride=1,
+                       pad_h=0, pad_w=0)
+
+
+class TestTable1:
+    """Every Table-I layer must produce the spatial dims ResNet-50 uses."""
+
+    EXPECTED_PQ = {
+        1: 112, 2: 56, 3: 56, 4: 56, 5: 56, 6: 28, 7: 28, 8: 28, 9: 28,
+        10: 28, 11: 14, 12: 14, 13: 14, 14: 14, 15: 14, 16: 7, 17: 7,
+        18: 7, 19: 7, 20: 7,
+    }
+
+    @pytest.mark.parametrize("lid", sorted(RESNET50_TABLE1))
+    def test_output_spatial(self, lid):
+        p = resnet50_layer(lid, minibatch=28)
+        assert p.P == self.EXPECTED_PQ[lid]
+        assert p.Q == self.EXPECTED_PQ[lid]
+
+    def test_channel_padding(self):
+        # layer 1's C=3 is padded to VLEN
+        assert resnet50_layer(1).C == 16
+
+    def test_minibatches(self):
+        assert resnet50_layer(4, minibatch=70).N == 70

@@ -1,0 +1,121 @@
+"""The reference convolutions ARE the spec -- validate them against a
+brute-force per-element implementation and scipy."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.conv.params import ConvParams
+from repro.conv.reference import (
+    conv2d_backward_data,
+    conv2d_forward,
+    conv2d_update_weights,
+    pad_input,
+)
+from tests.conftest import assert_close, rand_conv_tensors
+
+
+def brute_force_forward(x, w, p: ConvParams):
+    """Algorithm 1, literally."""
+    xp = pad_input(x, p)
+    out = np.zeros((p.N, p.K, p.P, p.Q), dtype=np.float64)
+    for n in range(p.N):
+        for k in range(p.K):
+            for c in range(p.C):
+                for oj in range(p.P):
+                    for oi in range(p.Q):
+                        for r in range(p.R):
+                            for s in range(p.S):
+                                out[n, k, oj, oi] += (
+                                    xp[n, c, oj * p.stride + r, oi * p.stride + s]
+                                    * w[k, c, r, s]
+                                )
+    return out.astype(np.float32)
+
+
+SMALL_CASES = [
+    ConvParams(N=1, C=2, K=3, H=5, W=5, R=3, S=3, stride=1),
+    ConvParams(N=2, C=2, K=2, H=6, W=5, R=3, S=2, stride=2),
+    ConvParams(N=1, C=3, K=2, H=4, W=4, R=1, S=1, stride=1),
+    ConvParams(N=1, C=2, K=2, H=7, W=7, R=1, S=1, stride=2),
+    ConvParams(N=1, C=1, K=1, H=5, W=5, R=5, S=5, stride=1, pad_h=0, pad_w=0),
+]
+
+
+class TestForward:
+    @pytest.mark.parametrize("p", SMALL_CASES, ids=lambda p: p.describe())
+    def test_matches_brute_force(self, p, rng):
+        x, w, _ = rand_conv_tensors(p, rng)
+        assert_close(conv2d_forward(x, w, p), brute_force_forward(x, w, p))
+
+    def test_matches_scipy_correlate(self, rng):
+        """Convolution here is cross-correlation (no kernel flip)."""
+        p = ConvParams(N=1, C=1, K=1, H=8, W=8, R=3, S=3, stride=1,
+                       pad_h=0, pad_w=0)
+        x, w, _ = rand_conv_tensors(p, rng)
+        ours = conv2d_forward(x, w, p)[0, 0]
+        sp = signal.correlate2d(x[0, 0], w[0, 0], mode="valid")
+        assert_close(ours, sp)
+
+    def test_shape_check(self, rng):
+        p = SMALL_CASES[0]
+        x, w, _ = rand_conv_tensors(p, rng)
+        from repro.types import ShapeError
+
+        with pytest.raises(ShapeError):
+            conv2d_forward(x, w[:, :1], p)
+
+
+class TestBackwardIsAdjoint:
+    """<conv(x, w), dy> == <x, conv_bwd(dy, w)> -- the defining property of
+    the data-gradient."""
+
+    @pytest.mark.parametrize("p", SMALL_CASES, ids=lambda p: p.describe())
+    def test_adjoint(self, p, rng):
+        x, w, dy = rand_conv_tensors(p, rng)
+        lhs = float((conv2d_forward(x, w, p) * dy).sum())
+        rhs = float((x * conv2d_backward_data(dy, w, p)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-4)
+
+
+class TestUpdateIsGradient:
+    """dW must equal the finite-difference gradient of <conv(x,w), dy>."""
+
+    @pytest.mark.parametrize("p", SMALL_CASES[:3], ids=lambda p: p.describe())
+    def test_finite_difference(self, p, rng):
+        x, w, dy = rand_conv_tensors(p, rng, scale=0.5)
+        dw = conv2d_update_weights(x, dy, p)
+        eps = 1e-2
+        for idx in [(0, 0, 0, 0), (p.K - 1, p.C - 1, p.R - 1, p.S - 1)]:
+            wp = w.copy()
+            wp[idx] += eps
+            wm = w.copy()
+            wm[idx] -= eps
+            fd = (
+                (conv2d_forward(x, wp, p) * dy).sum()
+                - (conv2d_forward(x, wm, p) * dy).sum()
+            ) / (2 * eps)
+            assert dw[idx] == pytest.approx(fd, rel=2e-2, abs=1e-2)
+
+    @pytest.mark.parametrize("p", SMALL_CASES, ids=lambda p: p.describe())
+    def test_adjoint_in_w(self, p, rng):
+        """<conv(x, w), dy> == <w, upd(x, dy)>."""
+        x, w, dy = rand_conv_tensors(p, rng)
+        lhs = float((conv2d_forward(x, w, p) * dy).sum())
+        rhs = float((w * conv2d_update_weights(x, dy, p)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-4)
+
+
+class TestPadInput:
+    def test_zero_pad(self, rng):
+        p = ConvParams(N=1, C=2, K=2, H=3, W=3, R=3, S=3, stride=1)
+        x, _, _ = rand_conv_tensors(p, rng)
+        xp = pad_input(x, p)
+        assert xp.shape == (1, 2, 5, 5)
+        assert np.all(xp[:, :, 0, :] == 0)
+        assert np.array_equal(xp[:, :, 1:-1, 1:-1], x)
+
+    def test_no_pad_returns_same(self, rng):
+        p = ConvParams(N=1, C=2, K=2, H=3, W=3, R=1, S=1, stride=1)
+        x, _, _ = rand_conv_tensors(p, rng)
+        assert pad_input(x, p) is x

@@ -1,0 +1,101 @@
+"""Disassembler and the artifact's numerical-norm validation."""
+
+import numpy as np
+import pytest
+
+from repro.arch.disasm import disassemble, format_uop, summarize_program
+from repro.arch.isa import Op, Uop
+from repro.jit.codegen import ConvKernelDesc, generate_conv_kernel
+from repro.types import DType
+from repro.validation import ValidationError, check, compare
+
+BASE = dict(
+    vlen=4, rb_p=1, rb_q=2, R=1, S=1, stride=1,
+    i_strides=(100, 20, 4), w_strides=(64, 16, 16, 4), o_strides=(8, 4),
+)
+
+
+class TestDisasm:
+    def test_every_op_formats(self):
+        """Every kernel family must disassemble without error."""
+        progs = [
+            generate_conv_kernel(ConvKernelDesc(**BASE, fused_memop=True,
+                                                prefetch="both",
+                                                fused=("bias", "relu"))),
+            generate_conv_kernel(ConvKernelDesc(**BASE, use_4fma=True)),
+            generate_conv_kernel(
+                ConvKernelDesc(**BASE, dtype=DType.QI16F32,
+                               acc_chain_limit=1)
+            ),
+        ]
+        for prog in progs:
+            text = disassemble(prog)
+            assert prog.name in text
+            assert len(text.splitlines()) == len(prog) + 1
+
+    def test_mnemonics(self):
+        assert "vfmadd231ps" in format_uop(Uop(Op.VFMA, dst=0, src1=1, src2=2))
+        assert "{1to16}" in format_uop(
+            Uop(Op.VFMA_MEM, dst=0, src1=1, tensor="I", offset=3)
+        )
+        assert "v4fmaddps" in format_uop(
+            Uop(Op.V4FMA, dst=0, src1=1, tensor="I", offset=0, imm=4.0)
+        )
+        assert "prefetcht1" in format_uop(Uop(Op.PREFETCH2, tensor="I_pf"))
+        assert "I[+3]" in format_uop(Uop(Op.VLOAD, dst=0, tensor="I", offset=3))
+
+    def test_truncation(self):
+        prog = generate_conv_kernel(ConvKernelDesc(**BASE))
+        text = disassemble(prog, max_lines=3)
+        assert "more)" in text
+
+    def test_summary(self):
+        prog = generate_conv_kernel(ConvKernelDesc(**BASE))
+        s = summarize_program(prog)
+        assert "VFMA" in s and "registers used" in s
+
+
+class TestNorms:
+    def test_identical_arrays(self, rng):
+        x = rng.standard_normal(100)
+        n = compare(x, x)
+        assert n.linf_abs == 0 and n.l2_rel == 0
+
+    def test_known_error(self):
+        ref = np.ones(4)
+        test = np.array([1.0, 1.0, 1.0, 1.1])
+        n = compare(test, ref)
+        assert n.linf_abs == pytest.approx(0.1)
+        assert n.linf_rel == pytest.approx(0.1)
+        assert n.l2_abs == pytest.approx(0.1)
+        assert n.l2_rel == pytest.approx(0.1 / 2.0)
+
+    def test_zero_reference_guard(self):
+        ref = np.array([0.0, 1.0])
+        test = np.array([1e-8, 1.0])
+        n = compare(test, ref)
+        assert np.isfinite(n.linf_rel)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            compare(np.zeros(3), np.zeros(4))
+
+    def test_check_passes_within_tolerance(self, rng):
+        ref = rng.standard_normal(64).astype(np.float32)
+        test = ref * (1 + 1e-6)
+        norms = check(test, ref)
+        assert norms.linf_rel < 1e-3
+
+    def test_check_raises_with_report(self, rng):
+        ref = rng.standard_normal(64).astype(np.float32)
+        with pytest.raises(ValidationError, match="Linf-rel"):
+            check(ref * 1.5, ref)
+
+    def test_check_no_raise_mode(self, rng):
+        ref = np.ones(4, dtype=np.float32)
+        norms = check(ref * 2, ref, raise_on_fail=False)
+        assert norms.linf_rel == pytest.approx(1.0)
+
+    def test_str_format(self):
+        n = compare(np.ones(2), np.ones(2))
+        assert "Linf-abs" in str(n)

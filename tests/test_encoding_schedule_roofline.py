@@ -1,0 +1,143 @@
+"""Binary kernel encoding, LR schedules, roofline report."""
+
+import numpy as np
+import pytest
+
+from repro.arch.machine import KNM, SKX
+from repro.gxm.schedule import (
+    ConstantLR,
+    PolynomialDecay,
+    StepDecay,
+    WarmupThenDecay,
+)
+from repro.jit.codegen import ConvKernelDesc, generate_conv_kernel
+from repro.jit.encoding import code_size_report, decode_program, encode_program
+from repro.perf.roofline_report import layer_breakdown, roofline_table
+from repro.types import DType, ReproError
+
+BASE = dict(
+    vlen=8, rb_p=1, rb_q=4, R=3, S=3, stride=1,
+    i_strides=(5000, 100, 8), w_strides=(5000, 600, 200, 8),
+    o_strides=(80, 8),
+)
+
+
+class TestEncoding:
+    @pytest.mark.parametrize(
+        "over",
+        [
+            dict(fused_memop=True, prefetch="both", fused=("bias", "relu")),
+            dict(use_4fma=True, zero_init=True),
+            dict(dtype=DType.QI16F32, acc_chain_limit=2),
+            dict(hoist_output=False),
+        ],
+        ids=["fused", "4fma", "q16", "unhoisted"],
+    )
+    def test_roundtrip_lossless(self, over):
+        prog = generate_conv_kernel(ConvKernelDesc(**{**BASE, **over}))
+        back = decode_program(encode_program(prog))
+        assert back.name == prog.name
+        assert back.vlen == prog.vlen and back.flops == prog.flops
+        assert len(back) == len(prog)
+        for a, b in zip(prog.uops, back.uops):
+            assert a == b
+
+    def test_decoded_program_executes_identically(self, rng):
+        from repro.jit.interpreter import execute_kernel
+
+        prog = generate_conv_kernel(ConvKernelDesc(**BASE, zero_init=True))
+        bufs1 = {
+            "I": rng.standard_normal(8192).astype(np.float32),
+            "W": rng.standard_normal(8192).astype(np.float32),
+            "O": np.zeros(8192, dtype=np.float32),
+        }
+        bufs2 = {k: v.copy() for k, v in bufs1.items()}
+        execute_kernel(prog, bufs1, {})
+        execute_kernel(decode_program(encode_program(prog)), bufs2, {})
+        assert np.array_equal(bufs1["O"], bufs2["O"])
+
+    def test_bad_magic(self):
+        with pytest.raises(ReproError):
+            decode_program(b"NOPE1234")
+
+    def test_compactness(self):
+        """The encoding should be a handful of bytes per µop -- the point
+        of the code-size metric."""
+        prog = generate_conv_kernel(ConvKernelDesc(**BASE))
+        size = len(encode_program(prog))
+        assert size / len(prog) < 12
+
+    def test_code_size_report(self):
+        progs = [
+            generate_conv_kernel(ConvKernelDesc(**BASE)),
+            generate_conv_kernel(ConvKernelDesc(**BASE, zero_init=True)),
+        ]
+        rep = code_size_report(progs)
+        assert "TOTAL" in rep and str(len(progs[0])) in rep
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert ConstantLR(0.1).lr(0) == 0.1
+        assert ConstantLR(0.1).lr(10**6) == 0.1
+
+    def test_step_decay(self):
+        s = StepDecay(1.0, [10, 20], gamma=0.1)
+        assert s.lr(0) == 1.0
+        assert s.lr(10) == pytest.approx(0.1)
+        assert s.lr(25) == pytest.approx(0.01)
+
+    def test_step_decay_validates(self):
+        with pytest.raises(ValueError):
+            StepDecay(1.0, [20, 10])
+
+    def test_warmup_ramps_linearly(self):
+        s = WarmupThenDecay(ConstantLR(1.0), warmup=10, divisor=10.0)
+        assert s.lr(0) == pytest.approx(0.1)
+        assert s.lr(5) == pytest.approx(0.55)
+        assert s.lr(10) == pytest.approx(1.0)
+        assert s.lr(100) == pytest.approx(1.0)
+
+    def test_polynomial(self):
+        s = PolynomialDecay(2.0, total=100, power=1.0)
+        assert s.lr(0) == 2.0
+        assert s.lr(50) == pytest.approx(1.0)
+        assert s.lr(100) == 0.0
+        assert s.lr(200) == 0.0
+
+    def test_trainer_applies_schedule(self, rng):
+        from repro.gxm.etg import ExecutionTaskGraph
+        from repro.gxm.topology import TopologySpec
+        from repro.gxm.trainer import Trainer
+
+        topo = TopologySpec("t")
+        d = topo.data("data")
+        c = topo.conv("c1", d, 16, 3)
+        g = topo.global_pool("gap", c)
+        f = topo.fc("fc", g, 4)
+        topo.loss("loss", f)
+        etg = ExecutionTaskGraph(topo, (4, 16, 6, 6), seed=0)
+        tr = Trainer(etg, lr=999.0, lr_schedule=StepDecay(1.0, [2], 0.1))
+        x = rng.standard_normal((4, 16, 6, 6)).astype(np.float32)
+        y = rng.integers(0, 4, 4)
+        tr.train_step(x, y)
+        assert tr.opt.lr == 1.0
+        tr.train_step(x, y)
+        tr.train_step(x, y)
+        assert tr.opt.lr == pytest.approx(0.1)
+
+
+class TestRooflineReport:
+    def test_table_renders_all_layers(self):
+        text = roofline_table(SKX)
+        assert text.count("\n") >= 22
+        assert "bound" in text and "compute" in text
+
+    def test_shares_sane(self):
+        from repro.models.resnet50 import resnet50_layer
+        from repro.perf.model import ConvPerfModel
+
+        perf = ConvPerfModel(KNM).estimate_forward(resnet50_layer(4, 70))
+        shares = layer_breakdown(perf)
+        assert max(shares.values()) <= 1.0 + 1e-9
+        assert shares["compute"] > 0.5  # 3x3 layer is compute-dominated

@@ -1,0 +1,43 @@
+"""Smoke tests: every example must run to completion as a script."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+#: slower examples run with trimmed argv/expectations but still execute
+FAST_ENOUGH = {
+    "quickstart.py",
+    "kernel_streams_demo.py",
+    "jit_kernel_tour.py",
+    "cache_hierarchy_study.py",
+    "inference_and_checkpoint.py",
+    "train_synthetic_cnn.py",
+    "quantized_inference.py",
+    "multinode_scaling.py",
+    "resnet50_layer_benchmark.py",
+}
+
+
+def test_every_example_is_covered():
+    names = {p.name for p in EXAMPLES}
+    assert names == FAST_ENOUGH, (
+        "new example? add it to the smoke list so CI runs it"
+    )
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path, monkeypatch, capsys):
+    if path.name == "resnet50_layer_benchmark.py":
+        # restrict to one machine to keep the smoke test quick
+        monkeypatch.setattr(sys, "argv", [str(path), "SKX"])
+    else:
+        monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} produced no output"

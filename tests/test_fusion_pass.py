@@ -1,0 +1,116 @@
+"""GxM topology fusion pass: structure and exact training equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.gxm.data import SyntheticImageDataset
+from repro.gxm.etg import ExecutionTaskGraph
+from repro.gxm.fusion_pass import fuse_topology, fusion_report
+from repro.gxm.topology import TopologySpec
+from repro.gxm.trainer import Trainer
+from repro.models.resnet50 import resnet_mini_topology
+
+
+def simple_topo():
+    topo = TopologySpec("t")
+    d = topo.data("data")
+    t = topo.conv("c1", d, 16, 3, relu=True)
+    t = topo.conv("c2", t, 16, 3, relu=True)
+    t = topo.global_pool("gap", t)
+    t = topo.fc("fc", t, 4)
+    topo.loss("loss", t)
+    return topo
+
+
+class TestPassStructure:
+    def test_relu_layers_removed(self):
+        before = simple_topo()
+        after = fuse_topology(before)
+        assert len(after.layers) == len(before.layers) - 2
+        assert not any(l.type == "ReLU" for l in after.layers)
+        assert after.layer("c1").attrs["fused_relu"] is True
+
+    def test_top_names_preserved_for_consumers(self):
+        after = fuse_topology(simple_topo())
+        # c1's fused top keeps the ReLU's name so c2's bottom still resolves
+        assert after.layer("c1").tops == ["c1_relu"]
+        assert after.layer("c2").bottoms == ["c1_relu"]
+
+    def test_multi_consumer_preactivation_not_fused(self):
+        topo = TopologySpec("t")
+        d = topo.data("data")
+        c = topo.conv("c1", d, 16, 3)  # pre-activation tensor "c1"
+        topo.add(
+            __import__("repro.gxm.topology", fromlist=["LayerSpec"]).LayerSpec(
+                "r1", "ReLU", ["c1"], ["r1"], {}
+            )
+        )
+        # second consumer of the pre-activation
+        topo.eltwise("sum", "c1", "r1")
+        topo.global_pool("gap", "sum")
+        topo.fc("fc", "gap", 4)
+        topo.loss("loss", "fc")
+        after = fuse_topology(topo)
+        assert any(l.type == "ReLU" for l in after.layers)
+        assert "fused_relu" not in after.layer("c1").attrs
+
+    def test_relu_after_bn_not_fused_into_conv(self):
+        topo = TopologySpec("t")
+        d = topo.data("data")
+        t = topo.conv("c1", d, 16, 3, relu=True, batchnorm=True)
+        topo.global_pool("gap", t)
+        topo.fc("fc", "gap", 4)
+        topo.loss("loss", "fc")
+        after = fuse_topology(topo)
+        # the ReLU follows BatchNorm, not the conv -> untouched
+        assert any(l.type == "ReLU" for l in after.layers)
+
+    def test_report(self):
+        before = simple_topo()
+        after = fuse_topology(before)
+        r = fusion_report(before, after)
+        assert "2 ReLU" in r and "2 convolution" in r
+
+    def test_original_untouched(self):
+        topo = simple_topo()
+        n = len(topo.layers)
+        fuse_topology(topo)
+        assert len(topo.layers) == n
+
+
+class TestNumericalEquivalence:
+    @pytest.mark.parametrize("engine", ["fast", "blocked"])
+    def test_training_identical_with_and_without_fusion(self, engine, rng):
+        """Fusion is a data-movement optimization: every loss and every
+        gradient must match the un-fused graph exactly."""
+        topo = simple_topo()
+        x = rng.standard_normal((4, 16, 8, 8)).astype(np.float32)
+        y = rng.integers(0, 4, 4)
+        runs = {}
+        for fuse in (False, True):
+            etg = ExecutionTaskGraph(
+                topo, (4, 16, 8, 8), engine=engine, seed=11, fuse=fuse
+            )
+            loss = etg.train_step(x, y)
+            runs[fuse] = (loss, etg.nodes["c1"].dweight.copy())
+        assert runs[False][0] == pytest.approx(runs[True][0], rel=1e-6)
+        assert np.allclose(runs[False][1], runs[True][1], rtol=1e-4,
+                           atol=1e-6)
+
+    def test_fused_training_converges(self):
+        ds = SyntheticImageDataset(n=96, num_classes=4, shape=(16, 8, 8),
+                                   seed=4)
+        etg = ExecutionTaskGraph(simple_topo(), (16, 16, 8, 8), seed=1,
+                                 fuse=True)
+        tr = Trainer(etg, lr=0.05)
+        tr.fit(ds, batch_size=16, epochs=3)
+        assert tr.metrics.losses[-1] < 0.8 * tr.metrics.losses[0]
+
+    def test_resnet_mini_fusion_counts(self):
+        """In BN-everywhere topologies the ReLUs follow BN, so the pass is
+        conservative -- it must not fuse across the BatchNorm."""
+        before = resnet_mini_topology()
+        after = fuse_topology(before)
+        relus_before = sum(1 for l in before.layers if l.type == "ReLU")
+        relus_after = sum(1 for l in after.layers if l.type == "ReLU")
+        assert relus_after == relus_before  # all ride on BN or Eltwise

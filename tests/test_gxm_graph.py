@@ -1,0 +1,143 @@
+"""The Fig. 3 pipeline: NL -> ENL -> ENG -> PETG -> UETG -> ETG."""
+
+import networkx as nx
+import pytest
+
+from repro.gxm.graph import (
+    TaskRef,
+    bin_tasks,
+    build_node_graph,
+    build_petg,
+    compile_etg,
+    dedup_tasks,
+    extend_network,
+)
+from repro.gxm.topology import LayerSpec, TopologySpec
+from repro.models.resnet50 import resnet_mini_topology
+from repro.types import Pass, ReproError
+
+
+def fanout_topo():
+    """data feeds two convs joined by an eltwise (needs a Split)."""
+    topo = TopologySpec("fan")
+    d = topo.data("data")
+    a = topo.conv("a", d, 16, 1)
+    b = topo.conv("b", d, 16, 1)
+    s = topo.eltwise("sum", a, b)
+    topo.global_pool("gap", s)
+    topo.fc("fc", "gap", 4)
+    topo.loss("loss", "fc")
+    return topo
+
+
+class TestNLExtender:
+    def test_split_inserted_for_fanout(self):
+        enl = extend_network(fanout_topo())
+        splits = [l for l in enl.layers if l.type == "Split"]
+        assert len(splits) == 1
+        assert splits[0].attrs["fanout"] == 2
+        # consumers rewired to distinct split tops
+        a = enl.layer("a")
+        b = enl.layer("b")
+        assert a.bottoms != b.bottoms
+        assert a.bottoms[0].startswith("data__s")
+
+    def test_no_split_for_single_consumer(self):
+        topo = resnet_mini_topology()
+        enl = extend_network(topo)
+        # residual blocks create exactly the expected splits
+        splits = [l for l in enl.layers if l.type == "Split"]
+        assert len(splits) == 2  # one per bottleneck block input
+
+    def test_original_untouched(self):
+        topo = fanout_topo()
+        n_before = len(topo.layers)
+        extend_network(topo)
+        assert len(topo.layers) == n_before
+        assert topo.layer("a").bottoms == ["data"]
+
+    def test_split_inserted_after_producer(self):
+        enl = extend_network(fanout_topo())
+        names = [l.name for l in enl.layers]
+        assert names.index("data__split") == names.index("data") + 1
+
+
+class TestNodeGraph:
+    def test_edges_follow_dataflow(self):
+        eng = build_node_graph(extend_network(fanout_topo()))
+        assert eng.has_edge("data", "data__split")
+        assert eng.has_edge("data__split", "a")
+        assert eng.has_edge("a", "sum")
+        assert nx.is_directed_acyclic_graph(eng)
+
+    def test_dangling_bottom_rejected(self):
+        topo = TopologySpec("bad")
+        topo.add(LayerSpec("c", "Convolution", ["ghost"], ["c"],
+                           {"num_output": 4}))
+        with pytest.raises(ReproError, match="never produced"):
+            build_node_graph(topo)
+
+    def test_double_producer_rejected(self):
+        topo = TopologySpec("bad")
+        topo.data("x")
+        topo.add(LayerSpec("c", "Convolution", ["x"], ["x"],
+                           {"num_output": 4}))
+        with pytest.raises(ReproError):
+            build_node_graph(topo)
+
+
+class TestPETG:
+    def test_task_passes(self):
+        petg = build_petg(build_node_graph(extend_network(fanout_topo())))
+        kinds = {}
+        for t in petg.nodes():
+            kinds.setdefault(t.layer, set()).add(t.pass_)
+        # conv nodes get all three passes
+        assert kinds["a"] == {Pass.FWD, Pass.BWD, Pass.UPD}
+        # data: forward only; pool: fwd+bwd
+        assert kinds["data"] == {Pass.FWD}
+        assert kinds["gap"] == {Pass.FWD, Pass.BWD}
+
+    def test_dependency_directions(self):
+        petg = build_petg(build_node_graph(extend_network(fanout_topo())))
+        # FWD flows producer->consumer; BWD flows consumer->producer
+        assert petg.has_edge(TaskRef("a", Pass.FWD), TaskRef("sum", Pass.FWD))
+        assert petg.has_edge(TaskRef("sum", Pass.BWD), TaskRef("a", Pass.BWD))
+        assert petg.has_edge(TaskRef("a", Pass.FWD), TaskRef("a", Pass.BWD))
+        assert petg.has_edge(TaskRef("a", Pass.BWD), TaskRef("a", Pass.UPD))
+        assert nx.is_directed_acyclic_graph(petg)
+
+
+class TestETG:
+    def test_bins_respect_dependencies(self):
+        petg = build_petg(build_node_graph(extend_network(fanout_topo())))
+        bins = bin_tasks(petg)
+        level = {}
+        for i, b in enumerate(bins):
+            for t in b:
+                level[t] = i
+        for u, v in petg.edges():
+            assert level[u] < level[v]
+
+    def test_dedup(self):
+        bins = [[TaskRef("a", Pass.FWD)], [TaskRef("a", Pass.FWD),
+                                           TaskRef("b", Pass.FWD)]]
+        order = dedup_tasks(bins)
+        assert order == [TaskRef("a", Pass.FWD), TaskRef("b", Pass.FWD)]
+
+    def test_full_pipeline_order_valid(self):
+        enl, tasks = compile_etg(fanout_topo())
+        pos = {t: i for i, t in enumerate(tasks)}
+        # every layer's FWD precedes its BWD precedes its UPD
+        for t in tasks:
+            if t.pass_ is Pass.BWD:
+                assert pos[TaskRef(t.layer, Pass.FWD)] < pos[t]
+            if t.pass_ is Pass.UPD:
+                assert pos[TaskRef(t.layer, Pass.BWD)] < pos[t]
+
+    def test_task_count(self):
+        enl, tasks = compile_etg(fanout_topo())
+        convs = sum(1 for l in enl.layers if l.type == "Convolution")
+        fcs = sum(1 for l in enl.layers if l.type == "InnerProduct")
+        upd = sum(1 for t in tasks if t.pass_ is Pass.UPD)
+        assert upd == convs + fcs  # gradient-exchange node types

@@ -1,0 +1,108 @@
+"""Topology builder, text format, and parser (section II-L)."""
+
+import pytest
+
+from repro.gxm.parser import TopologyParseError, parse_topology
+from repro.gxm.topology import LayerSpec, TopologySpec
+from repro.models.resnet50 import resnet50_topology, resnet_mini_topology
+from repro.types import ShapeError
+
+
+class TestBuilder:
+    def test_conv_defaults_same_padding(self):
+        topo = TopologySpec("t")
+        d = topo.data("data")
+        topo.conv("c1", d, 16, 3)
+        assert topo.layer("c1").attrs["pad"] == 1
+
+    def test_conv_with_bn_relu_chain(self):
+        topo = TopologySpec("t")
+        d = topo.data("data")
+        top = topo.conv("c1", d, 16, 3, relu=True, batchnorm=True)
+        assert top == "c1_relu"
+        assert topo.layer("c1_bn").bottoms == ["c1"]
+        assert topo.layer("c1_relu").bottoms == ["c1_bn"]
+
+    def test_eltwise_two_bottoms(self):
+        topo = TopologySpec("t")
+        d = topo.data("data")
+        a = topo.conv("a", d, 16, 1)
+        b = topo.conv("b", d, 16, 1)
+        topo.eltwise("sum", a, b)
+        assert topo.layer("sum").bottoms == ["a", "b"]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ShapeError):
+            LayerSpec("x", "Deconvolution", [], [])
+
+    def test_layer_lookup_missing(self):
+        with pytest.raises(KeyError):
+            TopologySpec("t").layer("nope")
+
+
+class TestTextRoundTrip:
+    def test_roundtrip_mini(self):
+        topo = resnet_mini_topology()
+        text = topo.to_text()
+        back = parse_topology(text)
+        assert back.name == topo.name
+        assert len(back.layers) == len(topo.layers)
+        for a, b in zip(topo.layers, back.layers):
+            assert (a.name, a.type, a.bottoms, a.tops, a.attrs) == (
+                b.name, b.type, b.bottoms, b.tops, b.attrs
+            )
+
+    def test_roundtrip_full_resnet50(self):
+        topo = resnet50_topology()
+        back = parse_topology(topo.to_text())
+        assert len(back.layers) == len(topo.layers)
+
+    def test_text_contains_protobuf_fields(self):
+        text = resnet_mini_topology().to_text()
+        assert 'layer {' in text
+        assert 'type: "Convolution"' in text
+        assert 'bottom: "data"' in text
+
+
+class TestParser:
+    def test_minimal(self):
+        topo = parse_topology(
+            """
+            name: "tiny"
+            layer { name: "data" type: "Data" top: "data" }
+            layer {
+              name: "fc" type: "InnerProduct"
+              bottom: "data" top: "fc" num_output: 10
+            }
+            """
+        )
+        assert topo.name == "tiny"
+        assert topo.layers[1].attrs["num_output"] == 10
+
+    def test_comments_ignored(self):
+        topo = parse_topology(
+            """
+            # a comment
+            layer { name: "d" type: "Data" top: "d" }  # trailing
+            """
+        )
+        assert topo.layers[0].name == "d"
+
+    def test_float_and_bool_values(self):
+        topo = parse_topology(
+            'layer { name: "d" type: "Data" top: "d" ratio: 0.5 flag: true }'
+        )
+        assert topo.layers[0].attrs["ratio"] == 0.5
+        assert topo.layers[0].attrs["flag"] is True
+
+    def test_missing_required_field(self):
+        with pytest.raises(TopologyParseError):
+            parse_topology('layer { name: "x" top: "x" }')
+
+    def test_unterminated_block(self):
+        with pytest.raises(TopologyParseError):
+            parse_topology('layer { name: "x" type: "Data" top: "x"')
+
+    def test_empty(self):
+        with pytest.raises(TopologyParseError):
+            parse_topology("name: \"nothing\"")

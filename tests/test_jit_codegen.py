@@ -1,0 +1,212 @@
+"""Structural tests of the generated forward-conv µop streams."""
+
+import pytest
+
+from repro.arch.isa import Op
+from repro.jit.codegen import ConvKernelDesc, generate_conv_kernel
+from repro.types import CodegenError, DType
+
+BASE = dict(
+    vlen=4,
+    rb_p=1,
+    rb_q=3,
+    R=3,
+    S=3,
+    stride=1,
+    i_strides=(1000, 40, 4),
+    w_strides=(500, 48, 16, 4),
+    o_strides=(36, 4),
+)
+
+
+def gen(**over):
+    return generate_conv_kernel(ConvKernelDesc(**{**BASE, **over}))
+
+
+class TestStructure:
+    def test_fma_count(self):
+        prog = gen()
+        # R*S*vlen reduction steps x rb_p*rb_q accumulators
+        assert prog.fma_count == 3 * 3 * 4 * 3
+
+    def test_flops_accounting(self):
+        prog = gen()
+        assert prog.flops == 2 * 3 * 3 * 4 * 3 * 4  # 2*R*S*vlen*rbq*vlen
+
+    def test_weight_loads(self):
+        prog = gen()
+        wloads = sum(
+            1 for u in prog.uops if u.op is Op.VLOAD and u.tensor == "W"
+        )
+        assert wloads == 3 * 3 * 4  # one per (r, s, x)
+
+    def test_hoisted_output_single_load_store(self):
+        prog = gen(zero_init=False)
+        oloads = sum(1 for u in prog.uops if u.op is Op.VLOAD and u.tensor == "O")
+        ostores = prog.count(Op.VSTORE, Op.VSTORE_NT)
+        assert oloads == 3 and ostores == 3  # once per accumulator
+
+    def test_unhoisted_output_per_tap(self):
+        """Without hoisting (the small-GEMM baselines), O moves per tap."""
+        prog = gen(hoist_output=False, zero_init=False)
+        oloads = sum(1 for u in prog.uops if u.op is Op.VLOAD and u.tensor == "O")
+        assert oloads == 3 * 3 * 3  # per (r, s) per accumulator
+        assert prog.count(Op.VSTORE) == 3 * 3 * 3
+
+    def test_zero_init_skips_output_load(self):
+        prog = gen(zero_init=True)
+        assert not any(
+            u.op is Op.VLOAD and u.tensor == "O" for u in prog.uops
+        )
+        assert prog.count(Op.VZERO) == 3
+
+    def test_fused_memop_removes_broadcasts(self):
+        sep = gen(fused_memop=False)
+        fused = gen(fused_memop=True)
+        assert sep.count(Op.VBCAST) == sep.fma_count
+        assert fused.count(Op.VBCAST) == 0
+        assert fused.count(Op.VFMA_MEM) == fused.fma_count
+
+    def test_4fma_quarters_reduction_ops(self):
+        prog = gen(use_4fma=True)
+        assert prog.count(Op.V4FMA) == 3 * 3 * 1 * 3  # vlen/4 groups
+        # each V4FMA covers 4 reduction steps -> same MAC work
+        assert prog.flops == gen().flops
+
+    def test_cb_unroll_scales_work(self):
+        assert gen(cb_unroll=2).fma_count == 2 * gen().fma_count
+
+    def test_kb_unroll_shares_broadcasts(self):
+        prog = gen(kb_unroll=2, w_skb=10000, o_skb=5000, fused_memop=False)
+        # broadcasts stay per (x, pixel); FMAs double
+        assert prog.count(Op.VBCAST) == gen().count(Op.VBCAST)
+        assert prog.fma_count == 2 * gen().fma_count
+
+    def test_register_budget_respected(self):
+        prog = gen(rb_p=2, rb_q=8)
+        assert prog.max_register() < 32
+
+    def test_footprints_match_reads(self):
+        prog = gen()
+        d = prog.meta["desc"]
+        assert prog.reads["I"] == d.input_footprint()
+        assert prog.reads["W"] == d.weight_footprint()
+        assert prog.writes["O"] == d.output_footprint()
+
+
+class TestFusion:
+    def test_relu_emits_vmax(self):
+        prog = gen(fused=("relu",))
+        assert prog.count(Op.VMAX) == 3
+
+    def test_bias_then_relu_order(self):
+        prog = gen(fused=("bias", "relu"))
+        ops = [u.op for u in prog.uops]
+        first_add = ops.index(Op.VADD)
+        first_max = ops.index(Op.VMAX)
+        assert first_add < first_max
+
+    def test_bn_emits_mul_add(self):
+        prog = gen(fused=("bn",))
+        assert prog.count(Op.VMUL) == 3
+        assert prog.count(Op.VADD) == 3
+
+    def test_eltwise_add_reads_residual(self):
+        prog = gen(fused=("add",))
+        eloads = [u for u in prog.uops if u.tensor == "E"]
+        assert len(eloads) == 3
+
+    def test_fusion_requires_hoisting(self):
+        with pytest.raises(CodegenError):
+            gen(hoist_output=False, fused=("relu",))
+
+
+class TestPrefetch:
+    def test_l2_prefetch_covers_next_footprints(self):
+        prog = gen(prefetch="l2")
+        pf = [u for u in prog.uops if u.op is Op.PREFETCH2]
+        tensors = {u.tensor for u in pf}
+        assert tensors == {"I_pf", "W_pf", "O_pf"}
+        d = prog.meta["desc"]
+        line = 16  # 64B / 4B
+        want = sum(
+            -(-fp // line)
+            for fp in (
+                d.input_footprint(),
+                d.weight_footprint(),
+                d.output_footprint(),
+            )
+        )
+        assert len(pf) == want
+
+    def test_prefetches_interleaved_not_clumped(self):
+        prog = gen(prefetch="l2")
+        idxs = [i for i, u in enumerate(prog.uops) if u.op is Op.PREFETCH2]
+        # spread across the body: first prefetch well before the end
+        assert idxs[0] < len(prog.uops) // 2
+
+    def test_none_mode(self):
+        prog = gen(prefetch="none")
+        assert prog.count(Op.PREFETCH1, Op.PREFETCH2) == 0
+
+
+class TestValidation:
+    def test_bad_prefetch_mode(self):
+        with pytest.raises(CodegenError):
+            gen(prefetch="l3")
+
+    def test_bad_fused_op(self):
+        with pytest.raises(CodegenError):
+            gen(fused=("gelu",))
+
+    def test_4fma_needs_divisible_vlen(self):
+        with pytest.raises(CodegenError):
+            gen(vlen=6, use_4fma=True)
+
+    def test_4fma_and_fused_memop_conflict(self):
+        with pytest.raises(CodegenError):
+            gen(use_4fma=True, fused_memop=True)
+
+    def test_kb_unroll_needs_strides(self):
+        with pytest.raises(CodegenError):
+            gen(kb_unroll=2)
+
+    def test_too_much_register_blocking(self):
+        with pytest.raises(CodegenError):
+            gen(rb_p=6, rb_q=6)
+
+    def test_variant_names_distinct(self):
+        names = {
+            gen().name,
+            gen(zero_init=True).name,
+            gen(rb_q=2).name,
+            gen(fused=("relu",)).name,
+            gen(use_4fma=True).name,
+        }
+        assert len(names) == 5
+
+
+class TestQ16:
+    def q16(self, **over):
+        return gen(dtype=DType.QI16F32, fused_memop=False, **over)
+
+    def test_vnni_count(self):
+        prog = self.q16()
+        # vlen/2 pairs per (r, s) per accumulator
+        assert prog.count(Op.VVNNI) == 3 * 3 * 2 * 3
+
+    def test_chain_limit_inserts_flushes(self):
+        limited = self.q16(acc_chain_limit=2)
+        free = self.q16()
+        assert limited.count(Op.VCVT_I32F32) > free.count(Op.VCVT_I32F32)
+
+    def test_4vnni_quarters_ops(self):
+        prog = self.q16(use_4vnni=True)
+        plain = self.q16()
+        # quad ops: half the pair count when pairs=2... vlen=4 -> 2 pairs,
+        # quad=4 covers both in one op per (r,s,acc) group
+        assert prog.count(Op.VVNNI) < plain.count(Op.VVNNI)
+
+    def test_odd_vlen_rejected(self):
+        with pytest.raises(CodegenError):
+            gen(vlen=5, dtype=DType.QI16F32)

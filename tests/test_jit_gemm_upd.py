@@ -1,0 +1,133 @@
+"""Small-GEMM and weight-update kernel generators: µop streams must compute
+the right linear algebra when interpreted."""
+
+import numpy as np
+import pytest
+
+from repro.arch.isa import Op
+from repro.jit.gemm import GemmDesc, generate_gemm_kernel
+from repro.jit.interpreter import execute_kernel
+from repro.jit.upd_codegen import UpdKernelDesc, generate_upd_kernel
+from tests.conftest import assert_close
+
+
+class TestGemmKernel:
+    @pytest.mark.parametrize("n", [1, 3, 7])
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_matches_matmul(self, rng, n, k):
+        vlen = 4
+        desc = GemmDesc(
+            vlen=vlen, k=k, n=n, a_sk=vlen, b_sk=1, b_sn=k, c_sn=vlen
+        )
+        prog = generate_gemm_kernel(desc)
+        a = rng.standard_normal((k, vlen)).astype(np.float32)  # col-major A
+        b = rng.standard_normal((n, k)).astype(np.float32)
+        c = rng.standard_normal((n, vlen)).astype(np.float32)
+        expect = c + b @ a
+        bufs = {"A": a.reshape(-1), "B": b.reshape(-1), "C": c.reshape(-1).copy()}
+        execute_kernel(prog, bufs, {})
+        assert_close(bufs["C"].reshape(n, vlen), expect)
+
+    def test_zero_init(self, rng):
+        vlen = 4
+        desc = GemmDesc(
+            vlen=vlen, k=3, n=2, a_sk=vlen, b_sk=1, b_sn=3, c_sn=vlen,
+            zero_init=True,
+        )
+        prog = generate_gemm_kernel(desc)
+        a = rng.standard_normal((3, vlen)).astype(np.float32)
+        b = rng.standard_normal((2, 3)).astype(np.float32)
+        c = np.full(2 * vlen, 99.0, dtype=np.float32)
+        bufs = {"A": a.reshape(-1), "B": b.reshape(-1), "C": c}
+        execute_kernel(prog, bufs, {})
+        assert_close(c.reshape(2, vlen), b @ a)
+
+    def test_n_blocking_splits_accumulators(self):
+        desc = GemmDesc(
+            vlen=4, k=2, n=10, a_sk=4, b_sk=1, b_sn=2, c_sn=4, nb=4
+        )
+        prog = generate_gemm_kernel(desc)
+        # 3 accumulator groups (4+4+2): A reloaded per group
+        aloads = sum(1 for u in prog.uops if u.tensor == "A")
+        assert aloads == 3 * 2
+
+    def test_flops(self):
+        desc = GemmDesc(vlen=4, k=3, n=5, a_sk=4, b_sk=1, b_sn=3, c_sn=4)
+        assert generate_gemm_kernel(desc).flops == 2 * 4 * 3 * 5
+
+    def test_strided_c_columns(self, rng):
+        """Algorithm 7 writes dI columns on the stride grid (c_sn > vlen)."""
+        vlen, n, k, stride = 4, 3, 2, 2
+        desc = GemmDesc(
+            vlen=vlen, k=k, n=n, a_sk=vlen, b_sk=1, b_sn=k,
+            c_sn=stride * vlen,
+        )
+        prog = generate_gemm_kernel(desc)
+        a = rng.standard_normal((k, vlen)).astype(np.float32)
+        b = rng.standard_normal((n, k)).astype(np.float32)
+        c = np.zeros(n * stride * vlen, dtype=np.float32)
+        execute_kernel(prog, {"A": a.reshape(-1), "B": b.reshape(-1), "C": c}, {})
+        got = c.reshape(n * stride, vlen)[::stride]
+        assert_close(got, b @ a)
+        assert np.all(c.reshape(n * stride, vlen)[1::stride] == 0)
+
+
+class TestUpdKernel:
+    @pytest.mark.parametrize("bp,bq,stride", [(2, 3, 1), (1, 4, 2), (3, 2, 1)])
+    def test_matches_outer_product_sum(self, rng, bp, bq, stride):
+        vlen = 4
+        i_sh, i_sw = 50, 5
+        o_sh, o_sw = 40, 4
+        desc = UpdKernelDesc(
+            vlen=vlen, b_p=bp, b_q=bq, stride=stride,
+            i_strides=(i_sh, i_sw), o_strides=(o_sh, o_sw), zero_init=True,
+        )
+        prog = generate_upd_kernel(desc)
+        ibuf = rng.standard_normal(2000).astype(np.float32)
+        obuf = rng.standard_normal(2000).astype(np.float32)
+        dw = np.zeros(vlen * vlen, dtype=np.float32)
+        execute_kernel(prog, {"I": ibuf, "dO": obuf, "dW": dw}, {})
+        expect = np.zeros((vlen, vlen), dtype=np.float32)
+        for p in range(bp):
+            for q in range(bq):
+                do = obuf[p * o_sh + q * o_sw :][:vlen]
+                for c in range(vlen):
+                    iv = ibuf[p * stride * i_sh + q * stride * i_sw + c]
+                    expect[c] += do * iv
+        assert_close(dw.reshape(vlen, vlen), expect)
+
+    def test_vlen_independent_chains(self):
+        """The paper's point: VLEN accumulators = VLEN independent chains."""
+        desc = UpdKernelDesc(
+            vlen=4, b_p=2, b_q=2, stride=1, i_strides=(8, 4),
+            o_strides=(8, 4),
+        )
+        prog = generate_upd_kernel(desc)
+        dsts = {u.dst for u in prog.uops if u.is_fma()}
+        assert len(dsts) == 4
+
+    def test_fused_memop_variant(self):
+        plain = generate_upd_kernel(
+            UpdKernelDesc(vlen=4, b_p=1, b_q=2, stride=1,
+                          i_strides=(8, 4), o_strides=(8, 4))
+        )
+        fused = generate_upd_kernel(
+            UpdKernelDesc(vlen=4, b_p=1, b_q=2, stride=1,
+                          i_strides=(8, 4), o_strides=(8, 4),
+                          fused_memop=True)
+        )
+        assert plain.count(Op.VBCAST) > 0
+        assert fused.count(Op.VBCAST) == 0
+        assert fused.count(Op.VFMA_MEM) == plain.count(Op.VFMA)
+
+    def test_accumulate_mode_loads_dw(self, rng):
+        desc = UpdKernelDesc(
+            vlen=4, b_p=1, b_q=1, stride=1, i_strides=(8, 4),
+            o_strides=(8, 4), zero_init=False,
+        )
+        prog = generate_upd_kernel(desc)
+        dw = np.ones(16, dtype=np.float32)
+        ibuf = np.zeros(64, dtype=np.float32)
+        obuf = np.zeros(64, dtype=np.float32)
+        execute_kernel(prog, {"I": ibuf, "dO": obuf, "dW": dw}, {})
+        assert np.all(dw == 1.0)  # zero contribution, preserved accumulation

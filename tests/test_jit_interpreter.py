@@ -1,0 +1,203 @@
+"""Functional semantics of the µop interpreter, op by op."""
+
+import numpy as np
+import pytest
+
+from repro.arch.isa import KernelProgram, Op, Uop
+from repro.jit.interpreter import execute_kernel
+from repro.types import ReproError
+
+
+def run(uops, buffers, bases=None, vlen=4, trace=None):
+    prog = KernelProgram(name="t", vlen=vlen, uops=uops)
+    execute_kernel(prog, buffers, bases or {}, trace=trace)
+
+
+class TestBasicOps:
+    def test_load_store(self):
+        src = np.arange(8, dtype=np.float32)
+        dst = np.zeros(8, dtype=np.float32)
+        run(
+            [
+                Uop(Op.VLOAD, dst=0, tensor="A", offset=2),
+                Uop(Op.VSTORE, src1=0, tensor="B", offset=1),
+            ],
+            {"A": src, "B": dst},
+        )
+        assert np.array_equal(dst[1:5], src[2:6])
+
+    def test_base_offsets(self):
+        src = np.arange(16, dtype=np.float32)
+        dst = np.zeros(16, dtype=np.float32)
+        run(
+            [
+                Uop(Op.VLOAD, dst=0, tensor="A", offset=1),
+                Uop(Op.VSTORE, src1=0, tensor="B", offset=0),
+            ],
+            {"A": src, "B": dst},
+            bases={"A": 4, "B": 8},
+        )
+        assert np.array_equal(dst[8:12], src[5:9])
+
+    def test_broadcast(self):
+        src = np.array([7.0, 3.0], dtype=np.float32)
+        dst = np.zeros(4, dtype=np.float32)
+        run(
+            [
+                Uop(Op.VBCAST, dst=0, tensor="A", offset=1),
+                Uop(Op.VSTORE, src1=0, tensor="B", offset=0),
+            ],
+            {"A": src, "B": dst},
+        )
+        assert np.all(dst == 3.0)
+
+    def test_fma(self):
+        a = np.full(4, 2.0, dtype=np.float32)
+        b = np.full(4, 3.0, dtype=np.float32)
+        out = np.zeros(4, dtype=np.float32)
+        run(
+            [
+                Uop(Op.VZERO, dst=0),
+                Uop(Op.VLOAD, dst=1, tensor="A", offset=0),
+                Uop(Op.VLOAD, dst=2, tensor="B", offset=0),
+                Uop(Op.VFMA, dst=0, src1=1, src2=2),
+                Uop(Op.VFMA, dst=0, src1=1, src2=2),
+                Uop(Op.VSTORE, src1=0, tensor="O", offset=0),
+            ],
+            {"A": a, "B": b, "O": out},
+        )
+        assert np.all(out == 12.0)
+
+    def test_fma_mem(self):
+        w = np.arange(4, dtype=np.float32)
+        i = np.array([5.0], dtype=np.float32)
+        out = np.zeros(4, dtype=np.float32)
+        run(
+            [
+                Uop(Op.VZERO, dst=0),
+                Uop(Op.VLOAD, dst=1, tensor="W", offset=0),
+                Uop(Op.VFMA_MEM, dst=0, src1=1, tensor="I", offset=0),
+                Uop(Op.VSTORE, src1=0, tensor="O", offset=0),
+            ],
+            {"W": w, "I": i, "O": out},
+        )
+        assert np.array_equal(out, w * 5.0)
+
+    def test_4fma_contiguous_weights(self):
+        """V4FMA: 4 chained FMAs from contiguous registers + 4-elem memop."""
+        w = np.arange(16, dtype=np.float32)
+        i = np.array([1.0, 2.0, 3.0, 4.0], dtype=np.float32)
+        out = np.zeros(4, dtype=np.float32)
+        uops = [Uop(Op.VZERO, dst=0)]
+        for j in range(4):
+            uops.append(Uop(Op.VLOAD, dst=1 + j, tensor="W", offset=4 * j))
+        uops.append(Uop(Op.V4FMA, dst=0, src1=1, tensor="I", offset=0, imm=4.0))
+        uops.append(Uop(Op.VSTORE, src1=0, tensor="O", offset=0))
+        run(uops, {"W": w, "I": i, "O": out})
+        expect = sum(w[4 * j : 4 * j + 4] * i[j] for j in range(4))
+        assert np.array_equal(out, expect)
+
+    def test_max_and_mul_add(self):
+        a = np.array([-1.0, 2.0, -3.0, 4.0], dtype=np.float32)
+        out = np.zeros(4, dtype=np.float32)
+        run(
+            [
+                Uop(Op.VLOAD, dst=0, tensor="A", offset=0),
+                Uop(Op.VZERO, dst=1),
+                Uop(Op.VMAX, dst=0, src1=0, src2=1),
+                Uop(Op.VSTORE, src1=0, tensor="O", offset=0),
+            ],
+            {"A": a, "O": out},
+        )
+        assert np.array_equal(out, np.maximum(a, 0))
+
+    def test_cvt_scale(self):
+        out = np.zeros(4, dtype=np.float32)
+        run(
+            [
+                Uop(Op.VZERO, dst=0),
+                Uop(Op.VLOAD, dst=1, tensor="A", offset=0),
+                Uop(Op.VADD, dst=0, src1=0, src2=1),
+                Uop(Op.VCVT_I32F32, dst=2, src1=0, imm=0.5),
+                Uop(Op.VSTORE, src1=2, tensor="O", offset=0),
+            ],
+            {"A": np.full(4, 6.0, dtype=np.float32), "O": out},
+        )
+        assert np.all(out == 3.0)
+
+
+class TestVnni:
+    def test_pair_dot(self):
+        # weights packed as [k0p0, k0p1, k1p0, k1p1, ...]: 2*vlen int16
+        w = np.arange(8, dtype=np.int16)
+        i = np.array([3, 5], dtype=np.int16)
+        out = np.zeros(4, dtype=np.float32)
+        run(
+            [
+                Uop(Op.VZERO, dst=0),
+                Uop(Op.VLOAD, dst=1, tensor="W", offset=0),
+                Uop(Op.VBCAST, dst=2, tensor="I", offset=0, imm=2.0),
+                Uop(Op.VVNNI, dst=0, src1=1, src2=2),
+                Uop(Op.VSTORE, src1=0, tensor="O", offset=0),
+            ],
+            {"W": w, "I": i, "O": out},
+        )
+        expect = np.array(
+            [w[2 * k] * 3 + w[2 * k + 1] * 5 for k in range(4)], dtype=np.float32
+        )
+        assert np.array_equal(out, expect)
+
+    def test_quad_memory_form(self):
+        w = np.arange(32, dtype=np.int16)  # 4 packed vectors of 8
+        i = np.arange(1, 9, dtype=np.int16)  # 4 pairs
+        out = np.zeros(4, dtype=np.float32)
+        uops = [Uop(Op.VZERO, dst=0)]
+        for j in range(4):
+            uops.append(Uop(Op.VLOAD, dst=1 + j, tensor="W", offset=8 * j))
+        uops.append(Uop(Op.VVNNI, dst=0, src1=1, tensor="I", offset=0, imm=4.0))
+        uops.append(Uop(Op.VSTORE, src1=0, tensor="O", offset=0))
+        run(uops, {"W": w, "I": i, "O": out})
+        expect = np.zeros(4)
+        for j in range(4):
+            wj = w[8 * j : 8 * j + 8].reshape(4, 2)
+            expect += wj[:, 0] * i[2 * j] + wj[:, 1] * i[2 * j + 1]
+        assert np.array_equal(out, expect)
+
+
+class TestErrorsAndTrace:
+    def test_uninitialized_register(self):
+        with pytest.raises(ReproError, match="uninitialized"):
+            run(
+                [Uop(Op.VSTORE, src1=5, tensor="O", offset=0)],
+                {"O": np.zeros(4, dtype=np.float32)},
+            )
+
+    def test_unbound_tensor(self):
+        with pytest.raises(ReproError, match="unbound tensor"):
+            run([Uop(Op.VLOAD, dst=0, tensor="Z", offset=0)], {})
+
+    def test_prefetch_resolves_to_compute_buffer(self):
+        trace = []
+        buf = np.zeros(64, dtype=np.float32)
+        run(
+            [Uop(Op.PREFETCH2, tensor="I_pf", offset=3)],
+            {"I": buf},
+            bases={"I_pf": 10},
+            trace=trace,
+        )
+        assert trace == [("I_pf", 13, 1, "prefetch2")]
+
+    def test_trace_records_loads_stores(self):
+        trace = []
+        buf = np.arange(8, dtype=np.float32)
+        out = np.zeros(8, dtype=np.float32)
+        run(
+            [
+                Uop(Op.VLOAD, dst=0, tensor="A", offset=0),
+                Uop(Op.VSTORE, src1=0, tensor="B", offset=4),
+            ],
+            {"A": buf, "B": out},
+            trace=trace,
+        )
+        assert ("A", 0, 4, "load") in trace
+        assert ("B", 4, 4, "store") in trace

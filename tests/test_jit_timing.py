@@ -1,0 +1,122 @@
+"""The timing model must reproduce the paper's instruction-level effects."""
+
+import pytest
+
+from repro.arch.machine import KNM, SKX
+from repro.jit.codegen import ConvKernelDesc, generate_conv_kernel
+from repro.jit.kernel_cache import KernelCache
+from repro.jit.timing import time_kernel
+from repro.types import DType
+
+BASE = dict(
+    vlen=16,
+    rb_p=1,
+    rb_q=28,
+    R=3,
+    S=3,
+    stride=1,
+    i_strides=(100000, 1000, 16),
+    w_strides=(100000, 800, 256, 16),
+    o_strides=(900, 16),
+)
+
+
+def timing(machine, **over):
+    prog = generate_conv_kernel(ConvKernelDesc(**{**BASE, **over}))
+    return time_kernel(prog, machine)
+
+
+class TestComputeCeilings:
+    def test_skx_fused_memop_penalty(self):
+        """Section III-B: fused memory operands cost ~15% on SKX."""
+        eff = timing(SKX, fused_memop=True).efficiency(SKX)
+        assert 0.80 <= eff <= 0.88
+
+    def test_skx_kb_unroll_near_peak(self):
+        """MKL-DNN's output-channel blocking reaches ~peak compute."""
+        eff = timing(
+            SKX, rb_q=14, kb_unroll=2, w_skb=7200, o_skb=12544,
+            fused_memop=False,
+        ).efficiency(SKX)
+        assert eff > 0.93
+
+    def test_knm_4fma_near_peak(self):
+        eff = timing(KNM, use_4fma=True).efficiency(KNM)
+        assert eff > 0.9
+
+    def test_knm_without_4fma_load_bound(self):
+        """Plain broadcast+FMA cannot feed KNM's doubled FMA capacity."""
+        t = timing(KNM, use_4fma=False, fused_memop=False)
+        assert t.bottleneck == "load"
+        assert t.efficiency(KNM) < 0.6
+
+
+class TestLatencyExposure:
+    def test_single_chain_is_latency_bound(self):
+        """rb=1x1: one accumulation chain, FMA latency fully exposed --
+        the autovec disease (section II-B)."""
+        t = timing(SKX, rb_q=1, fused_memop=False)
+        assert t.bottleneck == "fma_latency"
+        assert t.efficiency(SKX) < 0.2
+
+    def test_blocking_hides_latency(self):
+        one = timing(SKX, rb_q=1, fused_memop=False)
+        many = timing(SKX, rb_q=14, fused_memop=False)
+        assert many.efficiency(SKX) > 3 * one.efficiency(SKX)
+
+    def test_pixel_blocking_helps_short_rows(self):
+        """Optimization (b) of II-D: RB_P blocks rows when Q is short."""
+        short = timing(SKX, rb_q=4, rb_p=1, fused_memop=True)
+        blocked = timing(SKX, rb_q=4, rb_p=2, fused_memop=True)
+        assert blocked.efficiency(SKX) > short.efficiency(SKX)
+
+
+class TestOverheadAndQ16:
+    def test_call_overhead_additive(self):
+        prog = generate_conv_kernel(ConvKernelDesc(**BASE))
+        t0 = time_kernel(prog, SKX, call_overhead=0.0)
+        t1 = time_kernel(prog, SKX, call_overhead=100.0)
+        assert t1.cycles == pytest.approx(t0.cycles + 100.0)
+
+    def test_q16_doubles_throughput_on_knm(self):
+        # int16 kernels halve RB_Q: fp32+int32 accumulator pairs (II-K)
+        f32 = timing(KNM, rb_q=13, use_4fma=True)
+        q16 = timing(
+            KNM, rb_q=13, dtype=DType.QI16F32, use_4vnni=True,
+            acc_chain_limit=0,
+        )
+        # same MAC count, int16 path should be close to 2x fewer cycles
+        speedup = (f32.cycles / f32.flops) / (q16.cycles / q16.flops)
+        assert 1.6 < speedup <= 2.1
+
+    def test_chain_limit_erodes_q16_speedup(self):
+        free = timing(KNM, rb_q=13, dtype=DType.QI16F32, use_4vnni=True,
+                      acc_chain_limit=0)
+        limited = timing(KNM, rb_q=13, dtype=DType.QI16F32, use_4vnni=True,
+                         acc_chain_limit=2)
+        assert limited.cycles > free.cycles
+
+
+class TestKernelCache:
+    def test_memoizes_by_descriptor(self):
+        cache = KernelCache()
+        d1 = ConvKernelDesc(**BASE)
+        d2 = ConvKernelDesc(**BASE)  # equal descriptor
+        d3 = ConvKernelDesc(**{**BASE, "rb_q": 14})
+        p1 = cache.get(d1, generate_conv_kernel)
+        p2 = cache.get(d2, generate_conv_kernel)
+        p3 = cache.get(d3, generate_conv_kernel)
+        assert p1 is p2 and p1 is not p3
+        assert cache.hits == 1 and cache.misses == 2
+        assert len(cache) == 2
+
+    def test_clear(self):
+        cache = KernelCache()
+        cache.get(ConvKernelDesc(**BASE), generate_conv_kernel)
+        cache.clear()
+        assert len(cache) == 0 and cache.misses == 0
+
+    def test_variants_listed(self):
+        cache = KernelCache()
+        cache.get(ConvKernelDesc(**BASE), generate_conv_kernel)
+        assert any("conv_f32" in v for v in cache.variants)

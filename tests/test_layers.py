@@ -1,0 +1,249 @@
+"""Non-conv layers: forward semantics + gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.layers import (
+    AvgPool2D,
+    BatchNorm2D,
+    EltwiseSum,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2D,
+    ReLULayer,
+    SoftmaxCrossEntropy,
+    Split,
+)
+
+
+def numeric_grad(f, x, eps=1e-3):
+    """Central-difference gradient of scalar f wrt array x (sampled)."""
+    g = np.zeros_like(x, dtype=np.float64)
+    it = np.ndindex(*x.shape)
+    idxs = list(it)
+    rng = np.random.default_rng(0)
+    sample = [idxs[i] for i in rng.choice(len(idxs), min(20, len(idxs)),
+                                          replace=False)]
+    for idx in sample:
+        xp = x.copy()
+        xp[idx] += eps
+        xm = x.copy()
+        xm[idx] -= eps
+        g[idx] = (f(xp) - f(xm)) / (2 * eps)
+    return g, sample
+
+
+def check_backward(layer, x, rng, rtol=2e-2):
+    """<dy, layer(x)> gradient vs numeric."""
+    y = layer.forward(x)
+    dy = rng.standard_normal(y.shape).astype(np.float32)
+    dx = layer.backward(dy)
+
+    def loss(xv):
+        return float((layer.forward(xv.astype(np.float32)) * dy).sum())
+
+    g, sample = numeric_grad(loss, x.astype(np.float64))
+    # re-prime the cache with the original input
+    layer.forward(x)
+    for idx in sample:
+        assert dx[idx] == pytest.approx(g[idx], rel=rtol, abs=1e-2), idx
+
+
+class TestReLU:
+    def test_forward(self, rng):
+        r = ReLULayer()
+        x = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        y = r.forward(x)
+        assert np.all(y >= 0)
+        assert np.array_equal(y[x > 0], x[x > 0])
+
+    def test_backward_masks(self, rng):
+        r = ReLULayer()
+        x = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        r.forward(x)
+        dy = np.ones_like(x)
+        dx = r.backward(dy)
+        assert np.array_equal(dx != 0, x > 0)
+
+
+class TestMaxPool:
+    def test_forward_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        y = MaxPool2D(2).forward(x)
+        assert np.array_equal(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_backward_routes_to_argmax(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        mp = MaxPool2D(2)
+        mp.forward(x)
+        dx = mp.backward(np.ones((1, 1, 2, 2), dtype=np.float32))
+        assert dx.sum() == 4
+        assert dx[0, 0, 1, 1] == 1  # position of 5
+
+    def test_gradient(self, rng):
+        x = rng.standard_normal((1, 2, 6, 6)).astype(np.float32)
+        check_backward(MaxPool2D(2), x, rng)
+
+    def test_stride_neq_kernel(self, rng):
+        x = rng.standard_normal((1, 1, 5, 5)).astype(np.float32)
+        y = MaxPool2D(3, stride=2).forward(x)
+        assert y.shape == (1, 1, 2, 2)
+
+    def test_overlapping_like_resnet_stem(self, rng):
+        # 3x3/2 pool with pad 0 like GxM's pool1 on odd inputs
+        x = rng.standard_normal((1, 4, 7, 7)).astype(np.float32)
+        mp = MaxPool2D(3, stride=2)
+        y = mp.forward(x)
+        assert y.shape == (1, 4, 3, 3)
+        dx = mp.backward(np.ones_like(y))
+        assert dx.shape == x.shape
+
+
+class TestAvgPool:
+    def test_forward(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        y = AvgPool2D(2).forward(x)
+        assert y[0, 0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_gradient(self, rng):
+        x = rng.standard_normal((1, 2, 4, 4)).astype(np.float32)
+        check_backward(AvgPool2D(2), x, rng)
+
+
+class TestGlobalAvgPool:
+    def test_forward(self, rng):
+        x = rng.standard_normal((2, 3, 4, 5)).astype(np.float32)
+        y = GlobalAvgPool().forward(x)
+        assert y.shape == (2, 3)
+        assert y[1, 2] == pytest.approx(x[1, 2].mean(), rel=1e-5)
+
+    def test_gradient(self, rng):
+        x = rng.standard_normal((1, 2, 3, 3)).astype(np.float32)
+        check_backward(GlobalAvgPool(), x, rng)
+
+
+class TestBatchNorm:
+    def test_normalizes(self, rng):
+        bn = BatchNorm2D(4)
+        x = (rng.standard_normal((8, 4, 5, 5)) * 3 + 2).astype(np.float32)
+        y = bn.forward(x)
+        assert abs(y.mean()) < 1e-5
+        assert y.std() == pytest.approx(1.0, abs=1e-3)
+
+    def test_gradient_wrt_input(self, rng):
+        bn = BatchNorm2D(2)
+        x = rng.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        check_backward(bn, x, rng, rtol=5e-2)
+
+    def test_param_grads(self, rng):
+        bn = BatchNorm2D(3)
+        x = rng.standard_normal((4, 3, 2, 2)).astype(np.float32)
+        y = bn.forward(x)
+        dy = rng.standard_normal(y.shape).astype(np.float32)
+        bn.backward(dy)
+        # dbeta = sum(dy) per channel
+        assert np.allclose(bn.dbeta, dy.sum(axis=(0, 2, 3)), rtol=1e-4)
+
+    def test_running_stats_update(self, rng):
+        bn = BatchNorm2D(2, momentum=0.5)
+        x = (rng.standard_normal((16, 2, 4, 4)) + 3).astype(np.float32)
+        bn.forward(x)
+        assert np.all(bn.running_mean > 0.5)
+
+    def test_inference_uses_running_stats(self, rng):
+        bn = BatchNorm2D(2)
+        x = rng.standard_normal((8, 2, 4, 4)).astype(np.float32)
+        bn.forward(x)
+        bn.training = False
+        y1 = bn.forward(x[:1])
+        y2 = bn.forward(x[:1])
+        assert np.array_equal(y1, y2)
+
+    def test_folded_scale_shift(self, rng):
+        bn = BatchNorm2D(2)
+        x = rng.standard_normal((8, 2, 4, 4)).astype(np.float32)
+        bn.forward(x)
+        bn.training = False
+        g, b = bn.folded_scale_shift()
+        fused = x[:1] * g[None, :, None, None] + b[None, :, None, None]
+        assert np.allclose(bn.forward(x[:1]), fused, rtol=1e-4)
+
+
+class TestLinear:
+    def test_forward(self, rng):
+        fc = Linear(6, 4)
+        x = rng.standard_normal((3, 6)).astype(np.float32)
+        y = fc.forward(x)
+        assert np.allclose(y, x @ fc.weight.T + fc.bias, rtol=1e-5)
+
+    def test_gradients(self, rng):
+        fc = Linear(5, 3)
+        x = rng.standard_normal((4, 5)).astype(np.float32)
+        check_backward(fc, x, rng)
+        # weight gradient: dW = dy.T @ x
+        y = fc.forward(x)
+        dy = rng.standard_normal(y.shape).astype(np.float32)
+        fc.backward(dy)
+        assert np.allclose(fc.dweight, dy.T @ x, rtol=1e-4)
+
+    def test_shape_error(self, rng):
+        from repro.types import ShapeError
+
+        with pytest.raises(ShapeError):
+            Linear(5, 3).forward(rng.standard_normal((2, 4)))
+
+
+class TestSoftmaxLoss:
+    def test_loss_value(self):
+        sm = SoftmaxCrossEntropy()
+        logits = np.log(np.array([[0.7, 0.2, 0.1]], dtype=np.float32))
+        loss = sm.forward(logits, np.array([0]))
+        assert loss == pytest.approx(-np.log(0.7), rel=1e-5)
+
+    def test_gradient(self, rng):
+        sm = SoftmaxCrossEntropy()
+        logits = rng.standard_normal((5, 4)).astype(np.float32)
+        labels = rng.integers(0, 4, 5)
+        sm.forward(logits, labels)
+        grad = sm.backward()
+
+        def loss(lv):
+            return SoftmaxCrossEntropy().forward(
+                lv.astype(np.float32), labels
+            )
+
+        g, sample = numeric_grad(loss, logits.astype(np.float64))
+        for idx in sample:
+            assert grad[idx] == pytest.approx(g[idx], rel=3e-2, abs=1e-3)
+
+    def test_accuracy(self):
+        sm = SoftmaxCrossEntropy()
+        logits = np.array([[5.0, 0.0], [0.0, 5.0]], dtype=np.float32)
+        sm.forward(logits, np.array([0, 1]))
+        assert sm.accuracy(np.array([0, 1])) == 1.0
+        assert sm.accuracy(np.array([1, 0])) == 0.0
+
+
+class TestSplitEltwise:
+    def test_split_accumulates(self, rng):
+        sp = Split(3)
+        x = rng.standard_normal((2, 3)).astype(np.float32)
+        sp.forward(x)
+        assert sp.accumulate(np.ones_like(x)) is None
+        assert sp.accumulate(np.ones_like(x)) is None
+        total = sp.accumulate(np.ones_like(x))
+        assert np.all(total == 3.0)
+
+    def test_split_backward_requires_all(self, rng):
+        sp = Split(2)
+        sp.forward(np.zeros((1,), dtype=np.float32))
+        with pytest.raises(RuntimeError):
+            sp.backward(np.zeros((1,), dtype=np.float32))
+
+    def test_eltwise_sum(self, rng):
+        e = EltwiseSum(2)
+        a = rng.standard_normal((2, 2)).astype(np.float32)
+        b = rng.standard_normal((2, 2)).astype(np.float32)
+        assert np.allclose(e.forward(a, b), a + b)
+        dys = e.backward(np.ones((2, 2), dtype=np.float32))
+        assert len(dys) == 2 and np.all(dys[0] == 1)

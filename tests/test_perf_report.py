@@ -1,0 +1,54 @@
+"""Paper-style report formatting."""
+
+import networkx  # noqa: F401  (ensures the optional dep is present)
+import pytest
+
+from repro.arch.machine import SKX
+from repro.conv.params import ConvParams
+from repro.gxm.graph import build_node_graph
+from repro.gxm.topology import LayerSpec, TopologySpec
+from repro.perf.model import ConvPerfModel
+from repro.perf.report import format_series, format_table, gflops_row
+from repro.types import ReproError
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def perfs(self):
+        model = ConvPerfModel(SKX)
+        ps = [
+            ConvParams(N=2, C=16, K=16, H=8, W=8, R=3, S=3, stride=1),
+            ConvParams(N=2, C=16, K=32, H=8, W=8, R=1, S=1, stride=1),
+        ]
+        return [model.estimate_forward(p) for p in ps]
+
+    def test_gflops_row(self, perfs):
+        row = gflops_row(perfs)
+        assert len(row) == 2 and all(v > 0 for v in row)
+
+    def test_format_series(self):
+        s = format_series("x", [1.0, 2.0], "5.1f")
+        assert s.endswith("  1.0   2.0")
+
+    def test_format_table_with_peak(self, perfs):
+        text = format_table(
+            "demo", [1, 2], {"thiswork": perfs}, peak_series="thiswork"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "% peak" in lines[-1]
+
+    def test_format_table_without_peak(self, perfs):
+        text = format_table("demo", [1, 2], {"a": perfs})
+        assert "% peak" not in text
+
+
+class TestGraphCycleDetection:
+    def test_cycle_rejected(self):
+        topo = TopologySpec("cyclic")
+        topo.add(LayerSpec("a", "Convolution", ["t_b"], ["t_a"],
+                           {"num_output": 4}))
+        topo.add(LayerSpec("b", "Convolution", ["t_a"], ["t_b"],
+                           {"num_output": 4}))
+        with pytest.raises(ReproError, match="cycle"):
+            build_node_graph(topo)

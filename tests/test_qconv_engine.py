@@ -1,0 +1,75 @@
+"""Blocked int16 engine (streams + VNNI kernels end to end)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.machine import KNM, SKX
+from repro.conv.params import ConvParams
+from repro.conv.reference import conv2d_forward
+from repro.quant import qconv2d_forward, quantize
+from repro.quant.qconv_engine import QuantConvForward
+from tests.conftest import rand_conv_tensors
+
+CASES = [
+    ConvParams(N=2, C=32, K=32, H=10, W=10, R=3, S=3, stride=1),
+    ConvParams(N=1, C=64, K=16, H=8, W=8, R=1, S=1, stride=2),
+    ConvParams(N=1, C=16, K=16, H=9, W=7, R=3, S=5, stride=1),
+]
+
+
+class TestQuantEngine:
+    @pytest.mark.parametrize("p", CASES, ids=lambda p: p.describe())
+    @pytest.mark.parametrize("machine", [KNM, SKX], ids=lambda m: m.name)
+    def test_matches_functional_qconv(self, p, machine, rng):
+        """The blocked/streams execution must agree with the standalone
+        chunked int16 kernel bit-for-bit (same flush schedule)."""
+        x, w, _ = rand_conv_tensors(p, rng, scale=0.3)
+        qx, qw = quantize(x), quantize(w)
+        eng = QuantConvForward(p, machine=machine, threads=2)
+        out = eng.run_quantized(qx, qw)
+        ref = qconv2d_forward(qx, qw, p, chain_limit=eng.chain_limit)
+        assert np.abs(out - ref).max() < 1e-4 * max(1.0, np.abs(ref).max())
+
+    def test_close_to_fp32(self, rng):
+        p = CASES[0]
+        x, w, _ = rand_conv_tensors(p, rng, scale=0.3)
+        eng = QuantConvForward(p, machine=KNM)
+        out = eng.run_nchw(x, w)
+        ref = conv2d_forward(x, w, p)
+        rel = np.abs(out - ref).max() / np.abs(ref).max()
+        assert rel < 5e-3
+
+    def test_variants_are_q16(self):
+        eng = QuantConvForward(CASES[0], machine=KNM)
+        assert all(v.startswith("conv_q16") for v in eng.variant_names)
+
+    def test_register_budget_halved(self):
+        """int32+fp32 accumulator pairs: RB capped (section II-K)."""
+        eng = QuantConvForward(
+            ConvParams(N=1, C=16, K=16, H=56, W=56, R=3, S=3, stride=1),
+            machine=KNM,
+        )
+        assert eng.plan.rb_p * eng.plan.rb_q <= 13
+        f32 = __import__(
+            "repro.conv.blocking", fromlist=["choose_blocking"]
+        ).choose_blocking(eng.params, KNM)
+        assert eng.plan.rb_q <= f32.rb_q
+
+    def test_4vnni_on_knm_only(self):
+        knm = QuantConvForward(CASES[0], machine=KNM)
+        skx = QuantConvForward(CASES[0], machine=SKX)
+        from repro.arch.isa import Op
+
+        knm_prog = knm.programs[0]
+        skx_prog = skx.programs[0]
+        knm_quads = [u for u in knm_prog.uops
+                     if u.op is Op.VVNNI and u.tensor is not None]
+        skx_quads = [u for u in skx_prog.uops
+                     if u.op is Op.VVNNI and u.tensor is not None]
+        assert knm_quads and not skx_quads
+
+    def test_output_dtype_f32(self, rng):
+        p = CASES[1]
+        x, w, _ = rand_conv_tensors(p, rng)
+        out = QuantConvForward(p, machine=KNM).run_nchw(x, w)
+        assert out.dtype == np.float32

@@ -1,0 +1,123 @@
+"""Quantized int16 kernels (section II-K)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conv.params import ConvParams
+from repro.conv.reference import conv2d_forward
+from repro.quant import CHAIN_LIMIT_PAIRS, qconv2d_forward, quantize
+from repro.quant.qtensor import QuantTensor
+from repro.types import ShapeError
+from tests.conftest import rand_conv_tensors
+
+
+class TestQuantize:
+    def test_roundtrip_error_bound(self, rng):
+        x = rng.standard_normal((64,)).astype(np.float32)
+        q = quantize(x)
+        err = np.abs(q.dequantize() - x).max()
+        assert err <= q.scale  # one ULP of the fixed-point grid
+
+    def test_power_of_two_scale(self, rng):
+        x = rng.standard_normal((32,)).astype(np.float32)
+        q = quantize(x)
+        assert np.log2(q.scale) == int(np.log2(q.scale))
+
+    def test_full_range_used(self):
+        x = np.array([1.0, -1.0, 0.5], dtype=np.float32)
+        q = quantize(x)
+        # power-of-two scales put max magnitude within [2^14, 2^15)
+        assert 2**14 <= np.abs(q.data).max() < 2**15
+
+    def test_zero_tensor(self):
+        q = quantize(np.zeros(8, dtype=np.float32))
+        assert q.scale == 1.0 and np.all(q.data == 0)
+
+    def test_dtype_enforced(self):
+        with pytest.raises(ShapeError):
+            QuantTensor(np.zeros(4, dtype=np.int32), 1.0)
+
+    @given(scale=st.floats(1e-3, 1e3))
+    @settings(max_examples=25, deadline=None)
+    def test_relative_error_property(self, scale):
+        rng = np.random.default_rng(int(scale * 1000) % 2**31)
+        x = (rng.standard_normal(128) * scale).astype(np.float32)
+        q = quantize(x)
+        rel = np.abs(q.dequantize() - x).max() / (np.abs(x).max() + 1e-12)
+        assert rel < 2**-14
+
+
+class TestQConv:
+    @pytest.mark.parametrize(
+        "p",
+        [
+            ConvParams(N=1, C=8, K=8, H=6, W=6, R=3, S=3, stride=1),
+            ConvParams(N=2, C=16, K=8, H=7, W=7, R=1, S=1, stride=2),
+            ConvParams(N=1, C=32, K=16, H=5, W=5, R=3, S=3, stride=1),
+        ],
+        ids=lambda p: p.describe(),
+    )
+    def test_close_to_fp32(self, p, rng):
+        x, w, _ = rand_conv_tensors(p, rng, scale=0.5)
+        ref = conv2d_forward(x, w, p)
+        out = qconv2d_forward(quantize(x), quantize(w), p)
+        rel = np.abs(out - ref).max() / np.abs(ref).max()
+        assert rel < 5e-3  # dual 15-bit quantization noise
+
+    def test_chain_limit_does_not_change_result(self, rng):
+        """Flush scheduling is a performance decision, not a numerical one
+        (as long as the int32 accumulator survives).  Operands use the
+        guaranteed-safe bit width."""
+        from repro.quant.qkernels import safe_bits
+
+        b = safe_bits(CHAIN_LIMIT_PAIRS)
+        p = ConvParams(N=1, C=64, K=8, H=5, W=5, R=3, S=3, stride=1)
+        x, w, _ = rand_conv_tensors(p, rng, scale=0.3)
+        qx, qw = quantize(x, bits=b), quantize(w, bits=b)
+        a = qconv2d_forward(qx, qw, p, chain_limit=2)
+        c = qconv2d_forward(qx, qw, p, chain_limit=CHAIN_LIMIT_PAIRS)
+        assert np.allclose(a, c, rtol=1e-5, atol=1e-5)
+
+    def test_unbounded_chain_overflows(self, rng):
+        """The reason the chain limit exists (section II-K): long chains
+        overflow the int32 accumulator on worst-case data, while the
+        restricted chain with safe-width operands survives it."""
+        from repro.quant.qkernels import QuantOverflowError, safe_bits
+
+        p = ConvParams(N=1, C=512, K=8, H=3, W=3, R=3, S=3, stride=1)
+        x = np.ones((p.N, p.C, p.H, p.W), dtype=np.float32)
+        w = np.ones((p.K, p.C, p.R, p.S), dtype=np.float32)
+        with pytest.raises(QuantOverflowError):
+            qconv2d_forward(quantize(x), quantize(w), p, chain_limit=10**6)
+        b = safe_bits(CHAIN_LIMIT_PAIRS)
+        qconv2d_forward(
+            quantize(x, bits=b), quantize(w, bits=b), p,
+            chain_limit=CHAIN_LIMIT_PAIRS,
+        )
+
+    def test_safe_bits_guarantee(self):
+        """Operands quantized to safe_bits() can never overflow within the
+        chain limit, even in the worst case."""
+        from repro.quant.qkernels import safe_bits
+
+        b = safe_bits(CHAIN_LIMIT_PAIRS)
+        worst = 2**b
+        peak = 2 * CHAIN_LIMIT_PAIRS * worst * worst
+        assert peak < 2**31
+        # and one more bit would break the guarantee
+        assert 2 * CHAIN_LIMIT_PAIRS * (2 ** (b + 1)) ** 2 >= 2**31
+
+    def test_shape_validation(self, rng):
+        p = ConvParams(N=1, C=8, K=8, H=6, W=6, R=3, S=3, stride=1)
+        x, w, _ = rand_conv_tensors(p, rng)
+        with pytest.raises(ShapeError):
+            qconv2d_forward(quantize(x[:, :4]), quantize(w), p)
+
+    def test_output_is_fp32(self, rng):
+        """Section II-K: the kernel's output is still 32 bits."""
+        p = ConvParams(N=1, C=8, K=8, H=4, W=4, R=1, S=1, stride=1)
+        x, w, _ = rand_conv_tensors(p, rng)
+        out = qconv2d_forward(quantize(x), quantize(w), p)
+        assert out.dtype == np.float32

@@ -1,0 +1,103 @@
+"""BlockedTensor conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor.blocked import BlockedTensor, block_activations, block_weights
+from repro.tensor.layout import ActivationLayout
+from repro.types import ShapeError
+
+
+class TestActivationRoundTrip:
+    def test_roundtrip_no_pad(self, rng):
+        x = rng.standard_normal((2, 8, 5, 6)).astype(np.float32)
+        bt = block_activations(x, vlen=4)
+        assert np.array_equal(bt.to_nchw(), x)
+
+    def test_roundtrip_with_pad(self, rng):
+        x = rng.standard_normal((1, 4, 3, 3)).astype(np.float32)
+        bt = block_activations(x, vlen=4, pad_h=2, pad_w=1)
+        assert bt.layout.h == 7 and bt.layout.w == 5
+        assert np.array_equal(bt.to_nchw(), x)
+
+    def test_padding_is_zero(self, rng):
+        x = rng.standard_normal((1, 4, 3, 3)).astype(np.float32) + 10.0
+        bt = block_activations(x, vlen=4, pad_h=1, pad_w=1)
+        v = bt.view()
+        assert np.all(v[:, :, 0, :, :] == 0)
+        assert np.all(v[:, :, :, 0, :] == 0)
+        assert np.all(v[:, :, -1, :, :] == 0)
+
+    def test_blocked_order(self, rng):
+        """Element (n, c, h, w) lands at (n, c//v, h, w, c%v)."""
+        x = rng.standard_normal((1, 8, 2, 2)).astype(np.float32)
+        bt = block_activations(x, vlen=4)
+        v = bt.view()
+        assert v[0, 1, 1, 0, 2] == x[0, 6, 1, 0]
+
+    def test_bad_rank(self):
+        with pytest.raises(ShapeError):
+            block_activations(np.zeros((4, 4, 4)), vlen=4)
+
+    def test_c_not_multiple(self):
+        with pytest.raises(ShapeError):
+            block_activations(np.zeros((1, 6, 2, 2)), vlen=4)
+
+    @given(
+        n=st.integers(1, 2),
+        cb=st.integers(1, 3),
+        h=st.integers(1, 4),
+        w=st.integers(1, 4),
+        ph=st.integers(0, 2),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, n, cb, h, w, ph):
+        rng = np.random.default_rng(n * 100 + cb)
+        x = rng.standard_normal((n, cb * 4, h, w)).astype(np.float32)
+        bt = block_activations(x, vlen=4, pad_h=ph, pad_w=ph)
+        assert np.array_equal(bt.to_nchw(), x)
+
+
+class TestWeightRoundTrip:
+    def test_roundtrip(self, rng):
+        w = rng.standard_normal((8, 12, 3, 3)).astype(np.float32)
+        bt = block_weights(w, vlen=4)
+        assert np.array_equal(bt.to_kcrs(), w)
+
+    def test_blocked_order(self, rng):
+        """W[k, c, r, s] lands at (k//v, c//v, r, s, c%v, k%v)."""
+        w = rng.standard_normal((8, 8, 2, 2)).astype(np.float32)
+        bt = block_weights(w, vlen=4)
+        assert bt.view()[1, 0, 1, 0, 3, 2] == w[6, 3, 1, 0]
+
+    def test_wrong_conversion_direction(self, rng):
+        x = rng.standard_normal((1, 4, 2, 2)).astype(np.float32)
+        bt = block_activations(x, vlen=4)
+        with pytest.raises(ShapeError):
+            bt.to_kcrs()
+        w = rng.standard_normal((4, 4, 1, 1)).astype(np.float32)
+        bw = block_weights(w, vlen=4)
+        with pytest.raises(ShapeError):
+            bw.to_nchw()
+
+
+class TestBlockedTensor:
+    def test_size_mismatch(self):
+        lay = ActivationLayout(n=1, c=4, h=2, w=2, vlen=4)
+        with pytest.raises(ShapeError):
+            BlockedTensor(np.zeros(10, dtype=np.float32), lay)
+
+    def test_copy_is_independent(self, rng):
+        x = rng.standard_normal((1, 4, 2, 2)).astype(np.float32)
+        bt = block_activations(x, vlen=4)
+        cp = bt.copy()
+        cp.data[:] = 0
+        assert not np.array_equal(bt.data, cp.data)
+
+    def test_zero_(self, rng):
+        x = rng.standard_normal((1, 4, 2, 2)).astype(np.float32)
+        bt = block_activations(x, vlen=4)
+        bt.zero_()
+        assert np.all(bt.data == 0)

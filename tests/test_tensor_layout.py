@@ -1,0 +1,72 @@
+"""Layout stride/offset math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor.layout import ActivationLayout, WeightLayout
+from repro.types import ShapeError
+
+
+class TestActivationLayout:
+    def test_shape_and_size(self):
+        lay = ActivationLayout(n=2, c=8, h=5, w=6, vlen=4)
+        assert lay.shape == (2, 2, 5, 6, 4)
+        assert lay.size == 2 * 8 * 5 * 6
+
+    def test_offsets_match_numpy(self):
+        lay = ActivationLayout(n=2, c=8, h=3, w=4, vlen=4)
+        arr = np.arange(lay.size).reshape(lay.shape)
+        for idx in [(0, 0, 0, 0, 0), (1, 1, 2, 3, 3), (0, 1, 1, 0, 2)]:
+            assert lay.offset(*idx) == arr[idx]
+
+    def test_c_not_divisible(self):
+        with pytest.raises(ShapeError, match="not divisible"):
+            ActivationLayout(n=1, c=10, h=2, w=2, vlen=4)
+
+    def test_nonpositive(self):
+        with pytest.raises(ShapeError):
+            ActivationLayout(n=0, c=4, h=2, w=2, vlen=4)
+
+    @given(
+        n=st.integers(1, 3),
+        cb=st.integers(1, 3),
+        h=st.integers(1, 5),
+        w=st.integers(1, 5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_offset_bijective(self, n, cb, h, w):
+        """Distinct coordinates map to distinct flat offsets."""
+        lay = ActivationLayout(n=n, c=cb * 4, h=h, w=w, vlen=4)
+        seen = set()
+        for nn in range(n):
+            for cc in range(cb):
+                for hh in range(h):
+                    for ww in range(w):
+                        off = lay.offset(nn, cc, hh, ww)
+                        assert off not in seen
+                        seen.add(off)
+        assert max(seen) + 4 <= lay.size  # room for the VLEN block
+
+
+class TestWeightLayout:
+    def test_shape(self):
+        lay = WeightLayout(k=8, c=8, r=3, s=3, vlen=4)
+        assert lay.shape == (2, 2, 3, 3, 4, 4)
+        assert lay.size == 8 * 8 * 9
+
+    def test_offsets_match_numpy(self):
+        lay = WeightLayout(k=8, c=8, r=3, s=2, vlen=4)
+        arr = np.arange(lay.size).reshape(lay.shape)
+        for idx in [(0, 0, 0, 0, 0, 0), (1, 1, 2, 1, 3, 2), (0, 1, 1, 0, 2, 1)]:
+            assert lay.offset(*idx) == arr[idx]
+
+    def test_innermost_is_k(self):
+        lay = WeightLayout(k=8, c=8, r=1, s=1, vlen=4)
+        assert lay.strides[-1] == 1  # k stride
+        assert lay.strides[-2] == 4  # c stride = vlen
+
+    def test_k_not_divisible(self):
+        with pytest.raises(ShapeError):
+            WeightLayout(k=6, c=4, r=1, s=1, vlen=4)

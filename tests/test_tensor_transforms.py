@@ -1,0 +1,68 @@
+"""Weight transform tests (section II-I duality, II-K VNNI packing)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.blocked import block_activations, block_weights
+from repro.tensor.transforms import (
+    bwd_weight_transform,
+    vnni_pack_weights,
+    vnni_unpack_weights,
+)
+from repro.types import ShapeError
+
+
+class TestBwdTransform:
+    def test_elementwise_definition(self, rng):
+        """W'[c][k][R-1-r][S-1-s] == W[k][c][r][s]."""
+        w = rng.standard_normal((8, 4, 3, 2)).astype(np.float32)
+        bt = block_weights(w, vlen=4)
+        wt = bwd_weight_transform(bt).to_kcrs()  # (C, K, R, S) logical
+        for k in range(8):
+            for c in range(4):
+                for r in range(3):
+                    for s in range(2):
+                        assert wt[c, k, 2 - r, 1 - s] == w[k, c, r, s]
+
+    def test_swaps_layout_dims(self, rng):
+        w = rng.standard_normal((8, 4, 3, 3)).astype(np.float32)
+        wt = bwd_weight_transform(block_weights(w, vlen=4))
+        assert wt.layout.k == 4 and wt.layout.c == 8
+
+    def test_involution(self, rng):
+        """Applying the transform twice recovers the original weights."""
+        w = rng.standard_normal((8, 8, 3, 3)).astype(np.float32)
+        bt = block_weights(w, vlen=4)
+        back = bwd_weight_transform(bwd_weight_transform(bt))
+        assert np.array_equal(back.to_kcrs(), w)
+
+    def test_rejects_activations(self, rng):
+        x = rng.standard_normal((1, 4, 2, 2)).astype(np.float32)
+        with pytest.raises(ShapeError):
+            bwd_weight_transform(block_activations(x, vlen=4))
+
+
+class TestVnniPacking:
+    def test_roundtrip(self, rng):
+        w = (rng.standard_normal((8, 8, 3, 3)) * 100).astype(np.int16)
+        bt = block_weights(w, vlen=4, dtype=np.int16)
+        packed = vnni_pack_weights(bt)
+        assert packed.shape == (2, 2, 3, 3, 2, 4, 2)
+        back = vnni_unpack_weights(packed, bt.layout)
+        assert np.array_equal(back.to_kcrs(), w)
+
+    def test_pair_interleave(self, rng):
+        """Adjacent reduction channels become the innermost pair."""
+        w = np.arange(8 * 8 * 1 * 1, dtype=np.int16).reshape(8, 8, 1, 1)
+        bt = block_weights(w, vlen=4, dtype=np.int16)
+        packed = vnni_pack_weights(bt)
+        v = bt.view()
+        assert packed[0, 0, 0, 0, 0, 2, 0] == v[0, 0, 0, 0, 0, 2]
+        assert packed[0, 0, 0, 0, 0, 2, 1] == v[0, 0, 0, 0, 1, 2]
+
+    def test_bad_unpack_shape(self, rng):
+        w = (rng.standard_normal((8, 8, 1, 1)) * 10).astype(np.int16)
+        bt = block_weights(w, vlen=4, dtype=np.int16)
+        packed = vnni_pack_weights(bt)
+        with pytest.raises(ShapeError):
+            vnni_unpack_weights(packed[..., :1], bt.layout)
