@@ -13,51 +13,78 @@ The public API groups into four levels:
 * **Evaluation** -- the performance models and baselines that regenerate
   every table and figure of the paper (:mod:`repro.perf`,
   :mod:`repro.baselines`, :mod:`repro.models`, :mod:`repro.cachesim`).
+* **Observability** -- tracing spans and metrics threaded through all of
+  the above (:mod:`repro.obs`; ``python -m repro profile``).
 
 Quick start::
 
     import numpy as np
-    from repro import ConvParams, DirectConvForward, SKX
+    from repro import ConvParams, Pass, SKX, make_engine
 
     p = ConvParams(N=2, C=64, K=64, H=28, W=28, R=3, S=3, stride=1)
-    conv = DirectConvForward(p, machine=SKX, threads=4)
+    conv = make_engine(Pass.FWD, p, machine=SKX, threads=4)
     x = np.random.randn(p.N, p.C, p.H, p.W).astype(np.float32)
     w = np.random.randn(p.K, p.C, p.R, p.S).astype(np.float32)
     y = conv.run_nchw(x, w)   # blocked layout + JIT'ed streams inside
 """
 
+from repro import obs
 from repro.arch.machine import KNM, SKX, MachineConfig, machine_by_name
 from repro.conv.backward import DirectConvBackward
+from repro.conv.engine import ConvEngine, make_engine
 from repro.conv.forward import DirectConvForward
 from repro.conv.fusion import BatchNormApply, Bias, EltwiseAdd, ReLU
 from repro.conv.params import ConvParams
 from repro.conv.upd import DirectConvUpd
 from repro.gxm.etg import ExecutionTaskGraph
+from repro.gxm.profiler import TaskProfiler
 from repro.gxm.topology import TopologySpec
 from repro.gxm.trainer import SGD, Trainer
+from repro.jit.kernel_cache import KernelCache, get_default_cache
+from repro.obs import MetricsRegistry, Tracer, get_metrics, get_tracer
 from repro.perf.model import ConvPerfModel
+from repro.quant.qconv_engine import QuantConvForward
 from repro.types import DType, Pass, ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # layer shapes + engines (the preferred construction path is
+    # `make_engine`; the engine classes stay exported for direct use)
     "ConvParams",
+    "make_engine",
+    "ConvEngine",
     "DirectConvForward",
     "DirectConvBackward",
     "DirectConvUpd",
+    "QuantConvForward",
+    # fusable post-ops (§II-G)
     "Bias",
     "ReLU",
     "BatchNormApply",
     "EltwiseAdd",
+    # machines
     "MachineConfig",
     "SKX",
     "KNM",
     "machine_by_name",
+    # observability
+    "obs",
+    "Tracer",
+    "MetricsRegistry",
+    "get_tracer",
+    "get_metrics",
+    "TaskProfiler",
+    # JIT cache
+    "KernelCache",
+    "get_default_cache",
+    # perf + framework
     "ConvPerfModel",
     "TopologySpec",
     "ExecutionTaskGraph",
     "Trainer",
     "SGD",
+    # core types
     "DType",
     "Pass",
     "ReproError",

@@ -13,6 +13,8 @@ command                   what it does
                           data, with optional checkpointing
 ``scaling``               Fig. 9 multi-node strong-scaling table
 ``disasm``                JIT one kernel variant and print its µop listing
+``profile``               trace N training steps through :mod:`repro.obs`;
+                          dump a ``chrome://tracing`` JSON + flat metrics
 ========================  ====================================================
 
 Examples::
@@ -22,6 +24,7 @@ Examples::
     python -m repro train --epochs 4 --checkpoint /tmp/ck.npz
     python -m repro scaling --machine KNM
     python -m repro disasm --layer 8 --machine KNM
+    python -m repro profile resnet_mini --steps 2 --trace-out trace.json
 """
 
 from __future__ import annotations
@@ -68,6 +71,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--machine", default="KNM", choices=["SKX", "KNM"])
     p.add_argument("--topology", default="resnet50",
                    choices=["resnet50", "inception_v3"])
+
+    p = sub.add_parser(
+        "profile",
+        help="trace training steps; dump chrome-trace + metrics JSON",
+    )
+    p.add_argument("topology", nargs="?", default="resnet_mini",
+                   choices=["resnet_mini", "inception_mini"])
+    p.add_argument("--steps", type=int, default=2)
+    p.add_argument("--batch", type=int, default=8)
+    p.add_argument("--engine", default="blocked",
+                   choices=["fast", "blocked"])
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--trace-out", default="repro_trace.json",
+                   help="chrome://tracing JSON output path")
+    p.add_argument("--metrics-out", default="repro_metrics.json",
+                   help="flat spans/counters/gauges JSON output path")
 
     p = sub.add_parser("disasm", help="print one JIT'ed kernel's µops")
     p.add_argument("--layer", type=int, default=8, choices=range(1, 21),
@@ -175,6 +194,50 @@ def _cmd_scaling(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    """Train a few steps with tracing on; dump chrome-trace + metrics."""
+    import numpy as np
+
+    from repro import obs
+    from repro.gxm.etg import ExecutionTaskGraph
+    from repro.gxm.profiler import TaskProfiler
+
+    tracer = obs.enable()
+    if args.topology == "resnet_mini":
+        from repro.models.resnet50 import resnet_mini_topology
+
+        num_classes = 8
+        # width=32 keeps every conv's C/K a multiple of VLEN=16 so the
+        # blocked engines (JIT + dryrun + replay) can run the whole net
+        topo = resnet_mini_topology(num_classes=num_classes, width=32)
+        shape = (args.batch, 16, 16, 16)
+    else:
+        from repro.models.inception_v3 import inception_mini_topology
+
+        num_classes = 8
+        topo = inception_mini_topology(num_classes=num_classes, width=32)
+        shape = (args.batch, 16, 12, 12)
+
+    # engine setup (JIT codegen + dryrun spans) happens inside the trace
+    etg = ExecutionTaskGraph(
+        topo, shape, engine=args.engine, threads=args.threads, seed=7
+    )
+    prof = TaskProfiler(etg)
+    rng = np.random.default_rng(0)
+    for _ in range(max(1, args.steps)):
+        x = rng.standard_normal(shape).astype(np.float32)
+        y = rng.integers(0, num_classes, args.batch)
+        prof.step(x, y)
+    print(prof.last.report())
+    n_events = obs.dump_chrome_trace(args.trace_out)
+    report = obs.dump_flat_json(args.metrics_out)
+    spans = ", ".join(sorted(report["spans"]))
+    print(f"chrome trace: {args.trace_out} ({n_events} events)")
+    print(f"metrics:      {args.metrics_out}")
+    print(f"span kinds:   {spans}")
+    return 0
+
+
 def _cmd_disasm(args) -> int:
     from repro.arch.disasm import disassemble, summarize_program
     from repro.arch.machine import machine_by_name
@@ -204,6 +267,7 @@ def main(argv: list[str] | None = None) -> int:
         "train": _cmd_train,
         "scaling": _cmd_scaling,
         "disasm": _cmd_disasm,
+        "profile": _cmd_profile,
     }[args.command](args)
 
 

@@ -1,0 +1,33 @@
+"""Deprecation shims for the pre-`make_engine` constructor call shapes.
+
+The engine constructors accepted configuration positionally (in per-class
+orders that had drifted apart); the unified API makes everything after
+``machine`` keyword-only.  :func:`legacy_positionals` maps the old
+positional shapes onto the new keyword set with a :class:`DeprecationWarning`
+so existing call sites keep working for one release.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["legacy_positionals"]
+
+
+def legacy_positionals(
+    cls_name: str, names: tuple[str, ...], values: tuple
+) -> dict:
+    """Map legacy positional ``values`` onto keyword ``names``, warning."""
+    if len(values) > len(names):
+        raise TypeError(
+            f"{cls_name}() takes at most {2 + len(names)} positional "
+            f"arguments ({2 + len(values)} given)"
+        )
+    shown = ", ".join(names[: len(values)])
+    warnings.warn(
+        f"{cls_name}: positional arguments after 'machine' are deprecated; "
+        f"pass {shown} by keyword (or use repro.make_engine)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return dict(zip(names, values))

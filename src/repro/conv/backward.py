@@ -19,13 +19,20 @@ Inception-v3 have none).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.arch.machine import SKX, MachineConfig
+from repro.conv._compat import legacy_positionals
+from repro.conv.blocking import BlockingPlan
 from repro.conv.forward import DirectConvForward
+from repro.conv.fusion import FusedOp
 from repro.conv.params import ConvParams
 from repro.jit.gemm import GemmDesc, generate_gemm_kernel
 from repro.jit.kernel_cache import KernelCache, get_default_cache
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import Tracer, get_tracer
 from repro.tensor.blocked import BlockedTensor, block_activations, block_weights
 from repro.tensor.layout import ActivationLayout
 from repro.tensor.transforms import bwd_weight_transform
@@ -39,21 +46,45 @@ class DirectConvBackward:
 
     ``mode`` is one of ``"duality"`` (stride-1 scenario), ``"duality_1x1"``
     (R=S=1 scenario) or ``"gemm"`` (Algorithm 7 fallback).
+
+    ``fused_ops``, ``plan`` and ``prefetch`` configure the *dual* forward
+    engine of the two duality scenarios (the plan applies to the
+    transformed-weight forward convolution); the Algorithm-7 GEMM fallback
+    supports neither fusion nor a forward blocking plan and raises
+    :class:`UnsupportedError` if they are requested.
     """
 
     def __init__(
         self,
         params: ConvParams,
         machine: MachineConfig = SKX,
+        *legacy,
         dtype: DType = DType.F32,
+        fused_ops: Sequence[FusedOp] = (),
         threads: int = 1,
+        plan: BlockingPlan | None = None,
+        prefetch: str = "both",
         kernel_cache: KernelCache | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
+        if legacy:
+            lv = legacy_positionals(
+                "DirectConvBackward",
+                ("dtype", "threads", "kernel_cache"),
+                legacy,
+            )
+            dtype = lv.get("dtype", dtype)
+            threads = lv.get("threads", threads)
+            kernel_cache = lv.get("kernel_cache", kernel_cache)
         self.params = params
         self.machine = machine
         self.dtype = dtype
         self.threads = threads
-        self.cache = kernel_cache or get_default_cache()
+        self.fused_ops = list(fused_ops)
+        self.prefetch = prefetch
+        self.cache = (kernel_cache if kernel_cache is not None
+                      else get_default_cache())
+        self.tracer = tracer if tracer is not None else get_tracer()
         p = params
         self.vlen = machine.vlen(dtype)
 
@@ -74,8 +105,9 @@ class DirectConvBackward:
                 pad_w=p.S - 1 - p.pad_w,
             )
             self.engine = DirectConvForward(
-                self.fwd_params, machine, dtype, threads=threads,
-                kernel_cache=self.cache,
+                self.fwd_params, machine, dtype=dtype, threads=threads,
+                fused_ops=self.fused_ops, plan=plan, prefetch=prefetch,
+                kernel_cache=self.cache, tracer=tracer,
             )
         elif p.is_1x1():
             if p.pad_h or p.pad_w:
@@ -86,10 +118,20 @@ class DirectConvBackward:
                 pad_h=0, pad_w=0,
             )
             self.engine = DirectConvForward(
-                self.fwd_params, machine, dtype, threads=threads,
-                kernel_cache=self.cache,
+                self.fwd_params, machine, dtype=dtype, threads=threads,
+                fused_ops=self.fused_ops, plan=plan, prefetch=prefetch,
+                kernel_cache=self.cache, tracer=tracer,
             )
         else:
+            if self.fused_ops:
+                raise UnsupportedError(
+                    "the Algorithm-7 GEMM fallback cannot fuse post-ops"
+                )
+            if plan is not None:
+                raise UnsupportedError(
+                    "the Algorithm-7 GEMM fallback takes no forward "
+                    "blocking plan"
+                )
             self.mode = "gemm"
             self.engine = None
             self._build_gemm_kernel()
@@ -124,7 +166,18 @@ class DirectConvBackward:
 
     def run_nchw(self, dy: np.ndarray, w: np.ndarray) -> np.ndarray:
         """Compute dI from logical (N,K,P,Q) gradients and (K,C,R,S) weights."""
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "conv.replay", pass_="bwd", mode=self.mode,
+                layer=self.params.describe(),
+            ):
+                return self._run_nchw(dy, w)
+        return self._run_nchw(dy, w)
+
+    def _run_nchw(self, dy: np.ndarray, w: np.ndarray) -> np.ndarray:
         p = self.params
+        get_metrics().inc("conv.bwd_calls")
         bw = block_weights(w, self.vlen, dtype=self.dtype.np_input)
         wt = self.transform_weights(bw)
         if self.mode == "duality":

@@ -26,12 +26,15 @@ import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
 from repro.arch.machine import SKX, MachineConfig
+from repro.conv._compat import legacy_positionals
 from repro.conv.blocking import BlockingPlan, choose_blocking
 from repro.conv.fusion import EltwiseAdd, FusedOp
 from repro.conv.params import ConvParams
 from repro.jit.codegen import ConvKernelDesc, generate_conv_kernel
 from repro.jit.interpreter import execute_kernel
 from repro.jit.kernel_cache import KernelCache, get_default_cache
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import Tracer, get_tracer
 from repro.parallel.partition import partition_forward
 from repro.streams.rle import encode_segments
 from repro.streams.stream import KernelStream
@@ -67,13 +70,28 @@ class DirectConvForward:
         self,
         params: ConvParams,
         machine: MachineConfig = SKX,
+        *legacy,
         dtype: DType = DType.F32,
         fused_ops: Sequence[FusedOp] = (),
         threads: int = 1,
         plan: BlockingPlan | None = None,
         prefetch: str = "both",
         kernel_cache: KernelCache | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
+        if legacy:
+            lv = legacy_positionals(
+                "DirectConvForward",
+                ("dtype", "fused_ops", "threads", "plan", "prefetch",
+                 "kernel_cache"),
+                legacy,
+            )
+            dtype = lv.get("dtype", dtype)
+            fused_ops = lv.get("fused_ops", fused_ops)
+            threads = lv.get("threads", threads)
+            plan = lv.get("plan", plan)
+            prefetch = lv.get("prefetch", prefetch)
+            kernel_cache = lv.get("kernel_cache", kernel_cache)
         self.params = params
         self.machine = machine
         self.dtype = dtype
@@ -81,7 +99,9 @@ class DirectConvForward:
         self.threads = max(1, threads)
         self.plan = plan or choose_blocking(params, machine, dtype)
         self.prefetch = prefetch
-        self.cache = kernel_cache or get_default_cache()
+        self.cache = (kernel_cache if kernel_cache is not None
+                      else get_default_cache())
+        self.tracer = tracer if tracer is not None else get_tracer()
 
         p = params
         vlen = self.plan.vlen
@@ -97,7 +117,17 @@ class DirectConvForward:
         self._desc_index: dict[tuple, int] = {}
         self.programs = []  # µop programs, parallel to self._descs
         self._build_variants()
-        self._dryrun()
+        with self.tracer.span(
+            "conv.dryrun", pass_="fwd", layer=params.describe(),
+            threads=self.threads,
+        ):
+            self._dryrun()
+        metrics = get_metrics()
+        metrics.inc("conv.engines_built")
+        metrics.inc("conv.streams_recorded", len(self.streams))
+        metrics.inc(
+            "conv.segments_recorded", sum(len(s) for s in self.segments)
+        )
 
     # ------------------------------------------------------------------
     # variant construction (section II-D/H)
@@ -296,6 +326,26 @@ class DirectConvForward:
         release the GIL), so this demonstrates genuine shared-memory
         parallelism of the recorded streams.
         """
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "conv.replay", pass_="fwd", layer=self.params.describe(),
+            ):
+                out = self._execute(x, w, out, parallel)
+        else:
+            out = self._execute(x, w, out, parallel)
+        metrics = get_metrics()
+        metrics.inc("conv.fwd_calls")
+        metrics.inc("stream.conv_calls", self.total_conv_calls)
+        return out
+
+    def _execute(
+        self,
+        x: BlockedTensor,
+        w: BlockedTensor,
+        out: BlockedTensor | None,
+        parallel: bool,
+    ) -> BlockedTensor:
         if x.layout != self.in_layout:
             raise ShapeError(
                 f"input layout {x.layout} != expected {self.in_layout}"
@@ -341,6 +391,20 @@ class DirectConvForward:
 
     def _replay_stream(self, stream, segments, kernels, ob, shape_by_variant):
         """Algorithm 5 with APPLY dispatch resolving block shapes."""
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("stream.replay", calls=len(stream)):
+                self._replay_stream_body(
+                    stream, segments, kernels, ob, shape_by_variant
+                )
+        else:
+            self._replay_stream_body(
+                stream, segments, kernels, ob, shape_by_variant
+            )
+
+    def _replay_stream_body(
+        self, stream, segments, kernels, ob, shape_by_variant
+    ):
         from repro.streams.rle import SegmentKind
 
         kinds = stream.kinds

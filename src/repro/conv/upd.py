@@ -18,19 +18,24 @@ reduction -- the same dryrun/replay architecture the forward pass uses
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
 from repro.arch.machine import SKX, MachineConfig
+from repro.conv._compat import legacy_positionals
 from repro.conv.blocking import UpdBlockingPlan, choose_upd_blocking
 from repro.conv.params import ConvParams
 from repro.jit.kernel_cache import KernelCache, get_default_cache
 from repro.jit.upd_codegen import UpdKernelDesc, generate_upd_kernel
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import Tracer, get_tracer
 from repro.parallel.partition import split_range
 from repro.parallel.wu_strategies import UpdStrategy, choose_upd_strategy
 from repro.tensor.blocked import BlockedTensor, block_activations
 from repro.tensor.layout import ActivationLayout, WeightLayout
-from repro.types import DType
+from repro.types import DType, UnsupportedError
 
 __all__ = ["DirectConvUpd"]
 
@@ -46,12 +51,31 @@ class DirectConvUpd:
         self,
         params: ConvParams,
         machine: MachineConfig = SKX,
+        *legacy,
         dtype: DType = DType.F32,
+        fused_ops: Sequence = (),
         threads: int = 1,
         strategy: UpdStrategy | None = None,
         plan: UpdBlockingPlan | None = None,
+        prefetch: str = "both",
         kernel_cache: KernelCache | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
+        if legacy:
+            lv = legacy_positionals(
+                "DirectConvUpd",
+                ("dtype", "threads", "strategy", "plan", "kernel_cache"),
+                legacy,
+            )
+            dtype = lv.get("dtype", dtype)
+            threads = lv.get("threads", threads)
+            strategy = lv.get("strategy", strategy)
+            plan = lv.get("plan", plan)
+            kernel_cache = lv.get("kernel_cache", kernel_cache)
+        if fused_ops:
+            raise UnsupportedError(
+                "the weight-gradient pass has no fusable post-ops"
+            )
         self.params = params
         self.machine = machine
         self.dtype = dtype
@@ -60,7 +84,12 @@ class DirectConvUpd:
         self.strategy = strategy or choose_upd_strategy(
             params, machine, self.threads
         )
-        self.cache = kernel_cache or get_default_cache()
+        #: accepted for keyword parity with the other engines; the Algorithm-9
+        #: outer-product kernel issues no software prefetches.
+        self.prefetch = prefetch
+        self.cache = (kernel_cache if kernel_cache is not None
+                      else get_default_cache())
+        self.tracer = tracer if tracer is not None else get_tracer()
         p = params
         vlen = self.plan.vlen
         self.vlen = vlen
@@ -68,7 +97,14 @@ class DirectConvUpd:
         self.do_layout = ActivationLayout(n=p.N, c=p.K, h=p.P, w=p.Q, vlen=vlen)
         self.dw_layout = WeightLayout(k=p.K, c=p.C, r=p.R, s=p.S, vlen=vlen)
         self._build_kernels()
-        self._dryrun()
+        with self.tracer.span(
+            "conv.dryrun", pass_="upd", layer=params.describe(),
+            threads=self.threads,
+        ):
+            self._dryrun()
+        metrics = get_metrics()
+        metrics.inc("conv.engines_built")
+        metrics.inc("conv.streams_recorded", len(self.streams))
 
     def _build_kernels(self) -> None:
         ist = self.in_layout.strides
@@ -178,6 +214,17 @@ class DirectConvUpd:
     def __call__(self, x: BlockedTensor, dy: BlockedTensor) -> BlockedTensor:
         """Replay the recorded streams into the gradient copies, then reduce
         (each simulated thread reduces 1/T of the copies -- section II-J)."""
+        tracer = self.tracer
+        get_metrics().inc("conv.upd_calls")
+        if tracer.enabled:
+            with tracer.span(
+                "conv.replay", pass_="upd", layer=self.params.describe(),
+                copies=self.ncopies,
+            ):
+                return self._execute(x, dy)
+        return self._execute(x, dy)
+
+    def _execute(self, x: BlockedTensor, dy: BlockedTensor) -> BlockedTensor:
         from repro.streams.rle import encode_segments
         from repro.streams.replay import replay
 

@@ -18,6 +18,8 @@ from repro.arch.machine import SKX, MachineConfig
 from repro.gxm.graph import TaskRef, compile_etg
 from repro.gxm.nodes import LossNode, Node, build_node, output_shape
 from repro.gxm.topology import TopologySpec
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import Tracer, get_tracer
 from repro.types import Pass, ReproError
 
 __all__ = ["ExecutionTaskGraph", "Task"]
@@ -55,7 +57,11 @@ class ExecutionTaskGraph:
         threads: int = 1,
         seed: int = 0,
         fuse: bool = False,
+        tracer: Tracer | None = None,
     ):
+        #: spans (``etg.step`` / ``etg.task``) are recorded here; the
+        #: TaskProfiler swaps in its own always-enabled tracer per step.
+        self.tracer = tracer if tracer is not None else get_tracer()
         if fuse:
             from repro.gxm.fusion_pass import fuse_topology
 
@@ -119,12 +125,23 @@ class ExecutionTaskGraph:
     # ------------------------------------------------------------------
     def train_step(self, x: np.ndarray, labels: np.ndarray) -> float:
         """Run every ETG task once (FWD + BWD + UPD); returns the loss."""
-        self._run(x, labels, training=True)
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("etg.step", minibatch=len(labels)):
+                self._run(x, labels, training=True)
+        else:
+            self._run(x, labels, training=True)
+        get_metrics().inc("etg.steps")
         return self.loss
 
     def forward_only(self, x: np.ndarray, labels: np.ndarray | None = None):
         """Inference: only the FWD tasks (the ETG for inference, II-L)."""
-        self._run(x, labels, training=False)
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("etg.forward", minibatch=len(x)):
+                self._run(x, labels, training=False)
+        else:
+            self._run(x, labels, training=False)
         return self.loss if labels is not None else None
 
     # ------------------------------------------------------------------
@@ -133,48 +150,62 @@ class ExecutionTaskGraph:
         grads: dict[str, np.ndarray] = {}
         for ln in self._loss_nodes:
             ln.labels = labels
+        tracer = self.tracer
         for task in self.tasks:
             layer = self.enl.layer(task.layer)
             node = self.nodes[task.layer]
-            if task.pass_ is Pass.FWD:
-                if layer.type == "Data":
-                    acts[layer.tops[0]] = x
-                    continue
-                ins = [acts[b] for b in layer.bottoms]
-                out = node.forward(*ins)
-                if layer.type == "Split":
-                    for t, o in zip(layer.tops, out):
-                        acts[t] = o
-                else:
-                    acts[layer.tops[0]] = out
-            elif task.pass_ is Pass.BWD:
-                if not training:
-                    continue
-                if isinstance(node, LossNode):
-                    grads[layer.bottoms[0]] = node.backward()
-                    continue
-                if layer.type == "Split":
-                    dys = [grads[t] for t in layer.tops]
-                    grads[layer.bottoms[0]] = node.backward(*dys)
-                    continue
-                dy = grads.get(layer.tops[0])
-                if dy is None:
-                    raise ReproError(
-                        f"missing gradient for {layer.tops[0]!r}"
-                    )
-                dx = node.backward(dy)
-                if layer.type in ("Eltwise", "Concat"):
-                    for b, d in zip(layer.bottoms, dx):
-                        grads[b] = d
-                elif layer.bottoms:
-                    if layer.bottoms[0] in self._producer and not self._is_data(
-                        layer.bottoms[0]
-                    ):
-                        grads[layer.bottoms[0]] = dx
-            else:  # UPD
-                if training:
-                    node.update()
+            if tracer.enabled:
+                with tracer.span(
+                    "etg.task",
+                    **{"layer": task.layer, "pass": task.pass_.name,
+                       "type": layer.type},
+                ):
+                    self._exec_task(task, layer, node, acts, grads, x,
+                                    training)
+            else:
+                self._exec_task(task, layer, node, acts, grads, x, training)
         self._pools = _TensorPools(acts, grads)
+
+    def _exec_task(self, task, layer, node, acts, grads, x, training) -> None:
+        """Execute one ETG task against the name-keyed tensor pools."""
+        if task.pass_ is Pass.FWD:
+            if layer.type == "Data":
+                acts[layer.tops[0]] = x
+                return
+            ins = [acts[b] for b in layer.bottoms]
+            out = node.forward(*ins)
+            if layer.type == "Split":
+                for t, o in zip(layer.tops, out):
+                    acts[t] = o
+            else:
+                acts[layer.tops[0]] = out
+        elif task.pass_ is Pass.BWD:
+            if not training:
+                return
+            if isinstance(node, LossNode):
+                grads[layer.bottoms[0]] = node.backward()
+                return
+            if layer.type == "Split":
+                dys = [grads[t] for t in layer.tops]
+                grads[layer.bottoms[0]] = node.backward(*dys)
+                return
+            dy = grads.get(layer.tops[0])
+            if dy is None:
+                raise ReproError(
+                    f"missing gradient for {layer.tops[0]!r}"
+                )
+            dx = node.backward(dy)
+            if layer.type in ("Eltwise", "Concat"):
+                for b, d in zip(layer.bottoms, dx):
+                    grads[b] = d
+            elif layer.bottoms:
+                if layer.bottoms[0] in self._producer and not self._is_data(
+                    layer.bottoms[0]
+                ):
+                    grads[layer.bottoms[0]] = dx
+        else:  # UPD
+            if training:
+                node.update()
 
     def _is_data(self, tensor: str) -> bool:
         prod = self._producer.get(tensor)

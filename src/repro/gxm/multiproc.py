@@ -20,6 +20,7 @@ assert.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 from typing import Optional
 
 import numpy as np
@@ -27,15 +28,27 @@ import numpy as np
 from repro.gxm.etg import ExecutionTaskGraph
 from repro.gxm.topology import TopologySpec
 from repro.gxm.trainer import SGD, TrainMetrics
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 from repro.types import ReproError
 
 __all__ = ["ProcessParallelTrainer"]
 
 
-def _worker_main(conn, topo_text: str, input_shape, seed: int) -> None:
-    """Worker loop: receive (weights, shard) -> return (grads, loss, acc)."""
+def _worker_main(
+    conn, topo_text: str, input_shape, seed: int, trace: bool = False
+) -> None:
+    """Worker loop: receive (weights, shard) -> return
+    (grads, loss, acc, obs-payload)."""
+    from repro import obs
     from repro.gxm.parser import parse_topology
 
+    if trace:
+        obs.enable()
+        # per-process observability: this worker's spans/counters are
+        # drained after every step and merged at the root
+        get_tracer().clear()
+        get_metrics().clear()
     etg = ExecutionTaskGraph(
         parse_topology(topo_text), input_shape, engine="fast", seed=seed
     )
@@ -50,7 +63,17 @@ def _worker_main(conn, topo_text: str, input_shape, seed: int) -> None:
             p[...] = w
         loss = etg.train_step(x, labels)
         acc = etg.accuracy()
-        conn.send(([g.copy() for g in etg.grads()], float(loss), float(acc)))
+        payload = None
+        if trace:
+            payload = {
+                "pid": os.getpid(),
+                "events": get_tracer().export_events(clear=True),
+                "metrics": get_metrics().snapshot(clear=True),
+            }
+        conn.send(
+            ([g.copy() for g in etg.grads()], float(loss), float(acc),
+             payload)
+        )
 
 
 class ProcessParallelTrainer:
@@ -69,9 +92,14 @@ class ProcessParallelTrainer:
         weight_decay: float = 0.0,
         seed: int = 0,
         start_method: str = "fork",
+        trace: bool | None = None,
     ):
         if nodes < 1:
             raise ReproError("need at least one worker node")
+        # per-process tracer merge: workers record their own spans/metrics
+        # and the root folds them in after every step (default: follow the
+        # root tracer's enabled state at construction time)
+        self.trace = get_tracer().enabled if trace is None else trace
         # the root keeps a replica purely to own the parameter arrays
         self.root = ExecutionTaskGraph(topo, input_shape, engine="fast",
                                        seed=seed)
@@ -87,7 +115,7 @@ class ProcessParallelTrainer:
             parent, child = ctx.Pipe()
             proc = ctx.Process(
                 target=_worker_main,
-                args=(child, text, input_shape, seed),
+                args=(child, text, input_shape, seed, self.trace),
                 daemon=True,
             )
             proc.start()
@@ -106,7 +134,10 @@ class ProcessParallelTrainer:
         loss = 0.0
         acc = 0.0
         for conn, shard in zip(self._conns, shards):
-            grads, l, a = conn.recv()
+            grads, l, a, payload = conn.recv()
+            if payload is not None:
+                get_tracer().ingest(payload["events"], pid=payload["pid"])
+                get_metrics().merge(payload["metrics"])
             loss += l * len(shard)
             acc += a * len(shard)
             if acc_grads is None:

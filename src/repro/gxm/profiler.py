@@ -2,10 +2,17 @@
 
 The artifact appendix: "The GxM framework reports time per iteration and
 img/s as console output ... the most important performance figures in case
-of CNN training."  :class:`TaskProfiler` wraps an ETG and records wall time
-per task, aggregating by layer type and pass -- the per-iteration report the
-paper's console output shows, plus the breakdown that motivates fusion
-(how much of a step the bandwidth-bound operators eat).
+of CNN training."  :class:`TaskProfiler` produces that per-iteration report
+-- total time, img/s, per-pass and per-layer-type breakdowns -- by reading
+the ``etg.step`` / ``etg.task`` spans the ETG itself records through
+:mod:`repro.obs` (the profiler is a *view* over the tracing layer, not a
+second instrumented task walk).
+
+If the process-wide tracer is enabled (``repro.obs.enable()``), the
+profiler aggregates from it, so profiled steps also land in the exported
+chrome trace.  Otherwise it swaps a private always-enabled tracer into the
+ETG for the duration of each step, keeping the global disabled path
+branch-cheap.
 """
 
 from __future__ import annotations
@@ -16,7 +23,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.gxm.etg import ExecutionTaskGraph
-from repro.types import Pass
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import Tracer, get_tracer
 
 __all__ = ["TaskProfiler", "IterationProfile"]
 
@@ -57,7 +65,7 @@ class IterationProfile:
 
 
 class TaskProfiler:
-    """Profile ETG steps by intercepting per-task execution.
+    """Profile ETG steps from the spans the ETG records per task.
 
     Usage::
 
@@ -66,80 +74,63 @@ class TaskProfiler:
         print(prof.last.report())
     """
 
-    def __init__(self, etg: ExecutionTaskGraph, clock=time.perf_counter):
+    def __init__(
+        self,
+        etg: ExecutionTaskGraph,
+        clock=time.perf_counter,
+        tracer: Tracer | None = None,
+    ):
         self.etg = etg
-        self.clock = clock
+        self.clock = clock  # kept for API compatibility; spans self-time
+        if tracer is None:
+            tracer = get_tracer()
+            if not tracer.enabled:
+                # private recorder so profiling works with tracing off
+                tracer = Tracer(enabled=True)
+        self.tracer = tracer
         self.last: IterationProfile | None = None
         self.history: list[IterationProfile] = []
 
     def step(self, x: np.ndarray, labels: np.ndarray) -> float:
         """One profiled train step (functionally identical to
-        ``etg.train_step``)."""
+        ``etg.train_step`` -- it *is* ``etg.train_step``, observed)."""
         etg = self.etg
+        prev_tracer = etg.tracer
+        etg.tracer = self.tracer
+        mark = len(self.tracer.events)
+        try:
+            loss = etg.train_step(x, labels)
+        finally:
+            etg.tracer = prev_tracer
+        prof = self._aggregate(self.tracer.events[mark:], len(labels))
+        self.last = prof
+        self.history.append(prof)
+        get_metrics().set_gauge("train.imgs_per_s", prof.imgs_per_s)
+        return loss
+
+    @staticmethod
+    def _aggregate(events, minibatch: int) -> IterationProfile:
         by_task: dict[str, float] = {}
-        t_start = self.clock()
-
-        # re-implement the task walk with timers around each task; the
-        # tensor plumbing is delegated back to the ETG's own _run by
-        # monkey-free interception: we time at task granularity using the
-        # ETG's public ordering and node objects.
-        acts: dict[str, np.ndarray] = {}
-        grads: dict[str, np.ndarray] = {}
-        from repro.gxm.nodes import LossNode
-
-        for ln in etg._loss_nodes:
-            ln.labels = labels
-        for task in etg.tasks:
-            layer = etg.enl.layer(task.layer)
-            node = etg.nodes[task.layer]
-            t0 = self.clock()
-            if task.pass_ is Pass.FWD:
-                if layer.type == "Data":
-                    acts[layer.tops[0]] = x
-                else:
-                    ins = [acts[b] for b in layer.bottoms]
-                    out = node.forward(*ins)
-                    if layer.type == "Split":
-                        for t, o in zip(layer.tops, out):
-                            acts[t] = o
-                    else:
-                        acts[layer.tops[0]] = out
-            elif task.pass_ is Pass.BWD:
-                if isinstance(node, LossNode):
-                    grads[layer.bottoms[0]] = node.backward()
-                elif layer.type == "Split":
-                    dys = [grads[t] for t in layer.tops]
-                    grads[layer.bottoms[0]] = node.backward(*dys)
-                else:
-                    dy = grads[layer.tops[0]]
-                    dx = node.backward(dy)
-                    if layer.type in ("Eltwise", "Concat"):
-                        for b, d in zip(layer.bottoms, dx):
-                            grads[b] = d
-                    elif layer.bottoms and not etg._is_data(layer.bottoms[0]):
-                        grads[layer.bottoms[0]] = dx
-            else:
-                node.update()
-            dt = self.clock() - t0
-            by_task[f"{task.layer}:{task.pass_.name}"] = (
-                by_task.get(f"{task.layer}:{task.pass_.name}", 0.0) + dt
-            )
-
-        total = self.clock() - t_start
         by_pass: dict[str, float] = {}
         by_type: dict[str, float] = {}
-        for key, dt in by_task.items():
-            lname, pname = key.rsplit(":", 1)
-            by_pass[pname] = by_pass.get(pname, 0.0) + dt
-            ltype = etg.enl.layer(lname).type
-            by_type[ltype] = by_type.get(ltype, 0.0) + dt
-        prof = IterationProfile(
+        total = 0.0
+        for r in events:
+            if r.name == "etg.step":
+                total = r.dur_us / 1e6
+            elif r.name == "etg.task":
+                dt = r.dur_us / 1e6
+                key = f"{r.args['layer']}:{r.args['pass']}"
+                by_task[key] = by_task.get(key, 0.0) + dt
+                by_pass[r.args["pass"]] = (
+                    by_pass.get(r.args["pass"], 0.0) + dt
+                )
+                by_type[r.args["type"]] = (
+                    by_type.get(r.args["type"], 0.0) + dt
+                )
+        return IterationProfile(
             total_s=total,
-            minibatch=len(labels),
+            minibatch=minibatch,
             by_pass=by_pass,
             by_type=by_type,
             by_task=by_task,
         )
-        self.last = prof
-        self.history.append(prof)
-        return etg.loss

@@ -10,11 +10,14 @@ replicas; the *timing* of the exchange is modelled in
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.gxm.etg import ExecutionTaskGraph
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 
 __all__ = ["SGD", "Trainer", "TrainMetrics"]
 
@@ -83,6 +86,22 @@ class Trainer:
     def train_step(self, x: np.ndarray, labels: np.ndarray) -> float:
         """One global-minibatch step; with ``nodes > 1`` the batch is
         sharded and the gradients averaged (the MLSL all-reduce)."""
+        tracer = get_tracer()
+        if tracer.enabled:
+            t0 = time.perf_counter()
+            with tracer.span(
+                "train.step", minibatch=len(labels), nodes=self.nodes,
+            ):
+                loss = self._train_step(x, labels)
+            dt = time.perf_counter() - t0
+            if dt > 0:
+                get_metrics().set_gauge(
+                    "train.imgs_per_s", len(labels) / dt
+                )
+            return loss
+        return self._train_step(x, labels)
+
+    def _train_step(self, x: np.ndarray, labels: np.ndarray) -> float:
         if self.lr_schedule is not None:
             self.opt.lr = self.lr_schedule.lr(self.iteration)
         self.iteration += 1

@@ -44,6 +44,7 @@ from dataclasses import dataclass
 
 from repro.arch.isa import KernelProgram, Op, Uop
 from repro.arch.registers import RegisterAllocator
+from repro.obs.instrument import instrument_codegen
 from repro.types import CodegenError, DType
 
 __all__ = ["ConvKernelDesc", "generate_conv_kernel", "interleave_prefetches"]
@@ -455,6 +456,7 @@ def interleave_prefetches(body: list[Uop], prefetches: list[Uop]) -> list[Uop]:
     return out
 
 
+@instrument_codegen("conv")
 def generate_conv_kernel(desc: ConvKernelDesc) -> KernelProgram:
     """JIT one forward-convolution microkernel variant from its descriptor."""
     alloc = RegisterAllocator()

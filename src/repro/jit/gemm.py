@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.arch.isa import KernelProgram, Op, Uop
 from repro.arch.registers import RegisterAllocator
+from repro.obs.instrument import instrument_codegen
 from repro.types import CodegenError
 
 __all__ = ["GemmDesc", "generate_gemm_kernel"]
@@ -54,6 +55,7 @@ class GemmDesc:
         return self.nb if self.nb > 0 else min(self.n, 28)
 
 
+@instrument_codegen("gemm")
 def generate_gemm_kernel(desc: GemmDesc) -> KernelProgram:
     """Emit the µop stream for one small GEMM."""
     nb = desc.effective_nb

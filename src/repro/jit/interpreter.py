@@ -16,6 +16,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.arch.isa import KernelProgram, Op, Uop
+from repro.obs.metrics import get_metrics
 from repro.types import ReproError
 
 __all__ = ["execute_kernel", "MemTrace"]
@@ -60,6 +61,9 @@ def execute_kernel(
     """
     regs = _Regs()
     vlen = prog.vlen
+    metrics = get_metrics()
+    metrics.inc("jit.kernel_executions")
+    metrics.inc("jit.uops_executed", len(prog.uops))
 
     def resolve(u: Uop) -> tuple[np.ndarray, int]:
         name = u.tensor

@@ -5,13 +5,24 @@ the "combinatorial explosion"); the paper's answer is runtime, on-demand
 generation.  :class:`KernelCache` memoizes generated programs by their frozen
 descriptor so each variant is generated exactly once per process -- the
 Python analogue of "our JIT does not incur the overheads of recompilation".
+
+The cache is thread-safe: lookup, generation and the statistics counters all
+happen under one re-entrant lock, so engines built concurrently (real thread
+pools in :meth:`DirectConvForward.__call__`, or the default cache shared by
+every engine in a process) cannot race a half-inserted program or lose a
+counter update.  Statistics are mirrored into the process-wide
+:class:`repro.obs.MetricsRegistry` as ``jit.cache.hits`` /
+``jit.cache.misses`` so they merge across worker processes; the bare
+``hits``/``misses`` attributes remain for backward compatibility.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Hashable
 
 from repro.arch.isa import KernelProgram
+from repro.obs.metrics import get_metrics
 
 __all__ = ["KernelCache", "get_default_cache"]
 
@@ -21,34 +32,52 @@ class KernelCache:
 
     def __init__(self) -> None:
         self._programs: dict[Hashable, KernelProgram] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def get(
         self, desc: Hashable, generator: Callable[[Hashable], KernelProgram]
     ) -> KernelProgram:
-        prog = self._programs.get(desc)
-        if prog is None:
+        metrics = get_metrics()
+        with self._lock:
+            prog = self._programs.get(desc)
+            if prog is not None:
+                self.hits += 1
+                metrics.inc("jit.cache.hits")
+                return prog
             self.misses += 1
+            metrics.inc("jit.cache.misses")
             prog = generator(desc)
             self._programs[desc] = prog
-        else:
-            self.hits += 1
-        return prog
+            return prog
 
     def __len__(self) -> int:
-        return len(self._programs)
+        with self._lock:
+            return len(self._programs)
 
     def __contains__(self, desc: Hashable) -> bool:
-        return desc in self._programs
+        with self._lock:
+            return desc in self._programs
 
     def clear(self) -> None:
-        self._programs.clear()
-        self.hits = self.misses = 0
+        with self._lock:
+            self._programs.clear()
+            self.hits = self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        """``{"hits": ..., "misses": ..., "variants": ...}`` snapshot."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "variants": len(self._programs),
+            }
 
     @property
     def variants(self) -> list[str]:
-        return [p.name for p in self._programs.values()]
+        with self._lock:
+            return [p.name for p in self._programs.values()]
 
 
 _default = KernelCache()

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.arch.isa import KernelProgram, Op, Uop
 from repro.arch.registers import RegisterAllocator
+from repro.obs.instrument import instrument_codegen
 from repro.types import CodegenError, DType
 
 __all__ = ["UpdKernelDesc", "generate_upd_kernel"]
@@ -63,6 +64,7 @@ class UpdKernelDesc:
         return self.b_p * self.b_q * self.vlen
 
 
+@instrument_codegen("upd")
 def generate_upd_kernel(desc: UpdKernelDesc) -> KernelProgram:
     """Emit the µop stream for one weight-gradient microkernel."""
     alloc = RegisterAllocator()

@@ -199,19 +199,26 @@ def inception_v3_topology(num_classes: int = 1000) -> TopologySpec:
     return topo
 
 
-def inception_mini_topology(num_classes: int = 8) -> TopologySpec:
+def inception_mini_topology(
+    num_classes: int = 8, width: int = 16
+) -> TopologySpec:
     """A miniature with the same block types (A + reduction + concat) for
-    tractable functional training in the tests/examples."""
+    tractable functional training in the tests/examples.
+
+    ``width`` scales every feature-map count (branches are ``width // 2``);
+    ``width=32`` makes all of them VLEN=16-aligned for the blocked engines.
+    """
+    half = width // 2
     topo = TopologySpec("inception-mini")
     t = topo.data("data")
-    t = _cbr(topo, "stem", t, 16, 3, pad=1)
-    b1 = _cbr(topo, "m_1x1", t, 8, 1)
-    b2 = _cbr(topo, "m_3x3_r", t, 8, 1)
-    b2 = _cbr(topo, "m_3x3", b2, 8, 3, pad=1)
+    t = _cbr(topo, "stem", t, width, 3, pad=1)
+    b1 = _cbr(topo, "m_1x1", t, half, 1)
+    b2 = _cbr(topo, "m_3x3_r", t, half, 1)
+    b2 = _cbr(topo, "m_3x3", b2, half, 3, pad=1)
     b3 = topo.avg_pool("m_pool", t, 3, 1, pad=1)
-    b3 = _cbr(topo, "m_proj", b3, 8, 1)
+    b3 = _cbr(topo, "m_proj", b3, half, 1)
     t = topo.concat("m_out", [b1, b2, b3])
-    t = _cbr(topo, "red", t, 32, 3, stride=2, pad=0)
+    t = _cbr(topo, "red", t, 2 * width, 3, stride=2, pad=0)
     t = topo.global_pool("gap", t)
     t = topo.fc("fc", t, num_classes)
     topo.loss("loss", t)

@@ -1,0 +1,61 @@
+"""repro.obs -- the unified observability layer.
+
+A zero-dependency tracing + metrics subsystem threaded through the
+library's hot paths:
+
+* :class:`Tracer` (:mod:`repro.obs.tracer`) -- nestable wall-clock spans
+  (``jit.codegen``, ``conv.dryrun``, ``stream.replay``, ``etg.task`` ...),
+  recorded into one process-wide singleton that is disabled by default and
+  branch-cheap when off.
+* :class:`MetricsRegistry` (:mod:`repro.obs.metrics`) -- named counters and
+  gauges (kernels generated, cache hits/misses, stream conv calls, µops
+  executed, img/s ...), thread-safe and mergeable across processes.
+* exporters (:mod:`repro.obs.export`) -- ``chrome://tracing`` JSON and a
+  flat aggregated JSON report.
+
+Quick start::
+
+    from repro import obs
+
+    obs.enable()                      # start recording spans
+    ...  # build engines, train steps
+    obs.dump_chrome_trace("trace.json")
+    print(obs.flat_report()["counters"])
+
+or from the shell::
+
+    python -m repro profile resnet_mini --steps 2
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    dump_chrome_trace,
+    dump_flat_json,
+    flat_report,
+)
+from repro.obs.instrument import instrument_codegen
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.tracer import (
+    NULL_SPAN,
+    SpanRecord,
+    Tracer,
+    disable,
+    enable,
+    get_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "SpanRecord",
+    "get_tracer",
+    "enable",
+    "disable",
+    "NULL_SPAN",
+    "MetricsRegistry",
+    "get_metrics",
+    "chrome_trace",
+    "dump_chrome_trace",
+    "flat_report",
+    "dump_flat_json",
+    "instrument_codegen",
+]

@@ -1,0 +1,43 @@
+"""Decorators that thread observability through existing functions.
+
+:func:`instrument_codegen` wraps a ``generate_*_kernel(desc) -> program``
+function so every generation is a ``jit.codegen`` span and bumps the
+``jit.kernels_generated`` / ``jit.uops_emitted`` counters.  Counters are
+updated even when tracing is disabled (they are a handful of dict updates
+per *generated kernel*, i.e. per cache miss -- nowhere near a hot path);
+spans are only materialized when the tracer is enabled.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable
+
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
+
+__all__ = ["instrument_codegen"]
+
+
+def instrument_codegen(kind: str) -> Callable:
+    """Wrap a kernel generator; ``kind`` tags the variant family."""
+
+    def deco(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(desc, *a, **kw):
+            tracer = get_tracer()
+            if tracer.enabled:
+                with tracer.span("jit.codegen", kind=kind) as sp:
+                    prog = fn(desc, *a, **kw)
+                    sp.args["kernel"] = prog.name
+            else:
+                prog = fn(desc, *a, **kw)
+            metrics = get_metrics()
+            metrics.inc("jit.kernels_generated")
+            metrics.inc(f"jit.kernels_generated.{kind}")
+            metrics.inc("jit.uops_emitted", len(prog))
+            return prog
+
+        return wrapper
+
+    return deco

@@ -1,0 +1,87 @@
+"""Named counters and gauges shared by every subsystem.
+
+The paper's methodology reports the same handful of numbers for every
+experiment -- kernels generated, cache hits/misses, stream segments, µops
+executed, simulated traffic bytes, img/s.  :class:`MetricsRegistry` is the
+single home for them: counters are monotonically increasing (and merge
+additively across processes), gauges hold last-written values.
+
+All mutation happens under one lock so concurrent replay threads and the
+kernel cache can update counters safely; reads return copies.  As with the
+tracer there is ONE process-wide registry (:func:`get_metrics`) whose
+identity never changes, so modules may bind it at import time.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["MetricsRegistry", "get_metrics"]
+
+
+class MetricsRegistry:
+    """Thread-safe registry of named counters and gauges."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+
+    # -- writing -------------------------------------------------------
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (creating it at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    # -- reading -------------------------------------------------------
+    def value(self, name: str, default: float = 0) -> float:
+        """Current value of a counter or gauge (counters win on collision)."""
+        with self._lock:
+            if name in self._counters:
+                return self._counters[name]
+            return self._gauges.get(name, default)
+
+    def counters(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._counters)
+
+    def gauges(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._gauges)
+
+    def snapshot(self, clear: bool = False) -> dict:
+        """Picklable ``{"counters": ..., "gauges": ...}`` snapshot."""
+        with self._lock:
+            snap = {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+            }
+            if clear:
+                self._counters.clear()
+                self._gauges.clear()
+        return snap
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a worker snapshot in: counters add, gauges last-write-wins."""
+        with self._lock:
+            for name, v in snapshot.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + v
+            self._gauges.update(snapshot.get("gauges", {}))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+
+
+#: the process-wide registry (stable identity; cleared, never replaced).
+_METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry` singleton."""
+    return _METRICS

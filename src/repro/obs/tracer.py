@@ -1,0 +1,192 @@
+"""Nestable tracing spans (the observability half of section III's method).
+
+Every number in the paper's evaluation is attributable to a *phase*: JIT
+codegen, the dryrun that records kernel streams, the branch-free replay, the
+per-task ETG walk.  :class:`Tracer` names those phases as spans --
+``span("jit.codegen")``, ``span("conv.dryrun")``, ``span("stream.replay")``,
+``span("etg.task")`` -- and records wall-clock begin/duration per span so
+the whole pipeline can be inspected in ``chrome://tracing`` (see
+:mod:`repro.obs.export`).
+
+Design constraints (the disabled path must be branch-cheap):
+
+* there is ONE process-wide :class:`Tracer` singleton, obtained with
+  :func:`get_tracer`; it is *never replaced*, only its ``enabled`` flag
+  flips.  Hot paths may therefore bind it once at setup time and guard with
+  ``if tracer.enabled:`` -- one attribute read when tracing is off.
+* ``span()`` on a disabled tracer returns a shared no-op context manager
+  (no allocation, no clock read).
+* span records are plain picklable dataclasses so per-process tracers can
+  be merged across ``multiprocessing`` workers
+  (:meth:`Tracer.export_events` / :meth:`Tracer.ingest`).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "enable",
+    "disable",
+    "NULL_SPAN",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One completed span: microsecond timestamp/duration plus identity."""
+
+    name: str
+    ts_us: float
+    dur_us: float
+    pid: int
+    tid: int
+    depth: int
+    args: dict = field(default_factory=dict)
+
+
+class _NullSpan:
+    """Shared no-op context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """An open span; closing it appends a :class:`SpanRecord`."""
+
+    __slots__ = ("_tracer", "name", "args", "_t0", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        tls = self._tracer._tls
+        self._depth = getattr(tls, "depth", 0)
+        tls.depth = self._depth + 1
+        self._t0 = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        t1 = time.perf_counter_ns()
+        tracer = self._tracer
+        tracer._tls.depth = self._depth
+        tracer.events.append(
+            SpanRecord(
+                name=self.name,
+                ts_us=self._t0 / 1e3,
+                dur_us=(t1 - self._t0) / 1e3,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                depth=self._depth,
+                args=self.args,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Span recorder with thread-local nesting depth.
+
+    Usage::
+
+        tracer = get_tracer()
+        with tracer.span("conv.dryrun", threads=4):
+            ...
+
+    ``events`` is the flat list of completed :class:`SpanRecord`\\ s;
+    list append is atomic under the GIL, so concurrent threads may record
+    spans into the same tracer.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.events: list[SpanRecord] = []
+        self._tls = threading.local()
+
+    # -- recording -----------------------------------------------------
+    def span(self, name: str, **args):
+        """Context manager timing one named phase (no-op when disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, name, args)
+
+    def instant(self, name: str, **args) -> None:
+        """Record a zero-duration marker event."""
+        if not self.enabled:
+            return
+        t = time.perf_counter_ns() / 1e3
+        self.events.append(
+            SpanRecord(
+                name=name,
+                ts_us=t,
+                dur_us=0.0,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                depth=getattr(self._tls, "depth", 0),
+                args=args,
+            )
+        )
+
+    # -- inspection / merging ------------------------------------------
+    def span_names(self) -> set[str]:
+        return {r.name for r in self.events}
+
+    def spans(self, name: str) -> list[SpanRecord]:
+        return [r for r in self.events if r.name == name]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def export_events(self, clear: bool = False) -> list[SpanRecord]:
+        """Snapshot the event list (picklable) for cross-process transport."""
+        out = list(self.events)
+        if clear:
+            self.events.clear()
+        return out
+
+    def ingest(self, events: list[SpanRecord], pid: int | None = None) -> None:
+        """Merge span records from another tracer (e.g. a worker process)."""
+        if pid is None:
+            self.events.extend(events)
+            return
+        for r in events:
+            r.pid = pid
+            self.events.append(r)
+
+
+#: the process-wide tracer; disabled by default so benches pay one branch.
+_TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-wide :class:`Tracer` singleton (stable identity)."""
+    return _TRACER
+
+
+def enable() -> Tracer:
+    """Turn on span recording globally; returns the tracer."""
+    _TRACER.enabled = True
+    return _TRACER
+
+
+def disable() -> Tracer:
+    """Stop recording (already-recorded events are kept)."""
+    _TRACER.enabled = False
+    return _TRACER

@@ -19,15 +19,17 @@ import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
 from repro.arch.machine import KNM, MachineConfig
-from repro.conv.blocking import choose_blocking
+from repro.conv._compat import legacy_positionals
+from repro.conv.blocking import BlockingPlan, choose_blocking
 from repro.conv.forward import DirectConvForward
 from repro.conv.fusion import FusedOp
 from repro.conv.params import ConvParams
 from repro.jit.kernel_cache import KernelCache
+from repro.obs.tracer import Tracer
 from repro.quant.qkernels import CHAIN_LIMIT_PAIRS, QuantOverflowError
 from repro.quant.qtensor import QuantTensor, quantize
 from repro.tensor.blocked import BlockedTensor, block_activations, block_weights
-from repro.types import DType
+from repro.types import DType, UnsupportedError
 
 __all__ = ["QuantConvForward"]
 
@@ -39,14 +41,40 @@ class QuantConvForward(DirectConvForward):
         self,
         params: ConvParams,
         machine: MachineConfig = KNM,
+        *legacy,
+        dtype: DType = DType.QI16F32,
         fused_ops: Sequence[FusedOp] = (),
         threads: int = 1,
         chain_limit: int = CHAIN_LIMIT_PAIRS,
+        plan: BlockingPlan | None = None,
         prefetch: str = "both",
         kernel_cache: KernelCache | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
+        if legacy:
+            lv = legacy_positionals(
+                "QuantConvForward",
+                ("fused_ops", "threads", "chain_limit", "prefetch",
+                 "kernel_cache"),
+                legacy,
+            )
+            fused_ops = lv.get("fused_ops", fused_ops)
+            threads = lv.get("threads", threads)
+            chain_limit = lv.get("chain_limit", chain_limit)
+            prefetch = lv.get("prefetch", prefetch)
+            kernel_cache = lv.get("kernel_cache", kernel_cache)
+        if dtype is not DType.QI16F32:
+            raise UnsupportedError(
+                f"QuantConvForward is the int16 engine; got dtype={dtype}"
+            )
         self.chain_limit = chain_limit
-        plan = choose_blocking(params, machine, DType.F32, acc_budget_cap=13)
+        # the restricted accumulation chain halves the register budget
+        # (int32+fp32 pairs), which the default plan reflects; an explicit
+        # plan overrides the cap at the caller's own risk.
+        if plan is None:
+            plan = choose_blocking(
+                params, machine, DType.F32, acc_budget_cap=13
+            )
         super().__init__(
             params,
             machine=machine,
@@ -56,6 +84,7 @@ class QuantConvForward(DirectConvForward):
             plan=plan,
             prefetch=prefetch,
             kernel_cache=kernel_cache,
+            tracer=tracer,
         )
         self._scale = 1.0  # set per invocation from the quantized operands
 

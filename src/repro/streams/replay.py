@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 from repro.streams.rle import Segment, SegmentKind
 from repro.streams.stream import FrozenStream
 
@@ -31,6 +33,24 @@ def replay(
     apply_ops: Sequence[ApplyOp],
 ) -> int:
     """Execute one thread's recorded stream; returns the number of conv calls."""
+    tracer = get_tracer()
+    if tracer.enabled:
+        with tracer.span("stream.replay", calls=len(stream)):
+            conv_calls = _replay(stream, segments, kernels, apply_ops)
+    else:
+        conv_calls = _replay(stream, segments, kernels, apply_ops)
+    metrics = get_metrics()
+    metrics.inc("stream.conv_calls", conv_calls)
+    metrics.inc("stream.segments_replayed", len(segments))
+    return conv_calls
+
+
+def _replay(
+    stream: FrozenStream,
+    segments: Sequence[Segment],
+    kernels: Sequence[ConvKernel],
+    apply_ops: Sequence[ApplyOp],
+) -> int:
     kinds = stream.kinds
     i_off = stream.i_off
     w_off = stream.w_off

@@ -1,0 +1,251 @@
+"""repro.obs: tracer spans, metrics registry, exporters, instrumentation."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.conv.forward import DirectConvForward
+from repro.conv.params import ConvParams
+from repro.jit.kernel_cache import KernelCache
+from repro.obs import (
+    NULL_SPAN,
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    dump_chrome_trace,
+    flat_report,
+    get_metrics,
+    get_tracer,
+)
+from tests.conftest import TINY, rand_conv_tensors
+
+
+@pytest.fixture
+def traced():
+    """Enable the global tracer for one test, restoring a clean slate."""
+    tracer = obs.enable()
+    tracer.clear()
+    get_metrics().clear()
+    yield tracer
+    obs.disable()
+    tracer.clear()
+    get_metrics().clear()
+
+
+class TestTracer:
+    def test_disabled_span_is_shared_noop(self):
+        t = Tracer(enabled=False)
+        assert t.span("x") is NULL_SPAN
+        assert t.span("y", a=1) is NULL_SPAN
+        with t.span("x"):
+            pass
+        assert t.events == []
+
+    def test_enabled_span_records(self):
+        t = Tracer(enabled=True)
+        with t.span("jit.codegen", kernel="k1"):
+            pass
+        (r,) = t.events
+        assert r.name == "jit.codegen"
+        assert r.dur_us >= 0
+        assert r.args == {"kernel": "k1"}
+        assert r.depth == 0
+
+    def test_nesting_depth(self):
+        t = Tracer(enabled=True)
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        by_name = {r.name: r for r in t.events}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        # depth resets once the stack unwinds
+        with t.span("again"):
+            pass
+        assert t.spans("again")[0].depth == 0
+
+    def test_instant_marker(self):
+        t = Tracer(enabled=True)
+        t.instant("mark", step=3)
+        (r,) = t.events
+        assert r.dur_us == 0.0 and r.args == {"step": 3}
+
+    def test_singleton_identity_is_stable(self):
+        t = get_tracer()
+        assert obs.enable() is t
+        assert obs.disable() is t
+        assert get_tracer() is t
+
+    def test_ingest_rewrites_pid(self):
+        src = Tracer(enabled=True)
+        with src.span("etg.task"):
+            pass
+        dst = Tracer(enabled=True)
+        dst.ingest(src.export_events(), pid=4242)
+        assert dst.events[0].pid == 4242
+
+    def test_export_events_clear(self):
+        t = Tracer(enabled=True)
+        with t.span("a"):
+            pass
+        out = t.export_events(clear=True)
+        assert len(out) == 1 and t.events == []
+
+    def test_threaded_recording(self):
+        t = Tracer(enabled=True)
+
+        def work():
+            for _ in range(50):
+                with t.span("thread.work"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert len(t.spans("thread.work")) == 200
+
+
+class TestMetrics:
+    def test_counters_and_gauges(self):
+        m = MetricsRegistry()
+        m.inc("calls")
+        m.inc("calls", 2)
+        m.set_gauge("imgs_per_s", 10.5)
+        assert m.value("calls") == 3
+        assert m.value("imgs_per_s") == 10.5
+        assert m.value("absent", default=-1) == -1
+
+    def test_snapshot_and_merge(self):
+        worker = MetricsRegistry()
+        worker.inc("n", 5)
+        worker.set_gauge("g", 1.0)
+        snap = worker.snapshot(clear=True)
+        assert worker.counters() == {}
+        root = MetricsRegistry()
+        root.inc("n", 2)
+        root.merge(snap)
+        root.merge({"counters": {"n": 1}, "gauges": {"g": 9.0}})
+        assert root.value("n") == 8  # counters add
+        assert root.value("g") == 9.0  # gauges last-write-wins
+
+    def test_concurrent_inc(self):
+        m = MetricsRegistry()
+
+        def work():
+            for _ in range(500):
+                m.inc("x")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert m.value("x") == 2000
+
+
+class TestExport:
+    def _tracer(self):
+        t = Tracer(enabled=True)
+        with t.span("conv.dryrun", layer="L", obj=object()):
+            with t.span("jit.codegen"):
+                pass
+        with t.span("jit.codegen"):
+            pass
+        return t
+
+    def test_chrome_trace_shape(self):
+        m = MetricsRegistry()
+        m.inc("jit.kernels_generated", 2)
+        doc = chrome_trace(self._tracer(), m)
+        assert {e["ph"] for e in doc["traceEvents"]} == {"X"}
+        cats = {e["name"]: e["cat"] for e in doc["traceEvents"]}
+        assert cats == {"conv.dryrun": "conv", "jit.codegen": "jit"}
+        assert doc["otherData"]["counters"]["jit.kernels_generated"] == 2
+        # non-primitive span args are stringified -> always serializable
+        json.dumps(doc)
+
+    def test_dump_chrome_trace_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        n = dump_chrome_trace(path, self._tracer(), MetricsRegistry())
+        doc = json.loads(path.read_text())
+        assert n == len(doc["traceEvents"]) == 3
+
+    def test_flat_report_aggregates(self):
+        rep = flat_report(self._tracer(), MetricsRegistry())
+        agg = rep["spans"]["jit.codegen"]
+        assert agg["count"] == 2
+        assert agg["mean_us"] == pytest.approx(agg["total_us"] / 2)
+        assert agg["max_us"] <= agg["total_us"]
+
+
+class TestEngineInstrumentation:
+    P = ConvParams(N=1, C=8, K=8, H=6, W=6, R=3, S=3, stride=1)
+
+    def test_spans_and_counters_from_forward(self, traced, rng):
+        x, w, _ = rand_conv_tensors(self.P, rng)
+        eng = DirectConvForward(self.P, TINY, kernel_cache=KernelCache())
+        eng.run_nchw(x, w)
+        names = traced.span_names()
+        assert {"conv.dryrun", "jit.codegen", "conv.replay",
+                "stream.replay"} <= names
+        m = get_metrics()
+        assert m.value("conv.engines_built") == 1
+        assert m.value("conv.fwd_calls") == 1
+        assert m.value("jit.kernels_generated") >= 1
+        assert m.value("stream.conv_calls") > 0
+
+    def test_disabled_tracer_records_nothing(self, rng):
+        tracer = get_tracer()
+        assert not tracer.enabled
+        before = len(tracer.events)
+        x, w, _ = rand_conv_tensors(self.P, rng)
+        eng = DirectConvForward(self.P, TINY, kernel_cache=KernelCache())
+        eng.run_nchw(x, w)
+        assert len(tracer.events) == before
+
+    def test_codegen_span_carries_kernel_name(self, traced, rng):
+        x, w, _ = rand_conv_tensors(self.P, rng)
+        eng = DirectConvForward(self.P, TINY, kernel_cache=KernelCache())
+        eng.run_nchw(x, w)
+        for r in traced.spans("jit.codegen"):
+            assert r.args.get("kernel")
+
+
+class TestKernelCacheSafety:
+    def test_concurrent_get_generates_once(self):
+        cache = KernelCache()
+        calls = []
+
+        def generator(desc):
+            calls.append(desc)
+            from repro.arch.isa import KernelProgram
+
+            return KernelProgram(name="p", vlen=4, uops=[])
+
+        def work():
+            for _ in range(20):
+                cache.get("desc", generator)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert len(calls) == 1
+        st = cache.stats()
+        assert st["variants"] == 1
+        assert st["hits"] + st["misses"] == 160 and st["misses"] == 1
+
+    def test_stats_mirrored_into_metrics(self, traced):
+        from repro.arch.isa import KernelProgram
+
+        m = get_metrics()
+        cache = KernelCache()
+        cache.get("d", lambda d: KernelProgram(name="p", vlen=4, uops=[]))
+        cache.get("d", lambda d: KernelProgram(name="p", vlen=4, uops=[]))
+        assert m.value("jit.cache.misses") == 1
+        assert m.value("jit.cache.hits") == 1
