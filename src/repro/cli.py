@@ -83,6 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", default="blocked",
                    choices=["fast", "blocked"])
     p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--execution-tier", default="compiled",
+                   choices=["compiled", "interpret", "einsum", "verify"],
+                   help="kernel-stream execution tier; 'verify' runs the "
+                        "compiled and interpreter tiers and asserts "
+                        "bitwise-identical outputs")
     p.add_argument("--trace-out", default="repro_trace.json",
                    help="chrome://tracing JSON output path")
     p.add_argument("--metrics-out", default="repro_metrics.json",
@@ -202,7 +207,10 @@ def _cmd_profile(args) -> int:
     from repro.gxm.etg import ExecutionTaskGraph
     from repro.gxm.profiler import TaskProfiler
 
+    from repro.jit.compile import set_default_execution_tier
+
     tracer = obs.enable()
+    set_default_execution_tier(args.execution_tier)
     if args.topology == "resnet_mini":
         from repro.models.resnet50 import resnet_mini_topology
 

@@ -29,6 +29,7 @@ from repro.conv.blocking import BlockingPlan
 from repro.conv.forward import DirectConvForward
 from repro.conv.fusion import FusedOp
 from repro.conv.params import ConvParams
+from repro.jit.compile import resolve_execution_tier
 from repro.jit.gemm import GemmDesc, generate_gemm_kernel
 from repro.jit.kernel_cache import KernelCache, get_default_cache
 from repro.obs.metrics import get_metrics
@@ -66,6 +67,7 @@ class DirectConvBackward:
         prefetch: str = "both",
         kernel_cache: KernelCache | None = None,
         tracer: Tracer | None = None,
+        execution_tier: str | None = None,
     ) -> None:
         if legacy:
             lv = legacy_positionals(
@@ -85,6 +87,10 @@ class DirectConvBackward:
         self.cache = (kernel_cache if kernel_cache is not None
                       else get_default_cache())
         self.tracer = tracer if tracer is not None else get_tracer()
+        # the duality modes execute through the dual forward engine, which
+        # honours the tier; the Algorithm-7 GEMM fallback is a pure-numpy
+        # loop nest, so the tier is accepted but has no kernels to select.
+        self.execution_tier = resolve_execution_tier(execution_tier)
         p = params
         self.vlen = machine.vlen(dtype)
 
@@ -108,6 +114,7 @@ class DirectConvBackward:
                 self.fwd_params, machine, dtype=dtype, threads=threads,
                 fused_ops=self.fused_ops, plan=plan, prefetch=prefetch,
                 kernel_cache=self.cache, tracer=tracer,
+                execution_tier=self.execution_tier,
             )
         elif p.is_1x1():
             if p.pad_h or p.pad_w:
@@ -121,6 +128,7 @@ class DirectConvBackward:
                 self.fwd_params, machine, dtype=dtype, threads=threads,
                 fused_ops=self.fused_ops, plan=plan, prefetch=prefetch,
                 kernel_cache=self.cache, tracer=tracer,
+                execution_tier=self.execution_tier,
             )
         else:
             if self.fused_ops:

@@ -101,6 +101,7 @@ def make_engine(
     tracer: Tracer | None = None,
     strategy=None,
     chain_limit: int | None = None,
+    execution_tier: str | None = None,
 ) -> ConvEngine:
     """Construct the engine for ``pass_`` with one uniform keyword set.
 
@@ -133,6 +134,15 @@ def make_engine(
         Update-pass only: a §II-J :class:`UpdStrategy` override.
     chain_limit:
         Quant only: int16 accumulation-chain length (§II-K).
+    execution_tier:
+        How recorded kernel streams are executed:
+        ``"compiled"`` (default; vectorized numpy closures from
+        :mod:`repro.jit.compile` with batched stream replay),
+        ``"interpret"`` (the µop interpreter, one call per record),
+        ``"einsum"`` (the legacy per-call einsum closures) or
+        ``"verify"`` (run compiled *and* interpret, assert bitwise
+        equality).  ``None`` resolves to the process-wide default
+        (:func:`repro.jit.set_default_execution_tier`).
     """
     p, quant = _normalize_pass(pass_)
     if dtype is DType.QI16F32:
@@ -153,22 +163,25 @@ def make_engine(
         return QuantConvForward(
             params, machine, fused_ops=fused_ops, threads=threads,
             plan=plan, prefetch=prefetch, kernel_cache=kernel_cache,
-            tracer=tracer, **extra,
+            tracer=tracer, execution_tier=execution_tier, **extra,
         )
     if p is Pass.FWD:
         return DirectConvForward(
             params, machine, dtype=dtype, fused_ops=fused_ops,
             threads=threads, plan=plan, prefetch=prefetch,
             kernel_cache=kernel_cache, tracer=tracer,
+            execution_tier=execution_tier,
         )
     if p is Pass.BWD:
         return DirectConvBackward(
             params, machine, dtype=dtype, fused_ops=fused_ops,
             threads=threads, plan=plan, prefetch=prefetch,
             kernel_cache=kernel_cache, tracer=tracer,
+            execution_tier=execution_tier,
         )
     return DirectConvUpd(
         params, machine, dtype=dtype, fused_ops=fused_ops,
         threads=threads, strategy=strategy, plan=plan, prefetch=prefetch,
         kernel_cache=kernel_cache, tracer=tracer,
+        execution_tier=execution_tier,
     )

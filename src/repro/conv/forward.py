@@ -10,12 +10,17 @@
    through the variant table, fused operators applied via APPLY records while
    the output block is hot (section II-G).
 
-Every microkernel invocation is realized two ways from the *same*
-descriptor: a numpy contraction closure (used for real execution -- pure
-Python per-element loops would be ~10^6 x too slow, see DESIGN.md) and the
-generated µop program (``execute_uops`` replays the identical streams through
-the instruction-level interpreter; tests prove the two agree bit-for-bit on
-small shapes).
+Every microkernel invocation is realized from the *same* descriptor through
+one of the execution tiers (:mod:`repro.jit.compile`):
+
+* ``compiled`` (default) -- the µop program vectorized once into a batched
+  numpy closure, bit-identical to the interpreter;
+* ``interpret`` -- the instruction-level µop interpreter (exact memory
+  traces; orders of magnitude slower);
+* ``einsum`` -- the legacy per-call numpy contraction closures built
+  straight from the descriptor;
+* ``verify`` -- run ``compiled`` and ``interpret`` back to back and assert
+  bitwise equality of the outputs.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from repro.conv.blocking import BlockingPlan, choose_blocking
 from repro.conv.fusion import EltwiseAdd, FusedOp
 from repro.conv.params import ConvParams
 from repro.jit.codegen import ConvKernelDesc, generate_conv_kernel
+from repro.jit.compile import TierMismatchError, resolve_execution_tier
 from repro.jit.interpreter import execute_kernel
 from repro.jit.kernel_cache import KernelCache, get_default_cache
 from repro.obs.metrics import get_metrics
@@ -78,6 +84,7 @@ class DirectConvForward:
         prefetch: str = "both",
         kernel_cache: KernelCache | None = None,
         tracer: Tracer | None = None,
+        execution_tier: str | None = None,
     ) -> None:
         if legacy:
             lv = legacy_positionals(
@@ -102,6 +109,7 @@ class DirectConvForward:
         self.cache = (kernel_cache if kernel_cache is not None
                       else get_default_cache())
         self.tracer = tracer if tracer is not None else get_tracer()
+        self.execution_tier = resolve_execution_tier(execution_tier)
 
         p = params
         vlen = self.plan.vlen
@@ -116,6 +124,7 @@ class DirectConvForward:
         self._descs: list[ConvKernelDesc] = []
         self._desc_index: dict[tuple, int] = {}
         self.programs = []  # µop programs, parallel to self._descs
+        self.compiled = []  # CompiledKernel | None, parallel to self._descs
         self._build_variants()
         with self.tracer.span(
             "conv.dryrun", pass_="fwd", layer=params.describe(),
@@ -177,6 +186,9 @@ class DirectConvForward:
                 self._desc_index[(rp, rq, zi)] = len(self._descs)
                 self._descs.append(desc)
                 self.programs.append(self.cache.get(desc, generate_conv_kernel))
+                self.compiled.append(
+                    self.cache.get_compiled(desc, generate_conv_kernel)
+                )
 
     # ------------------------------------------------------------------
     # dryrun (section II-H)
@@ -339,28 +351,15 @@ class DirectConvForward:
         metrics.inc("stream.conv_calls", self.total_conv_calls)
         return out
 
-    def _execute(
-        self,
-        x: BlockedTensor,
-        w: BlockedTensor,
-        out: BlockedTensor | None,
-        parallel: bool,
-    ) -> BlockedTensor:
-        if x.layout != self.in_layout:
-            raise ShapeError(
-                f"input layout {x.layout} != expected {self.in_layout}"
-            )
-        if w.layout != self.w_layout:
-            raise ShapeError(f"weight layout {w.layout} != {self.w_layout}")
-        if out is None:
-            out = BlockedTensor(
-                np.zeros(self.out_layout.size, dtype=self.dtype.np_accum),
-                self.out_layout,
-            )
-        xb, wb, ob = x.data, w.data, out.data
-        kernels = self._make_conv_closures(xb, wb, ob)
-        itemsize = ob.itemsize
+    def _dequant_scale(self) -> float:
+        """Runtime multiplier for ``VCVT`` immediates (int16 engine hook)."""
+        return 1.0
 
+    def _prepare_weights(self, w: BlockedTensor) -> BlockedTensor:
+        """Kernel-facing weight buffer (int16 engine hook: VNNI packing)."""
+        return w
+
+    def _shapes_by_variant(self, itemsize: int) -> dict:
         shape_by_variant = {}
         for vid, desc in enumerate(self._descs):
             osh, osw = desc.o_strides
@@ -368,7 +367,55 @@ class DirectConvForward:
                 (desc.rb_p, desc.rb_q, desc.vlen),
                 (osh * itemsize, osw * itemsize, itemsize),
             )
+        return shape_by_variant
 
+    def _interp_kernel(self, vid: int, buffers: dict, scale: float):
+        prog = self.programs[vid]
+
+        def call(i_off, w_off, o_off, pi, pw, po) -> None:
+            execute_kernel(
+                prog,
+                buffers,
+                {
+                    "I": i_off,
+                    "W": w_off,
+                    "O": o_off,
+                    "I_pf": pi,
+                    "W_pf": pw,
+                    "O_pf": po,
+                },
+                scale=scale,
+            )
+
+        return call
+
+    def _tier_kernels(
+        self, tier: str, xb: np.ndarray, wb: np.ndarray, ob: np.ndarray
+    ) -> list[Callable]:
+        """Variant-indexed kernel table for one execution tier."""
+        if tier == "einsum":
+            return self._make_conv_closures(xb, wb, ob)
+        buffers = {"I": xb, "W": wb, "O": ob}
+        scale = self._dequant_scale()
+        if tier == "interpret":
+            return [
+                self._interp_kernel(vid, buffers, scale)
+                for vid in range(len(self.programs))
+            ]
+        # compiled: any variant the translator rejected falls back to the
+        # (equally exact) interpreter so tier semantics stay bitwise stable
+        kernels: list[Callable] = []
+        for vid, ck in enumerate(self.compiled):
+            if ck is not None:
+                kernels.append(
+                    ck.bind(buffers, args=("I", "W", "O"), scale=scale)
+                )
+            else:
+                get_metrics().inc("exec.compile_fallbacks")
+                kernels.append(self._interp_kernel(vid, buffers, scale))
+        return kernels
+
+    def _run_streams(self, kernels, ob, shape_by_variant, parallel) -> None:
         if parallel and len(self.streams) > 1:
             from concurrent.futures import ThreadPoolExecutor
 
@@ -387,6 +434,56 @@ class DirectConvForward:
                 self._replay_stream(
                     stream, segments, kernels, ob, shape_by_variant
                 )
+
+    def _execute(
+        self,
+        x: BlockedTensor,
+        w: BlockedTensor,
+        out: BlockedTensor | None,
+        parallel: bool,
+        tier: str | None = None,
+    ) -> BlockedTensor:
+        if x.layout != self.in_layout:
+            raise ShapeError(
+                f"input layout {x.layout} != expected {self.in_layout}"
+            )
+        if w.layout != self.w_layout:
+            raise ShapeError(f"weight layout {w.layout} != {self.w_layout}")
+        w = self._prepare_weights(w)
+        if out is None:
+            out = BlockedTensor(
+                np.zeros(self.out_layout.size, dtype=self.dtype.np_accum),
+                self.out_layout,
+            )
+        xb, wb, ob = x.data, w.data, out.data
+        shape_by_variant = self._shapes_by_variant(ob.itemsize)
+        tier = tier if tier is not None else self.execution_tier
+        metrics = get_metrics()
+
+        if tier == "verify":
+            ref = ob.copy()
+            self._run_streams(
+                self._tier_kernels("compiled", xb, wb, ob), ob,
+                shape_by_variant, parallel,
+            )
+            self._run_streams(
+                self._tier_kernels("interpret", xb, wb, ref), ref,
+                shape_by_variant, False,
+            )
+            got, want = ob.view(np.uint32), ref.view(np.uint32)
+            if not np.array_equal(got, want):
+                nbad = int((got != want).sum())
+                raise TierMismatchError(
+                    f"compiled/interpret outputs differ bitwise in {nbad} "
+                    f"lanes for {self.params.describe()}"
+                )
+            metrics.inc("exec.verify.checks")
+            metrics.inc("exec.calls.compiled", self.total_conv_calls)
+            metrics.inc("exec.calls.interpret", self.total_conv_calls)
+        else:
+            kernels = self._tier_kernels(tier, xb, wb, ob)
+            self._run_streams(kernels, ob, shape_by_variant, parallel)
+            metrics.inc(f"exec.calls.{tier}", self.total_conv_calls)
         return out
 
     def _replay_stream(self, stream, segments, kernels, ob, shape_by_variant):
@@ -407,40 +504,51 @@ class DirectConvForward:
     ):
         from repro.streams.rle import SegmentKind
 
-        kinds = stream.kinds
-        i_off = stream.i_off
-        w_off = stream.w_off
-        o_off = stream.o_off
-        apply_op = stream.apply_op
-        n = len(stream)
+        kinds = stream.kinds_list
+        i_off = stream.i_off_list
+        w_off = stream.w_off_list
+        o_off = stream.o_off_list
+        apply_op = stream.apply_op_list
+        next_conv = stream.next_conv_list
         for seg in segments:
             if seg.kind is SegmentKind.APPLY:
                 t = seg.start
-                op = self.fused_ops[int(apply_op[t])]
-                shape, strides = shape_by_variant[int(i_off[t])]
-                block = as_strided(ob[int(o_off[t]) :], shape, strides)
+                op = self.fused_ops[apply_op[t]]
+                shape, strides = shape_by_variant[i_off[t]]
+                block = as_strided(ob[o_off[t] :], shape, strides)
                 if isinstance(op, EltwiseAdd):
                     other = as_strided(
-                        op.other_flat[int(o_off[t]) :], shape, strides
+                        op.other_flat[o_off[t] :], shape, strides
                     )
-                    op.apply_block(block, int(w_off[t]), other)
+                    op.apply_block(block, w_off[t], other)
                 else:
-                    op.apply_block(block, int(w_off[t]))
+                    op.apply_block(block, w_off[t])
                 continue
-            for t in range(seg.start, seg.start + seg.info):
-                nt = t + 1
-                while nt < n and kinds[nt] < 0:
-                    nt += 1
-                if nt >= n:
-                    nt = t
-                kernels[int(kinds[t])](
-                    int(i_off[t]),
-                    int(w_off[t]),
-                    int(o_off[t]),
-                    int(i_off[nt]),
-                    int(w_off[nt]),
-                    int(o_off[nt]),
-                )
+            # CONV-STREAK, split into same-variant runs; the compiled tier
+            # exposes `.batch` and takes each run as one vectorized call
+            stop = seg.start + seg.info
+            lo = seg.start
+            while lo < stop:
+                variant = kinds[lo]
+                hi = lo + 1
+                while hi < stop and kinds[hi] == variant:
+                    hi += 1
+                fn = kernels[variant]
+                batch = getattr(fn, "batch", None)
+                if batch is not None and hi - lo > 1:
+                    batch(
+                        stream.i_off[lo:hi],
+                        stream.w_off[lo:hi],
+                        stream.o_off[lo:hi],
+                    )
+                else:
+                    for t in range(lo, hi):
+                        nt = next_conv[t]
+                        fn(
+                            i_off[t], w_off[t], o_off[t],
+                            i_off[nt], w_off[nt], o_off[nt],
+                        )
+                lo = hi
 
     # ------------------------------------------------------------------
     # convenience and validation paths
@@ -458,65 +566,22 @@ class DirectConvForward:
     def execute_uops(
         self, x: BlockedTensor, w: BlockedTensor, out: BlockedTensor | None = None
     ) -> BlockedTensor:
-        """Replay the identical streams through the µop interpreter.
+        """Replay the identical streams through the µop interpreter (the
+        ``interpret`` tier without going through ``__call__``'s metrics).
 
-        Orders of magnitude slower than ``__call__``; used by tests to prove
-        the generated instruction streams compute the same convolution.
+        Orders of magnitude slower than the compiled tier; the reference the
+        ``verify`` tier and the equivalence tests compare against.
         """
         if out is None:
             out = BlockedTensor(
                 np.zeros(self.out_layout.size, dtype=self.dtype.np_accum),
                 self.out_layout,
             )
-        buffers: dict[str, np.ndarray] = {
-            "I": x.data,
-            "W": w.data,
-            "O": out.data,
-        }
-        from repro.streams.rle import SegmentKind
-
-        itemsize = out.data.itemsize
-        for stream, segments in zip(self.streams, self.segments):
-            kinds, i_off = stream.kinds, stream.i_off
-            w_off, o_off = stream.w_off, stream.o_off
-            n = len(stream)
-            for seg in segments:
-                if seg.kind is SegmentKind.APPLY:
-                    t = seg.start
-                    op = self.fused_ops[int(stream.apply_op[t])]
-                    desc = self._descs[int(i_off[t])]
-                    shape = (desc.rb_p, desc.rb_q, desc.vlen)
-                    strides = tuple(
-                        s * itemsize for s in (*desc.o_strides, 1)
-                    )
-                    block = as_strided(out.data[int(o_off[t]) :], shape, strides)
-                    if isinstance(op, EltwiseAdd):
-                        other = as_strided(
-                            op.other_flat[int(o_off[t]) :], shape, strides
-                        )
-                        op.apply_block(block, int(w_off[t]), other)
-                    else:
-                        op.apply_block(block, int(w_off[t]))
-                    continue
-                for t in range(seg.start, seg.start + seg.info):
-                    nt = t + 1
-                    while nt < n and kinds[nt] < 0:
-                        nt += 1
-                    if nt >= n:
-                        nt = t
-                    prog = self.programs[int(kinds[t])]
-                    execute_kernel(
-                        prog,
-                        buffers,
-                        {
-                            "I": int(i_off[t]),
-                            "W": int(w_off[t]),
-                            "O": int(o_off[t]),
-                            "I_pf": int(i_off[nt]),
-                            "W_pf": int(w_off[nt]),
-                            "O_pf": int(o_off[nt]),
-                        },
-                    )
+        w = self._prepare_weights(w)
+        xb, wb, ob = x.data, w.data, out.data
+        shape_by_variant = self._shapes_by_variant(ob.itemsize)
+        kernels = self._tier_kernels("interpret", xb, wb, ob)
+        self._run_streams(kernels, ob, shape_by_variant, False)
         return out
 
     # ------------------------------------------------------------------

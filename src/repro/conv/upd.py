@@ -27,6 +27,8 @@ from repro.arch.machine import SKX, MachineConfig
 from repro.conv._compat import legacy_positionals
 from repro.conv.blocking import UpdBlockingPlan, choose_upd_blocking
 from repro.conv.params import ConvParams
+from repro.jit.compile import TierMismatchError, resolve_execution_tier
+from repro.jit.interpreter import execute_kernel
 from repro.jit.kernel_cache import KernelCache, get_default_cache
 from repro.jit.upd_codegen import UpdKernelDesc, generate_upd_kernel
 from repro.obs.metrics import get_metrics
@@ -60,6 +62,7 @@ class DirectConvUpd:
         prefetch: str = "both",
         kernel_cache: KernelCache | None = None,
         tracer: Tracer | None = None,
+        execution_tier: str | None = None,
     ) -> None:
         if legacy:
             lv = legacy_positionals(
@@ -90,6 +93,7 @@ class DirectConvUpd:
         self.cache = (kernel_cache if kernel_cache is not None
                       else get_default_cache())
         self.tracer = tracer if tracer is not None else get_tracer()
+        self.execution_tier = resolve_execution_tier(execution_tier)
         p = params
         vlen = self.plan.vlen
         self.vlen = vlen
@@ -127,6 +131,9 @@ class DirectConvUpd:
             )
         self.programs = [
             self.cache.get(d, generate_upd_kernel) for d in self.descs
+        ]
+        self.compiled = [
+            self.cache.get_compiled(d, generate_upd_kernel) for d in self.descs
         ]
 
     # ------------------------------------------------------------------
@@ -224,21 +231,73 @@ class DirectConvUpd:
                 return self._execute(x, dy)
         return self._execute(x, dy)
 
-    def _execute(self, x: BlockedTensor, dy: BlockedTensor) -> BlockedTensor:
-        from repro.streams.rle import encode_segments
-        from repro.streams.replay import replay
+    def _interp_kernel(self, prog, buffers):
+        def call(i_off, w_off, o_off, pi, pw, po):
+            execute_kernel(
+                prog, buffers, {"I": i_off, "dW": w_off, "dO": o_off}
+            )
 
-        p = self.params
-        vlen = self.vlen
+        return call
+
+    def _tier_kernels(self, tier, xb, dyb, copies, gi):
+        """Per-variant kernel table for one gradient-copy group."""
+        if tier == "einsum":
+            return [make(gi) for make in self._make_kernel_closures(
+                xb, dyb, copies
+            )]
+        buffers = {"I": xb, "dO": dyb, "dW": copies[gi]}
+        if tier == "interpret":
+            return [self._interp_kernel(p, buffers) for p in self.programs]
+        kernels = []
+        for vid, ck in enumerate(self.compiled):
+            if ck is not None:
+                kernels.append(ck.bind(buffers, args=("I", "dW", "dO")))
+            else:
+                get_metrics().inc("exec.compile_fallbacks")
+                kernels.append(
+                    self._interp_kernel(self.programs[vid], buffers)
+                )
+        return kernels
+
+    def _replay_into(self, xb, dyb, segs, tier):
         copies = [
             np.zeros(self.dw_layout.size, dtype=np.float32)
             for _ in range(self.ncopies)
         ]
+        from repro.streams.replay import replay
+
+        for stream, gi, seg in zip(self.streams, self.stream_group, segs):
+            kernels = self._tier_kernels(tier, xb, dyb, copies, gi)
+            replay(stream, seg, kernels, [])
+        return copies
+
+    def _execute(self, x: BlockedTensor, dy: BlockedTensor) -> BlockedTensor:
+        from repro.streams.rle import encode_segments
+
         xb, dyb = x.data, dy.data
-        makers = self._make_kernel_closures(xb, dyb, copies)
-        for stream, gi in zip(self.streams, self.stream_group):
-            kernels = [make(gi) for make in makers]
-            replay(stream, encode_segments(stream), kernels, [])
+        segs = [encode_segments(s) for s in self.streams]
+        tier = self.execution_tier
+        metrics = get_metrics()
+        total_calls = sum(len(s) for s in self.streams)
+        if tier == "verify":
+            copies = self._replay_into(xb, dyb, segs, "compiled")
+            ref = self._replay_into(xb, dyb, segs, "interpret")
+            for gi, (a, b) in enumerate(zip(copies, ref)):
+                if not np.array_equal(a.view(np.uint32), b.view(np.uint32)):
+                    nbad = int(
+                        (a.view(np.uint32) != b.view(np.uint32)).sum()
+                    )
+                    raise TierMismatchError(
+                        f"compiled/interpret dW copies differ bitwise in "
+                        f"{nbad} lanes (copy {gi}) for "
+                        f"{self.params.describe()}"
+                    )
+            metrics.inc("exec.verify.checks")
+            metrics.inc("exec.calls.compiled", total_calls)
+            metrics.inc("exec.calls.interpret", total_calls)
+        else:
+            copies = self._replay_into(xb, dyb, segs, tier)
+            metrics.inc(f"exec.calls.{tier}", total_calls)
         dw = copies[0]
         for c in copies[1:]:
             dw = dw + c

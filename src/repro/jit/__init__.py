@@ -12,6 +12,16 @@ the paper's runtime amortizes JIT cost across a topology's layer setups.
 """
 
 from repro.jit.codegen import ConvKernelDesc, generate_conv_kernel
+from repro.jit.compile import (
+    EXECUTION_TIERS,
+    CompiledKernel,
+    CompileUnsupported,
+    TierMismatchError,
+    compile_kernel,
+    get_default_execution_tier,
+    resolve_execution_tier,
+    set_default_execution_tier,
+)
 from repro.jit.gemm import GemmDesc, generate_gemm_kernel
 from repro.jit.upd_codegen import UpdKernelDesc, generate_upd_kernel
 from repro.jit.interpreter import execute_kernel
@@ -26,6 +36,14 @@ __all__ = [
     "UpdKernelDesc",
     "generate_upd_kernel",
     "execute_kernel",
+    "CompiledKernel",
+    "CompileUnsupported",
+    "TierMismatchError",
+    "compile_kernel",
+    "EXECUTION_TIERS",
+    "get_default_execution_tier",
+    "resolve_execution_tier",
+    "set_default_execution_tier",
     "KernelTiming",
     "time_kernel",
     "KernelCache",

@@ -363,10 +363,14 @@ def _emit_q16_body(
         for r in range(desc.R):
             for s in range(desc.S):
                 for x2 in range(0, pairs, quad):
-                    # packed weight vectors: VLEN k-lanes x int16 pair each
+                    # packed weight vectors: VLEN k-lanes x int16 pair each.
+                    # W is in VNNI pair layout (vnni_pack_weights): pair
+                    # group c2 = {2*c2, 2*c2+1} spans 2*VLEN contiguous
+                    # int16 at element offset 2*c2*w_sc inside the block.
                     for j in range(quad):
                         woff = (
-                            cb * w_scb + r * w_sr + s * w_ss + (x2 + j) * w_sc
+                            cb * w_scb + r * w_sr + s * w_ss
+                            + (x2 + j) * 2 * w_sc
                         )
                         uops.append(
                             Uop(Op.VLOAD, dst=wregs[j], tensor="W", offset=woff)

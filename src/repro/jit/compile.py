@@ -1,0 +1,935 @@
+"""Compiled execution tier: µop programs vectorized into numpy closures.
+
+The replay loop is branch-free on purpose (section II-H) -- the microkernel
+is the only hot code.  :mod:`repro.jit.interpreter` walks every µop in Python
+per kernel call, which makes the *simulation of the register file* the hot
+code instead.  This module is the reproduction's analogue of LIBXSMM's JIT
+encoding step (section II-D): each :class:`~repro.arch.isa.KernelProgram` is
+translated **once** into a closure that computes the whole ``RB_P x RB_Q``
+register block with batched numpy ops, and replay dispatches into that.
+
+Translation is a symbolic execution of the µop stream: the 32-entry register
+file holds expression nodes instead of vectors, stores capture the final
+expression per output tile, and isomorphic accumulator chains across the
+register block collapse into one gather + running-sum evaluation.  The
+compiled tier is **bit-identical** to the interpreter by construction:
+
+* every load is widened to float64 exactly like the interpreter's
+  ``astype(np.float64)``;
+* each accumulator's FMA chain is evaluated with ``np.cumsum`` over the
+  stacked term products -- a strictly sequential left-to-right float64 sum,
+  i.e. the same rounding order as the interpreter's ``acc += w * b`` loop;
+* fused post-ops, int16 chain-limit flushes (``VCVT``/``VADD``) and
+  store/reload round-trips (un-hoisted variants) stay explicit expression
+  nodes, so their evaluation order and intermediate precision are preserved.
+
+Prefetch µops are no-ops in this tier.  When a ``MemTrace``/cache-simulator
+observer is attached, :meth:`CompiledKernel.bind` silently returns an
+interpreter-backed closure instead so traces stay exact.
+
+Programs a symbolic pass cannot prove safe (overlapping stores, register
+reads the generators never emit) raise :class:`CompileUnsupported`; callers
+fall back to another tier.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.arch.isa import KernelProgram, Op
+from repro.jit.interpreter import execute_kernel
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
+from repro.types import ReproError, UnsupportedError
+
+__all__ = [
+    "CompileUnsupported",
+    "TierMismatchError",
+    "CompiledKernel",
+    "compile_kernel",
+    "EXECUTION_TIERS",
+    "resolve_execution_tier",
+    "set_default_execution_tier",
+    "get_default_execution_tier",
+]
+
+
+class CompileUnsupported(UnsupportedError):
+    """The µop program uses a pattern the vectorizing translator rejects."""
+
+
+class TierMismatchError(ReproError):
+    """``verify`` mode found a bitwise difference between execution tiers."""
+
+
+# ----------------------------------------------------------------------
+# execution-tier selection
+# ----------------------------------------------------------------------
+#: "compiled"  -- vectorized closures from this module (the default);
+#: "interpret" -- the exact µop interpreter;
+#: "einsum"    -- the engines' legacy per-call numpy contraction closures;
+#: "verify"    -- run compiled AND interpret, assert bitwise equality.
+EXECUTION_TIERS = ("compiled", "interpret", "einsum", "verify")
+
+_default_tier = "compiled"
+
+
+def set_default_execution_tier(tier: str) -> str:
+    """Set the process-wide default tier; returns the previous default."""
+    global _default_tier
+    if tier not in EXECUTION_TIERS:
+        raise ReproError(
+            f"unknown execution tier {tier!r}; expected one of "
+            f"{EXECUTION_TIERS}"
+        )
+    prev, _default_tier = _default_tier, tier
+    return prev
+
+
+def get_default_execution_tier() -> str:
+    return _default_tier
+
+
+def resolve_execution_tier(tier: Optional[str]) -> str:
+    """Map an engine's ``execution_tier`` argument (None = process default)
+    to a validated tier name."""
+    if tier is None:
+        return _default_tier
+    if tier not in EXECUTION_TIERS:
+        raise ReproError(
+            f"unknown execution tier {tier!r}; expected one of "
+            f"{EXECUTION_TIERS}"
+        )
+    return tier
+
+
+# ----------------------------------------------------------------------
+# symbolic values (what a register holds during the compile-time walk)
+# ----------------------------------------------------------------------
+class _SZero:
+    __slots__ = ()
+
+
+_ZERO = _SZero()
+
+
+class _SLoad:
+    __slots__ = ("tensor", "off")
+
+    def __init__(self, tensor: str, off: int) -> None:
+        self.tensor = tensor
+        self.off = off
+
+
+class _SBcast:
+    """Scalar broadcast ``full(vlen, buf[off])``."""
+
+    __slots__ = ("tensor", "off")
+
+    def __init__(self, tensor: str, off: int) -> None:
+        self.tensor = tensor
+        self.off = off
+
+
+class _SPair:
+    """int16 pair broadcast (VNNI source form)."""
+
+    __slots__ = ("tensor", "off")
+
+    def __init__(self, tensor: str, off: int) -> None:
+        self.tensor = tensor
+        self.off = off
+
+
+class _SCast:
+    """Store-forwarded reload: the stored value round-tripped through the
+    buffer dtype (f64 -> buf.dtype -> f64)."""
+
+    __slots__ = ("tensor", "sub")
+
+    def __init__(self, tensor: str, sub) -> None:
+        self.tensor = tensor
+        self.sub = sub
+
+
+class _SScale:
+    """VCVT_I32F32: ``sub * imm`` (imm multiplied by the runtime scale)."""
+
+    __slots__ = ("sub", "imm")
+
+    def __init__(self, sub, imm: float) -> None:
+        self.sub = sub
+        self.imm = imm
+
+
+class _SBin:
+    __slots__ = ("kind", "a", "b")
+
+    def __init__(self, kind: str, a, b) -> None:
+        self.kind = kind
+        self.a = a
+        self.b = b
+
+
+class _TFma:
+    """One chain step: ``acc += w * scalar(tensor[off])``."""
+
+    __slots__ = ("w", "tensor", "off")
+
+    def __init__(self, w, tensor: str, off: int) -> None:
+        self.w = w
+        self.tensor = tensor
+        self.off = off
+
+
+class _TVnni:
+    """One chain step: ``acc += w_even * t[off] + w_odd * t[off+1]``."""
+
+    __slots__ = ("w", "tensor", "off")
+
+    def __init__(self, w, tensor: str, off: int) -> None:
+        self.w = w
+        self.tensor = tensor
+        self.off = off
+
+
+class _SAcc:
+    """A sequential FMA chain: ``init`` followed by ordered terms."""
+
+    __slots__ = ("init", "terms")
+
+    def __init__(self, init, terms: tuple) -> None:
+        self.init = init
+        self.terms = terms
+
+
+def _chain(cur, term):
+    if isinstance(cur, _SAcc):
+        return _SAcc(cur.init, cur.terms + (term,))
+    return _SAcc(cur, (term,))
+
+
+# ----------------------------------------------------------------------
+# symbolic execution of the µop stream
+# ----------------------------------------------------------------------
+def _symbolize(prog: KernelProgram):
+    """Walk the program once; return the ordered list of final stores as
+    ``(tensor, offset, node)`` plus the set of referenced tensors."""
+    vlen = prog.vlen
+    regs: list = [None] * 32
+    stores: dict[tuple[str, int], object] = {}
+    store_order: list[tuple[str, int]] = []
+    store_ranges: dict[str, list[tuple[int, int]]] = {}
+    tensors: set[str] = set()
+
+    def reg(idx: int):
+        v = regs[idx]
+        if v is None:
+            raise CompileUnsupported(
+                f"{prog.name}: read of uninitialized register {idx}"
+            )
+        return v
+
+    def check_no_store_overlap(tensor: str, lo: int, hi: int) -> None:
+        for slo, shi in store_ranges.get(tensor, ()):
+            if lo < shi and slo < hi:
+                raise CompileUnsupported(
+                    f"{prog.name}: load [{lo},{hi}) of {tensor!r} partially "
+                    f"overlaps an earlier store [{slo},{shi})"
+                )
+
+    for u in prog.uops:
+        op = u.op
+        if op is Op.VZERO:
+            regs[u.dst] = _ZERO
+        elif op is Op.VLOAD:
+            tensors.add(u.tensor)
+            fwd = stores.get((u.tensor, u.offset))
+            if fwd is not None:
+                regs[u.dst] = _SCast(u.tensor, fwd)
+            else:
+                check_no_store_overlap(u.tensor, u.offset, u.offset + vlen)
+                regs[u.dst] = _SLoad(u.tensor, u.offset)
+        elif op is Op.VBCAST:
+            tensors.add(u.tensor)
+            width = 2 if u.imm == 2.0 else 1
+            check_no_store_overlap(u.tensor, u.offset, u.offset + width)
+            cls = _SPair if u.imm == 2.0 else _SBcast
+            regs[u.dst] = cls(u.tensor, u.offset)
+        elif op in (Op.VSTORE, Op.VSTORE_NT):
+            tensors.add(u.tensor)
+            key = (u.tensor, u.offset)
+            if key not in stores:
+                store_order.append(key)
+                store_ranges.setdefault(u.tensor, []).append(
+                    (u.offset, u.offset + vlen)
+                )
+            stores[key] = reg(u.src1)
+        elif op is Op.VFMA:
+            w, b = reg(u.src1), reg(u.src2)
+            if not isinstance(w, _SLoad) or not isinstance(b, _SBcast):
+                raise CompileUnsupported(
+                    f"{prog.name}: VFMA operands are not (load, broadcast)"
+                )
+            regs[u.dst] = _chain(reg(u.dst), _TFma(w, b.tensor, b.off))
+        elif op is Op.VFMA_MEM:
+            tensors.add(u.tensor)
+            w = reg(u.src1)
+            if not isinstance(w, _SLoad):
+                raise CompileUnsupported(
+                    f"{prog.name}: VFMA_MEM weight operand is not a load"
+                )
+            check_no_store_overlap(u.tensor, u.offset, u.offset + 1)
+            regs[u.dst] = _chain(reg(u.dst), _TFma(w, u.tensor, u.offset))
+        elif op is Op.V4FMA:
+            tensors.add(u.tensor)
+            depth = int(u.imm) or 4
+            check_no_store_overlap(u.tensor, u.offset, u.offset + depth)
+            cur = reg(u.dst)
+            for j in range(depth):
+                w = reg(u.src1 + j)
+                if not isinstance(w, _SLoad):
+                    raise CompileUnsupported(
+                        f"{prog.name}: V4FMA weight operand is not a load"
+                    )
+                cur = _chain(cur, _TFma(w, u.tensor, u.offset + j))
+            regs[u.dst] = cur
+        elif op is Op.VVNNI:
+            cur = reg(u.dst)
+            if u.tensor is not None:
+                tensors.add(u.tensor)
+                depth = int(u.imm) or 4
+                check_no_store_overlap(
+                    u.tensor, u.offset, u.offset + 2 * depth
+                )
+                for j in range(depth):
+                    w = reg(u.src1 + j)
+                    if not isinstance(w, _SLoad):
+                        raise CompileUnsupported(
+                            f"{prog.name}: VVNNI weight operand is not a load"
+                        )
+                    cur = _chain(cur, _TVnni(w, u.tensor, u.offset + 2 * j))
+            else:
+                w, a = reg(u.src1), reg(u.src2)
+                if not isinstance(w, _SLoad) or not isinstance(a, _SPair):
+                    raise CompileUnsupported(
+                        f"{prog.name}: VVNNI operands are not "
+                        f"(load, pair-broadcast)"
+                    )
+                cur = _chain(cur, _TVnni(w, a.tensor, a.off))
+            regs[u.dst] = cur
+        elif op is Op.VADD:
+            regs[u.dst] = _SBin("add", reg(u.src1), reg(u.src2))
+        elif op is Op.VMUL:
+            regs[u.dst] = _SBin("mul", reg(u.src1), reg(u.src2))
+        elif op is Op.VMAX:
+            regs[u.dst] = _SBin("max", reg(u.src1), reg(u.src2))
+        elif op is Op.VCVT_I32F32:
+            regs[u.dst] = _SScale(reg(u.src1), u.imm)
+        elif op is Op.PREFETCH1 or op is Op.PREFETCH2:
+            pass  # no-ops in the compiled tier (see module docstring)
+        else:  # pragma: no cover - exhaustive over Op
+            raise CompileUnsupported(f"{prog.name}: unhandled op {op}")
+
+    final = [(t, off, stores[(t, off)]) for (t, off) in store_order]
+    return final, tensors
+
+
+# ----------------------------------------------------------------------
+# structural signatures (offset-free) -- stores with equal signatures are
+# evaluated together as one batched register block
+# ----------------------------------------------------------------------
+def _term_sig(term, memo) -> tuple:
+    tag = "f" if isinstance(term, _TFma) else "v"
+    return (tag, _sig(term.w, memo), term.tensor)
+
+
+def _sig(node, memo: dict) -> tuple:
+    got = memo.get(id(node))
+    if got is not None:
+        return got
+    if isinstance(node, _SZero):
+        s = ("z",)
+    elif isinstance(node, _SLoad):
+        s = ("l", node.tensor)
+    elif isinstance(node, _SBcast):
+        s = ("b", node.tensor)
+    elif isinstance(node, _SPair):
+        s = ("p", node.tensor)
+    elif isinstance(node, _SCast):
+        s = ("c", node.tensor, _sig(node.sub, memo))
+    elif isinstance(node, _SScale):
+        s = ("s", node.imm, _sig(node.sub, memo))
+    elif isinstance(node, _SBin):
+        s = ("o", node.kind, _sig(node.a, memo), _sig(node.b, memo))
+    elif isinstance(node, _SAcc):
+        s = (
+            "a",
+            _sig(node.init, memo),
+            tuple(_term_sig(t, memo) for t in node.terms),
+        )
+    else:  # pragma: no cover
+        raise CompileUnsupported(f"unknown symbolic node {type(node)}")
+    memo[id(node)] = s
+    return s
+
+
+# ----------------------------------------------------------------------
+# evaluation plan: gather indices + cumsum reductions, one per store group
+# ----------------------------------------------------------------------
+class _Ctx:
+    __slots__ = ("buffers", "bases", "scale", "batch")
+
+    def __init__(self, buffers, bases, scale, batch) -> None:
+        self.buffers = buffers
+        self.bases = bases
+        self.scale = scale
+        self.batch = batch  # None for a single call, else the batch size B
+
+
+def _f64(a: np.ndarray) -> np.ndarray:
+    return a.astype(np.float64) if a.dtype != np.float64 else a
+
+
+class _EZero:
+    __slots__ = ("m", "n")
+
+    def __init__(self, m: int, n: int) -> None:
+        self.m = m
+        self.n = n
+
+    def eval(self, ctx: _Ctx) -> np.ndarray:
+        if ctx.batch is None:
+            return np.zeros((self.m, self.n))
+        return np.zeros((ctx.batch, self.m, self.n))
+
+
+class _EGather:
+    """Vector load: ``buf[base + off : base + off + n]`` per member."""
+
+    __slots__ = ("tensor", "idx")
+
+    def __init__(self, tensor: str, offs: np.ndarray, n: int) -> None:
+        self.tensor = tensor
+        self.idx = offs[:, None] + np.arange(n)  # (m, n)
+
+    def eval(self, ctx: _Ctx) -> np.ndarray:
+        buf = ctx.buffers[self.tensor]
+        base = ctx.bases.get(self.tensor, 0)
+        if ctx.batch is None:
+            return _f64(buf[self.idx + base])
+        return _f64(buf[self.idx[None] + base.reshape(-1, 1, 1)])
+
+
+class _EBcastS:
+    """Scalar broadcast materialized as an (m, n) block."""
+
+    __slots__ = ("tensor", "offs", "n")
+
+    def __init__(self, tensor: str, offs: np.ndarray, n: int) -> None:
+        self.tensor = tensor
+        self.offs = offs  # (m,)
+        self.n = n
+
+    def eval(self, ctx: _Ctx) -> np.ndarray:
+        buf = ctx.buffers[self.tensor]
+        base = ctx.bases.get(self.tensor, 0)
+        if ctx.batch is None:
+            v = _f64(buf[self.offs + base])
+        else:
+            v = _f64(buf[self.offs[None] + base.reshape(-1, 1)])
+        return np.broadcast_to(v[..., None], v.shape + (self.n,))
+
+
+class _ECast:
+    __slots__ = ("tensor", "sub")
+
+    def __init__(self, tensor: str, sub) -> None:
+        self.tensor = tensor
+        self.sub = sub
+
+    def eval(self, ctx: _Ctx) -> np.ndarray:
+        dt = ctx.buffers[self.tensor].dtype
+        return self.sub.eval(ctx).astype(dt).astype(np.float64)
+
+
+class _EScale:
+    __slots__ = ("sub", "imm", "check")
+
+    def __init__(self, sub, imm: float, check: bool) -> None:
+        self.sub = sub
+        self.imm = imm
+        self.check = check  # integer VNNI chunk: detect int32 overflow
+
+    def eval(self, ctx: _Ctx) -> np.ndarray:
+        v = self.sub.eval(ctx)
+        if self.check:
+            peak = np.abs(v).max(initial=0.0)
+            if peak >= 2.0**31:
+                from repro.quant.qkernels import QuantOverflowError
+
+                raise QuantOverflowError(
+                    f"int32 overflow in compiled q16 kernel "
+                    f"(|acc|={int(peak)})"
+                )
+        return v * (self.imm * ctx.scale)
+
+
+class _EBin:
+    __slots__ = ("kind", "a", "b")
+
+    def __init__(self, kind: str, a, b) -> None:
+        self.kind = kind
+        self.a = a
+        self.b = b
+
+    def eval(self, ctx: _Ctx) -> np.ndarray:
+        a = self.a.eval(ctx)
+        b = self.b.eval(ctx)
+        if self.kind == "add":
+            return a + b
+        if self.kind == "mul":
+            return a * b
+        return np.maximum(a, b)
+
+
+class _RunFma:
+    """A maximal run of FMA terms sharing (weight tensor, scalar tensor)."""
+
+    __slots__ = ("T", "wtensor", "widx", "stensor", "sidx")
+
+    def __init__(self, wtensor, woffs, wn, stensor, soffs) -> None:
+        self.T = woffs.shape[0]
+        self.wtensor = wtensor
+        self.widx = woffs[:, :, None] + np.arange(wn)  # (T, m, n)
+        self.stensor = stensor
+        self.sidx = soffs  # (T, m)
+
+    def fill(self, out: np.ndarray, ctx: _Ctx) -> None:
+        wb = ctx.buffers[self.wtensor]
+        sb = ctx.buffers[self.stensor]
+        wbase = ctx.bases.get(self.wtensor, 0)
+        sbase = ctx.bases.get(self.stensor, 0)
+        if ctx.batch is None:
+            w = _f64(wb[self.widx + wbase])
+            s = _f64(sb[self.sidx + sbase])
+        else:
+            w = _f64(wb[self.widx[:, None] + wbase.reshape(1, -1, 1, 1)])
+            s = _f64(sb[self.sidx[:, None] + sbase.reshape(1, -1, 1)])
+        np.multiply(w, s[..., None], out=out)
+
+
+class _RunVnni:
+    """A maximal run of VNNI terms: int16 pair dot-products."""
+
+    __slots__ = ("T", "wtensor", "widx", "stensor", "sidx")
+
+    def __init__(self, wtensor, woffs, wn, stensor, soffs) -> None:
+        self.T = woffs.shape[0]
+        self.wtensor = wtensor
+        self.widx = woffs[:, :, None] + np.arange(wn)  # (T, m, 2n)
+        self.stensor = stensor
+        self.sidx = soffs  # (T, m)
+
+    def fill(self, out: np.ndarray, ctx: _Ctx) -> None:
+        wb = ctx.buffers[self.wtensor]
+        sb = ctx.buffers[self.stensor]
+        wbase = ctx.bases.get(self.wtensor, 0)
+        sbase = ctx.bases.get(self.stensor, 0)
+        if ctx.batch is None:
+            w = _f64(wb[self.widx + wbase])
+            s0 = _f64(sb[self.sidx + sbase])
+            s1 = _f64(sb[self.sidx + (sbase + 1)])
+        else:
+            w = _f64(wb[self.widx[:, None] + wbase.reshape(1, -1, 1, 1)])
+            s0 = _f64(sb[self.sidx[:, None] + sbase.reshape(1, -1, 1)])
+            s1 = _f64(sb[self.sidx[:, None] + (sbase + 1).reshape(1, -1, 1)])
+        # one chain step is w_even*a0 + w_odd*a1, matching the interpreter's
+        # reshape(vlen, 2) pair product exactly (mul, mul, add in f64)
+        np.multiply(w[..., 0::2], s0[..., None], out=out)
+        out += w[..., 1::2] * s1[..., None]
+
+
+class _EAcc:
+    """Sequential accumulator chain, evaluated with an order-exact cumsum."""
+
+    __slots__ = ("init", "runs", "total", "integer")
+
+    def __init__(self, init, runs: list, integer: bool) -> None:
+        self.init = init
+        self.runs = runs
+        self.total = sum(r.T for r in runs)
+        self.integer = integer
+
+    def eval(self, ctx: _Ctx) -> np.ndarray:
+        init = self.init.eval(ctx)
+        terms = np.empty((self.total + 1,) + init.shape)
+        terms[0] = init
+        pos = 1
+        for run in self.runs:
+            run.fill(terms[pos : pos + run.T], ctx)
+            pos += run.T
+        # cumsum along the chain axis is a strict left fold in f64 -- the
+        # same rounding sequence as the interpreter's per-µop `acc += w*b`
+        np.cumsum(terms, axis=0, out=terms)
+        return terms[-1]
+
+
+class _EStore:
+    __slots__ = ("tensor", "idx", "node")
+
+    def __init__(self, tensor: str, offs: np.ndarray, n: int, node) -> None:
+        self.tensor = tensor
+        self.idx = offs[:, None] + np.arange(n)  # (m, n)
+        self.node = node
+
+    def execute(self, ctx: _Ctx) -> None:
+        val = self.node.eval(ctx)
+        buf = ctx.buffers[self.tensor]
+        base = ctx.bases.get(self.tensor, 0)
+        if ctx.batch is None:
+            buf[self.idx + base] = val
+        else:
+            buf[self.idx[None] + base.reshape(-1, 1, 1)] = val
+
+
+class _Plan:
+    """Dtype-resolved evaluation plan: ordered store groups."""
+
+    __slots__ = ("stores", "store_tensors", "batch_cap")
+
+    def __init__(self, stores: list, store_tensors: set, est: int) -> None:
+        self.stores = stores
+        self.store_tensors = store_tensors
+        # bound the working set of one batched evaluation (~16 MB of f64)
+        self.batch_cap = max(1, 2_000_000 // max(1, est))
+
+    def run(self, buffers, bases, scale, batch) -> None:
+        ctx = _Ctx(buffers, bases, scale, batch)
+        for st in self.stores:
+            st.execute(ctx)
+
+
+def _build_plan(final_stores, vlen: int, widths: dict) -> _Plan:
+    """Group isomorphic stores and lower each group to eval nodes."""
+
+    def width(tensor: str) -> int:
+        return widths[tensor] * vlen
+
+    def build(rep, members):
+        m = len(members)
+        if isinstance(rep, _SZero):
+            return _EZero(m, vlen)
+        if isinstance(rep, _SLoad):
+            offs = np.array([node.off for node in members], dtype=np.int64)
+            return _EGather(rep.tensor, offs, width(rep.tensor))
+        if isinstance(rep, _SBcast):
+            offs = np.array([node.off for node in members], dtype=np.int64)
+            return _EBcastS(rep.tensor, offs, vlen)
+        if isinstance(rep, _SPair):
+            raise CompileUnsupported(
+                "pair-broadcast register escapes its VNNI consumer"
+            )
+        if isinstance(rep, _SCast):
+            if widths[rep.tensor] != 1:
+                raise CompileUnsupported(
+                    "store-forwarding through an int16 tensor"
+                )
+            return _ECast(rep.tensor, build(rep.sub, [n.sub for n in members]))
+        if isinstance(rep, _SScale):
+            sub = build(rep.sub, [n.sub for n in members])
+            return _EScale(sub, rep.imm, getattr(sub, "integer", False))
+        if isinstance(rep, _SBin):
+            return _EBin(
+                rep.kind,
+                build(rep.a, [n.a for n in members]),
+                build(rep.b, [n.b for n in members]),
+            )
+        if isinstance(rep, _SAcc):
+            init = build(rep.init, [n.init for n in members])
+            runs: list = []
+            nterms = len(rep.terms)
+            t0 = 0
+            while t0 < nterms:
+                ref = rep.terms[t0]
+                kind = type(ref)
+                t1 = t0 + 1
+                while (
+                    t1 < nterms
+                    and type(rep.terms[t1]) is kind
+                    and rep.terms[t1].w.tensor == ref.w.tensor
+                    and rep.terms[t1].tensor == ref.tensor
+                ):
+                    t1 += 1
+                woffs = np.array(
+                    [
+                        [node.terms[t].w.off for node in members]
+                        for t in range(t0, t1)
+                    ],
+                    dtype=np.int64,
+                )
+                soffs = np.array(
+                    [
+                        [node.terms[t].off for node in members]
+                        for t in range(t0, t1)
+                    ],
+                    dtype=np.int64,
+                )
+                wt, st = ref.w.tensor, ref.tensor
+                if kind is _TVnni:
+                    if widths[wt] != 2:
+                        raise CompileUnsupported(
+                            "VNNI weights must come from an int16 tensor"
+                        )
+                    runs.append(_RunVnni(wt, woffs, width(wt), st, soffs))
+                else:
+                    if widths[wt] != 1:
+                        raise CompileUnsupported(
+                            "FMA weight vector width != accumulator width"
+                        )
+                    runs.append(_RunFma(wt, woffs, width(wt), st, soffs))
+                t0 = t1
+            integer = isinstance(init, _EZero) and all(
+                isinstance(r, _RunVnni) for r in runs
+            )
+            return _EAcc(init, runs, integer)
+        raise CompileUnsupported(
+            f"unknown symbolic node {type(rep)}"
+        )  # pragma: no cover
+
+    memo: dict = {}
+    groups: dict[tuple, list] = {}
+    order: list[tuple] = []
+    for tensor, off, node in final_stores:
+        key = (tensor, _sig(node, memo))
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append((off, node))
+
+    stores: list[_EStore] = []
+    est_total = 0
+    store_tensors = {t for t, _off, _node in final_stores}
+    for tensor, sig in order:
+        entries = groups[(tensor, sig)]
+        offs = np.array([off for off, _ in entries], dtype=np.int64)
+        rep = entries[0][1]
+        node = build(rep, [n for _, n in entries])
+        m = len(entries)
+        chain = node.total + 1 if isinstance(node, _EAcc) else 1
+        est_total += chain * m * vlen
+        stores.append(_EStore(tensor, offs, vlen, node))
+    return _Plan(stores, store_tensors, est_total)
+
+
+def _unique_prefix(a: np.ndarray, lo: int, hi: int) -> int:
+    """Length of the longest prefix of ``a[lo:hi]`` with no repeated value."""
+    sl = a[lo:hi]
+    if sl.size <= 1:
+        return sl.size
+    perm = np.argsort(sl, kind="stable")
+    srt = sl[perm]
+    eq = srt[1:] == srt[:-1]
+    if not eq.any():
+        return sl.size
+    return int(perm[1:][eq].min())
+
+
+class _CompiledBound:
+    """A compiled kernel bound to concrete buffers; replay-callable."""
+
+    tier = "compiled"
+
+    __slots__ = ("plan", "buffers", "args", "scale", "extra", "_store_args")
+
+    def __init__(self, plan, buffers, args, scale, extra) -> None:
+        self.plan = plan
+        self.buffers = buffers
+        self.args = args
+        self.scale = scale
+        self.extra = extra
+        self._store_args = [
+            pos
+            for pos, name in enumerate(args)
+            if name in plan.store_tensors
+        ]
+
+    def _bases(self) -> dict:
+        return dict(self.extra) if self.extra else {}
+
+    def __call__(self, i_off, w_off, o_off, pi=0, pw=0, po=0) -> None:
+        bases = self._bases()
+        bases[self.args[0]] = i_off
+        bases[self.args[1]] = w_off
+        bases[self.args[2]] = o_off
+        self.plan.run(self.buffers, bases, self.scale, None)
+
+    def batch(self, i_arr, w_arr, o_arr) -> None:
+        """Run a streak of calls at once.
+
+        Calls are grouped into vector chunks; a chunk never repeats a base
+        offset of a stored tensor, so read-modify-write chains across calls
+        (e.g. the ``c_b``-outer loop order revisiting an output block, or
+        the update pass re-accumulating one ``dW`` block) keep their exact
+        sequential semantics.
+        """
+        arrs = (
+            np.asarray(i_arr, dtype=np.int64),
+            np.asarray(w_arr, dtype=np.int64),
+            np.asarray(o_arr, dtype=np.int64),
+        )
+        n = arrs[0].size
+        store_arrays = [arrs[pos] for pos in self._store_args]
+        cap = self.plan.batch_cap
+        lo = 0
+        while lo < n:
+            hi = min(n, lo + cap)
+            for sa in store_arrays:
+                hi = min(hi, lo + _unique_prefix(sa, lo, hi))
+            if hi - lo == 1:
+                self(int(arrs[0][lo]), int(arrs[1][lo]), int(arrs[2][lo]))
+                lo = hi
+                continue
+            bases = self._bases()
+            bases[self.args[0]] = arrs[0][lo:hi]
+            bases[self.args[1]] = arrs[1][lo:hi]
+            bases[self.args[2]] = arrs[2][lo:hi]
+            self.plan.run(self.buffers, bases, self.scale, hi - lo)
+            lo = hi
+
+
+class _InterpretBound:
+    """Interpreter-backed stand-in returned when a trace/touch observer is
+    attached -- memory traces must reflect the real µop stream."""
+
+    tier = "interpret"
+
+    __slots__ = ("program", "buffers", "args", "scale", "trace", "touch",
+                 "extra")
+
+    def __init__(self, program, buffers, args, scale, trace, touch,
+                 extra) -> None:
+        self.program = program
+        self.buffers = buffers
+        self.args = args
+        self.scale = scale
+        self.trace = trace
+        self.touch = touch
+        self.extra = extra
+
+    def __call__(self, i_off, w_off, o_off, pi=0, pw=0, po=0) -> None:
+        a0, a1, a2 = self.args
+        bases = dict(self.extra) if self.extra else {}
+        bases.update(
+            {
+                a0: i_off,
+                a1: w_off,
+                a2: o_off,
+                a0 + "_pf": pi,
+                a1 + "_pf": pw,
+                a2 + "_pf": po,
+            }
+        )
+        execute_kernel(
+            self.program,
+            self.buffers,
+            bases,
+            trace=self.trace,
+            touch=self.touch,
+            scale=self.scale,
+        )
+
+
+class CompiledKernel:
+    """A µop program translated into batched-numpy form.
+
+    The symbolic pass runs once at construction; dtype-dependent evaluation
+    plans (int16 loads fill a double-width register) are built lazily per
+    buffer-dtype signature and cached.
+    """
+
+    tier = "compiled"
+
+    def __init__(self, program: KernelProgram) -> None:
+        self.program = program
+        self._stores, self._tensors = _symbolize(program)
+        self._order = sorted(self._tensors)
+        self._plans: dict[tuple, _Plan] = {}
+
+    @property
+    def tensors(self) -> list[str]:
+        """Compute tensors the kernel reads or writes (no prefetch args)."""
+        return list(self._order)
+
+    def _plan_for(self, buffers) -> _Plan:
+        widths = {}
+        for t in self._order:
+            try:
+                buf = buffers[t]
+            except KeyError:
+                raise ReproError(
+                    f"kernel references unbound tensor {t!r}"
+                ) from None
+            widths[t] = 2 if buf.dtype == np.int16 else 1
+        key = tuple(widths[t] for t in self._order)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = _build_plan(self._stores, self.program.vlen, widths)
+            self._plans[key] = plan
+        return plan
+
+    def bind(
+        self,
+        buffers: dict[str, np.ndarray],
+        args: Sequence[str] = ("I", "W", "O"),
+        scale: float = 1.0,
+        trace=None,
+        touch: Optional[Callable] = None,
+        extra_bases: Optional[dict] = None,
+    ):
+        """Specialize to concrete buffers; returns a replay-callable closure
+        ``fn(i_off, w_off, o_off, pi, pw, po)`` with a ``.batch`` method.
+
+        ``args`` names the tensors the three offset arguments index (the
+        forward pass binds ``("I", "W", "O")``, the update pass
+        ``("I", "dW", "dO")``).  If ``trace``/``touch`` observers are given,
+        an interpreter-backed closure is returned instead so memory traces
+        stay exact (``fn.tier`` reports which tier actually runs).
+        """
+        args = tuple(args)
+        if trace is not None or touch is not None:
+            return _InterpretBound(
+                self.program, buffers, args, scale, trace, touch, extra_bases
+            )
+        plan = self._plan_for(buffers)
+        return _CompiledBound(plan, buffers, args, scale, extra_bases)
+
+    def __call__(
+        self,
+        buffers: dict[str, np.ndarray],
+        bases: Optional[dict] = None,
+        scale: float = 1.0,
+    ) -> None:
+        """Single invocation against explicit per-tensor base offsets (the
+        compiled mirror of :func:`repro.jit.interpreter.execute_kernel`)."""
+        plan = self._plan_for(buffers)
+        plan.run(buffers, dict(bases or {}), scale, None)
+
+
+def compile_kernel(program: KernelProgram) -> CompiledKernel:
+    """Translate one program; instrumented with a ``jit.compile`` span and
+    ``jit.kernels_compiled`` / ``jit.compile_seconds`` counters."""
+    tracer = get_tracer()
+    metrics = get_metrics()
+    t0 = time.perf_counter()
+    if tracer.enabled:
+        with tracer.span("jit.compile", kernel=program.name):
+            ck = CompiledKernel(program)
+    else:
+        ck = CompiledKernel(program)
+    metrics.inc("jit.kernels_compiled")
+    metrics.inc("jit.compile_seconds", time.perf_counter() - t0)
+    return ck

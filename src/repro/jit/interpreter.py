@@ -50,6 +50,7 @@ def execute_kernel(
     bases: dict[str, int],
     trace: Optional[MemTrace] = None,
     touch: Optional[Callable[[str, int, int, str], None]] = None,
+    scale: float = 1.0,
 ) -> None:
     """Run one kernel invocation.
 
@@ -58,6 +59,9 @@ def execute_kernel(
     of Fig. 1).  Prefetch tensors (``I_pf`` etc.) resolve against the *same*
     buffers as their compute counterparts but their own base offsets.
     ``trace``/``touch`` observe memory operations for the cache simulator.
+    ``scale`` multiplies every ``VCVT_I32F32`` immediate -- the runtime
+    dequantization factor of the int16 path (the compiled tier applies the
+    identical product, keeping the tiers bit-for-bit comparable).
     """
     regs = _Regs()
     vlen = prog.vlen
@@ -81,78 +85,86 @@ def execute_kernel(
         if touch is not None:
             touch(name, off, count, kind)
 
-    for u in prog.uops:
-        op = u.op
-        if op is Op.VZERO:
-            regs.set(u.dst, np.zeros(vlen, dtype=np.float64))
-        elif op is Op.VLOAD:
-            buf, off = resolve(u)
-            n = vlen
-            if buf.dtype == np.int16:
-                n = 2 * vlen  # a 512-bit register holds 32 int16
-            regs.set(u.dst, buf[off : off + n].astype(np.float64))
-            note(u.tensor, off, n, "load")
-        elif op is Op.VBCAST:
-            buf, off = resolve(u)
-            if u.imm == 2.0:  # int16 pair broadcast (VNNI source form)
-                pair = buf[off : off + 2].astype(np.float64)
-                regs.set(u.dst, np.tile(pair, vlen))
-                note(u.tensor, off, 2, "load")
-            else:
-                regs.set(u.dst, np.full(vlen, float(buf[off])))
+    idx = -1
+    u = None
+    try:
+        for idx, u in enumerate(prog.uops):
+            op = u.op
+            if op is Op.VZERO:
+                regs.set(u.dst, np.zeros(vlen, dtype=np.float64))
+            elif op is Op.VLOAD:
+                buf, off = resolve(u)
+                n = vlen
+                if buf.dtype == np.int16:
+                    n = 2 * vlen  # a 512-bit register holds 32 int16
+                regs.set(u.dst, buf[off : off + n].astype(np.float64))
+                note(u.tensor, off, n, "load")
+            elif op is Op.VBCAST:
+                buf, off = resolve(u)
+                if u.imm == 2.0:  # int16 pair broadcast (VNNI source form)
+                    pair = buf[off : off + 2].astype(np.float64)
+                    regs.set(u.dst, np.tile(pair, vlen))
+                    note(u.tensor, off, 2, "load")
+                else:
+                    regs.set(u.dst, np.full(vlen, float(buf[off])))
+                    note(u.tensor, off, 1, "load")
+            elif op in (Op.VSTORE, Op.VSTORE_NT):
+                buf, off = resolve(u)
+                val = regs.get(u.src1)
+                buf[off : off + vlen] = val.astype(buf.dtype)
+                note(u.tensor, off, vlen, "store")
+            elif op is Op.VFMA:
+                regs.get(u.dst)[:] += regs.get(u.src1) * regs.get(u.src2)
+            elif op is Op.VFMA_MEM:
+                buf, off = resolve(u)
+                regs.get(u.dst)[:] += regs.get(u.src1) * float(buf[off])
                 note(u.tensor, off, 1, "load")
-        elif op in (Op.VSTORE, Op.VSTORE_NT):
-            buf, off = resolve(u)
-            val = regs.get(u.src1)
-            buf[off : off + vlen] = val.astype(buf.dtype)
-            note(u.tensor, off, vlen, "store")
-        elif op is Op.VFMA:
-            regs.get(u.dst)[:] += regs.get(u.src1) * regs.get(u.src2)
-        elif op is Op.VFMA_MEM:
-            buf, off = resolve(u)
-            regs.get(u.dst)[:] += regs.get(u.src1) * float(buf[off])
-            note(u.tensor, off, 1, "load")
-        elif op is Op.V4FMA:
-            # src1 is the first of `imm` *contiguous* weight registers; the
-            # memory operand covers `imm` consecutive input elements (KNM's
-            # chained-FMA form).
-            buf, off = resolve(u)
-            depth = int(u.imm) or 4
-            dst = regs.get(u.dst)
-            for j in range(depth):
-                dst[:] += regs.get(u.src1 + j) * float(buf[off + j])
-            note(u.tensor, off, depth, "load")
-        elif op is Op.VVNNI:
-            if u.tensor is not None:
-                # 4VNNIW quad form: `imm` contiguous weight registers, one
-                # memory operand covering `imm` consecutive int16 pairs
+            elif op is Op.V4FMA:
+                # src1 is the first of `imm` *contiguous* weight registers;
+                # the memory operand covers `imm` consecutive input elements
+                # (KNM's chained-FMA form).
                 buf, off = resolve(u)
                 depth = int(u.imm) or 4
                 dst = regs.get(u.dst)
                 for j in range(depth):
-                    w = regs.get(u.src1 + j).reshape(vlen, 2)
-                    a0 = float(buf[off + 2 * j])
-                    a1 = float(buf[off + 2 * j + 1])
-                    dst[:] += w[:, 0] * a0 + w[:, 1] * a1
-                note(u.tensor, off, 2 * depth, "load")
-            else:
-                # src1: packed weights [k0p0, k0p1, k1p0, ...] (2*vlen i16)
-                # src2: tiled input pair [a0, a1] * vlen
-                w = regs.get(u.src1).reshape(vlen, 2)
-                a = regs.get(u.src2).reshape(vlen, 2)
-                regs.get(u.dst)[:] += w[:, 0] * a[:, 0] + w[:, 1] * a[:, 1]
-        elif op is Op.VADD:
-            regs.set(u.dst, regs.get(u.src1) + regs.get(u.src2))
-        elif op is Op.VMUL:
-            regs.set(u.dst, regs.get(u.src1) * regs.get(u.src2))
-        elif op is Op.VMAX:
-            regs.set(u.dst, np.maximum(regs.get(u.src1), regs.get(u.src2)))
-        elif op is Op.VCVT_I32F32:
-            regs.set(u.dst, regs.get(u.src1) * u.imm)
-        elif op is Op.PREFETCH1 or op is Op.PREFETCH2:
-            if trace is not None or touch is not None:
-                buf, off = resolve(u)
-                kind = "prefetch1" if op is Op.PREFETCH1 else "prefetch2"
-                note(u.tensor, off, 1, kind)
-        else:  # pragma: no cover - exhaustive over Op
-            raise ReproError(f"unhandled op {op}")
+                    dst[:] += regs.get(u.src1 + j) * float(buf[off + j])
+                note(u.tensor, off, depth, "load")
+            elif op is Op.VVNNI:
+                if u.tensor is not None:
+                    # 4VNNIW quad form: `imm` contiguous weight registers,
+                    # one memory operand covering `imm` consecutive i16 pairs
+                    buf, off = resolve(u)
+                    depth = int(u.imm) or 4
+                    dst = regs.get(u.dst)
+                    for j in range(depth):
+                        w = regs.get(u.src1 + j).reshape(vlen, 2)
+                        a0 = float(buf[off + 2 * j])
+                        a1 = float(buf[off + 2 * j + 1])
+                        dst[:] += w[:, 0] * a0 + w[:, 1] * a1
+                    note(u.tensor, off, 2 * depth, "load")
+                else:
+                    # src1: packed weights [k0p0, k0p1, k1p0, ...] (2v i16)
+                    # src2: tiled input pair [a0, a1] * vlen
+                    w = regs.get(u.src1).reshape(vlen, 2)
+                    a = regs.get(u.src2).reshape(vlen, 2)
+                    regs.get(u.dst)[:] += w[:, 0] * a[:, 0] + w[:, 1] * a[:, 1]
+            elif op is Op.VADD:
+                regs.set(u.dst, regs.get(u.src1) + regs.get(u.src2))
+            elif op is Op.VMUL:
+                regs.set(u.dst, regs.get(u.src1) * regs.get(u.src2))
+            elif op is Op.VMAX:
+                regs.set(
+                    u.dst, np.maximum(regs.get(u.src1), regs.get(u.src2))
+                )
+            elif op is Op.VCVT_I32F32:
+                regs.set(u.dst, regs.get(u.src1) * (u.imm * scale))
+            elif op is Op.PREFETCH1 or op is Op.PREFETCH2:
+                if trace is not None or touch is not None:
+                    buf, off = resolve(u)
+                    kind = "prefetch1" if op is Op.PREFETCH1 else "prefetch2"
+                    note(u.tensor, off, 1, kind)
+            else:  # pragma: no cover - exhaustive over Op
+                raise ReproError(f"unhandled op {op}")
+    except ReproError as e:
+        # annotate faults with their position in the µop stream
+        raise ReproError(f"µop {idx} ({u.op.name}): {e}") from None

@@ -19,7 +19,7 @@ counter update.  Statistics are mirrored into the process-wide
 from __future__ import annotations
 
 import threading
-from typing import Callable, Hashable
+from typing import Callable, Hashable, Optional
 
 from repro.arch.isa import KernelProgram
 from repro.obs.metrics import get_metrics
@@ -28,13 +28,24 @@ __all__ = ["KernelCache", "get_default_cache"]
 
 
 class KernelCache:
-    """Descriptor-keyed memo table with hit/miss statistics."""
+    """Descriptor-keyed memo table with hit/miss statistics.
+
+    Two tiers are cached per descriptor: the generated µop *program* and its
+    *compiled* form (:class:`repro.jit.compile.CompiledKernel`).  Each tier
+    keeps its own hit/miss counters (``jit.cache.hits``/``misses`` and
+    ``jit.cache.compiled_hits``/``compiled_misses``).  A descriptor whose
+    program the translator rejects caches ``None`` so the rejection is paid
+    once; callers fall back to another tier.
+    """
 
     def __init__(self) -> None:
         self._programs: dict[Hashable, KernelProgram] = {}
+        self._compiled: dict[Hashable, Optional[object]] = {}
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.compiled_hits = 0
+        self.compiled_misses = 0
 
     def get(
         self, desc: Hashable, generator: Callable[[Hashable], KernelProgram]
@@ -52,6 +63,31 @@ class KernelCache:
             self._programs[desc] = prog
             return prog
 
+    def get_compiled(
+        self, desc: Hashable, generator: Callable[[Hashable], KernelProgram]
+    ):
+        """The compiled closure for ``desc``'s program (translating and
+        memoizing on first use), or ``None`` if the program is one the
+        translator cannot vectorize."""
+        from repro.jit.compile import CompileUnsupported, compile_kernel
+
+        metrics = get_metrics()
+        with self._lock:
+            if desc in self._compiled:
+                self.compiled_hits += 1
+                metrics.inc("jit.cache.compiled_hits")
+                return self._compiled[desc]
+            self.compiled_misses += 1
+            metrics.inc("jit.cache.compiled_misses")
+            prog = self.get(desc, generator)
+            try:
+                ck = compile_kernel(prog)
+            except CompileUnsupported:
+                metrics.inc("jit.cache.compile_unsupported")
+                ck = None
+            self._compiled[desc] = ck
+            return ck
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._programs)
@@ -63,15 +99,22 @@ class KernelCache:
     def clear(self) -> None:
         with self._lock:
             self._programs.clear()
+            self._compiled.clear()
             self.hits = self.misses = 0
+            self.compiled_hits = self.compiled_misses = 0
 
     def stats(self) -> dict[str, int]:
-        """``{"hits": ..., "misses": ..., "variants": ...}`` snapshot."""
+        """Per-tier hit/miss/variant snapshot."""
         with self._lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
                 "variants": len(self._programs),
+                "compiled_hits": self.compiled_hits,
+                "compiled_misses": self.compiled_misses,
+                "compiled_variants": sum(
+                    1 for v in self._compiled.values() if v is not None
+                ),
             }
 
     @property

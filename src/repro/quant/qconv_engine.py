@@ -29,6 +29,7 @@ from repro.obs.tracer import Tracer
 from repro.quant.qkernels import CHAIN_LIMIT_PAIRS, QuantOverflowError
 from repro.quant.qtensor import QuantTensor, quantize
 from repro.tensor.blocked import BlockedTensor, block_activations, block_weights
+from repro.tensor.transforms import vnni_pack_weights
 from repro.types import DType, UnsupportedError
 
 __all__ = ["QuantConvForward"]
@@ -50,6 +51,7 @@ class QuantConvForward(DirectConvForward):
         prefetch: str = "both",
         kernel_cache: KernelCache | None = None,
         tracer: Tracer | None = None,
+        execution_tier: str | None = None,
     ) -> None:
         if legacy:
             lv = legacy_positionals(
@@ -85,8 +87,25 @@ class QuantConvForward(DirectConvForward):
             prefetch=prefetch,
             kernel_cache=kernel_cache,
             tracer=tracer,
+            execution_tier=execution_tier,
         )
         self._scale = 1.0  # set per invocation from the quantized operands
+
+    def _dequant_scale(self) -> float:
+        """Runtime dequantization factor applied by the compiled/interpreter
+        tiers to every ``VCVT_I32F32`` flush (the descriptors bake in 1.0;
+        the actual factor is known only once the operands are quantized)."""
+        return self._scale
+
+    def _prepare_weights(self, w: BlockedTensor) -> BlockedTensor:
+        """All int16 kernels consume the VNNI pair layout (section II-K):
+        adjacent reduction channels interleaved per output lane, so each
+        weight vector covers one channel pair.  Packing is O(weights) per
+        call -- the same once-per-invocation cost as the backward pass's
+        weight transform."""
+        return BlockedTensor(
+            vnni_pack_weights(w).reshape(w.layout.shape), w.layout
+        )
 
     # ------------------------------------------------------------------
     def _make_conv_closures(
@@ -96,42 +115,44 @@ class QuantConvForward(DirectConvForward):
         chain-limit flush schedule, matching the µop generator's."""
         closures = []
         scale = self._scale
-        chunk_c = 2 * self.chain_limit
+        chunk_pairs = self.chain_limit
         for desc in self._descs:
             iscb, ish, isw = desc.i_strides
             wscb, wsr, wss, wsc = desc.w_strides
             osh, osw = desc.o_strides
             stn = desc.stride
+            pairs = desc.vlen // 2
+            # the weight buffer is VNNI pair-packed (c/2, k, 2); activations
+            # stay channel-major so a pair is two adjacent elements
             ishape = (
                 desc.cb_unroll, desc.rb_p, desc.R, desc.rb_q, desc.S,
-                desc.vlen,
+                pairs, 2,
             )
             istr = tuple(
-                s * 2 for s in (iscb, stn * ish, ish, stn * isw, isw, 1)
+                s * 2 for s in (iscb, stn * ish, ish, stn * isw, isw, 2, 1)
             )
-            wshape = (desc.cb_unroll, desc.R, desc.S, desc.vlen, desc.vlen)
-            wstr = tuple(s * 2 for s in (wscb, wsr, wss, wsc, 1))
+            wshape = (desc.cb_unroll, desc.R, desc.S, pairs, desc.vlen, 2)
+            wstr = tuple(s * 2 for s in (wscb, wsr, wss, 2 * wsc, 2, 1))
             oshape = (desc.rb_p, desc.rb_q, desc.vlen)
             ostr = tuple(s * 4 for s in (osh, osw, 1))
             zero_init = desc.zero_init
-            vlen = desc.vlen
 
             def call(
                 i_off, w_off, o_off, pi, pw, po, *,
                 _is=ishape, _ist=istr, _ws=wshape, _wst=wstr,
-                _os=oshape, _ost=ostr, _zi=zero_init, _v=vlen,
+                _os=oshape, _ost=ostr, _zi=zero_init, _np=pairs,
             ) -> None:
                 iv = as_strided(x[i_off:], _is, _ist)
                 wv = as_strided(w[w_off:], _ws, _wst)
                 ov = as_strided(o[o_off:], _os, _ost)
                 acc = np.zeros(_os, dtype=np.float32)
-                # reduction channels chunked by the accumulation-chain limit
-                for c0 in range(0, _v, chunk_c):
-                    c1 = min(c0 + chunk_c, _v)
+                # channel pairs chunked by the accumulation-chain limit
+                for c0 in range(0, _np, chunk_pairs):
+                    c1 = min(c0 + chunk_pairs, _np)
                     part = np.einsum(
-                        "bprqsc,brsck->pqk",
-                        iv[..., c0:c1].astype(np.int64),
-                        wv[:, :, :, c0:c1, :].astype(np.int64),
+                        "bprqsct,brsckt->pqk",
+                        iv[..., c0:c1, :].astype(np.int64),
+                        wv[:, :, :, c0:c1].astype(np.int64),
                         optimize=True,
                     )
                     peak = int(np.abs(part).max(initial=0))

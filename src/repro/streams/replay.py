@@ -8,7 +8,13 @@ prefetch arguments of call ``t`` are the compute offsets of call ``t+1``
 convention that the last iteration has nothing new to fetch.
 
 The loop contains no boundary/fusion conditionals -- precisely the point of
-the kernel-streams framework (section II-H).
+the kernel-streams framework (section II-H).  Per-call bookkeeping is hoisted
+to freeze time (:class:`~repro.streams.stream.FrozenStream` precomputes the
+``next_conv`` prefetch-target array and Python-int offset mirrors), and when
+a kernel exposes a ``.batch`` method (the compiled execution tier,
+:mod:`repro.jit.compile`), each same-variant run inside a CONV-STREAK is
+dispatched as one batched call over the run's offset slices instead of a
+Python call per record.
 """
 
 from __future__ import annotations
@@ -51,32 +57,41 @@ def _replay(
     kernels: Sequence[ConvKernel],
     apply_ops: Sequence[ApplyOp],
 ) -> int:
-    kinds = stream.kinds
-    i_off = stream.i_off
-    w_off = stream.w_off
-    o_off = stream.o_off
-    n = len(stream)
+    kinds = stream.kinds_list
+    i_off = stream.i_off_list
+    w_off = stream.w_off_list
+    o_off = stream.o_off_list
+    next_conv = stream.next_conv_list
     conv_calls = 0
     for seg in segments:
         if seg.kind is SegmentKind.APPLY:
             t = seg.start
-            apply_ops[seg.info](int(o_off[t]), int(w_off[t]))
+            apply_ops[seg.info](o_off[t], w_off[t])
             continue
-        # CONV-STREAK: Algorithm 5's inner loop
-        for t in range(seg.start, seg.start + seg.info):
-            # prefetch args = next *conv* call's offsets (skip APPLY records)
-            nt = t + 1
-            while nt < n and kinds[nt] < 0:
-                nt += 1
-            if nt >= n:
-                nt = t
-            kernels[int(kinds[t])](
-                int(i_off[t]),
-                int(w_off[t]),
-                int(o_off[t]),
-                int(i_off[nt]),
-                int(w_off[nt]),
-                int(o_off[nt]),
-            )
-            conv_calls += 1
+        # CONV-STREAK: Algorithm 5's inner loop, split into same-variant runs
+        stop = seg.start + seg.info
+        lo = seg.start
+        while lo < stop:
+            variant = kinds[lo]
+            hi = lo + 1
+            while hi < stop and kinds[hi] == variant:
+                hi += 1
+            fn = kernels[variant]
+            batch = getattr(fn, "batch", None)
+            if batch is not None and hi - lo > 1:
+                batch(
+                    stream.i_off[lo:hi],
+                    stream.w_off[lo:hi],
+                    stream.o_off[lo:hi],
+                )
+            else:
+                for t in range(lo, hi):
+                    # prefetch args = next conv call's offsets (APPLYs skip)
+                    nt = next_conv[t]
+                    fn(
+                        i_off[t], w_off[t], o_off[t],
+                        i_off[nt], w_off[nt], o_off[nt],
+                    )
+            conv_calls += hi - lo
+            lo = hi
     return conv_calls

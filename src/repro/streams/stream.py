@@ -72,15 +72,76 @@ class KernelStream:
         )
 
 
+def _next_conv_index(kinds: np.ndarray) -> np.ndarray:
+    """``next_conv[t]`` = index of the first conv record after ``t`` (APPLY
+    records skipped), or ``t`` itself when no conv follows -- the prefetch
+    target of Algorithm 5, precomputed once so replay never rescans."""
+    n = int(kinds.size)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    pos = np.where(kinds >= 0, np.arange(n, dtype=np.int64), 2 * n)
+    # suffix-min gives, per t, the first conv index at or after t
+    first_at = np.minimum.accumulate(pos[::-1])[::-1]
+    nxt = np.empty(n, dtype=np.int64)
+    nxt[:-1] = first_at[1:]
+    nxt[-1] = 2 * n  # nothing after the last record
+    own = np.arange(n, dtype=np.int64)
+    return np.where(nxt >= n, own, nxt)
+
+
 @dataclass(frozen=True)
 class FrozenStream:
-    """Immutable, array-backed form used by replay."""
+    """Immutable, array-backed form used by replay.
+
+    Freezing also precomputes everything the replay inner loop would
+    otherwise redo per call: the ``next_conv`` prefetch-target index array
+    (the former ``while kinds[nt] < 0`` rescan was quadratic in APPLY-heavy
+    streams) and plain Python ``int`` mirrors of the offset streams so
+    replay dispatch performs no per-call numpy-scalar conversions.
+    """
 
     kinds: np.ndarray
     i_off: np.ndarray
     w_off: np.ndarray
     o_off: np.ndarray
     apply_op: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "next_conv", _next_conv_index(self.kinds))
+
+    @property
+    def kinds_list(self) -> list[int]:
+        return self._cached_list("kinds")
+
+    @property
+    def i_off_list(self) -> list[int]:
+        return self._cached_list("i_off")
+
+    @property
+    def w_off_list(self) -> list[int]:
+        return self._cached_list("w_off")
+
+    @property
+    def o_off_list(self) -> list[int]:
+        return self._cached_list("o_off")
+
+    @property
+    def apply_op_list(self) -> list[int]:
+        return self._cached_list("apply_op")
+
+    @property
+    def next_conv_list(self) -> list[int]:
+        return self._cached_list("next_conv")
+
+    def _cached_list(self, name: str) -> list[int]:
+        cache = self.__dict__.get("_lists")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_lists", cache)
+        got = cache.get(name)
+        if got is None:
+            got = cache[name] = getattr(self, name).tolist()
+        return got
 
     def __len__(self) -> int:
         return int(self.kinds.size)

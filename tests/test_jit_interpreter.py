@@ -176,6 +176,19 @@ class TestErrorsAndTrace:
         with pytest.raises(ReproError, match="unbound tensor"):
             run([Uop(Op.VLOAD, dst=0, tensor="Z", offset=0)], {})
 
+    def test_error_names_uop_index_and_opcode(self):
+        """Faulting errors pinpoint the µop: index and opcode name."""
+        with pytest.raises(ReproError, match=r"µop 1 \(VFMA\).*uninitialized"):
+            run(
+                [
+                    Uop(Op.VZERO, dst=0),
+                    Uop(Op.VFMA, dst=0, src1=5, src2=6),
+                ],
+                {},
+            )
+        with pytest.raises(ReproError, match=r"µop 0 \(VLOAD\).*unbound"):
+            run([Uop(Op.VLOAD, dst=0, tensor="Z", offset=0)], {})
+
     def test_prefetch_resolves_to_compute_buffer(self):
         trace = []
         buf = np.zeros(64, dtype=np.float32)
