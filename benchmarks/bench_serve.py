@@ -1,0 +1,246 @@
+"""Serving benchmark: dynamic batching vs batch-1, cold vs warm boot.
+
+Three measurements, one JSON report:
+
+1. **Batching throughput** -- identical closed-loop load against two
+   servers: one with dynamic batching disabled (``buckets=(1,)``, every
+   request runs alone) and one with the full bucket ladder.  The
+   acceptance bar is >= 3x the batch-1 throughput at equal-or-better
+   p99 latency, with outputs bitwise identical to unbatched
+   ``InferenceSession.predict``.
+2. **Bitwise identity** -- every response from the concurrent run is
+   compared against the direct batch-1 reference.
+3. **Boot latency** -- blocked-engine cold boot (dryrun records every
+   stream) vs warm boot from a saved stream artifact (dryrun skipped).
+   Both boots run in the same process *after* a throwaway boot, so the
+   JIT kernel cache is hot and the delta isolates the dryrun itself.
+
+Run as a plain script (not pytest -- the timing loop is its own harness)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick
+    PYTHONPATH=src python benchmarks/bench_serve.py --out BENCH_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.gxm.inference import InferenceSession
+from repro.serve import InferenceServer, ServeConfig, run_closed_loop
+
+
+def _closed_sweep(cfg: ServeConfig, requests: int, client_counts) -> list:
+    server = InferenceServer(cfg)
+    server.start()
+    try:
+        levels = []
+        for clients in client_counts:
+            rep = run_closed_loop(
+                server, clients=clients, requests=requests, seed=clients
+            )
+            levels.append(
+                {
+                    "clients": clients,
+                    "completed": rep.completed,
+                    "throughput_rps": rep.throughput_rps,
+                    "latency_ms": rep.latency_ms,
+                }
+            )
+            print(
+                f"  clients {clients:>3}: {rep.throughput_rps:8.0f} req/s  "
+                f"p50 {rep.latency_ms['p50']:6.2f}ms  "
+                f"p99 {rep.latency_ms['p99']:6.2f}ms"
+            )
+    finally:
+        server.stop()
+    return levels
+
+
+def bench_batching(cfg: ServeConfig, requests: int, client_counts) -> dict:
+    """Same closed-loop load, batching off (buckets=(1,)) vs on."""
+    from dataclasses import replace
+
+    print("  batching OFF (buckets=(1,)):")
+    off = _closed_sweep(replace(cfg, buckets=(1,)), requests, client_counts)
+    print("  batching ON:")
+    on = _closed_sweep(cfg, requests, client_counts)
+    # compare at the highest concurrency -- the load batching exists for
+    base, best = off[-1], on[-1]
+    return {
+        "nobatch_levels": off,
+        "batched_levels": on,
+        "clients": base["clients"],
+        "batch1_rps": base["throughput_rps"],
+        "batched_rps": best["throughput_rps"],
+        "speedup": best["throughput_rps"] / base["throughput_rps"],
+        "batch1_p99_ms": base["latency_ms"]["p99"],
+        "batched_p99_ms": best["latency_ms"]["p99"],
+        "p99_improved": (
+            best["latency_ms"]["p99"] <= base["latency_ms"]["p99"]
+        ),
+    }
+
+
+def bench_bitwise(cfg: ServeConfig, n: int) -> dict:
+    """Concurrently served outputs vs direct batch-1 predictions."""
+    import threading
+
+    rng = np.random.default_rng(11)
+    xs = rng.standard_normal((n, *cfg.input_shape)).astype(np.float32)
+    with InferenceSession(cfg.build_etg(1)) as sess:
+        refs = [sess.predict(x[None])[0].copy() for x in xs]
+    server = InferenceServer(cfg)
+    server.start()
+    try:
+        outs = [None] * n
+        barrier = threading.Barrier(n)
+
+        def client(i):
+            barrier.wait()
+            outs[i] = server.predict(xs[i])
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    finally:
+        server.stop()
+    exact = all(
+        np.array_equal(
+            out.view(np.uint32), ref.view(np.uint32)
+        )
+        for out, ref in zip(outs, refs)
+    )
+    return {"requests": n, "exact": exact}
+
+
+def bench_boot(cfg: ServeConfig) -> dict:
+    """Cold (dryrun) vs warm (stream replay) blocked-engine boot."""
+    # throwaway boot so codegen/compilation is cached for both timed boots
+    throwaway = InferenceServer(cfg)
+    throwaway.start()
+    buf = io.BytesIO()
+    entries = throwaway.save_streams_artifact(buf)
+    throwaway.stop()
+
+    t0 = time.perf_counter()
+    cold = InferenceServer(cfg)
+    cold_boot = cold.start()
+    cold_s = time.perf_counter() - t0
+    cold.stop()
+
+    buf.seek(0)
+    t0 = time.perf_counter()
+    warm = InferenceServer(cfg)
+    warm_boot = warm.start(streams_artifact=buf)
+    warm_s = time.perf_counter() - t0
+    warm.stop()
+
+    assert not cold_boot["warm_buckets"] and not warm_boot["cold_buckets"]
+    return {
+        "engine": cfg.engine,
+        "buckets": list(cfg.buckets),
+        "stream_entries": entries,
+        "cold_boot_s": cold_s,
+        "warm_boot_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--requests", type=int, default=256,
+                    help="closed-loop submissions per concurrency level")
+    ap.add_argument("--clients", default="1,4,8,16",
+                    help="comma-separated concurrency levels (first is the "
+                         "batch-1 baseline)")
+    ap.add_argument("--quick", action="store_true",
+                    help="small request counts (CI smoke)")
+    ap.add_argument("--out", default="BENCH_serve.json")
+    ap.add_argument("--min-speedup", type=float, default=0.0,
+                    help="fail if batched/batch-1 throughput is below this")
+    args = ap.parse_args(argv)
+
+    requests = 64 if args.quick else args.requests
+    client_counts = [int(c) for c in args.clients.split(",")]
+    bitwise_n = 8 if args.quick else 16
+
+    fast_cfg = ServeConfig()  # fast engine: the throughput path
+    # boot bench: big enough that the dryrun outweighs artifact loading
+    blocked_cfg = ServeConfig(
+        engine="blocked", execution_tier="compiled",
+        input_shape=(16, 8, 8) if args.quick else (16, 16, 16),
+        buckets=(1, 2) if args.quick else (1, 2, 4, 8, 16),
+    )
+
+    print("batching throughput (fast engine):")
+    batching = bench_batching(fast_cfg, requests, client_counts)
+    print(
+        f"  => {batching['speedup']:.1f}x over no-batching at "
+        f"{batching['clients']} clients "
+        f"(p99 {batching['batch1_p99_ms']:.2f} -> "
+        f"{batching['batched_p99_ms']:.2f} ms)"
+    )
+
+    bitwise = bench_bitwise(fast_cfg, bitwise_n)
+    print(f"bitwise identity over {bitwise['requests']} concurrent "
+          f"requests: exact={bitwise['exact']}")
+
+    print("boot latency (blocked engine):")
+    boot = bench_boot(blocked_cfg)
+    print(
+        f"  cold {boot['cold_boot_s'] * 1e3:7.1f}ms  "
+        f"warm {boot['warm_boot_s'] * 1e3:7.1f}ms  "
+        f"({boot['speedup']:.1f}x, {boot['stream_entries']} stream entries)"
+    )
+
+    report = {
+        "bench": "serve",
+        "config": {
+            "model": fast_cfg.model,
+            "width": fast_cfg.width,
+            "input_shape": list(fast_cfg.input_shape),
+            "buckets": list(fast_cfg.buckets),
+            "requests": requests,
+        },
+        "batching": batching,
+        "bitwise": bitwise,
+        "boot": boot,
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"-> {args.out}")
+
+    if not bitwise["exact"]:
+        print("FAIL: batched outputs are not bitwise-identical",
+              file=sys.stderr)
+        return 1
+    if batching["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: batching speedup {batching['speedup']:.2f}x < "
+            f"required {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_speedup and not batching["p99_improved"]:
+        print(
+            f"FAIL: batched p99 {batching['batched_p99_ms']:.2f}ms worse "
+            f"than no-batching {batching['batch1_p99_ms']:.2f}ms",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,10 @@ command                   what it does
 ``disasm``                JIT one kernel variant and print its µop listing
 ``profile``               trace N training steps through :mod:`repro.obs`;
                           dump a ``chrome://tracing`` JSON + flat metrics
+``serve``                 dynamic-batching inference server over HTTP, with
+                          optional kernel-stream warm-start artifact
+``loadgen``               drive an in-process server with synthetic closed-
+                          or open-loop load; print the SLO report
 ========================  ====================================================
 
 Examples::
@@ -25,6 +29,8 @@ Examples::
     python -m repro scaling --machine KNM
     python -m repro disasm --layer 8 --machine KNM
     python -m repro profile resnet_mini --steps 2 --trace-out trace.json
+    python -m repro serve --engine blocked --save-streams /tmp/streams.npz
+    python -m repro loadgen --mode open --rate 200 --duration 2
 """
 
 from __future__ import annotations
@@ -92,6 +98,54 @@ def build_parser() -> argparse.ArgumentParser:
                    help="chrome://tracing JSON output path")
     p.add_argument("--metrics-out", default="repro_metrics.json",
                    help="flat spans/counters/gauges JSON output path")
+
+    def _add_serve_config_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--model", default="resnet_mini",
+                       choices=["resnet_mini", "inception_mini"])
+        p.add_argument("--width", type=int, default=32)
+        p.add_argument("--engine", default="fast",
+                       choices=["fast", "blocked"])
+        p.add_argument("--execution-tier", default=None,
+                       choices=["compiled", "interpret", "einsum"])
+        p.add_argument("--buckets", default="1,2,4,8,16",
+                       help="comma-separated ascending micro-batch sizes")
+        p.add_argument("--workers", type=int, default=1)
+        p.add_argument("--queue-capacity", type=int, default=256)
+        p.add_argument("--batch-window-ms", type=float, default=2.0)
+        p.add_argument("--checkpoint", default=None,
+                       help="trained weights (.npz) to load into replicas")
+        p.add_argument("--load-streams", default=None,
+                       help="warm-start artifact from a previous "
+                            "--save-streams run (blocked engine)")
+
+    p = sub.add_parser(
+        "serve", help="dynamic-batching inference server over HTTP"
+    )
+    _add_serve_config_args(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8757)
+    p.add_argument("--save-streams", default=None,
+                   help="dump the warm cache after boot, then keep serving")
+    p.add_argument("--boot-only", action="store_true",
+                   help="boot, report, save streams if asked, and exit "
+                        "(for scripting / CI)")
+
+    p = sub.add_parser(
+        "loadgen", help="synthetic load against an in-process server"
+    )
+    _add_serve_config_args(p)
+    p.add_argument("--mode", default="closed", choices=["closed", "open"])
+    p.add_argument("--clients", type=int, default=8,
+                   help="closed-loop concurrency")
+    p.add_argument("--requests", type=int, default=256,
+                   help="closed-loop total submissions")
+    p.add_argument("--rate", type=float, default=200.0,
+                   help="open-loop arrival rate (req/s)")
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="open-loop run length (s)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None,
+                   help="write the LoadReport JSON here")
 
     p = sub.add_parser("disasm", help="print one JIT'ed kernel's µops")
     p.add_argument("--layer", type=int, default=8, choices=range(1, 21),
@@ -246,6 +300,93 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _serve_config_from_args(args):
+    from repro.serve import ServeConfig
+
+    return ServeConfig(
+        model=args.model,
+        width=args.width,
+        engine=args.engine,
+        execution_tier=args.execution_tier,
+        buckets=tuple(int(b) for b in args.buckets.split(",")),
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        batch_window_ms=args.batch_window_ms,
+        checkpoint=args.checkpoint,
+    )
+
+
+def _cmd_serve(args) -> int:
+    import time
+
+    from repro.serve import InferenceServer, serve_http
+
+    server = InferenceServer(_serve_config_from_args(args))
+    boot = server.start(streams_artifact=args.load_streams)
+    print(
+        f"booted {boot['engine']} engine in {boot['boot_s']:.3f}s "
+        f"(warm buckets {boot['warm_buckets']}, "
+        f"cold {boot['cold_buckets']})"
+    )
+    if args.save_streams:
+        n = server.save_streams_artifact(args.save_streams)
+        print(f"warm-cache artifact: {args.save_streams} ({n} entries)")
+    if args.boot_only:
+        server.stop()
+        return 0
+    httpd = serve_http(server, host=args.host, port=args.port)
+    host, port = httpd.server_address[:2]
+    print(f"serving on http://{host}:{port} "
+          f"(POST /predict, GET /metrics, GET /healthz)")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        httpd.shutdown()
+        server.stop()
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import json
+
+    from repro.serve import InferenceServer, run_closed_loop, run_open_loop
+
+    server = InferenceServer(_serve_config_from_args(args))
+    boot = server.start(streams_artifact=args.load_streams)
+    print(f"booted {boot['engine']} engine in {boot['boot_s']:.3f}s")
+    try:
+        if args.mode == "closed":
+            report = run_closed_loop(
+                server, clients=args.clients, requests=args.requests,
+                seed=args.seed,
+            )
+        else:
+            report = run_open_loop(
+                server, rate_rps=args.rate, duration_s=args.duration,
+                seed=args.seed,
+            )
+    finally:
+        server.stop()
+    lat = report.latency_ms
+    print(
+        f"{report.mode}: {report.completed}/{report.requests} completed, "
+        f"{report.shed} shed, {report.throughput_rps:.0f} req/s"
+    )
+    if lat:
+        print(
+            f"latency ms: p50 {lat['p50']:.2f}  p95 {lat['p95']:.2f}  "
+            f"p99 {lat['p99']:.2f}  mean {lat['mean']:.2f}"
+        )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"report written to {args.out}")
+    return 0
+
+
 def _cmd_disasm(args) -> int:
     from repro.arch.disasm import disassemble, summarize_program
     from repro.arch.machine import machine_by_name
@@ -276,6 +417,8 @@ def main(argv: list[str] | None = None) -> int:
         "scaling": _cmd_scaling,
         "disasm": _cmd_disasm,
         "profile": _cmd_profile,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
     }[args.command](args)
 
 

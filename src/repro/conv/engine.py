@@ -102,6 +102,7 @@ def make_engine(
     strategy=None,
     chain_limit: int | None = None,
     execution_tier: str | None = None,
+    streams=None,
 ) -> ConvEngine:
     """Construct the engine for ``pass_`` with one uniform keyword set.
 
@@ -143,6 +144,10 @@ def make_engine(
         ``"verify"`` (run compiled *and* interpret, assert bitwise
         equality).  ``None`` resolves to the process-wide default
         (:func:`repro.jit.set_default_execution_tier`).
+    streams:
+        Forward f32 engine only: pre-recorded per-thread
+        :class:`~repro.streams.stream.FrozenStream` list (e.g. from a
+        serve warm cache) adopted instead of running the dryrun phase.
     """
     p, quant = _normalize_pass(pass_)
     if dtype is DType.QI16F32:
@@ -151,6 +156,10 @@ def make_engine(
         raise ReproError("'strategy' applies only to the update pass")
     if chain_limit is not None and not quant:
         raise ReproError("'chain_limit' applies only to the int16 engine")
+    if streams is not None and (quant or p is not Pass.FWD):
+        raise ReproError(
+            "'streams' warm-start applies only to the f32 forward engine"
+        )
 
     if quant:
         if p is not Pass.FWD:
@@ -170,7 +179,7 @@ def make_engine(
             params, machine, dtype=dtype, fused_ops=fused_ops,
             threads=threads, plan=plan, prefetch=prefetch,
             kernel_cache=kernel_cache, tracer=tracer,
-            execution_tier=execution_tier,
+            execution_tier=execution_tier, streams=streams,
         )
     if p is Pass.BWD:
         return DirectConvBackward(

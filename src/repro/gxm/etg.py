@@ -46,6 +46,14 @@ class ExecutionTaskGraph:
     engine:
         ``"fast"`` or ``"blocked"`` convolution engine (see
         :mod:`repro.gxm.nodes`).
+    execution_tier:
+        Kernel-stream execution tier for ``"blocked"`` conv nodes
+        (``"compiled"``/``"interpret"``/``"einsum"``/``"verify"``;
+        ``None`` = process default).
+    conv_streams:
+        Optional pre-recorded forward kernel streams per conv-node name
+        (from :meth:`conv_stream_state` or a serve warm cache); blocked
+        conv nodes with an entry skip the dryrun phase.
     """
 
     def __init__(
@@ -58,6 +66,8 @@ class ExecutionTaskGraph:
         seed: int = 0,
         fuse: bool = False,
         tracer: Tracer | None = None,
+        execution_tier: str | None = None,
+        conv_streams: dict | None = None,
     ):
         #: spans (``etg.step`` / ``etg.task``) are recorded here; the
         #: TaskProfiler swaps in its own always-enabled tracer per step.
@@ -92,7 +102,9 @@ class ExecutionTaskGraph:
                 for t in layer.tops:
                     shapes[t] = out
             self.nodes[layer.name] = build_node(
-                layer, in_shapes, engine, machine, threads, rng
+                layer, in_shapes, engine, machine, threads, rng,
+                execution_tier=execution_tier,
+                streams=(conv_streams or {}).get(layer.name),
             )
         self.shapes = shapes
         self._loss_nodes = [
@@ -121,6 +133,22 @@ class ExecutionTaskGraph:
 
     def accuracy(self) -> float:
         return self._loss_nodes[0].accuracy()
+
+    def output_probabilities(self) -> np.ndarray:
+        """Class probabilities of the loss head after the latest forward
+        pass -- the public face of the softmax output (inference callers
+        must not reach into loss-node internals)."""
+        return self._loss_nodes[0].layer.probabilities
+
+    def conv_stream_state(self) -> dict[str, list]:
+        """Recorded forward kernel streams per blocked conv node, keyed by
+        node name -- the warm-start payload for ``conv_streams``."""
+        out: dict[str, list] = {}
+        for name, node in self.nodes.items():
+            streams = getattr(node, "forward_streams", None)
+            if streams is not None:
+                out[name] = streams
+        return out
 
     # ------------------------------------------------------------------
     def train_step(self, x: np.ndarray, labels: np.ndarray) -> float:

@@ -38,7 +38,16 @@ class EvalResult:
 
 
 class InferenceSession:
-    """Forward-only execution over a trained graph."""
+    """Forward-only execution over a trained graph.
+
+    Entering the session switches every BatchNorm node to its running
+    statistics; exiting restores whatever mode each node was in *at
+    entry*.  Entries nest (the same graph may be wrapped by several
+    sessions, or one session re-entered) and restoration is driven by the
+    ``with`` protocol, so an exception inside the block cannot leave the
+    graph stuck in evaluation mode -- and an inner exit cannot flip the
+    layers back to training while an outer session is still active.
+    """
 
     def __init__(self, etg: ExecutionTaskGraph):
         self.etg = etg
@@ -47,21 +56,25 @@ class InferenceSession:
             for node in etg.nodes.values()
             if isinstance(node, _LayerNode) and isinstance(node.layer, BatchNorm2D)
         ]
+        #: stack of per-entry saved ``training`` flags (LIFO restore)
+        self._saved_modes: list[list[bool]] = []
 
     def __enter__(self) -> "InferenceSession":
+        self._saved_modes.append([bn.training for bn in self._bns])
         for bn in self._bns:
             bn.training = False
         return self
 
     def __exit__(self, *exc) -> None:
-        for bn in self._bns:
-            bn.training = True
+        if not self._saved_modes:
+            return
+        for bn, mode in zip(self._bns, self._saved_modes.pop()):
+            bn.training = mode
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Class probabilities for one batch."""
         self.etg.forward_only(x, None)
-        loss_node = self.etg._loss_nodes[0]
-        return loss_node.layer._probs
+        return self.etg.output_probabilities()
 
     def evaluate(self, dataset, batch_size: int) -> EvalResult:
         """Loss and top-1/top-5 accuracy over one pass of the dataset."""
@@ -69,7 +82,7 @@ class InferenceSession:
         for x, y in dataset.batches(batch_size, epochs=1):
             loss = self.etg.forward_only(x, y)
             losses.append(loss * len(y))
-            probs = self.etg._loss_nodes[0].layer._probs
+            probs = self.etg.output_probabilities()
             order = np.argsort(-probs, axis=1)
             top1 += int((order[:, 0] == y).sum())
             k = min(5, probs.shape[1])

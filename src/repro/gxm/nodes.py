@@ -14,15 +14,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.arch.machine import SKX, MachineConfig
-from repro.conv.backward import DirectConvBackward
-from repro.conv.forward import DirectConvForward
 from repro.conv.params import ConvParams
 from repro.conv.reference import (
     conv2d_backward_data,
     conv2d_forward,
     conv2d_update_weights,
 )
-from repro.conv.upd import DirectConvUpd
 from repro.gxm.topology import LayerSpec
 from repro.layers import (
     AvgPool2D,
@@ -86,6 +83,8 @@ class ConvNode(Node):
         machine: MachineConfig = SKX,
         threads: int = 1,
         rng: np.random.Generator | None = None,
+        execution_tier: str | None = None,
+        streams=None,
     ):
         super().__init__(spec)
         rng = rng or np.random.default_rng(0)
@@ -111,17 +110,47 @@ class ConvNode(Node):
         self._x = None
         self._dy = None
         self._y = None
+        self._execution_tier = execution_tier
+        # BWD/UPD engines are built lazily on first use: their dryruns are
+        # pure waste for forward-only graphs (inference serving), and a
+        # training run pays them once at its first backward step anyway
+        self._bwd = None
+        self._upd = None
         if engine == "blocked":
+            from repro.conv.engine import make_engine
             from repro.conv.fusion import ReLU as FusedReLU
+            from repro.types import Pass
 
             fused_ops = [FusedReLU()] if self.fused_relu else []
-            self._fwd = DirectConvForward(
-                self.p, machine, threads=threads, fused_ops=fused_ops
+            self._fwd = make_engine(
+                Pass.FWD, self.p, machine=machine, threads=threads,
+                fused_ops=fused_ops, execution_tier=execution_tier,
+                streams=streams,
             )
-            self._bwd = DirectConvBackward(self.p, machine, threads=threads)
-            self._upd = DirectConvUpd(self.p, machine, threads=threads)
         elif engine != "fast":
             raise ReproError(f"unknown conv engine {engine!r}")
+
+    def _bwd_engine(self):
+        if self._bwd is None:
+            from repro.conv.engine import make_engine
+            from repro.types import Pass
+
+            self._bwd = make_engine(
+                Pass.BWD, self.p, machine=self.machine,
+                threads=self.threads, execution_tier=self._execution_tier,
+            )
+        return self._bwd
+
+    def _upd_engine(self):
+        if self._upd is None:
+            from repro.conv.engine import make_engine
+            from repro.types import Pass
+
+            self._upd = make_engine(
+                Pass.UPD, self.p, machine=self.machine,
+                threads=self.threads, execution_tier=self._execution_tier,
+            )
+        return self._upd
 
     def _params_for(self, n: int) -> ConvParams:
         """The fast engine accepts any minibatch; the blocked engine was set
@@ -156,13 +185,13 @@ class ConvNode(Node):
         self._dy = dy
         p = self._params_for(dy.shape[0])
         if self.engine == "blocked":
-            return self._bwd.run_nchw(dy, self.weight)
+            return self._bwd_engine().run_nchw(dy, self.weight)
         return conv2d_backward_data(dy, self.weight, p)
 
     def update(self) -> None:
         p = self._params_for(self._x.shape[0])
         if self.engine == "blocked":
-            self.dweight[:] = self._upd.run_nchw(self._x, self._dy)
+            self.dweight[:] = self._upd_engine().run_nchw(self._x, self._dy)
         else:
             self.dweight[:] = conv2d_update_weights(self._x, self._dy, p)
 
@@ -171,6 +200,15 @@ class ConvNode(Node):
 
     def grads(self):
         return [self.dweight]
+
+    @property
+    def forward_streams(self):
+        """The forward engine's recorded kernel streams (blocked engine
+        only; ``None`` for the fast engine) -- serve warm caches persist
+        these so a rebooted server skips the dryrun phase."""
+        if self.engine != "blocked":
+            return None
+        return list(self._fwd.streams)
 
 
 class _LayerNode(Node):
@@ -299,13 +337,18 @@ def build_node(
     machine: MachineConfig = SKX,
     threads: int = 1,
     rng: np.random.Generator | None = None,
+    execution_tier: str | None = None,
+    streams=None,
 ) -> Node:
     """Instantiate the runtime node for a layer spec."""
     t = spec.type
     if t == "Data":
         return Node(spec)  # placeholder; the ETG feeds it directly
     if t == "Convolution":
-        return ConvNode(spec, in_shapes[0], engine, machine, threads, rng)
+        return ConvNode(
+            spec, in_shapes[0], engine, machine, threads, rng,
+            execution_tier=execution_tier, streams=streams,
+        )
     if t == "ReLU":
         return _LayerNode(spec, ReLULayer())
     if t == "BatchNorm":

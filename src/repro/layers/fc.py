@@ -30,7 +30,11 @@ class Linear(Layer):
                 f"Linear expected (N, {self.weight.shape[1]}), got {x.shape}"
             )
         self._x = x
-        return x @ self.weight.T + self.bias
+        # non-optimized einsum keeps the per-row accumulation order
+        # independent of N (BLAS gemv/gemm switch at N=1 otherwise), so a
+        # sample's logits are bitwise identical whatever batch it rides in
+        # -- the invariant the serving batcher relies on
+        return np.einsum("nc,kc->nk", x, self.weight) + self.bias
 
     def backward(self, dy: np.ndarray) -> np.ndarray:
         self.dweight[:] = dy.T @ self._x

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.layers.base import Layer
+from repro.types import ReproError
 
 __all__ = ["SoftmaxCrossEntropy"]
 
@@ -34,6 +35,13 @@ class SoftmaxCrossEntropy(Layer):
         grad = self._probs.copy()
         grad[np.arange(n), self._labels] -= 1.0
         return (grad / n * dy).astype(np.float32)
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Class probabilities from the most recent forward pass."""
+        if self._probs is None:
+            raise ReproError("no forward pass has run yet")
+        return self._probs
 
     def accuracy(self, labels: np.ndarray) -> float:
         return float((self._probs.argmax(axis=1) == labels).mean())

@@ -47,7 +47,13 @@ def chrome_trace(
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": metrics.snapshot(),
+        # summary form, not snapshot(): raw distribution windows would
+        # bloat the trace file with thousands of samples
+        "otherData": {
+            "counters": metrics.counters(),
+            "gauges": metrics.gauges(),
+            "distributions": metrics.distributions(),
+        },
     }
 
 
@@ -83,6 +89,7 @@ def flat_report(
         "spans": spans,
         "counters": metrics.counters(),
         "gauges": metrics.gauges(),
+        "distributions": metrics.distributions(),
     }
 
 

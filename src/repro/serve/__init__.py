@@ -1,0 +1,75 @@
+"""repro.serve -- dynamic-batching inference serving.
+
+The paper's central systems idea (section II-J) is to pay setup --
+JIT codegen, blocking choice, the dryrun that records kernel streams --
+**once**, then replay a frozen stream with zero control overhead per call.
+An inference server is the same shape at a larger scale: request shapes
+repeat millions of times, so *everything* shape-dependent (engines,
+streams, compiled closures, even the micro-batch buckets) is built at
+boot and amortized across requests.
+
+Pieces (one module each):
+
+* :class:`ServeConfig` -- the frozen description of what is served
+  (model, input shape, batch buckets, engine/tier, admission limits).
+* :class:`AdmissionQueue` -- bounded FIFO with load shedding; the only
+  place a request can be rejected.
+* :class:`MicroBatcher` -- coalesces single-image requests into
+  shape-bucketed minibatches (pad-to-bucket, outputs scattered back).
+* :class:`StreamWarmCache` -- per-bucket frozen kernel streams keyed by
+  content digest; persists to a ``.npz`` artifact so a rebooted server
+  skips every dryrun.
+* :class:`EngineReplica` / worker threads -- forward-only
+  :class:`~repro.gxm.inference.InferenceSession` instances per batch
+  bucket executing the batches.
+* :class:`InferenceServer` -- composition + SLO plumbing: per-request
+  latency percentiles, queue depth, batch occupancy and shed counts all
+  flow through :mod:`repro.obs`.
+* :func:`run_closed_loop` / :func:`run_open_loop` -- the synthetic load
+  generators behind ``python -m repro loadgen``.
+* :func:`serve_http` -- a stdlib HTTP front end (``POST /predict``,
+  ``GET /metrics``, ``GET /healthz``).
+
+Quick start::
+
+    from repro.serve import InferenceServer, ServeConfig, run_closed_loop
+
+    server = InferenceServer(ServeConfig())
+    server.start()
+    probs = server.predict(x)          # x: one (C, H, W) image
+    report = run_closed_loop(server, clients=8, requests=256)
+    print(report.throughput_rps, report.latency_ms["p99"])
+    server.stop()
+
+Outputs are bitwise identical to unbatched
+:meth:`~repro.gxm.inference.InferenceSession.predict` whatever bucket a
+request lands in: every layer of the forward path computes each sample
+independently of its batch neighbours (see ``Linear.forward`` for the one
+place that needed care).
+"""
+
+from repro.serve.admission import AdmissionQueue
+from repro.serve.batcher import MicroBatcher
+from repro.serve.config import ServeConfig
+from repro.serve.http import serve_http
+from repro.serve.loadgen import LoadReport, run_closed_loop, run_open_loop
+from repro.serve.request import InferenceRequest, RequestShed, ServerClosed
+from repro.serve.server import InferenceServer
+from repro.serve.warmcache import StreamWarmCache
+from repro.serve.worker import EngineReplica
+
+__all__ = [
+    "ServeConfig",
+    "InferenceServer",
+    "InferenceRequest",
+    "RequestShed",
+    "ServerClosed",
+    "AdmissionQueue",
+    "MicroBatcher",
+    "StreamWarmCache",
+    "EngineReplica",
+    "LoadReport",
+    "run_closed_loop",
+    "run_open_loop",
+    "serve_http",
+]

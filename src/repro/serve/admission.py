@@ -1,0 +1,97 @@
+"""Bounded admission queue with load shedding.
+
+Admission control is the only place a request can be rejected: a full
+queue sheds *new* arrivals (``serve.shed``) instead of letting latency
+grow without bound.  Workers drain the queue through :meth:`take`, which
+implements the dynamic-batching wait: return immediately once ``max_n``
+requests are pending, otherwise hold the batch open for at most
+``window_s`` after the first arrival.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.obs.metrics import get_metrics
+from repro.serve.request import InferenceRequest, RequestShed, ServerClosed
+
+__all__ = ["AdmissionQueue"]
+
+
+class AdmissionQueue:
+    """FIFO of :class:`InferenceRequest` with a hard capacity."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._q: deque[InferenceRequest] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    @property
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._q)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def put(self, req: InferenceRequest) -> None:
+        """Admit a request, or shed it if the queue is full."""
+        metrics = get_metrics()
+        with self._cond:
+            if self._closed:
+                raise ServerClosed("server is stopped; request rejected")
+            if len(self._q) >= self.capacity:
+                metrics.inc("serve.shed")
+                raise RequestShed(
+                    f"queue at capacity ({self.capacity}); request shed"
+                )
+            self._q.append(req)
+            metrics.set_gauge("serve.queue_depth", len(self._q))
+            self._cond.notify()
+
+    def take(
+        self, max_n: int, window_s: float = 0.0
+    ) -> list[InferenceRequest]:
+        """Dequeue up to ``max_n`` requests as one batch.
+
+        Blocks until at least one request is available (or the queue is
+        closed, returning ``[]``).  Once the first request is in hand the
+        batch stays open for at most ``window_s`` waiting for more; it
+        closes early when ``max_n`` is reached.
+        """
+        with self._cond:
+            while not self._q and not self._closed:
+                self._cond.wait()
+            if not self._q:
+                return []
+            deadline = time.perf_counter() + window_s
+            while len(self._q) < max_n and not self._closed:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            batch = [
+                self._q.popleft() for _ in range(min(max_n, len(self._q)))
+            ]
+            get_metrics().set_gauge("serve.queue_depth", len(self._q))
+            return batch
+
+    def drain(self) -> list[InferenceRequest]:
+        """Remove and return everything still queued (used at shutdown
+        to fail leftover requests)."""
+        with self._cond:
+            leftover = list(self._q)
+            self._q.clear()
+            get_metrics().set_gauge("serve.queue_depth", 0)
+            return leftover
+
+    def close(self) -> None:
+        """Reject future puts and wake every blocked :meth:`take`."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

@@ -1,0 +1,58 @@
+"""Micro-batching: pad requests to a bucket, scatter results back.
+
+Engines only exist for the configured bucket sizes, so a group of ``n``
+requests rides in the smallest bucket >= n with zero rows padding the
+tail.  Padding rows are pure throwaway compute; correctness never
+depends on them because every layer of the forward path computes each
+sample independently of its batch neighbours (the batch-invariance the
+serving tests pin down bitwise).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs.metrics import get_metrics
+from repro.serve.request import InferenceRequest
+from repro.types import ShapeError
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Coalesce single-image requests into bucket-shaped minibatches."""
+
+    def __init__(self, buckets: tuple[int, ...]):
+        self.buckets = tuple(sorted(buckets))
+
+    def bucket_for(self, n: int) -> int:
+        """Smallest configured bucket that fits ``n`` requests."""
+        for b in self.buckets:
+            if b >= n:
+                return b
+        raise ShapeError(
+            f"{n} requests exceed the largest bucket {self.buckets[-1]}"
+        )
+
+    def build(
+        self, requests: list[InferenceRequest]
+    ) -> tuple[np.ndarray, int, int]:
+        """Stack requests into a zero-padded ``(bucket, C, H, W)`` batch.
+
+        Returns ``(batch, n, bucket)`` where ``n`` is the live row count.
+        """
+        n = len(requests)
+        bucket = self.bucket_for(n)
+        shape = requests[0].x.shape
+        batch = np.zeros((bucket, *shape), dtype=np.float32)
+        for i, req in enumerate(requests):
+            batch[i] = req.x
+        get_metrics().observe("serve.batch_occupancy", n / bucket)
+        return batch, n, bucket
+
+    def scatter(
+        self, requests: list[InferenceRequest], probs: np.ndarray
+    ) -> None:
+        """Resolve each request with its own (copied) probability row."""
+        for i, req in enumerate(requests):
+            req._resolve(np.copy(probs[i]))

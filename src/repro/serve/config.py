@@ -1,0 +1,139 @@
+"""Serving configuration: the frozen description of what a server runs.
+
+Everything shape- or engine-dependent is pinned here so that replicas,
+warm-cache artifacts and load generators all agree on it.  The
+``fingerprint`` ties a stream artifact to the exact configuration that
+recorded it -- loading streams recorded for a different model, bucket
+set or blocking setup is refused at boot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.types import ReproError
+
+__all__ = ["ServeConfig"]
+
+_MODELS = ("resnet_mini", "inception_mini")
+_ENGINES = ("fast", "blocked")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """What one :class:`~repro.serve.server.InferenceServer` serves.
+
+    Parameters
+    ----------
+    model, width, num_classes, input_shape:
+        Topology and the per-request image shape ``(C, H, W)``.
+    engine:
+        ``"fast"`` (BLAS reference semantics; the throughput engine) or
+        ``"blocked"`` (the full kernel-stream engine; the one the stream
+        warm cache accelerates).
+    execution_tier:
+        Kernel-stream tier for ``"blocked"`` (``None`` = process
+        default, i.e. ``compiled``).
+    buckets:
+        Ascending micro-batch sizes.  A batch of ``n`` pending requests
+        is padded up to the smallest bucket >= n; engines exist only for
+        bucket shapes, never for arbitrary ``n``.
+    workers:
+        Worker threads, each owning a full engine replica.
+    queue_capacity:
+        Admission bound; a request arriving at a full queue is shed.
+    batch_window_ms:
+        How long a worker waits for the batch to fill once at least one
+        request is pending (the latency/occupancy trade-off knob).
+    """
+
+    model: str = "resnet_mini"
+    width: int = 32
+    num_classes: int = 8
+    input_shape: tuple[int, int, int] = (16, 8, 8)
+    engine: str = "fast"
+    execution_tier: str | None = None
+    machine: str = "SKX"
+    threads: int = 1
+    buckets: tuple[int, ...] = (1, 2, 4, 8, 16)
+    workers: int = 1
+    queue_capacity: int = 256
+    batch_window_ms: float = 2.0
+    seed: int = 7
+    checkpoint: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.model not in _MODELS:
+            raise ReproError(
+                f"unknown serve model {self.model!r}; expected {_MODELS}"
+            )
+        if self.engine not in _ENGINES:
+            raise ReproError(
+                f"unknown serve engine {self.engine!r}; expected {_ENGINES}"
+            )
+        buckets = tuple(int(b) for b in self.buckets)
+        if not buckets or any(b < 1 for b in buckets):
+            raise ReproError("buckets must be a non-empty list of sizes >= 1")
+        if list(buckets) != sorted(set(buckets)):
+            raise ReproError(f"buckets must be ascending and unique: {buckets}")
+        object.__setattr__(self, "buckets", buckets)
+        object.__setattr__(
+            self, "input_shape", tuple(int(d) for d in self.input_shape)
+        )
+        if len(self.input_shape) != 3:
+            raise ReproError(
+                f"input_shape must be (C, H, W), got {self.input_shape}"
+            )
+        if self.workers < 1:
+            raise ReproError("workers must be >= 1")
+        if self.queue_capacity < 1:
+            raise ReproError("queue_capacity must be >= 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def max_bucket(self) -> int:
+        return self.buckets[-1]
+
+    def fingerprint(self) -> str:
+        """Content digest of every field that affects recorded streams."""
+        doc = asdict(self)
+        # runtime-only knobs do not change the streams an engine records
+        for k in ("workers", "queue_capacity", "batch_window_ms",
+                  "checkpoint"):
+            doc.pop(k)
+        blob = json.dumps(doc, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    def build_topology(self):
+        if self.model == "resnet_mini":
+            from repro.models.resnet50 import resnet_mini_topology
+
+            return resnet_mini_topology(
+                num_classes=self.num_classes, width=self.width
+            )
+        from repro.models.inception_v3 import inception_mini_topology
+
+        return inception_mini_topology(
+            num_classes=self.num_classes, width=self.width
+        )
+
+    def build_etg(self, bucket: int, conv_streams=None, tracer=None):
+        """One :class:`~repro.gxm.etg.ExecutionTaskGraph` sized for a
+        batch bucket (the blocked engine records streams per fixed N)."""
+        from repro.arch.machine import machine_by_name
+        from repro.gxm.etg import ExecutionTaskGraph
+
+        return ExecutionTaskGraph(
+            self.build_topology(),
+            input_shape=(bucket, *self.input_shape),
+            engine=self.engine,
+            machine=machine_by_name(self.machine),
+            threads=self.threads,
+            seed=self.seed,
+            tracer=tracer,
+            execution_tier=self.execution_tier,
+            conv_streams=conv_streams,
+        )

@@ -1,0 +1,97 @@
+"""Minimal stdlib HTTP front end for an :class:`InferenceServer`.
+
+Three endpoints, JSON in/out:
+
+* ``POST /predict`` -- body ``{"input": <nested (C, H, W) list>}``,
+  response ``{"probs": [...], "argmax": k}``.
+* ``GET /metrics`` -- the server's :meth:`stats` snapshot.
+* ``GET /healthz`` -- liveness.
+
+Load shedding and shutdown map to ``503`` (the standard back-pressure
+status), malformed input to ``400``.  The listener is a
+``ThreadingHTTPServer`` running in a daemon thread: each connection
+blocks in ``predict`` while the batcher coalesces it with its
+neighbours, so concurrency comes from the client side exactly as with
+in-process submission.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.serve.request import RequestShed, ServerClosed
+from repro.types import ShapeError
+
+__all__ = ["serve_http"]
+
+
+def _make_handler(server):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, *args):  # noqa: D102 -- keep tests quiet
+            pass
+
+        def _reply(self, status: int, doc: dict) -> None:
+            body = json.dumps(doc).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 -- http.server API
+            if self.path == "/healthz":
+                self._reply(200, {"status": "ok"})
+            elif self.path == "/metrics":
+                self._reply(200, server.stats())
+            else:
+                self._reply(404, {"error": f"no such path {self.path}"})
+
+        def do_POST(self) -> None:  # noqa: N802 -- http.server API
+            if self.path != "/predict":
+                self._reply(404, {"error": f"no such path {self.path}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                doc = json.loads(self.rfile.read(length))
+                x = np.asarray(doc["input"], dtype=np.float32)
+            except (ValueError, KeyError, TypeError) as err:
+                self._reply(400, {"error": f"bad request body: {err}"})
+                return
+            try:
+                probs = server.predict(x)
+            except (ShapeError,) as err:
+                self._reply(400, {"error": str(err)})
+                return
+            except (RequestShed, ServerClosed) as err:
+                self._reply(503, {"error": str(err)})
+                return
+            self._reply(
+                200,
+                {
+                    "probs": [float(p) for p in probs],
+                    "argmax": int(np.argmax(probs)),
+                },
+            )
+
+    return Handler
+
+
+def serve_http(server, host: str = "127.0.0.1", port: int = 0):
+    """Expose ``server`` over HTTP; returns the listening ``httpd``.
+
+    ``port=0`` binds an ephemeral port -- read it back from
+    ``httpd.server_address[1]``.  Stop with ``httpd.shutdown()``.
+    """
+    httpd = ThreadingHTTPServer((host, port), _make_handler(server))
+    httpd.daemon_threads = True
+    thread = threading.Thread(
+        target=httpd.serve_forever, name="serve-http", daemon=True
+    )
+    thread.start()
+    return httpd

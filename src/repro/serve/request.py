@@ -1,0 +1,71 @@
+"""One in-flight inference request.
+
+A request is the unit the admission queue holds and the batcher
+coalesces: one ``(C, H, W)`` image plus a completion event the worker
+signals from its own thread.  The submitting thread blocks in
+:meth:`InferenceRequest.result` -- the usual future shape, kept to the
+handful of methods serving actually needs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+
+import numpy as np
+
+from repro.types import ReproError
+
+__all__ = ["InferenceRequest", "RequestShed", "ServerClosed"]
+
+
+class RequestShed(ReproError):
+    """Raised to the submitter when admission control rejects a request
+    (queue at capacity)."""
+
+
+class ServerClosed(ReproError):
+    """Raised when a request is submitted to -- or still queued in -- a
+    server that has been stopped."""
+
+
+_ids = itertools.count()
+
+
+class InferenceRequest:
+    """A single image awaiting its probability vector."""
+
+    __slots__ = ("id", "x", "t_submit", "_event", "_value", "_error")
+
+    def __init__(self, x: np.ndarray):
+        self.id = next(_ids)
+        self.x = x
+        #: submission wall-clock, for end-to-end latency accounting
+        self.t_submit = time.perf_counter()
+        self._event = threading.Event()
+        self._value: np.ndarray | None = None
+        self._error: BaseException | None = None
+
+    def _resolve(self, value: np.ndarray) -> None:
+        self._value = value
+        self._event.set()
+
+    def _fail(self, err: BaseException) -> None:
+        self._error = err
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        """Block until the worker resolves this request; re-raises any
+        failure from the worker thread in the submitter's thread."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.id} not completed within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._value

@@ -1,0 +1,191 @@
+"""The inference server: queue + batcher + warm cache + workers.
+
+Boot does everything expensive exactly once -- graph construction,
+JIT codegen, dryrun stream recording (or warm-cache replay, skipping
+the dryrun entirely) -- so the steady state per request is: admission,
+a short batching wait, one engine call, scatter.  SLO signals flow
+through :mod:`repro.obs`: ``serve.latency_ms`` (distribution ->
+p50/p95/p99), ``serve.queue_depth``, ``serve.batch_occupancy``,
+``serve.shed``/``serve.batches``/``serve.responses`` counters and the
+``serve.boot_s`` gauge.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.obs.metrics import get_metrics
+from repro.serve.admission import AdmissionQueue
+from repro.serve.batcher import MicroBatcher
+from repro.serve.config import ServeConfig
+from repro.serve.request import InferenceRequest, ServerClosed
+from repro.serve.warmcache import StreamWarmCache
+from repro.serve.worker import EngineReplica, Worker
+from repro.types import ReproError, ShapeError
+
+__all__ = ["InferenceServer"]
+
+
+class InferenceServer:
+    """Dynamic-batching front end over bucket-sized inference engines."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.queue = AdmissionQueue(config.queue_capacity)
+        self.batcher = MicroBatcher(config.buckets)
+        self.warm_cache = StreamWarmCache(config.fingerprint())
+        self._replicas: list[EngineReplica] = []
+        self._workers: list[Worker] = []
+        self.boot_stats: dict = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self, streams_artifact=None) -> dict:
+        """Build every replica and start the worker threads.
+
+        ``streams_artifact`` (path or file object) warm-starts the
+        blocked engine from saved kernel streams; buckets present in the
+        artifact skip their dryrun.  Returns :attr:`boot_stats`.
+        """
+        if self._started:
+            raise ReproError("server already started")
+        t0 = time.perf_counter()
+        if streams_artifact is not None:
+            if self.config.engine != "blocked":
+                raise ReproError(
+                    "stream warm-start applies only to the blocked engine"
+                )
+            self.warm_cache.load(streams_artifact)
+        for i in range(self.config.workers):
+            replica = EngineReplica(self.config, self.warm_cache)
+            self._replicas.append(replica)
+            self._workers.append(
+                Worker(
+                    name=f"serve-worker-{i}",
+                    queue=self.queue,
+                    batcher=self.batcher,
+                    replica=replica,
+                    batch_window_s=self.config.batch_window_ms / 1e3,
+                )
+            )
+        if self.config.checkpoint:
+            self._load_checkpoint(self.config.checkpoint)
+        boot_s = time.perf_counter() - t0
+        first = self._replicas[0]
+        self.boot_stats = {
+            "boot_s": boot_s,
+            "engine": self.config.engine,
+            "warm_buckets": list(first.warm_buckets),
+            "cold_buckets": list(first.cold_buckets),
+        }
+        get_metrics().set_gauge("serve.boot_s", boot_s)
+        for w in self._workers:
+            w.start()
+        self._started = True
+        return self.boot_stats
+
+    def _load_checkpoint(self, path: str) -> None:
+        """Copy trained parameters from a checkpoint into every graph of
+        every replica (all graphs share one layout, so loading is a flat
+        parameter copy per graph)."""
+        from repro.gxm.checkpoint import load_checkpoint
+
+        for replica in self._replicas:
+            seen = set()
+            for session in replica._sessions.values():
+                if id(session) in seen:
+                    continue
+                seen.add(id(session))
+                load_checkpoint(session.etg, path)
+
+    # ------------------------------------------------------------------
+    def submit(self, x: np.ndarray) -> InferenceRequest:
+        """Admit one ``(C, H, W)`` image; returns the pending request.
+
+        Raises :class:`RequestShed` when the queue is full and
+        :class:`ServerClosed` after :meth:`stop`.
+        """
+        if not self._started:
+            raise ServerClosed("server not started")
+        x = np.asarray(x, dtype=np.float32)
+        if x.shape != self.config.input_shape:
+            raise ShapeError(
+                f"request shape {x.shape} != configured "
+                f"{self.config.input_shape}"
+            )
+        req = InferenceRequest(x)
+        self.queue.put(req)
+        return req
+
+    def predict(
+        self, x: np.ndarray, timeout: float | None = 30.0
+    ) -> np.ndarray:
+        """Blocking convenience: submit one image, wait for its probs."""
+        return self.submit(x).result(timeout)
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Close admission, drain workers, fail leftover requests."""
+        if not self._started:
+            return
+        self.queue.close()
+        for w in self._workers:
+            w.join(timeout=30.0)
+        for req in self.queue.drain():
+            req._fail(ServerClosed("server stopped before request ran"))
+        for replica in self._replicas:
+            replica.close()
+        self._replicas.clear()
+        self._workers.clear()
+        self._started = False
+
+    def __enter__(self) -> "InferenceServer":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """SLO snapshot: serve.* metrics, latency percentiles, kernel
+        cache state, boot stats and warm-cache digests."""
+        from repro.jit.kernel_cache import get_default_cache
+
+        metrics = get_metrics()
+        counters = {
+            k: v
+            for k, v in metrics.counters().items()
+            if k.startswith("serve.")
+        }
+        gauges = {
+            k: v
+            for k, v in metrics.gauges().items()
+            if k.startswith("serve.")
+        }
+        dists = {
+            k: v
+            for k, v in metrics.distributions().items()
+            if k.startswith("serve.")
+        }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "distributions": dists,
+            "kernel_cache": get_default_cache().stats(),
+            "boot": dict(self.boot_stats),
+            "warm_streams": self.warm_cache.digests(),
+        }
+
+    def save_streams_artifact(self, path_or_file) -> int:
+        """Persist the warm cache for the next boot; returns the entry
+        count.  Only meaningful for the blocked engine (the fast engine
+        records no streams)."""
+        if self.config.engine != "blocked":
+            raise ReproError(
+                "stream artifacts apply only to the blocked engine"
+            )
+        return self.warm_cache.save(path_or_file)

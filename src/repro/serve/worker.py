@@ -1,0 +1,125 @@
+"""Engine replicas and the worker threads that drive them.
+
+A replica is one complete set of forward-only engines for every
+configured batch bucket, wrapped in entered
+:class:`~repro.gxm.inference.InferenceSession` instances so BatchNorm
+runs on its running statistics for the replica's whole lifetime.
+
+Engine strategy per :class:`~repro.serve.config.ServeConfig`:
+
+* ``fast`` -- batch size is just the leading dimension, so ONE graph
+  serves every bucket.  This is the throughput engine (batching feeds
+  BLAS bigger GEMMs).
+* ``blocked`` -- kernel streams are recorded for a fixed minibatch, so
+  the replica owns one graph *per bucket*.  Building each graph replays
+  warm-cache streams when available (no dryrun) and contributes its
+  freshly recorded streams to the cache otherwise.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.gxm.inference import InferenceSession
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
+from repro.serve.admission import AdmissionQueue
+from repro.serve.batcher import MicroBatcher
+from repro.serve.config import ServeConfig
+from repro.serve.request import InferenceRequest
+from repro.serve.warmcache import StreamWarmCache
+
+__all__ = ["EngineReplica", "Worker"]
+
+
+class EngineReplica:
+    """Every engine one worker thread needs, built once at boot."""
+
+    def __init__(
+        self, config: ServeConfig, warm_cache: StreamWarmCache | None = None
+    ):
+        self.config = config
+        self._sessions: dict[int, InferenceSession] = {}
+        self.warm_buckets: list[int] = []
+        self.cold_buckets: list[int] = []
+        if config.engine == "fast":
+            # one graph handles any leading dimension
+            etg = config.build_etg(config.max_bucket)
+            session = InferenceSession(etg).__enter__()
+            for bucket in config.buckets:
+                self._sessions[bucket] = session
+            self.cold_buckets = list(config.buckets)
+        else:
+            for bucket in config.buckets:
+                streams = warm_cache.get(bucket) if warm_cache else None
+                etg = config.build_etg(bucket, conv_streams=streams)
+                if streams is None:
+                    self.cold_buckets.append(bucket)
+                    if warm_cache is not None:
+                        warm_cache.put(bucket, etg.conv_stream_state())
+                else:
+                    self.warm_buckets.append(bucket)
+                self._sessions[bucket] = InferenceSession(etg).__enter__()
+
+    def run(self, batch, bucket: int):
+        """Probabilities for one ``(bucket, C, H, W)`` batch."""
+        return self._sessions[bucket].predict(batch)
+
+    def close(self) -> None:
+        # the fast replica maps every bucket to one session: exit each
+        # distinct session exactly once
+        for session in {id(s): s for s in self._sessions.values()}.values():
+            session.__exit__(None, None, None)
+        self._sessions.clear()
+
+
+class Worker(threading.Thread):
+    """Drains the admission queue: take -> pad -> run -> scatter."""
+
+    def __init__(
+        self,
+        name: str,
+        queue: AdmissionQueue,
+        batcher: MicroBatcher,
+        replica: EngineReplica,
+        batch_window_s: float,
+    ):
+        super().__init__(name=name, daemon=True)
+        self.queue = queue
+        self.batcher = batcher
+        self.replica = replica
+        self.batch_window_s = batch_window_s
+
+    def run(self) -> None:
+        metrics = get_metrics()
+        tracer = get_tracer()
+        max_n = self.batcher.buckets[-1]
+        while True:
+            requests = self.queue.take(max_n, self.batch_window_s)
+            if not requests:
+                return  # queue closed and drained
+            try:
+                self._serve_batch(requests, metrics, tracer)
+            except BaseException as err:  # noqa: BLE001 -- fail, don't die
+                metrics.inc("serve.errors")
+                for req in requests:
+                    req._fail(err)
+
+    def _serve_batch(
+        self, requests: list[InferenceRequest], metrics, tracer
+    ) -> None:
+        batch, n, bucket = self.batcher.build(requests)
+        if tracer.enabled:
+            with tracer.span("serve.batch", bucket=bucket, n=n):
+                probs = self.replica.run(batch, bucket)
+        else:
+            probs = self.replica.run(batch, bucket)
+        self.batcher.scatter(requests, probs)
+        done = time.perf_counter()
+        for req in requests:
+            metrics.observe(
+                "serve.latency_ms", (done - req.t_submit) * 1e3
+            )
+        metrics.inc("serve.batches")
+        metrics.inc("serve.responses", n)

@@ -15,9 +15,17 @@ import numpy as np
 from repro.streams.stream import FrozenStream
 from repro.types import ReproError
 
-__all__ = ["save_streams", "load_streams", "streams_digest"]
+__all__ = [
+    "save_streams",
+    "load_streams",
+    "streams_digest",
+    "save_stream_bundle",
+    "load_stream_bundle",
+]
 
 _FORMAT_VERSION = 1
+_BUNDLE_VERSION = 1
+_FIELDS = ("kinds", "i_off", "w_off", "o_off", "apply_op")
 
 
 def save_streams(path_or_file, streams: list[FrozenStream], meta: dict | None = None) -> None:
@@ -55,6 +63,76 @@ def load_streams(path_or_file) -> tuple[list[FrozenStream], dict]:
                 )
             )
     return streams, meta
+
+
+def save_stream_bundle(
+    path_or_file,
+    bundle: dict[str, list[FrozenStream]],
+    meta: dict | None = None,
+) -> None:
+    """Persist many named stream sets (e.g. one per conv node per batch
+    bucket) into a single ``.npz`` -- the serve warm-start artifact.
+
+    Every entry's :func:`streams_digest` is stored alongside it and
+    re-verified by :func:`load_stream_bundle`, so a stale or corrupted
+    artifact fails loudly at boot instead of replaying garbage offsets.
+    """
+    entries = {}
+    payload = {}
+    for name, streams in bundle.items():
+        if "::" in name:
+            raise ReproError(f"bundle entry name {name!r} contains '::'")
+        entries[name] = {
+            "threads": len(streams),
+            "digest": streams_digest(streams),
+        }
+        for i, s in enumerate(streams):
+            for field in _FIELDS:
+                payload[f"{name}::{field}_{i}"] = getattr(s, field)
+    doc = {
+        "bundle_version": _BUNDLE_VERSION,
+        "entries": entries,
+        **(meta or {}),
+    }
+    payload["__meta__"] = np.frombuffer(
+        json.dumps(doc).encode(), dtype=np.uint8
+    )
+    np.savez_compressed(path_or_file, **payload)
+
+
+def load_stream_bundle(path_or_file) -> tuple[dict[str, list[FrozenStream]], dict]:
+    """Load a bundle saved by :func:`save_stream_bundle`.
+
+    Returns ``(bundle, meta)``; every entry's content digest is verified
+    against the digest recorded at save time.
+    """
+    with np.load(path_or_file) as z:
+        meta = json.loads(bytes(z["__meta__"]).decode())
+        if meta.get("bundle_version") != _BUNDLE_VERSION:
+            raise ReproError(
+                f"unsupported stream bundle version "
+                f"{meta.get('bundle_version')}"
+            )
+        bundle: dict[str, list[FrozenStream]] = {}
+        for name, entry in meta["entries"].items():
+            streams = [
+                FrozenStream(
+                    **{
+                        field: z[f"{name}::{field}_{i}"]
+                        for field in _FIELDS
+                    }
+                )
+                for i in range(entry["threads"])
+            ]
+            digest = streams_digest(streams)
+            if digest != entry["digest"]:
+                raise ReproError(
+                    f"stream bundle entry {name!r} digest mismatch "
+                    f"({digest} != {entry['digest']}); artifact is stale "
+                    f"or corrupted"
+                )
+            bundle[name] = streams
+    return bundle, meta
 
 
 def streams_digest(streams: list[FrozenStream]) -> str:

@@ -1,0 +1,417 @@
+"""repro.serve: admission, batching, warm cache, server, loadgen, HTTP.
+
+The load-bearing guarantee is bitwise identity: whatever bucket the
+dynamic batcher packs a request into -- and whatever engine/tier runs
+the batch -- the probability vector must equal the one an unbatched
+``InferenceSession.predict`` produces for the same image.
+"""
+
+import io
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.gxm.inference import InferenceSession
+from repro.obs.metrics import get_metrics
+from repro.serve import (
+    AdmissionQueue,
+    InferenceRequest,
+    InferenceServer,
+    MicroBatcher,
+    RequestShed,
+    ServeConfig,
+    ServerClosed,
+    StreamWarmCache,
+    run_closed_loop,
+    run_open_loop,
+    serve_http,
+)
+from repro.types import ReproError, ShapeError
+
+SHAPE = (16, 8, 8)
+
+
+def tiny_config(**kw):
+    kw.setdefault("buckets", (1, 2, 4))
+    kw.setdefault("batch_window_ms", 1.0)
+    return ServeConfig(**kw)
+
+
+@pytest.fixture
+def clean_metrics():
+    get_metrics().clear()
+    yield get_metrics()
+    get_metrics().clear()
+
+
+def images(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, *SHAPE)).astype(np.float32)
+
+
+def direct_reference(cfg, xs):
+    """Unbatched batch-1 predictions -- the ground truth every served
+    answer must match bitwise."""
+    etg = cfg.build_etg(1)
+    with InferenceSession(etg) as sess:
+        return [sess.predict(x[None])[0].copy() for x in xs]
+
+
+# ---------------------------------------------------------------------------
+class TestServeConfig:
+    def test_defaults_validate(self):
+        cfg = ServeConfig()
+        assert cfg.max_bucket == 16
+        assert cfg.input_shape == (16, 8, 8)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"model": "resnet_full"},
+            {"engine": "magic"},
+            {"buckets": ()},
+            {"buckets": (4, 2, 1)},
+            {"buckets": (1, 1, 2)},
+            {"buckets": (0, 1)},
+            {"input_shape": (8, 8)},
+            {"workers": 0},
+            {"queue_capacity": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kw):
+        with pytest.raises(ReproError):
+            ServeConfig(**kw)
+
+    def test_fingerprint_tracks_stream_relevant_fields(self):
+        base = ServeConfig()
+        assert base.fingerprint() == ServeConfig().fingerprint()
+        assert base.fingerprint() != ServeConfig(width=16).fingerprint()
+        assert base.fingerprint() != ServeConfig(
+            buckets=(1, 2)).fingerprint()
+        # runtime-only knobs must NOT invalidate a stream artifact
+        assert base.fingerprint() == ServeConfig(
+            workers=2, queue_capacity=8, batch_window_ms=9.0
+        ).fingerprint()
+
+
+# ---------------------------------------------------------------------------
+class TestAdmissionQueue:
+    def test_sheds_when_full(self, clean_metrics):
+        q = AdmissionQueue(capacity=2)
+        q.put(InferenceRequest(images(1)[0]))
+        q.put(InferenceRequest(images(1)[0]))
+        with pytest.raises(RequestShed):
+            q.put(InferenceRequest(images(1)[0]))
+        assert clean_metrics.value("serve.shed") == 1
+        assert q.depth == 2
+
+    def test_closed_rejects_and_unblocks(self):
+        q = AdmissionQueue(capacity=4)
+        got = []
+        t = threading.Thread(target=lambda: got.append(q.take(4, 5.0)))
+        t.start()
+        q.close()
+        t.join(timeout=5.0)
+        assert got == [[]]
+        with pytest.raises(ServerClosed):
+            q.put(InferenceRequest(images(1)[0]))
+
+    def test_take_batches_up_to_max(self):
+        q = AdmissionQueue(capacity=8)
+        reqs = [InferenceRequest(x) for x in images(5)]
+        for r in reqs:
+            q.put(r)
+        batch = q.take(4, window_s=0.0)
+        assert [r.id for r in batch] == [r.id for r in reqs[:4]]
+        assert q.depth == 1
+        assert [r.id for r in q.drain()] == [reqs[4].id]
+
+
+# ---------------------------------------------------------------------------
+class TestMicroBatcher:
+    def test_bucket_for(self):
+        b = MicroBatcher((1, 2, 4, 8))
+        assert [b.bucket_for(n) for n in (1, 2, 3, 5, 8)] == [1, 2, 4, 8, 8]
+        with pytest.raises(ShapeError):
+            b.bucket_for(9)
+
+    def test_build_pads_and_scatter_copies(self, clean_metrics):
+        b = MicroBatcher((1, 2, 4))
+        reqs = [InferenceRequest(x) for x in images(3)]
+        batch, n, bucket = b.build(reqs)
+        assert (n, bucket) == (3, 4)
+        assert batch.shape == (4, *SHAPE)
+        assert (batch[3] == 0).all()
+        assert (batch[0] == reqs[0].x).all()
+        probs = np.arange(4 * 5, dtype=np.float32).reshape(4, 5)
+        b.scatter(reqs, probs)
+        out = reqs[1].result(timeout=1.0)
+        assert (out == probs[1]).all()
+        out[0] = -1  # scattered rows are copies, not views
+        assert probs[1, 0] == 5.0
+        occ = clean_metrics.distributions()["serve.batch_occupancy"]
+        assert occ["max"] == pytest.approx(0.75)
+
+
+# ---------------------------------------------------------------------------
+class TestBitwiseIdentity:
+    """Satellite: concurrent batched serving == unbatched predict, bitwise."""
+
+    @pytest.mark.parametrize(
+        "engine,tier",
+        [("fast", None), ("blocked", "compiled"), ("blocked", "interpret")],
+    )
+    def test_threads_through_batcher_match_direct_predict(
+        self, engine, tier, clean_metrics
+    ):
+        cfg = tiny_config(engine=engine, execution_tier=tier)
+        xs = images(12, seed=4)
+        refs = direct_reference(cfg, xs)
+        server = InferenceServer(cfg)
+        server.start()
+        try:
+            outs = [None] * len(xs)
+            barrier = threading.Barrier(len(xs))
+
+            def client(i):
+                barrier.wait()  # force concurrent arrival => mixed buckets
+                outs[i] = server.predict(xs[i])
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(len(xs))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            server.stop()
+        for i, (out, ref) in enumerate(zip(outs, refs)):
+            assert out.dtype == ref.dtype
+            assert (out == ref).all(), f"request {i} diverged under batching"
+        # concurrency actually exercised multi-request batches
+        batches = clean_metrics.value("serve.batches")
+        assert clean_metrics.value("serve.responses") == len(xs)
+        assert batches < len(xs)
+
+
+# ---------------------------------------------------------------------------
+class TestWarmCache:
+    def test_artifact_round_trip_skips_dryrun(self, clean_metrics):
+        cfg = tiny_config(engine="blocked", execution_tier="compiled",
+                          buckets=(1, 2))
+        xs = images(3, seed=9)
+
+        cold = InferenceServer(cfg)
+        boot1 = cold.start()
+        assert boot1["cold_buckets"] == [1, 2] and not boot1["warm_buckets"]
+        cold_recorded = clean_metrics.value("conv.streams_recorded")
+        assert clean_metrics.value("conv.streams_restored") == 0
+        ref = [cold.predict(x) for x in xs]
+        buf = io.BytesIO()
+        n_entries = cold.save_streams_artifact(buf)
+        assert n_entries > 0
+        digests = cold.warm_cache.digests()
+        cold.stop()
+
+        buf.seek(0)
+        clean_metrics.clear()
+        warm = InferenceServer(cfg)
+        boot2 = warm.start(streams_artifact=buf)
+        assert boot2["warm_buckets"] == [1, 2] and not boot2["cold_buckets"]
+        # every forward engine replayed saved offsets instead of
+        # re-dryrunning (the recorded counter is shared with the UPD
+        # engines, which a full ETG still builds -- hence the delta)
+        assert clean_metrics.value("conv.streams_restored") == n_entries
+        assert (
+            clean_metrics.value("conv.streams_recorded")
+            == cold_recorded - n_entries
+        )
+        assert warm.warm_cache.digests() == digests
+        out = [warm.predict(x) for x in xs]
+        warm.stop()
+        for a, b in zip(out, ref):
+            assert (a == b).all()
+
+    def test_rejects_foreign_fingerprint(self):
+        cache = StreamWarmCache("aaaa")
+        cfg = tiny_config(engine="blocked", buckets=(1,))
+        etg = cfg.build_etg(1)
+        cache.put(1, etg.conv_stream_state())
+        buf = io.BytesIO()
+        cache.save(buf)
+        buf.seek(0)
+        other = StreamWarmCache("bbbb")
+        with pytest.raises(ReproError, match="fingerprint"):
+            other.load(buf)
+
+    def test_fast_engine_has_no_artifacts(self):
+        server = InferenceServer(tiny_config(engine="fast"))
+        with pytest.raises(ReproError):
+            server.save_streams_artifact(io.BytesIO())
+        with pytest.raises(ReproError):
+            server.start(streams_artifact=io.BytesIO())
+
+
+# ---------------------------------------------------------------------------
+class TestServerSLO:
+    def test_latency_distribution_and_stats(self, clean_metrics):
+        server = InferenceServer(tiny_config())
+        server.start()
+        try:
+            for x in images(8, seed=2):
+                server.predict(x)
+            stats = server.stats()
+        finally:
+            server.stop()
+        lat = stats["distributions"]["serve.latency_ms"]
+        assert lat["count"] == 8
+        assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+        assert stats["counters"]["serve.responses"] == 8
+        assert "boot_s" in stats["boot"]
+        assert stats["kernel_cache"]["variants"] >= 0
+
+    def test_stop_fails_leftovers_and_rejects_new(self):
+        server = InferenceServer(tiny_config())
+        server.start()
+        server.stop()
+        with pytest.raises(ServerClosed):
+            server.submit(images(1)[0])
+
+    def test_submit_validates_shape(self):
+        with InferenceServer(tiny_config()) as server:
+            with pytest.raises(ShapeError):
+                server.submit(np.zeros((3, 8, 8), dtype=np.float32))
+
+    def test_worker_failure_propagates_to_submitter(self, clean_metrics):
+        server = InferenceServer(tiny_config())
+        server.start()
+        try:
+            boom = RuntimeError("engine exploded")
+
+            def bad_run(batch, bucket):
+                raise boom
+
+            server._replicas[0].run = bad_run
+            with pytest.raises(RuntimeError, match="engine exploded"):
+                server.predict(images(1)[0], timeout=5.0)
+            assert clean_metrics.value("serve.errors") == 1
+        finally:
+            server.stop()
+
+
+# ---------------------------------------------------------------------------
+class TestLoadgen:
+    def test_closed_loop_report(self, clean_metrics):
+        with InferenceServer(tiny_config()) as server:
+            rep = run_closed_loop(server, clients=4, requests=16, seed=1)
+        assert rep.completed == 16 and rep.shed == 0 and rep.errors == 0
+        assert rep.throughput_rps > 0
+        assert set(rep.latency_ms) == {"p50", "p95", "p99", "mean", "max"}
+        doc = json.loads(json.dumps(rep.to_dict()))
+        assert doc["mode"] == "closed:4"
+
+    def test_open_loop_counts_sheds(self, clean_metrics):
+        cfg = tiny_config(queue_capacity=1, batch_window_ms=0.0)
+        with InferenceServer(cfg) as server:
+            rep = run_open_loop(server, rate_rps=400, duration_s=0.25,
+                                seed=3)
+        assert rep.completed + rep.shed + rep.errors == rep.requests
+        assert rep.errors == 0
+        stats = rep.server_stats
+        assert stats["counters"].get("serve.shed", 0) == rep.shed
+
+
+# ---------------------------------------------------------------------------
+class TestHttp:
+    def test_endpoints(self, clean_metrics):
+        with InferenceServer(tiny_config()) as server:
+            httpd = serve_http(server)
+            port = httpd.server_address[1]
+            base = f"http://127.0.0.1:{port}"
+            try:
+                x = images(1, seed=5)[0]
+                ref = direct_reference(server.config, x[None])[0]
+                req = urllib.request.Request(
+                    f"{base}/predict",
+                    data=json.dumps({"input": x.tolist()}).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                doc = json.loads(urllib.request.urlopen(req).read())
+                # JSON round-trips float32 losslessly via float
+                assert np.asarray(
+                    doc["probs"], dtype=np.float32
+                ).tolist() == ref.tolist()
+                assert doc["argmax"] == int(np.argmax(ref))
+
+                health = json.loads(
+                    urllib.request.urlopen(f"{base}/healthz").read())
+                assert health == {"status": "ok"}
+                metrics = json.loads(
+                    urllib.request.urlopen(f"{base}/metrics").read())
+                assert metrics["counters"]["serve.responses"] >= 1
+
+                bad = urllib.request.Request(
+                    f"{base}/predict", data=b"not json",
+                    headers={"Content-Type": "application/json"},
+                )
+                with pytest.raises(urllib.error.HTTPError) as exc:
+                    urllib.request.urlopen(bad)
+                assert exc.value.code == 400
+            finally:
+                httpd.shutdown()
+
+
+# ---------------------------------------------------------------------------
+class TestSessionSatellites:
+    """PR satellites on the inference layer itself."""
+
+    def test_output_probabilities_accessor(self):
+        cfg = tiny_config()
+        etg = cfg.build_etg(2)
+        with pytest.raises(ReproError, match="no forward pass"):
+            etg.output_probabilities()
+        etg.forward_only(images(2, seed=6))
+        probs = etg.output_probabilities()
+        assert probs.shape == (2, cfg.num_classes)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_session_nesting_and_exception_safety(self):
+        cfg = tiny_config()
+        etg = cfg.build_etg(1)
+        bns = InferenceSession(etg)._bns
+        assert bns and all(bn.training for bn in bns)
+
+        outer, inner = InferenceSession(etg), InferenceSession(etg)
+        with outer:
+            assert not any(bn.training for bn in bns)
+            with inner:
+                assert not any(bn.training for bn in bns)
+            # inner exit must NOT flip layers back while outer is active
+            assert not any(bn.training for bn in bns)
+        assert all(bn.training for bn in bns)
+
+        with pytest.raises(RuntimeError):
+            with InferenceSession(etg):
+                assert not any(bn.training for bn in bns)
+                raise RuntimeError("mid-inference failure")
+        assert all(bn.training for bn in bns)
+
+    def test_tracer_records_serve_spans(self, clean_metrics):
+        tracer = obs.enable()
+        tracer.clear()
+        try:
+            with InferenceServer(tiny_config()) as server:
+                server.predict(images(1)[0])
+            names = tracer.span_names()
+            assert "serve.batch" in names
+            (span,) = tracer.spans("serve.batch")
+            assert span.args["n"] == 1 and span.args["bucket"] == 1
+        finally:
+            obs.disable()
+            tracer.clear()
