@@ -245,6 +245,7 @@ class DirectConvForward:
                 f"{self.threads} for {self.params.describe()}"
             )
         n_variants = len(self._descs)
+        n_ops = len(self.fused_ops)
         for st in streams:
             if len(st) == 0:
                 continue
@@ -254,6 +255,15 @@ class DirectConvForward:
                 raise ShapeError(
                     f"restored stream uses variant {int(kinds.max())} but "
                     f"engine has {n_variants} for {self.params.describe()}"
+                )
+            ops = np.asarray(st.apply_op)[~conv]
+            if ops.size and (
+                int(ops.min()) < 0 or int(ops.max()) >= n_ops
+            ):
+                bad = int(ops.min()) if int(ops.min()) < 0 else int(ops.max())
+                raise ShapeError(
+                    f"restored stream applies fused op {bad} but engine "
+                    f"has {n_ops} for {self.params.describe()}"
                 )
             for offs, size, what in (
                 (st.i_off, self.in_layout.size, "input"),

@@ -14,17 +14,22 @@ import threading
 import time
 from collections import deque
 
-from repro.obs.metrics import get_metrics
+from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.serve.request import InferenceRequest, RequestShed, ServerClosed
 
 __all__ = ["AdmissionQueue"]
 
 
 class AdmissionQueue:
-    """FIFO of :class:`InferenceRequest` with a hard capacity."""
+    """FIFO of :class:`InferenceRequest` with a hard capacity.
 
-    def __init__(self, capacity: int):
+    ``metrics`` scopes the queue's counters/gauges to one server; it
+    defaults to the process-wide registry for standalone use.
+    """
+
+    def __init__(self, capacity: int, metrics: MetricsRegistry | None = None):
         self.capacity = capacity
+        self._metrics = metrics if metrics is not None else get_metrics()
         self._q: deque[InferenceRequest] = deque()
         self._cond = threading.Condition()
         self._closed = False
@@ -41,17 +46,16 @@ class AdmissionQueue:
 
     def put(self, req: InferenceRequest) -> None:
         """Admit a request, or shed it if the queue is full."""
-        metrics = get_metrics()
         with self._cond:
             if self._closed:
                 raise ServerClosed("server is stopped; request rejected")
             if len(self._q) >= self.capacity:
-                metrics.inc("serve.shed")
+                self._metrics.inc("serve.shed")
                 raise RequestShed(
                     f"queue at capacity ({self.capacity}); request shed"
                 )
             self._q.append(req)
-            metrics.set_gauge("serve.queue_depth", len(self._q))
+            self._metrics.set_gauge("serve.queue_depth", len(self._q))
             self._cond.notify()
 
     def take(
@@ -60,26 +64,36 @@ class AdmissionQueue:
         """Dequeue up to ``max_n`` requests as one batch.
 
         Blocks until at least one request is available (or the queue is
-        closed, returning ``[]``).  Once the first request is in hand the
-        batch stays open for at most ``window_s`` waiting for more; it
-        closes early when ``max_n`` is reached.
+        closed AND drained, returning ``[]``).  Once the first request is
+        in hand the batch stays open for at most ``window_s`` waiting for
+        more; it closes early when ``max_n`` is reached.
+
+        With several workers the batch-window wait can lose a race: two
+        takers pass the first wait, the first to wake pops everything and
+        the second finds the deque empty again.  An empty pop loops back
+        to the outer wait instead of returning, so ``[]`` is an
+        unambiguous shutdown signal.
         """
         with self._cond:
-            while not self._q and not self._closed:
-                self._cond.wait()
-            if not self._q:
-                return []
-            deadline = time.perf_counter() + window_s
-            while len(self._q) < max_n and not self._closed:
-                remaining = deadline - time.perf_counter()
-                if remaining <= 0:
-                    break
-                self._cond.wait(remaining)
-            batch = [
-                self._q.popleft() for _ in range(min(max_n, len(self._q)))
-            ]
-            get_metrics().set_gauge("serve.queue_depth", len(self._q))
-            return batch
+            while True:
+                while not self._q and not self._closed:
+                    self._cond.wait()
+                if not self._q:
+                    return []  # closed and drained
+                deadline = time.perf_counter() + window_s
+                while len(self._q) < max_n and not self._closed:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                batch = [
+                    self._q.popleft()
+                    for _ in range(min(max_n, len(self._q)))
+                ]
+                if not batch:
+                    continue  # another worker drained the window's batch
+                self._metrics.set_gauge("serve.queue_depth", len(self._q))
+                return batch
 
     def drain(self) -> list[InferenceRequest]:
         """Remove and return everything still queued (used at shutdown
@@ -87,7 +101,7 @@ class AdmissionQueue:
         with self._cond:
             leftover = list(self._q)
             self._q.clear()
-            get_metrics().set_gauge("serve.queue_depth", 0)
+            self._metrics.set_gauge("serve.queue_depth", 0)
             return leftover
 
     def close(self) -> None:

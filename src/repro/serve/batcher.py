@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.obs.metrics import get_metrics
+from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.serve.request import InferenceRequest
 from repro.types import ShapeError
 
@@ -20,10 +20,19 @@ __all__ = ["MicroBatcher"]
 
 
 class MicroBatcher:
-    """Coalesce single-image requests into bucket-shaped minibatches."""
+    """Coalesce single-image requests into bucket-shaped minibatches.
 
-    def __init__(self, buckets: tuple[int, ...]):
+    ``metrics`` scopes occupancy samples to one server; it defaults to
+    the process-wide registry for standalone use.
+    """
+
+    def __init__(
+        self,
+        buckets: tuple[int, ...],
+        metrics: MetricsRegistry | None = None,
+    ):
         self.buckets = tuple(sorted(buckets))
+        self._metrics = metrics if metrics is not None else get_metrics()
 
     def bucket_for(self, n: int) -> int:
         """Smallest configured bucket that fits ``n`` requests."""
@@ -47,7 +56,7 @@ class MicroBatcher:
         batch = np.zeros((bucket, *shape), dtype=np.float32)
         for i, req in enumerate(requests):
             batch[i] = req.x
-        get_metrics().observe("serve.batch_occupancy", n / bucket)
+        self._metrics.observe("serve.batch_occupancy", n / bucket)
         return batch, n, bucket
 
     def scatter(

@@ -8,7 +8,8 @@ Three endpoints, JSON in/out:
 * ``GET /healthz`` -- liveness.
 
 Load shedding and shutdown map to ``503`` (the standard back-pressure
-status), malformed input to ``400``.  The listener is a
+status), malformed input to ``400``, a request timeout to ``504`` and
+any unexpected engine failure to ``500``.  The listener is a
 ``ThreadingHTTPServer`` running in a daemon thread: each connection
 blocks in ``predict`` while the batcher coalesces it with its
 neighbours, so concurrency comes from the client side exactly as with
@@ -70,6 +71,14 @@ def _make_handler(server):
                 return
             except (RequestShed, ServerClosed) as err:
                 self._reply(503, {"error": str(err)})
+                return
+            except TimeoutError as err:
+                self._reply(504, {"error": str(err)})
+                return
+            except Exception as err:  # noqa: BLE001 -- worker failures
+                # arrive via req.result and can be any engine exception;
+                # the client must still get an HTTP response
+                self._reply(500, {"error": f"{type(err).__name__}: {err}"})
                 return
             self._reply(
                 200,

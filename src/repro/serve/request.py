@@ -36,7 +36,9 @@ _ids = itertools.count()
 class InferenceRequest:
     """A single image awaiting its probability vector."""
 
-    __slots__ = ("id", "x", "t_submit", "_event", "_value", "_error")
+    __slots__ = (
+        "id", "x", "t_submit", "_event", "_value", "_error", "_cancelled"
+    )
 
     def __init__(self, x: np.ndarray):
         self.id = next(_ids)
@@ -46,6 +48,7 @@ class InferenceRequest:
         self._event = threading.Event()
         self._value: np.ndarray | None = None
         self._error: BaseException | None = None
+        self._cancelled = False
 
     def _resolve(self, value: np.ndarray) -> None:
         self._value = value
@@ -55,14 +58,28 @@ class InferenceRequest:
         self._error = err
         self._event.set()
 
+    def cancel(self) -> None:
+        """Mark the request abandoned: its submitter stopped waiting, so
+        workers may drop it from batches instead of computing a result
+        nobody will read.  Best-effort -- a worker that already picked
+        the request up still resolves it harmlessly."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
     @property
     def done(self) -> bool:
         return self._event.is_set()
 
     def result(self, timeout: float | None = None) -> np.ndarray:
         """Block until the worker resolves this request; re-raises any
-        failure from the worker thread in the submitter's thread."""
+        failure from the worker thread in the submitter's thread.  A
+        timeout cancels the request so a still-queued entry does not
+        occupy a batch slot under overload."""
         if not self._event.wait(timeout):
+            self.cancel()
             raise TimeoutError(
                 f"request {self.id} not completed within {timeout}s"
             )

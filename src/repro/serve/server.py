@@ -3,11 +3,12 @@
 Boot does everything expensive exactly once -- graph construction,
 JIT codegen, dryrun stream recording (or warm-cache replay, skipping
 the dryrun entirely) -- so the steady state per request is: admission,
-a short batching wait, one engine call, scatter.  SLO signals flow
-through :mod:`repro.obs`: ``serve.latency_ms`` (distribution ->
-p50/p95/p99), ``serve.queue_depth``, ``serve.batch_occupancy``,
-``serve.shed``/``serve.batches``/``serve.responses`` counters and the
-``serve.boot_s`` gauge.
+a short batching wait, one engine call, scatter.  SLO signals use the
+:mod:`repro.obs` machinery on a per-server registry
+(:attr:`InferenceServer.metrics`): ``serve.latency_ms`` (distribution
+-> p50/p95/p99), ``serve.queue_depth``, ``serve.batch_occupancy``,
+``serve.shed``/``serve.batches``/``serve.responses``/
+``serve.cancelled`` counters and the ``serve.boot_s`` gauge.
 """
 
 from __future__ import annotations
@@ -16,7 +17,7 @@ import time
 
 import numpy as np
 
-from repro.obs.metrics import get_metrics
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.admission import AdmissionQueue
 from repro.serve.batcher import MicroBatcher
 from repro.serve.config import ServeConfig
@@ -33,8 +34,14 @@ class InferenceServer:
 
     def __init__(self, config: ServeConfig):
         self.config = config
-        self.queue = AdmissionQueue(config.queue_capacity)
-        self.batcher = MicroBatcher(config.buckets)
+        #: per-server registry: several servers can live in one process
+        #: (tests, loadgen comparisons), so SLO numbers must not bleed
+        #: across instances through the process-wide registry
+        self.metrics = MetricsRegistry()
+        self.queue = AdmissionQueue(
+            config.queue_capacity, metrics=self.metrics
+        )
+        self.batcher = MicroBatcher(config.buckets, metrics=self.metrics)
         self.warm_cache = StreamWarmCache(config.fingerprint())
         self._replicas: list[EngineReplica] = []
         self._workers: list[Worker] = []
@@ -68,6 +75,7 @@ class InferenceServer:
                     batcher=self.batcher,
                     replica=replica,
                     batch_window_s=self.config.batch_window_ms / 1e3,
+                    metrics=self.metrics,
                 )
             )
         if self.config.checkpoint:
@@ -80,7 +88,7 @@ class InferenceServer:
             "warm_buckets": list(first.warm_buckets),
             "cold_buckets": list(first.cold_buckets),
         }
-        get_metrics().set_gauge("serve.boot_s", boot_s)
+        self.metrics.set_gauge("serve.boot_s", boot_s)
         for w in self._workers:
             w.start()
         self._started = True
@@ -151,30 +159,17 @@ class InferenceServer:
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """SLO snapshot: serve.* metrics, latency percentiles, kernel
-        cache state, boot stats and warm-cache digests."""
+        """SLO snapshot: this server's serve.* metrics, latency
+        percentiles, kernel cache state, boot stats and warm-cache
+        digests.  Reads the per-instance registry, so the numbers cover
+        exactly this server's lifetime -- not every server ever booted
+        in the process."""
         from repro.jit.kernel_cache import get_default_cache
 
-        metrics = get_metrics()
-        counters = {
-            k: v
-            for k, v in metrics.counters().items()
-            if k.startswith("serve.")
-        }
-        gauges = {
-            k: v
-            for k, v in metrics.gauges().items()
-            if k.startswith("serve.")
-        }
-        dists = {
-            k: v
-            for k, v in metrics.distributions().items()
-            if k.startswith("serve.")
-        }
         return {
-            "counters": counters,
-            "gauges": gauges,
-            "distributions": dists,
+            "counters": self.metrics.counters(),
+            "gauges": self.metrics.gauges(),
+            "distributions": self.metrics.distributions(),
             "kernel_cache": get_default_cache().stats(),
             "boot": dict(self.boot_stats),
             "warm_streams": self.warm_cache.digests(),

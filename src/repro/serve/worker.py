@@ -84,21 +84,29 @@ class Worker(threading.Thread):
         batcher: MicroBatcher,
         replica: EngineReplica,
         batch_window_s: float,
+        metrics=None,
     ):
         super().__init__(name=name, daemon=True)
         self.queue = queue
         self.batcher = batcher
         self.replica = replica
         self.batch_window_s = batch_window_s
+        self.metrics = metrics if metrics is not None else get_metrics()
 
     def run(self) -> None:
-        metrics = get_metrics()
+        metrics = self.metrics
         tracer = get_tracer()
         max_n = self.batcher.buckets[-1]
         while True:
             requests = self.queue.take(max_n, self.batch_window_s)
             if not requests:
                 return  # queue closed and drained
+            live = [r for r in requests if not r.cancelled]
+            if len(live) < len(requests):
+                metrics.inc("serve.cancelled", len(requests) - len(live))
+            if not live:
+                continue  # every submitter in the batch gave up waiting
+            requests = live
             try:
                 self._serve_batch(requests, metrics, tracer)
             except BaseException as err:  # noqa: BLE001 -- fail, don't die

@@ -9,6 +9,7 @@ the batch -- the probability vector must equal the one an unbatched
 import io
 import json
 import threading
+import time
 import urllib.request
 
 import numpy as np
@@ -130,6 +131,31 @@ class TestAdmissionQueue:
         assert q.depth == 1
         assert [r.id for r in q.drain()] == [reqs[4].id]
 
+    def test_losing_taker_waits_instead_of_returning_empty(self):
+        """Two takers race one request: the winner pops it at the end of
+        its batch window and the loser, finding the deque empty, must go
+        back to waiting -- an empty return means shutdown and used to
+        kill the losing worker thread permanently."""
+        q = AdmissionQueue(capacity=8)
+        q.put(InferenceRequest(images(1)[0]))
+        results = []
+
+        def taker():
+            results.append(q.take(4, window_s=0.1))
+
+        threads = [threading.Thread(target=taker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        deadline = time.perf_counter() + 5.0
+        while not results and time.perf_counter() < deadline:
+            time.sleep(0.01)
+        time.sleep(0.3)  # well past the loser's batch window
+        assert len(results) == 1 and len(results[0]) == 1
+        q.close()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert sorted(len(b) for b in results) == [0, 1]
+
 
 # ---------------------------------------------------------------------------
 class TestMicroBatcher:
@@ -195,9 +221,25 @@ class TestBitwiseIdentity:
             assert out.dtype == ref.dtype
             assert (out == ref).all(), f"request {i} diverged under batching"
         # concurrency actually exercised multi-request batches
-        batches = clean_metrics.value("serve.batches")
-        assert clean_metrics.value("serve.responses") == len(xs)
+        batches = server.metrics.value("serve.batches")
+        assert server.metrics.value("serve.responses") == len(xs)
         assert batches < len(xs)
+
+    def test_multiworker_requests_complete_and_workers_survive(self):
+        """Sparse sequential traffic against two workers: every request
+        completes and no worker thread self-terminates on a lost
+        batch-window race."""
+        cfg = tiny_config(workers=2, batch_window_ms=5.0)
+        xs = images(6, seed=13)
+        refs = direct_reference(cfg, xs)
+        with InferenceServer(cfg) as server:
+            outs = []
+            for x in xs:
+                outs.append(server.predict(x, timeout=10.0))
+                time.sleep(0.01)
+            assert all(w.is_alive() for w in server._workers)
+        for out, ref in zip(outs, refs):
+            assert (out == ref).all()
 
 
 # ---------------------------------------------------------------------------
@@ -237,6 +279,29 @@ class TestWarmCache:
         warm.stop()
         for a, b in zip(out, ref):
             assert (a == b).all()
+
+    def test_restore_rejects_unknown_fused_ops(self):
+        """A stream carrying APPLY records for fused ops the engine does
+        not have must fail validation at restore time -- replay would
+        otherwise IndexError in the hot path."""
+        from repro.streams.stream import KernelStream
+
+        cfg = tiny_config(engine="blocked", buckets=(1,))
+        etg = cfg.build_etg(1)
+        state = etg.conv_stream_state()
+        name, streams = next(iter(state.items()))
+        frozen = streams[0]
+        tampered = KernelStream(
+            kinds=frozen.kinds.tolist(),
+            i_off=frozen.i_off.tolist(),
+            w_off=frozen.w_off.tolist(),
+            o_off=frozen.o_off.tolist(),
+            apply_op=frozen.apply_op.tolist(),
+        )
+        tampered.record_apply(7, int(frozen.o_off[0]), 0)
+        state[name] = [tampered.freeze(), *streams[1:]]
+        with pytest.raises(ShapeError, match="fused op"):
+            cfg.build_etg(1, conv_streams=state)
 
     def test_rejects_foreign_fingerprint(self):
         cache = StreamWarmCache("aaaa")
@@ -300,9 +365,65 @@ class TestServerSLO:
             server._replicas[0].run = bad_run
             with pytest.raises(RuntimeError, match="engine exploded"):
                 server.predict(images(1)[0], timeout=5.0)
-            assert clean_metrics.value("serve.errors") == 1
+            assert server.metrics.value("serve.errors") == 1
         finally:
             server.stop()
+
+    def test_stats_scoped_to_each_server_instance(self):
+        """Two servers booted in one process must not see each other's
+        counters or latency samples (stats used to read the process-wide
+        registry and report lifetime totals)."""
+        cfg = tiny_config()
+        with InferenceServer(cfg) as first:
+            for x in images(4, seed=21):
+                first.predict(x)
+            stats1 = first.stats()
+        with InferenceServer(cfg) as second:
+            second.predict(images(1, seed=22)[0])
+            stats2 = second.stats()
+        assert stats1["counters"]["serve.responses"] == 4
+        assert stats2["counters"]["serve.responses"] == 1
+        assert stats2["distributions"]["serve.latency_ms"]["count"] == 1
+
+
+# ---------------------------------------------------------------------------
+class TestCancellation:
+    """A submitter that stops waiting must not cost a batch slot."""
+
+    def test_result_timeout_cancels_the_request(self):
+        req = InferenceRequest(images(1)[0])
+        assert not req.cancelled
+        with pytest.raises(TimeoutError):
+            req.result(timeout=0.01)
+        assert req.cancelled
+
+    def test_worker_skips_cancelled_requests(self, clean_metrics):
+        from repro.serve.worker import Worker
+
+        class StubReplica:
+            def run(self, batch, bucket):
+                return np.ones((bucket, 5), dtype=np.float32)
+
+        q = AdmissionQueue(capacity=8)
+        abandoned = InferenceRequest(images(1)[0])
+        abandoned.cancel()
+        live = InferenceRequest(images(1)[0])
+        q.put(abandoned)
+        q.put(live)
+        worker = Worker(
+            "w", q, MicroBatcher((1, 2, 4)), StubReplica(),
+            batch_window_s=0.0,
+        )
+        worker.start()
+        try:
+            out = live.result(timeout=5.0)
+            assert out.shape == (5,)
+            # the abandoned request was dropped, never computed
+            assert not abandoned.done
+            assert clean_metrics.value("serve.cancelled") == 1
+        finally:
+            q.close()
+            worker.join(timeout=5.0)
 
 
 # ---------------------------------------------------------------------------
@@ -364,6 +485,41 @@ class TestHttp:
                     urllib.request.urlopen(bad)
                 assert exc.value.code == 400
             finally:
+                httpd.shutdown()
+
+    def test_worker_failures_and_timeouts_get_http_statuses(self):
+        """TimeoutError maps to 504 and an arbitrary engine exception to
+        500 -- neither may escape the handler and drop the connection
+        without a response."""
+
+        def _raiser(err):
+            def predict(x, timeout=None):
+                raise err
+            return predict
+
+        with InferenceServer(tiny_config()) as server:
+            httpd = serve_http(server)
+            port = httpd.server_address[1]
+            body = json.dumps(
+                {"input": images(1, seed=7)[0].tolist()}
+            ).encode()
+            try:
+                for err, status in (
+                    (TimeoutError("request 0 not completed"), 504),
+                    (RuntimeError("engine exploded"), 500),
+                ):
+                    server.predict = _raiser(err)
+                    req = urllib.request.Request(
+                        f"http://127.0.0.1:{port}/predict", data=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    with pytest.raises(urllib.error.HTTPError) as exc:
+                        urllib.request.urlopen(req)
+                    assert exc.value.code == status
+                    doc = json.loads(exc.value.read())
+                    assert "error" in doc
+            finally:
+                del server.predict  # restore the class method for stop()
                 httpd.shutdown()
 
 
