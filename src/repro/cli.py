@@ -72,6 +72,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", default=None,
                    help="path to dump trained weights (.npz)")
     p.add_argument("--engine", default="fast", choices=["fast", "blocked"])
+    p.add_argument("--process-parallel", action="store_true",
+                   help="real OS processes per replica (self-healing "
+                        "all-reduce) instead of in-process sharding")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   help="autosave a full training checkpoint (weights + "
+                        "SGD velocity + step) every N steps; requires "
+                        "--checkpoint")
+    p.add_argument("--resume", default=None,
+                   help="training checkpoint to resume from, exact to "
+                        "the step")
+    p.add_argument("--nan-policy", default="raise",
+                   choices=["raise", "skip", "off"],
+                   help="numerics watchdog on gradients before each "
+                        "optimizer step")
 
     p = sub.add_parser("scaling", help="Fig. 9 multi-node scaling")
     p.add_argument("--machine", default="KNM", choices=["SKX", "KNM"])
@@ -206,29 +220,75 @@ def _cmd_fig(args) -> int:
 
 def _cmd_train(args) -> int:
     from repro.gxm.data import SyntheticImageDataset
-    from repro.gxm.etg import ExecutionTaskGraph
-    from repro.gxm.trainer import Trainer
     from repro.models.resnet50 import resnet_mini_topology
+    from repro.types import ReproError
 
+    if args.checkpoint_every and not args.checkpoint:
+        raise ReproError("--checkpoint-every requires --checkpoint")
     topo = resnet_mini_topology(num_classes=8, width=16)
-    etg = ExecutionTaskGraph(
-        topo,
-        input_shape=(args.batch // args.nodes, 16, 16, 16)
-        if args.engine == "blocked"
-        else (args.batch, 16, 16, 16),
-        engine=args.engine,
-        seed=7,
-    )
+    per_node = args.batch // args.nodes
     ds = SyntheticImageDataset(n=512, num_classes=8, shape=(16, 16, 16),
                                seed=3)
-    tr = Trainer(etg, lr=args.lr, nodes=args.nodes)
-    for epoch in range(args.epochs):
-        tr.fit(ds, batch_size=args.batch // args.nodes, epochs=1)
-        m = tr.metrics
-        print(
-            f"epoch {epoch}: loss {m.losses[-1]:.4f} "
-            f"top-1 {100 * m.accuracies[-1]:.1f}%"
+    # periodic autosaves go to a sibling of the final weight dump so a
+    # crashed run can be picked up with --resume
+    autosave = (
+        f"{args.checkpoint}.train" if args.checkpoint_every else None
+    )
+    if args.process_parallel:
+        from repro.gxm.multiproc import ProcessParallelTrainer
+
+        tr = ProcessParallelTrainer(
+            topo,
+            input_shape=(per_node, 16, 16, 16),
+            nodes=args.nodes,
+            lr=args.lr,
+            nan_policy=args.nan_policy,
+            checkpoint_path=autosave,
+            checkpoint_every=args.checkpoint_every,
         )
+        etg = tr.root
+    else:
+        from repro.gxm.etg import ExecutionTaskGraph
+        from repro.gxm.trainer import Trainer
+
+        etg = ExecutionTaskGraph(
+            topo,
+            input_shape=(per_node, 16, 16, 16)
+            if args.engine == "blocked"
+            else (args.batch, 16, 16, 16),
+            engine=args.engine,
+            seed=7,
+        )
+        tr = Trainer(
+            etg,
+            lr=args.lr,
+            nodes=args.nodes,
+            nan_policy=args.nan_policy,
+            checkpoint_path=autosave,
+            checkpoint_every=args.checkpoint_every,
+        )
+    try:
+        done = tr.resume(args.resume) if args.resume else 0
+        if done:
+            print(f"resumed from {args.resume} at step {done}")
+        steps_per_epoch = len(ds) // args.batch
+        for epoch in range(args.epochs):
+            if done >= steps_per_epoch * (epoch + 1):
+                continue  # this epoch is fully inside the checkpoint
+            # each fit call replays the same deterministic shuffle
+            # stream, so skipping the first `done - epoch_start`
+            # batches resumes mid-epoch exactly
+            tr._resume_skip = max(0, done - steps_per_epoch * epoch)
+            tr.fit(ds, batch_size=per_node, epochs=1)
+            done = tr.iteration
+            m = tr.metrics
+            print(
+                f"epoch {epoch}: loss {m.losses[-1]:.4f} "
+                f"top-1 {100 * m.accuracies[-1]:.1f}%"
+            )
+    finally:
+        if args.process_parallel:
+            tr.close()
     if args.checkpoint:
         from repro.gxm.checkpoint import save_checkpoint
 

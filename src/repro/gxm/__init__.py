@@ -20,6 +20,14 @@ from repro.gxm.graph import (
 )
 from repro.gxm.etg import ExecutionTaskGraph, Task
 from repro.gxm.trainer import SGD, Trainer
+from repro.gxm.multiproc import ProcessParallelTrainer
+from repro.gxm.checkpoint import (
+    TrainingCheckpoint,
+    load_checkpoint,
+    load_training_checkpoint,
+    save_checkpoint,
+    save_training_checkpoint,
+)
 from repro.gxm.data import SyntheticImageDataset
 from repro.gxm.mlsl import MLSLSimulator, ring_allreduce_time
 
@@ -37,6 +45,12 @@ __all__ = [
     "Task",
     "SGD",
     "Trainer",
+    "ProcessParallelTrainer",
+    "TrainingCheckpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_training_checkpoint",
+    "load_training_checkpoint",
     "SyntheticImageDataset",
     "MLSLSimulator",
     "ring_allreduce_time",

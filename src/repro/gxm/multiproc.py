@@ -15,12 +15,28 @@ Workers rebuild the ETG from the (picklable) topology + seed, so replicas
 start bit-identical; weight broadcast keeps them synchronized thereafter.
 Numerics match the in-process ``Trainer(nodes=k)`` exactly, which the tests
 assert.
+
+Fault tolerance: every pipe operation is timeout-guarded (a dead or hung
+worker raises a typed :class:`~repro.resilience.WorkerFailure`, never an
+indefinite ``recv`` block).  When a worker fails mid-step the root
+finishes the step *degraded* -- by default it recomputes the lost shard
+on its own replica, which keeps the all-reduce bit-identical to a
+healthy run (``degrade_policy="recompute"``); ``"rescale"`` instead
+averages over the surviving workers only.  Failed workers are respawned
+(bounded by ``max_respawns``) and resynchronize through the per-step
+weight scatter, so a recovered run continues exactly where a healthy one
+would be.  A :class:`~repro.resilience.NumericsWatchdog` screens every
+worker's gradients (``nan_policy``), and periodic training-checkpoint
+autosave plus :meth:`ProcessParallelTrainer.resume` survive a root
+crash.  Faults themselves are injectable deterministically via a
+:class:`~repro.resilience.FaultPlan` (site ``"mp.worker.step"``).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
 from typing import Optional
 
 import numpy as np
@@ -30,19 +46,32 @@ from repro.gxm.topology import TopologySpec
 from repro.gxm.trainer import SGD, TrainMetrics
 from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
+from repro.resilience.faults import FaultInjector, FaultPlan, WorkerFailure
+from repro.resilience.watchdog import NumericsWatchdog
 from repro.types import ReproError
 
-__all__ = ["ProcessParallelTrainer"]
+__all__ = ["ProcessParallelTrainer", "WorkerFailure"]
+
+#: pipe-poll granularity while waiting on a worker (also bounds how
+#: stale a dead-process check can be)
+_POLL_S = 0.05
 
 
 def _worker_main(
-    conn, topo_text: str, input_shape, seed: int, trace: bool = False
+    conn,
+    topo_text: str,
+    input_shape,
+    seed: int,
+    trace: bool = False,
+    rank: int = 0,
+    fault_plan: FaultPlan | None = None,
 ) -> None:
-    """Worker loop: receive (weights, shard) -> return
+    """Worker loop: receive (step, weights, shard) -> return
     (grads, loss, acc, obs-payload)."""
     from repro import obs
     from repro.gxm.parser import parse_topology
 
+    injector = FaultInjector(fault_plan)
     if trace:
         obs.enable()
         # per-process observability: this worker's spans/counters are
@@ -58,7 +87,12 @@ def _worker_main(
         if msg is None:
             conn.close()
             return
-        weights, x, labels = msg
+        step, weights, x, labels = msg
+        fault = injector.fire("mp.worker.step", step=step, rank=rank)
+        if fault is not None and fault.kind == "crash":
+            os._exit(17)  # simulated SIGKILL: no cleanup, no goodbye
+        if fault is not None and fault.kind == "hang":
+            time.sleep(3600)  # the root's timeout reaps us
         for p, w in zip(params, weights):
             p[...] = w
         loss = etg.train_step(x, labels)
@@ -70,16 +104,40 @@ def _worker_main(
                 "events": get_tracer().export_events(clear=True),
                 "metrics": get_metrics().snapshot(clear=True),
             }
-        conn.send(
-            ([g.copy() for g in etg.grads()], float(loss), float(acc),
-             payload)
-        )
+        grads = [g.copy() for g in etg.grads()]
+        if fault is not None and fault.kind == "nan_grad":
+            grads[fault.param % len(grads)].flat[0] = np.nan
+        reply = (grads, float(loss), float(acc), payload)
+        if fault is not None and fault.kind == "corrupt_message":
+            reply = ("corrupt", step)
+        conn.send(reply)
 
 
 class ProcessParallelTrainer:
     """Data-parallel SGD over ``nodes`` worker processes.
 
     Use as a context manager (or call :meth:`close`) so the workers exit.
+
+    Parameters (beyond the healthy-path ones)
+    -----------------------------------------
+    step_timeout:
+        Seconds the root waits for any single worker reply before
+        declaring it hung (:class:`WorkerFailure`); never blocks forever.
+    max_respawns:
+        Total worker respawns allowed across the run; a rank whose
+        budget is exhausted stays down (every later step degrades).
+    degrade_policy:
+        ``"recompute"`` (default) -- a failed worker's shard is re-run on
+        the root's replica, keeping training numerics bit-identical to a
+        healthy run; ``"rescale"`` -- average over survivors only.
+    nan_policy:
+        Numerics-watchdog policy: ``"raise"``/``"skip"``/``"off"``.
+    fault_plan:
+        Deterministic :class:`~repro.resilience.FaultPlan` handed to
+        every worker (fault-matrix testing).
+    checkpoint_path / checkpoint_every:
+        Training-checkpoint autosave every N steps (atomic write);
+        :meth:`resume` restores it exact-to-the-step.
     """
 
     def __init__(
@@ -93,85 +151,353 @@ class ProcessParallelTrainer:
         seed: int = 0,
         start_method: str = "fork",
         trace: bool | None = None,
+        step_timeout: float = 30.0,
+        max_respawns: int = 2,
+        degrade_policy: str = "recompute",
+        nan_policy: str = "raise",
+        fault_plan: FaultPlan | None = None,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 0,
+        shuffle_seed: int = 1,
     ):
         if nodes < 1:
             raise ReproError("need at least one worker node")
+        if degrade_policy not in ("recompute", "rescale"):
+            raise ReproError(
+                f"unknown degrade_policy {degrade_policy!r}; expected "
+                f"'recompute' or 'rescale'"
+            )
         # per-process tracer merge: workers record their own spans/metrics
         # and the root folds them in after every step (default: follow the
         # root tracer's enabled state at construction time)
         self.trace = get_tracer().enabled if trace is None else trace
-        # the root keeps a replica purely to own the parameter arrays
-        self.root = ExecutionTaskGraph(topo, input_shape, engine="fast",
-                                       seed=seed)
+        self._topo_text = topo.to_text()
+        self._input_shape = input_shape
+        self._seed = seed
+        # the root keeps a replica purely to own the parameter arrays --
+        # and, under the recompute policy, to re-run a failed worker's
+        # shard.  It is built from the same topology *text* the workers
+        # parse, so a recomputed shard is bit-identical to the lost one.
+        from repro.gxm.parser import parse_topology
+
+        self.root = ExecutionTaskGraph(
+            parse_topology(self._topo_text), input_shape, engine="fast",
+            seed=seed,
+        )
         self.params = self.root.params()
         self.opt = SGD(self.params, lr, momentum, weight_decay)
         self.metrics = TrainMetrics()
         self.nodes = nodes
-        ctx = mp.get_context(start_method)
-        self._conns = []
-        self._procs = []
-        text = topo.to_text()
-        for _ in range(nodes):
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(child, text, input_shape, seed, self.trace),
-                daemon=True,
-            )
-            proc.start()
-            child.close()
-            self._conns.append(parent)
-            self._procs.append(proc)
+        self.step_timeout = step_timeout
+        self.degrade_policy = degrade_policy
+        self.watchdog = NumericsWatchdog(nan_policy)
+        self.fault_plan = fault_plan
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self.shuffle_seed = shuffle_seed
+        self.iteration = 0
+        self._resume_skip = 0
+        self._respawn_budget = max_respawns
+        #: every :class:`WorkerFailure` survived so far (step order)
+        self.failures: list[WorkerFailure] = []
+        self._ctx = mp.get_context(start_method)
+        self._conns: list = [None] * nodes
+        self._procs: list = [None] * nodes
+        for rank in range(nodes):
+            self._spawn(rank)
+
+    # -- worker lifecycle ----------------------------------------------
+    def _spawn(self, rank: int) -> None:
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child, self._topo_text, self._input_shape, self._seed,
+                  self.trace, rank, self.fault_plan),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        self._conns[rank] = parent
+        self._procs[rank] = proc
+
+    def _kill(self, rank: int) -> None:
+        """Reap one worker unconditionally (broken pipe, hung, dead)."""
+        conn, proc = self._conns[rank], self._procs[rank]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if proc is not None:
+            proc.terminate()
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.kill()
+                proc.join(timeout=5)
+        self._conns[rank] = None
+        self._procs[rank] = None
+
+    def _respawn(self, rank: int) -> bool:
+        """Bounded replacement of a failed worker.  The fresh process
+        resynchronizes through the next step's weight scatter (workers
+        are stateless between steps), so recovery needs no extra
+        broadcast round."""
+        self._kill(rank)
+        if self._respawn_budget <= 0:
+            return False
+        self._respawn_budget -= 1
+        self._spawn(rank)
+        get_metrics().inc("resilience.respawns")
+        return True
+
+    @property
+    def live_workers(self) -> int:
+        return sum(
+            1 for p in self._procs if p is not None and p.is_alive()
+        )
+
+    # -- timeout-guarded pipe I/O --------------------------------------
+    def _send(self, rank: int, msg) -> None:
+        conn = self._conns[rank]
+        if conn is None or self._procs[rank] is None:
+            raise WorkerFailure(rank, "worker is down")
+        try:
+            conn.send(msg)
+        except (BrokenPipeError, OSError) as err:
+            raise WorkerFailure(rank, f"send failed ({err})") from err
+
+    def _recv(self, rank: int):
+        """Receive one reply, never blocking past ``step_timeout`` and
+        detecting a dead worker in at most ``_POLL_S`` seconds."""
+        conn, proc = self._conns[rank], self._procs[rank]
+        if conn is None or proc is None:
+            raise WorkerFailure(rank, "worker is down")
+        deadline = time.monotonic() + self.step_timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise WorkerFailure(
+                    rank,
+                    f"no reply within {self.step_timeout}s (hung worker)",
+                )
+            try:
+                if conn.poll(min(_POLL_S, remaining)):
+                    return conn.recv()
+            except (EOFError, OSError) as err:
+                raise WorkerFailure(
+                    rank, f"pipe broke mid-step ({err})"
+                ) from err
+            if not proc.is_alive():
+                # the worker may have replied and then exited: drain once
+                try:
+                    if conn.poll(0):
+                        return conn.recv()
+                except (EOFError, OSError):
+                    pass
+                raise WorkerFailure(
+                    rank, f"process died (exit code {proc.exitcode})"
+                )
+
+    def _validate_reply(self, rank: int, reply):
+        """Typed rejection of corrupt messages (never a downstream
+        TypeError/ValueError deep in the all-reduce)."""
+        try:
+            grads, loss, acc, payload = reply
+            if len(grads) != len(self.params):
+                raise ValueError(
+                    f"{len(grads)} gradient tensors, expected "
+                    f"{len(self.params)}"
+                )
+            for g, p in zip(grads, self.params):
+                if not isinstance(g, np.ndarray) or g.shape != p.shape:
+                    raise ValueError("gradient tensor shape mismatch")
+            return grads, float(loss), float(acc), payload
+        except (TypeError, ValueError) as err:
+            raise WorkerFailure(
+                rank, f"corrupt message ({err})"
+            ) from err
 
     # ------------------------------------------------------------------
+    def _recompute_shard(self, x: np.ndarray, labels: np.ndarray):
+        """Re-run a lost shard on the root replica.  The root's params
+        still hold exactly the weights scattered this step (the SGD step
+        happens after the all-reduce), so the result is bit-identical to
+        what the failed worker would have returned."""
+        loss = self.root.train_step(x, labels)
+        acc = self.root.accuracy()
+        return [g.copy() for g in self.root.grads()], float(loss), float(acc)
+
     def train_step(self, x: np.ndarray, labels: np.ndarray) -> float:
-        """Scatter -> compute -> all-reduce -> step -> (implicit) broadcast."""
+        """Scatter -> compute -> all-reduce -> step -> (implicit) broadcast.
+
+        Survives worker failures mid-step: the step completes degraded
+        (recompute or rescale), failed ranks are respawned afterwards,
+        and ``resilience.degraded_steps`` counts the event.
+        """
+        step = self.iteration
         shards = np.array_split(np.arange(len(labels)), self.nodes)
         weights = [p.copy() for p in self.params]
-        for conn, shard in zip(self._conns, shards):
-            conn.send((weights, x[shard], labels[shard]))
-        acc_grads: Optional[list[np.ndarray]] = None
-        loss = 0.0
-        acc = 0.0
-        for conn, shard in zip(self._conns, shards):
-            grads, l, a, payload = conn.recv()
+        failed: dict[int, WorkerFailure] = {}
+        for rank in range(self.nodes):
+            try:
+                self._send(
+                    rank,
+                    (step, weights, x[shards[rank]], labels[shards[rank]]),
+                )
+            except WorkerFailure as f:
+                failed[rank] = f
+        results: list[Optional[tuple]] = [None] * self.nodes
+        for rank in range(self.nodes):
+            if rank in failed:
+                continue
+            try:
+                reply = self._recv(rank)
+                grads, loss_r, acc_r, payload = self._validate_reply(
+                    rank, reply
+                )
+            except WorkerFailure as f:
+                failed[rank] = f
+                self._kill(rank)
+                continue
             if payload is not None:
                 get_tracer().ingest(payload["events"], pid=payload["pid"])
                 get_metrics().merge(payload["metrics"])
-            loss += l * len(shard)
-            acc += a * len(shard)
+            results[rank] = (grads, loss_r, acc_r)
+        if failed:
+            get_metrics().inc("resilience.degraded_steps")
+            self.failures.extend(
+                failed[rank] for rank in sorted(failed)
+            )
+            if self.degrade_policy == "recompute":
+                for rank in sorted(failed):
+                    results[rank] = self._recompute_shard(
+                        x[shards[rank]], labels[shards[rank]]
+                    )
+        # numerics watchdog: attribute divergence to the worker rank
+        ok = True
+        for rank, res in enumerate(results):
+            if res is not None:
+                ok = self.watchdog.check(
+                    res[0], node=f"worker{rank}", step=step
+                ) and ok
+        # all-reduce folded in rank order -- the same accumulation order
+        # as a healthy run, so recovered numerics stay bit-identical
+        acc_grads: Optional[list[np.ndarray]] = None
+        loss = acc = 0.0
+        n_samples = contributing = 0
+        for rank, res in enumerate(results):
+            if res is None:
+                continue
+            grads, loss_r, acc_r = res
+            n = len(shards[rank])
+            loss += loss_r * n
+            acc += acc_r * n
+            n_samples += n
+            contributing += 1
             if acc_grads is None:
                 acc_grads = grads
             else:
                 for g0, g1 in zip(acc_grads, grads):
                     g0 += g1
-        assert acc_grads is not None
-        for g in acc_grads:
-            g /= self.nodes
-        self.opt.step(acc_grads)
-        loss /= len(labels)
-        acc /= len(labels)
+        if acc_grads is None:
+            raise WorkerFailure(
+                -1, f"step {step}: every worker failed "
+                f"({[str(f) for f in failed.values()]})"
+            )
+        if ok:
+            for g in acc_grads:
+                g /= contributing
+            self.opt.step(acc_grads)
+        else:
+            self.watchdog.skipped()
+        loss /= n_samples
+        acc /= n_samples
         self.metrics.losses.append(float(loss))
         self.metrics.accuracies.append(float(acc))
+        # heal: bounded respawn; the fresh worker resyncs next scatter
+        for rank in sorted(failed):
+            self._respawn(rank)
+        self.iteration += 1
+        self._maybe_autosave()
         return float(loss)
 
     def fit(self, dataset, batch_size: int, epochs: int = 1) -> TrainMetrics:
-        for x, y in dataset.batches(batch_size * self.nodes, epochs):
+        skip, self._resume_skip = self._resume_skip, 0
+        for i, (x, y) in enumerate(
+            dataset.batches(
+                batch_size * self.nodes, epochs, seed=self.shuffle_seed
+            )
+        ):
+            if i < skip:
+                continue
             self.train_step(x, y)
         return self.metrics
 
+    # -- crash recovery -------------------------------------------------
+    def _maybe_autosave(self) -> None:
+        if (
+            self.checkpoint_path
+            and self.checkpoint_every
+            and self.iteration % self.checkpoint_every == 0
+        ):
+            self.save(self.checkpoint_path)
+
+    def save(self, path_or_file) -> None:
+        """Atomic training checkpoint of the root replica: weights + SGD
+        velocity + step + trajectory."""
+        from repro.gxm.checkpoint import save_training_checkpoint
+
+        save_training_checkpoint(
+            path_or_file,
+            self.root,
+            self.opt,
+            step=self.iteration,
+            losses=self.metrics.losses,
+            accuracies=self.metrics.accuracies,
+            rng_state={
+                "shuffle_seed": self.shuffle_seed,
+                "batches_consumed": self.iteration,
+            },
+        )
+
+    def resume(self, path_or_file) -> int:
+        """Restore a :meth:`save`d checkpoint exact-to-the-step; workers
+        resynchronize through the next step's weight scatter."""
+        from repro.gxm.checkpoint import load_training_checkpoint
+
+        ck = load_training_checkpoint(path_or_file, self.root, self.opt)
+        self.iteration = ck.step
+        self._resume_skip = ck.step
+        self.metrics.losses = list(ck.losses)
+        self.metrics.accuracies = list(ck.accuracies)
+        if ck.rng_state and "shuffle_seed" in ck.rng_state:
+            self.shuffle_seed = ck.rng_state["shuffle_seed"]
+        return ck.step
+
     # ------------------------------------------------------------------
     def close(self) -> None:
+        """Shut workers down; reaps zombies even with broken pipes."""
         for conn in self._conns:
+            if conn is None:
+                continue
             try:
                 conn.send(None)
-                conn.close()
             except (BrokenPipeError, OSError):
                 pass
+            try:
+                conn.close()
+            except OSError:
+                pass
         for proc in self._procs:
-            proc.join(timeout=10)
-            if proc.is_alive():  # pragma: no cover - defensive
+            if proc is None:
+                continue
+            proc.join(timeout=5)
+            if proc.is_alive():
                 proc.terminate()
+                proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.kill()
+                proc.join(timeout=5)
         self._conns = []
         self._procs = []
 

@@ -6,6 +6,13 @@ the weight gradients are all-reduced (averaged) before the SGD step --
 numerically the MLSL exchange of section II-L.  (One process hosts all
 replicas; the *timing* of the exchange is modelled in
 :mod:`repro.gxm.mlsl`.)
+
+Resilience: a :class:`~repro.resilience.watchdog.NumericsWatchdog`
+screens gradients before every optimizer step (``nan_policy``), and
+periodic :func:`~repro.gxm.checkpoint.save_training_checkpoint` autosave
+plus :meth:`Trainer.resume` give crash recovery that is exact to the
+step -- weights, SGD velocity and metrics all restored, and the data
+order rewound by deterministic replay of the shuffle stream.
 """
 
 from __future__ import annotations
@@ -18,6 +25,8 @@ import numpy as np
 from repro.gxm.etg import ExecutionTaskGraph
 from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
+from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.resilience.watchdog import NumericsWatchdog
 
 __all__ = ["SGD", "Trainer", "TrainMetrics"]
 
@@ -65,7 +74,12 @@ class TrainMetrics:
 
 
 class Trainer:
-    """Minibatch SGD driver, optionally data-parallel over ``nodes``."""
+    """Minibatch SGD driver, optionally data-parallel over ``nodes``.
+
+    ``nan_policy`` arms the numerics watchdog (``"raise"``/``"skip"``/
+    ``"off"``); ``checkpoint_path`` + ``checkpoint_every`` autosave a
+    training checkpoint every N optimizer steps (atomic write).
+    """
 
     def __init__(
         self,
@@ -75,6 +89,11 @@ class Trainer:
         weight_decay: float = 0.0,
         nodes: int = 1,
         lr_schedule=None,
+        nan_policy: str = "raise",
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 0,
+        shuffle_seed: int = 1,
+        fault_plan: FaultPlan | None = None,
     ):
         self.etg = etg
         self.nodes = nodes
@@ -82,6 +101,16 @@ class Trainer:
         self.lr_schedule = lr_schedule
         self.iteration = 0
         self.metrics = TrainMetrics()
+        self.watchdog = NumericsWatchdog(nan_policy)
+        self.injector = FaultInjector(fault_plan) if fault_plan else None
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        #: seed of the shuffle stream :meth:`fit` drives the dataset with
+        #: -- pinned here so a resumed run replays the identical order
+        self.shuffle_seed = shuffle_seed
+        #: batches the next :meth:`fit` call fast-forwards past (set by
+        #: :meth:`resume`, consumed once)
+        self._resume_skip = 0
 
     def train_step(self, x: np.ndarray, labels: np.ndarray) -> float:
         """One global-minibatch step; with ``nodes > 1`` the batch is
@@ -104,22 +133,34 @@ class Trainer:
     def _train_step(self, x: np.ndarray, labels: np.ndarray) -> float:
         if self.lr_schedule is not None:
             self.opt.lr = self.lr_schedule.lr(self.iteration)
+        step = self.iteration
         self.iteration += 1
+        ok = True
         if self.nodes == 1:
             loss = self.etg.train_step(x, labels)
             acc = self.etg.accuracy()
-            self.opt.step(self.etg.grads())
+            grads = self.etg.grads()
+            self._maybe_poison(grads, step)
+            ok = self.watchdog.check(grads, node="local", step=step)
+            if ok:
+                self.opt.step(grads)
         else:
             shards = np.array_split(np.arange(len(labels)), self.nodes)
             acc_grads = None
             loss = 0.0
             acc = 0.0
-            for shard in shards:
+            for rank, shard in enumerate(shards):
                 loss += self.etg.train_step(x[shard], labels[shard]) * len(
                     shard
                 )
                 acc += self.etg.accuracy() * len(shard)
                 g = [gr.copy() for gr in self.etg.grads()]
+                self._maybe_poison(g, step, rank=rank)
+                # per-replica attribution: the watchdog names the shard
+                # whose backward pass produced the divergence
+                ok = self.watchdog.check(
+                    g, node=f"replica{rank}", step=step
+                ) and ok
                 if acc_grads is None:
                     acc_grads = g
                 else:
@@ -127,16 +168,88 @@ class Trainer:
                         a += b
             loss /= len(labels)
             acc /= len(labels)
-            # all-reduce: average over replicas
-            for a in acc_grads:
-                a /= self.nodes
-            self.opt.step(acc_grads)
+            if ok:
+                # all-reduce: average over replicas
+                for a in acc_grads:
+                    a /= self.nodes
+                self.opt.step(acc_grads)
+        if not ok:
+            # skip policy: the step is dropped, the weights untouched
+            self.watchdog.skipped()
         self.metrics.losses.append(float(loss))
         self.metrics.accuracies.append(float(acc))
+        self._maybe_autosave()
         return float(loss)
 
+    def _maybe_poison(
+        self, grads: list[np.ndarray], step: int, rank: int | None = None
+    ) -> None:
+        """The ``trainer.grads`` fault-injection site (``nan_grad``)."""
+        if self.injector is None:
+            return
+        fault = self.injector.fire("trainer.grads", step=step, rank=rank)
+        if fault is not None and fault.kind == "nan_grad":
+            grads[fault.param % len(grads)].flat[0] = np.nan
+
+    def _maybe_autosave(self) -> None:
+        if (
+            self.checkpoint_path
+            and self.checkpoint_every
+            and self.iteration % self.checkpoint_every == 0
+        ):
+            self.save(self.checkpoint_path)
+
     def fit(self, dataset, batch_size: int, epochs: int = 1) -> TrainMetrics:
-        # per-node batch x nodes = global minibatch, like the paper's runs
-        for x, y in dataset.batches(batch_size * self.nodes, epochs):
+        # per-node batch x nodes = global minibatch, like the paper's
+        # runs.  The first fit after :meth:`resume` fast-forwards the
+        # deterministic shuffle stream past the steps already taken, so
+        # the post-resume data order -- hence the whole trajectory -- is
+        # bit-identical to an uninterrupted run's (call fit with the
+        # same batch size and total epochs as the interrupted run).
+        skip, self._resume_skip = self._resume_skip, 0
+        for i, (x, y) in enumerate(
+            dataset.batches(
+                batch_size * self.nodes, epochs, seed=self.shuffle_seed
+            )
+        ):
+            if i < skip:
+                continue
             self.train_step(x, y)
         return self.metrics
+
+    # -- crash recovery -------------------------------------------------
+    def save(self, path_or_file) -> None:
+        """Atomically checkpoint weights + SGD velocity + step +
+        trajectory (see :func:`~repro.gxm.checkpoint
+        .save_training_checkpoint`)."""
+        from repro.gxm.checkpoint import save_training_checkpoint
+
+        save_training_checkpoint(
+            path_or_file,
+            self.etg,
+            self.opt,
+            step=self.iteration,
+            losses=self.metrics.losses,
+            accuracies=self.metrics.accuracies,
+            rng_state={
+                "shuffle_seed": self.shuffle_seed,
+                "batches_consumed": self.iteration,
+            },
+        )
+
+    def resume(self, path_or_file) -> int:
+        """Restore a :meth:`save`d checkpoint; returns the step to
+        continue from.  Weights, SGD velocity, step counter and the
+        recorded metrics are all exact; a following :meth:`fit` replays
+        the shuffle stream up to the restored step, so the continued
+        trajectory is bit-identical to a run that never stopped."""
+        from repro.gxm.checkpoint import load_training_checkpoint
+
+        ck = load_training_checkpoint(path_or_file, self.etg, self.opt)
+        self.iteration = ck.step
+        self._resume_skip = ck.step
+        self.metrics.losses = list(ck.losses)
+        self.metrics.accuracies = list(ck.accuracies)
+        if ck.rng_state and "shuffle_seed" in ck.rng_state:
+            self.shuffle_seed = ck.rng_state["shuffle_seed"]
+        return ck.step

@@ -13,6 +13,14 @@ library's hot paths:
 * exporters (:mod:`repro.obs.export`) -- ``chrome://tracing`` JSON and a
   flat aggregated JSON report.
 
+The resilience machinery (:mod:`repro.resilience`) reports through the
+same counters: ``resilience.faults_injected``, ``resilience.respawns``,
+``resilience.degraded_steps``, ``resilience.skipped_steps`` and
+``resilience.nan_grads_detected`` on the process-wide registry, plus
+``serve.worker_restarts``, ``serve.worker_crashes``,
+``serve.tier_degraded`` and ``serve.artifact_rejected`` on each
+:class:`~repro.serve.server.InferenceServer`'s private registry.
+
 Quick start::
 
     from repro import obs

@@ -1,0 +1,62 @@
+"""repro.resilience -- deterministic fault injection + fault survival.
+
+The paper's value proposition is *sustained* throughput on long-running
+workloads: multi-node data-parallel training (section II-L) and dumped
+weights "used for inference tasks afterwards".  This package makes the
+faults such runs meet first-class and testable:
+
+* :class:`FaultPlan` / :class:`FaultInjector` (:mod:`.faults`) --
+  seeded, deterministic injection of worker crashes, hangs, corrupt
+  messages, NaN gradients and corrupt artifacts at named sites.
+* :class:`NumericsWatchdog` (:mod:`.watchdog`) -- pre-step NaN/Inf
+  gradient screen with per-node attribution and a skip-step-or-raise
+  policy.
+* Typed failures -- :class:`WorkerFailure` (a training worker died,
+  hung, or replied garbage), :class:`DivergenceError` (numerics),
+  :class:`InjectedFault` (a fault acting itself out),
+  and :class:`~repro.streams.serialize.StaleArtifactError` for
+  corrupt/stale on-disk artifacts.
+
+The systems wired to survive these faults:
+
+* :class:`~repro.gxm.multiproc.ProcessParallelTrainer` -- timeout-guarded
+  pipes, dead-worker detection, per-step degradation (recompute lost
+  shards at the root for bit-identical numerics, or rescale over the
+  survivors), bounded respawn with implicit weight re-broadcast.
+* :class:`~repro.gxm.trainer.Trainer` / ``ProcessParallelTrainer`` --
+  atomic :func:`~repro.gxm.checkpoint.save_training_checkpoint`
+  autosave (weights + SGD velocity + step + metrics) and exact-to-the-
+  step ``resume()``.
+* :class:`~repro.serve.server.InferenceServer` -- worker supervisor
+  (crashed replica threads restarted with backoff), degrade-to-
+  ``interpret`` on compiled-tier failure, cold-dryrun fallback on a
+  stale/corrupt warm-cache artifact, and a ``/healthz`` readiness
+  payload reporting live workers and degraded state.
+
+Observability (:mod:`repro.obs` counters): ``resilience.faults_injected``,
+``resilience.respawns``, ``resilience.degraded_steps``,
+``resilience.skipped_steps``, ``resilience.nan_grads_detected``,
+``serve.worker_restarts``, ``serve.tier_degraded``,
+``serve.artifact_rejected``.
+"""
+
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    WorkerFailure,
+    corrupt_file,
+)
+from repro.resilience.watchdog import DivergenceError, NumericsWatchdog
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFault",
+    "WorkerFailure",
+    "DivergenceError",
+    "NumericsWatchdog",
+    "corrupt_file",
+]

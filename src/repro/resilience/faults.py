@@ -1,0 +1,197 @@
+"""Deterministic, seeded fault injection.
+
+Long-running modes of the system (process-parallel training, serving)
+must treat faults as a first-class, *tested* scenario.  The pieces:
+
+* :class:`FaultSpec` -- one fault: *what* (``kind``), *where* (a named
+  ``site``), *when* (``step``/``rank`` filters, an optional seeded
+  ``probability``) and *how often* (``count``).
+* :class:`FaultPlan` -- a picklable set of specs plus the RNG seed, so
+  worker **processes** rebuild bit-identical injectors from the plan.
+* :class:`FaultInjector` -- the runtime hook.  Call sites ask
+  ``injector.fire(site, step=..., rank=...)``; a returned spec means
+  "this fault fires here, now".  The injector is cheap when no plan is
+  armed (a single ``None`` check at each site) and thread-safe on the
+  root side.
+
+Named sites wired into the library (callers may add their own):
+
+======================  ====================================================
+site                    kinds honoured there
+======================  ====================================================
+``mp.worker.step``      ``crash`` (``os._exit``), ``hang`` (sleep until the
+                        root's timeout kills the process), ``nan_grad``
+                        (poisons one gradient tensor), ``corrupt_message``
+                        (malformed reply tuple)
+``trainer.grads``       ``nan_grad`` on the in-process :class:`Trainer`
+``serve.worker.crash``  ``crash`` -- the serving worker thread dies after
+                        completing its current batch (the supervisor
+                        restarts it)
+``serve.replica.run``   ``tier_fail`` -- the compiled execution tier fails
+                        once, forcing degrade-to-``interpret``
+======================  ====================================================
+
+Injected faults count into ``resilience.faults_injected``.
+:func:`corrupt_file` deterministically flips bytes of an on-disk
+artifact -- the "artifact corruption" fault for checkpoint/stream tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.metrics import get_metrics
+from repro.types import ReproError
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFault",
+    "WorkerFailure",
+    "corrupt_file",
+]
+
+_KINDS = (
+    "crash",
+    "hang",
+    "nan_grad",
+    "corrupt_message",
+    "tier_fail",
+)
+
+
+class InjectedFault(ReproError):
+    """Raised by a call site to *act out* an injected fault (e.g. a
+    serving worker thread terminating itself)."""
+
+
+class WorkerFailure(ReproError):
+    """A training worker process failed (died, hung past the timeout,
+    or returned a corrupt message).  Typed so the root can catch it per
+    rank and degrade instead of deadlocking."""
+
+    def __init__(self, rank: int, reason: str):
+        super().__init__(f"worker {rank}: {reason}")
+        self.rank = rank
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    ``site`` names the hook; ``kind`` what happens there.  ``step`` and
+    ``rank`` (``None`` = any) narrow when/where it fires; ``count``
+    bounds how many times; ``probability`` < 1 draws from the plan's
+    seeded RNG, so stochastic campaigns stay reproducible.  ``param``
+    selects which tensor a ``nan_grad`` poisons.
+    """
+
+    site: str
+    kind: str
+    step: int | None = None
+    rank: int | None = None
+    count: int = 1
+    probability: float = 1.0
+    param: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ReproError(
+                f"unknown fault kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if self.count < 1:
+            raise ReproError("fault count must be >= 1")
+        if not 0.0 < self.probability <= 1.0:
+            raise ReproError("fault probability must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A picklable fault campaign: specs + the seed every injector built
+    from this plan uses, so root and workers draw identical sequences."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+
+class FaultInjector:
+    """Runtime fault hook built from a :class:`FaultPlan`.
+
+    ``fire`` returns the matching :class:`FaultSpec` (decrementing its
+    remaining count) or ``None``.  With no plan armed the injector is a
+    no-op costing one attribute check per site.
+    """
+
+    def __init__(self, plan: FaultPlan | None = None, metrics=None):
+        self.plan = plan
+        self._metrics = metrics if metrics is not None else get_metrics()
+        self._lock = threading.Lock()
+        self._remaining = (
+            [spec.count for spec in plan.specs] if plan else []
+        )
+        self._rng = np.random.default_rng(plan.seed if plan else 0)
+
+    @property
+    def enabled(self) -> bool:
+        return self.plan is not None and any(
+            n > 0 for n in self._remaining
+        )
+
+    def fire(
+        self, site: str, *, step: int | None = None, rank: int | None = None
+    ) -> FaultSpec | None:
+        """The matching armed fault for this (site, step, rank), if any."""
+        if self.plan is None:
+            return None
+        with self._lock:
+            for i, spec in enumerate(self.plan.specs):
+                if self._remaining[i] <= 0 or spec.site != site:
+                    continue
+                if spec.step is not None and step != spec.step:
+                    continue
+                if spec.rank is not None and rank != spec.rank:
+                    continue
+                if spec.probability < 1.0 and (
+                    self._rng.random() >= spec.probability
+                ):
+                    continue
+                self._remaining[i] -= 1
+                self._metrics.inc("resilience.faults_injected")
+                return spec
+        return None
+
+    # -- picklability: the lock stays root-side; a worker process
+    # rebuilds its own injector from the (picklable) plan ------------
+    def __reduce__(self):
+        return (FaultInjector, (self.plan,))
+
+
+def corrupt_file(path: str, n_bytes: int = 64, seed: int = 0) -> int:
+    """Deterministically flip up to ``n_bytes`` bytes in the middle of
+    ``path`` (the artifact-corruption fault).  Returns how many bytes
+    were flipped."""
+    rng = np.random.default_rng(seed)
+    with open(path, "r+b") as fh:
+        fh.seek(0, 2)
+        size = fh.tell()
+        if size == 0:
+            return 0
+        n = min(n_bytes, size)
+        # flip a contiguous run in the middle: headers often survive,
+        # which is exactly the nasty case (parseable but wrong)
+        start = max(0, size // 2 - n // 2)
+        fh.seek(start)
+        blob = bytearray(fh.read(n))
+        for i in range(len(blob)):
+            blob[i] ^= int(rng.integers(1, 256))
+        fh.seek(start)
+        fh.write(bytes(blob))
+    return n

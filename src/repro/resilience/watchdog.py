@@ -1,0 +1,85 @@
+"""NaN/Inf numerics watchdog for training loops.
+
+Built on :mod:`repro.validation`'s non-finite accounting: the watchdog
+scans gradient sets before the SGD step, attributes any divergence to
+the node (worker rank or ``"local"``) and tensor that produced it, and
+applies a policy:
+
+* ``"raise"`` -- abort with :class:`DivergenceError` naming the node
+  (training numerics are corrupt; continuing would poison the weights).
+* ``"skip"``  -- drop the whole step (weights untouched), count it in
+  ``resilience.skipped_steps``, and keep training.
+* ``"off"``   -- no checking (the pre-watchdog behaviour).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs.metrics import get_metrics
+from repro.types import ReproError
+from repro.validation import ValidationError, nonfinite_report
+
+__all__ = ["DivergenceError", "NumericsWatchdog", "POLICIES"]
+
+POLICIES = ("raise", "skip", "off")
+
+
+class DivergenceError(ValidationError):
+    """Training numerics diverged (NaN/Inf gradients), attributed to a
+    node."""
+
+    def __init__(self, node: str, detail: str):
+        super().__init__(f"non-finite gradients from node {node}: {detail}")
+        self.node = node
+        self.detail = detail
+
+
+class NumericsWatchdog:
+    """Pre-step gradient screen with per-node attribution."""
+
+    def __init__(self, policy: str = "raise", metrics=None):
+        if policy not in POLICIES:
+            raise ReproError(
+                f"unknown watchdog policy {policy!r}; expected {POLICIES}"
+            )
+        self.policy = policy
+        self._metrics = metrics if metrics is not None else get_metrics()
+        #: ``(step, node, detail)`` for every divergence observed
+        self.incidents: list[tuple[int | None, str, str]] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self.policy != "off"
+
+    def check(
+        self,
+        grads: list[np.ndarray],
+        node: str = "local",
+        step: int | None = None,
+    ) -> bool:
+        """``True`` iff every gradient is finite.
+
+        On divergence: records the incident, bumps
+        ``resilience.nan_grads_detected``, then raises
+        (policy ``"raise"``) or returns ``False`` (policy ``"skip"`` --
+        the caller must drop the step and count it via
+        :meth:`skipped`)."""
+        if self.policy == "off":
+            return True
+        bad = nonfinite_report(grads)
+        if not bad:
+            return True
+        detail = ", ".join(
+            f"param[{i}]: {n_nan} NaN / {n_inf} Inf" for i, n_nan, n_inf in bad
+        )
+        self.incidents.append((step, node, detail))
+        self._metrics.inc("resilience.nan_grads_detected")
+        if self.policy == "raise":
+            raise DivergenceError(node, detail)
+        return False
+
+    def skipped(self) -> None:
+        """Record that the caller dropped one step on this watchdog's
+        verdict."""
+        self._metrics.inc("resilience.skipped_steps")

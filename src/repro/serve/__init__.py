@@ -30,6 +30,16 @@ Pieces (one module each):
 * :func:`serve_http` -- a stdlib HTTP front end (``POST /predict``,
   ``GET /metrics``, ``GET /healthz``).
 
+Resilience (see :mod:`repro.resilience`): boot survives a corrupt or
+stale warm-cache artifact by falling back to cold dryruns
+(``serve.artifact_rejected``); a supervisor thread restarts crashed
+worker threads with bounded exponential backoff
+(``serve.worker_restarts``); a blocked replica whose compiled execution
+tier fails rebuilds that bucket on the ``interpret`` tier and retries
+(``serve.tier_degraded``); and ``GET /healthz`` serves
+:meth:`InferenceServer.health` -- ``ok``/``degraded``/``down`` plus
+live-worker counts and every degradation reason.
+
 Quick start::
 
     from repro.serve import InferenceServer, ServeConfig, run_closed_loop

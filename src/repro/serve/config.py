@@ -19,6 +19,8 @@ __all__ = ["ServeConfig"]
 
 _MODELS = ("resnet_mini", "inception_mini")
 _ENGINES = ("fast", "blocked")
+#: sentinel: "use the configured tier" (``None`` means process default)
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -120,9 +122,14 @@ class ServeConfig:
             num_classes=self.num_classes, width=self.width
         )
 
-    def build_etg(self, bucket: int, conv_streams=None, tracer=None):
+    def build_etg(
+        self, bucket: int, conv_streams=None, tracer=None,
+        execution_tier=_UNSET,
+    ):
         """One :class:`~repro.gxm.etg.ExecutionTaskGraph` sized for a
-        batch bucket (the blocked engine records streams per fixed N)."""
+        batch bucket (the blocked engine records streams per fixed N).
+        ``execution_tier`` overrides the configured tier -- the degrade-
+        to-``interpret`` rebuild path."""
         from repro.arch.machine import machine_by_name
         from repro.gxm.etg import ExecutionTaskGraph
 
@@ -134,6 +141,10 @@ class ServeConfig:
             threads=self.threads,
             seed=self.seed,
             tracer=tracer,
-            execution_tier=self.execution_tier,
+            execution_tier=(
+                self.execution_tier
+                if execution_tier is _UNSET
+                else execution_tier
+            ),
             conv_streams=conv_streams,
         )

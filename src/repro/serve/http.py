@@ -5,7 +5,9 @@ Three endpoints, JSON in/out:
 * ``POST /predict`` -- body ``{"input": <nested (C, H, W) list>}``,
   response ``{"probs": [...], "argmax": k}``.
 * ``GET /metrics`` -- the server's :meth:`stats` snapshot.
-* ``GET /healthz`` -- liveness.
+* ``GET /healthz`` -- the readiness payload (:meth:`InferenceServer
+  .health`): ``200`` while the server can serve (``ok`` or
+  ``degraded``), ``503`` when it is down.
 
 Load shedding and shutdown map to ``503`` (the standard back-pressure
 status), malformed input to ``400``, a request timeout to ``504`` and
@@ -47,7 +49,9 @@ def _make_handler(server):
 
         def do_GET(self) -> None:  # noqa: N802 -- http.server API
             if self.path == "/healthz":
-                self._reply(200, {"status": "ok"})
+                health = server.health()
+                status = 200 if health["status"] != "down" else 503
+                self._reply(status, health)
             elif self.path == "/metrics":
                 self._reply(200, server.stats())
             else:

@@ -9,35 +9,64 @@ a short batching wait, one engine call, scatter.  SLO signals use the
 -> p50/p95/p99), ``serve.queue_depth``, ``serve.batch_occupancy``,
 ``serve.shed``/``serve.batches``/``serve.responses``/
 ``serve.cancelled`` counters and the ``serve.boot_s`` gauge.
+
+Resilience: boot falls back to a cold dryrun when the warm-cache
+artifact is stale or corrupt (:class:`StaleArtifactError` -> counted in
+``serve.artifact_rejected``, never a boot abort); a supervisor thread
+restarts crashed worker threads with exponential backoff
+(``serve.worker_restarts``); and :meth:`health` -- the ``/healthz``
+payload -- reports live-worker count and every degraded state.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 
 import numpy as np
 
 from repro.obs.metrics import MetricsRegistry
+from repro.resilience.faults import FaultInjector
 from repro.serve.admission import AdmissionQueue
 from repro.serve.batcher import MicroBatcher
 from repro.serve.config import ServeConfig
 from repro.serve.request import InferenceRequest, ServerClosed
 from repro.serve.warmcache import StreamWarmCache
 from repro.serve.worker import EngineReplica, Worker
+from repro.streams.serialize import StaleArtifactError
 from repro.types import ReproError, ShapeError
 
 __all__ = ["InferenceServer"]
 
+#: supervisor scan period and restart backoff bounds
+_SUPERVISE_S = 0.05
+_BACKOFF_BASE_S = 0.05
+_BACKOFF_MAX_S = 2.0
+
 
 class InferenceServer:
-    """Dynamic-batching front end over bucket-sized inference engines."""
+    """Dynamic-batching front end over bucket-sized inference engines.
 
-    def __init__(self, config: ServeConfig):
+    ``fault_injector`` arms deterministic fault injection at the serving
+    sites (``serve.worker.crash``, ``serve.replica.run``);
+    ``max_worker_restarts`` bounds how many times the supervisor will
+    replace any one worker slot before leaving it down (and reporting it
+    through :meth:`health`).
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        fault_injector: FaultInjector | None = None,
+        max_worker_restarts: int = 8,
+    ):
         self.config = config
         #: per-server registry: several servers can live in one process
         #: (tests, loadgen comparisons), so SLO numbers must not bleed
         #: across instances through the process-wide registry
         self.metrics = MetricsRegistry()
+        self.injector = fault_injector
+        self.max_worker_restarts = max_worker_restarts
         self.queue = AdmissionQueue(
             config.queue_capacity, metrics=self.metrics
         )
@@ -45,6 +74,9 @@ class InferenceServer:
         self.warm_cache = StreamWarmCache(config.fingerprint())
         self._replicas: list[EngineReplica] = []
         self._workers: list[Worker] = []
+        self._restarts: list[int] = []
+        self._supervisor: threading.Thread | None = None
+        self._stopping = threading.Event()
         self.boot_stats: dict = {}
         self._started = False
 
@@ -54,30 +86,34 @@ class InferenceServer:
 
         ``streams_artifact`` (path or file object) warm-starts the
         blocked engine from saved kernel streams; buckets present in the
-        artifact skip their dryrun.  Returns :attr:`boot_stats`.
+        artifact skip their dryrun.  A stale or corrupt artifact does
+        NOT abort boot: it is rejected (``serve.artifact_rejected``) and
+        every bucket cold-boots through its dryrun.  Returns
+        :attr:`boot_stats`.
         """
         if self._started:
             raise ReproError("server already started")
         t0 = time.perf_counter()
+        artifact_error: str | None = None
         if streams_artifact is not None:
             if self.config.engine != "blocked":
                 raise ReproError(
                     "stream warm-start applies only to the blocked engine"
                 )
-            self.warm_cache.load(streams_artifact)
+            try:
+                self.warm_cache.load(streams_artifact)
+            except StaleArtifactError as err:
+                # graceful degradation: cold dryrun instead of boot abort
+                artifact_error = str(err)
+                self.metrics.inc("serve.artifact_rejected")
         for i in range(self.config.workers):
-            replica = EngineReplica(self.config, self.warm_cache)
-            self._replicas.append(replica)
-            self._workers.append(
-                Worker(
-                    name=f"serve-worker-{i}",
-                    queue=self.queue,
-                    batcher=self.batcher,
-                    replica=replica,
-                    batch_window_s=self.config.batch_window_ms / 1e3,
-                    metrics=self.metrics,
-                )
+            replica = EngineReplica(
+                self.config, self.warm_cache, metrics=self.metrics,
+                injector=self.injector,
             )
+            self._replicas.append(replica)
+            self._workers.append(self._make_worker(i, replica))
+            self._restarts.append(0)
         if self.config.checkpoint:
             self._load_checkpoint(self.config.checkpoint)
         boot_s = time.perf_counter() - t0
@@ -88,11 +124,29 @@ class InferenceServer:
             "warm_buckets": list(first.warm_buckets),
             "cold_buckets": list(first.cold_buckets),
         }
+        if artifact_error is not None:
+            self.boot_stats["artifact_error"] = artifact_error
         self.metrics.set_gauge("serve.boot_s", boot_s)
         for w in self._workers:
             w.start()
+        self._stopping.clear()
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="serve-supervisor", daemon=True
+        )
+        self._supervisor.start()
         self._started = True
         return self.boot_stats
+
+    def _make_worker(self, slot: int, replica: EngineReplica) -> Worker:
+        return Worker(
+            name=f"serve-worker-{slot}",
+            queue=self.queue,
+            batcher=self.batcher,
+            replica=replica,
+            batch_window_s=self.config.batch_window_ms / 1e3,
+            metrics=self.metrics,
+            injector=self.injector,
+        )
 
     def _load_checkpoint(self, path: str) -> None:
         """Copy trained parameters from a checkpoint into every graph of
@@ -107,6 +161,35 @@ class InferenceServer:
                     continue
                 seen.add(id(session))
                 load_checkpoint(session.etg, path)
+
+    # -- self-healing ---------------------------------------------------
+    def _supervise(self) -> None:
+        """Restart crashed worker threads (bounded, with backoff).
+
+        A worker that exited because the queue closed
+        (``exited_cleanly``) is never restarted; one that died any other
+        way is replaced on its own replica -- engines are stateless
+        between batches, so the replacement picks up immediately.
+        """
+        while not self._stopping.wait(_SUPERVISE_S):
+            for slot, worker in enumerate(self._workers):
+                if worker.is_alive() or worker.exited_cleanly:
+                    continue
+                if self._restarts[slot] >= self.max_worker_restarts:
+                    continue  # slot abandoned; health() reports it
+                delay = min(
+                    _BACKOFF_BASE_S * (2 ** self._restarts[slot]),
+                    _BACKOFF_MAX_S,
+                )
+                if self._stopping.wait(delay):
+                    return
+                self._restarts[slot] += 1
+                self.metrics.inc("serve.worker_restarts")
+                replacement = self._make_worker(
+                    slot, self._replicas[slot]
+                )
+                self._workers[slot] = replacement
+                replacement.start()
 
     # ------------------------------------------------------------------
     def submit(self, x: np.ndarray) -> InferenceRequest:
@@ -138,6 +221,10 @@ class InferenceServer:
         """Close admission, drain workers, fail leftover requests."""
         if not self._started:
             return
+        self._stopping.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=10.0)
+            self._supervisor = None
         self.queue.close()
         for w in self._workers:
             w.join(timeout=30.0)
@@ -147,6 +234,7 @@ class InferenceServer:
             replica.close()
         self._replicas.clear()
         self._workers.clear()
+        self._restarts.clear()
         self._started = False
 
     def __enter__(self) -> "InferenceServer":
@@ -158,12 +246,50 @@ class InferenceServer:
         self.stop()
 
     # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """The ``/healthz`` readiness payload.
+
+        ``status`` is ``"ok"`` (full capacity, no degradation),
+        ``"degraded"`` (serving, but with dead workers, a degraded
+        execution tier, or after a warm-artifact rejection) or
+        ``"down"`` (not started / nothing alive to serve)."""
+        live = sum(1 for w in self._workers if w.is_alive())
+        degraded_buckets = sorted(
+            {
+                b
+                for r in self._replicas
+                for b in r.degraded_buckets
+            }
+        )
+        artifact_fallback = "artifact_error" in self.boot_stats
+        if not self._started or (self._workers and live == 0):
+            status = "down"
+        elif (
+            live < len(self._workers)
+            or degraded_buckets
+            or artifact_fallback
+        ):
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "started": self._started,
+            "live_workers": live,
+            "configured_workers": self.config.workers,
+            "worker_restarts": self.metrics.value("serve.worker_restarts"),
+            "degraded_buckets": degraded_buckets,
+            "artifact_fallback": artifact_fallback,
+            "artifact_error": self.boot_stats.get("artifact_error"),
+            "queue_depth": self.queue.depth,
+        }
+
     def stats(self) -> dict:
         """SLO snapshot: this server's serve.* metrics, latency
-        percentiles, kernel cache state, boot stats and warm-cache
-        digests.  Reads the per-instance registry, so the numbers cover
-        exactly this server's lifetime -- not every server ever booted
-        in the process."""
+        percentiles, kernel cache state, boot stats, warm-cache digests
+        and the health payload.  Reads the per-instance registry, so the
+        numbers cover exactly this server's lifetime -- not every server
+        ever booted in the process."""
         from repro.jit.kernel_cache import get_default_cache
 
         return {
@@ -173,6 +299,7 @@ class InferenceServer:
             "kernel_cache": get_default_cache().stats(),
             "boot": dict(self.boot_stats),
             "warm_streams": self.warm_cache.digests(),
+            "health": self.health(),
         }
 
     def save_streams_artifact(self, path_or_file) -> int:

@@ -15,11 +15,11 @@ the server's (different model/shape/blocking => different streams).
 from __future__ import annotations
 
 from repro.streams.serialize import (
+    StaleArtifactError,
     load_stream_bundle,
     save_stream_bundle,
     streams_digest,
 )
-from repro.types import ReproError
 
 __all__ = ["StreamWarmCache"]
 
@@ -80,7 +80,7 @@ class StreamWarmCache:
         different configuration."""
         bundle, meta = load_stream_bundle(path_or_file)
         if meta.get("fingerprint") != self.fingerprint:
-            raise ReproError(
+            raise StaleArtifactError(
                 "stream artifact was recorded for a different serve "
                 f"config (fingerprint {meta.get('fingerprint')} != "
                 f"{self.fingerprint})"

@@ -14,6 +14,14 @@ Engine strategy per :class:`~repro.serve.config.ServeConfig`:
   the replica owns one graph *per bucket*.  Building each graph replays
   warm-cache streams when available (no dryrun) and contributes its
   freshly recorded streams to the cache otherwise.
+
+Graceful degradation: a blocked replica whose compiled execution tier
+fails at runtime rebuilds the offending bucket's engine on the
+``interpret`` tier and retries the batch (``serve.tier_degraded``
+counter, :attr:`EngineReplica.degraded_buckets`).  A worker thread that
+dies (e.g. an injected crash) is restarted by the server's supervisor --
+its batches are never lost because the crash boundary is between
+batches.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import time
 from repro.gxm.inference import InferenceSession
 from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
+from repro.resilience.faults import FaultInjector, InjectedFault
 from repro.serve.admission import AdmissionQueue
 from repro.serve.batcher import MicroBatcher
 from repro.serve.config import ServeConfig
@@ -37,12 +46,23 @@ class EngineReplica:
     """Every engine one worker thread needs, built once at boot."""
 
     def __init__(
-        self, config: ServeConfig, warm_cache: StreamWarmCache | None = None
+        self,
+        config: ServeConfig,
+        warm_cache: StreamWarmCache | None = None,
+        metrics=None,
+        injector: FaultInjector | None = None,
     ):
         self.config = config
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self.injector = injector
+        self._warm_cache = warm_cache
+        self._lock = threading.Lock()
         self._sessions: dict[int, InferenceSession] = {}
         self.warm_buckets: list[int] = []
         self.cold_buckets: list[int] = []
+        #: buckets rebuilt on the ``interpret`` tier after a compiled-
+        #: tier failure (graceful degradation, never silent)
+        self.degraded_buckets: list[int] = []
         if config.engine == "fast":
             # one graph handles any leading dimension
             etg = config.build_etg(config.max_bucket)
@@ -63,7 +83,53 @@ class EngineReplica:
                 self._sessions[bucket] = InferenceSession(etg).__enter__()
 
     def run(self, batch, bucket: int):
-        """Probabilities for one ``(bucket, C, H, W)`` batch."""
+        """Probabilities for one ``(bucket, C, H, W)`` batch.
+
+        A blocked-engine failure on a compiled-style tier degrades the
+        bucket to the ``interpret`` tier and retries once; anything the
+        interpreter also rejects propagates.
+        """
+        if self.injector is not None:
+            fault = self.injector.fire("serve.replica.run")
+            if fault is not None and fault.kind == "tier_fail":
+                return self._degrade_and_retry(
+                    batch, bucket,
+                    InjectedFault("injected compiled-tier failure"),
+                )
+        try:
+            return self._sessions[bucket].predict(batch)
+        except Exception as err:  # noqa: BLE001 -- degrade, don't die
+            return self._degrade_and_retry(batch, bucket, err)
+
+    def _degrade_and_retry(self, batch, bucket: int, err: BaseException):
+        """Rebuild one bucket's engine on the interpreter tier."""
+        if self.config.engine != "blocked":
+            raise err  # the fast engine has no tier to fall back to
+        if self.config.execution_tier == "interpret":
+            raise err  # already interpreting: nothing lower to reach
+        if bucket in self.degraded_buckets:
+            raise err  # already on the fallback tier: genuine failure
+        with self._lock:
+            if bucket not in self.degraded_buckets:
+                streams = (
+                    self._warm_cache.get(bucket)
+                    if self._warm_cache is not None
+                    else None
+                )
+                etg = self.config.build_etg(
+                    bucket,
+                    conv_streams=streams,
+                    execution_tier="interpret",
+                )
+                if self.config.checkpoint:
+                    from repro.gxm.checkpoint import load_checkpoint
+
+                    load_checkpoint(etg, self.config.checkpoint)
+                old = self._sessions[bucket]
+                self._sessions[bucket] = InferenceSession(etg).__enter__()
+                old.__exit__(None, None, None)
+                self.degraded_buckets.append(bucket)
+                self.metrics.inc("serve.tier_degraded")
         return self._sessions[bucket].predict(batch)
 
     def close(self) -> None:
@@ -85,6 +151,7 @@ class Worker(threading.Thread):
         replica: EngineReplica,
         batch_window_s: float,
         metrics=None,
+        injector: FaultInjector | None = None,
     ):
         super().__init__(name=name, daemon=True)
         self.queue = queue
@@ -92,8 +159,21 @@ class Worker(threading.Thread):
         self.replica = replica
         self.batch_window_s = batch_window_s
         self.metrics = metrics if metrics is not None else get_metrics()
+        self.injector = injector
+        #: set when the thread exits because the queue closed (orderly);
+        #: a dead thread without this flag crashed and may be restarted
+        self.exited_cleanly = False
 
     def run(self) -> None:
+        try:
+            self._drain()
+            self.exited_cleanly = True
+        except InjectedFault:
+            # simulated crash: die between batches; the supervisor
+            # restarts a replacement thread on the same replica
+            self.metrics.inc("serve.worker_crashes")
+
+    def _drain(self) -> None:
         metrics = self.metrics
         tracer = get_tracer()
         max_n = self.batcher.buckets[-1]
@@ -113,6 +193,12 @@ class Worker(threading.Thread):
                 metrics.inc("serve.errors")
                 for req in requests:
                     req._fail(err)
+            if self.injector is not None:
+                fault = self.injector.fire("serve.worker.crash")
+                if fault is not None and fault.kind == "crash":
+                    raise InjectedFault(
+                        f"injected crash of {self.name}"
+                    )
 
     def _serve_batch(
         self, requests: list[InferenceRequest], metrics, tracer

@@ -9,6 +9,8 @@ round-trip losslessly through ``.npz``.
 from __future__ import annotations
 
 import json
+import zipfile
+import zlib
 
 import numpy as np
 
@@ -21,7 +23,16 @@ __all__ = [
     "streams_digest",
     "save_stream_bundle",
     "load_stream_bundle",
+    "StaleArtifactError",
 ]
+
+
+class StaleArtifactError(ReproError):
+    """A persisted stream artifact is unusable -- unreadable, from a
+    different format version, content-corrupted (digest mismatch), or
+    recorded under a different configuration.  A dedicated subtype so
+    callers (serve boot, warm cache) can catch-and-fallback to a cold
+    dryrun without string matching."""
 
 _FORMAT_VERSION = 1
 _BUNDLE_VERSION = 1
@@ -104,34 +115,64 @@ def load_stream_bundle(path_or_file) -> tuple[dict[str, list[FrozenStream]], dic
     """Load a bundle saved by :func:`save_stream_bundle`.
 
     Returns ``(bundle, meta)``; every entry's content digest is verified
-    against the digest recorded at save time.
+    against the digest recorded at save time.  Every way an artifact can
+    be unusable -- unreadable/truncated file, missing or garbled
+    metadata, version mismatch, digest mismatch -- raises
+    :class:`StaleArtifactError`, so callers can fall back to a cold
+    dryrun with one ``except`` clause.
     """
-    with np.load(path_or_file) as z:
-        meta = json.loads(bytes(z["__meta__"]).decode())
-        if meta.get("bundle_version") != _BUNDLE_VERSION:
-            raise ReproError(
-                f"unsupported stream bundle version "
-                f"{meta.get('bundle_version')}"
-            )
-        bundle: dict[str, list[FrozenStream]] = {}
-        for name, entry in meta["entries"].items():
-            streams = [
-                FrozenStream(
-                    **{
-                        field: z[f"{name}::{field}_{i}"]
-                        for field in _FIELDS
-                    }
+    try:
+        with np.load(path_or_file) as z:
+            try:
+                meta = json.loads(bytes(z["__meta__"]).decode())
+            except (KeyError, UnicodeDecodeError,
+                    json.JSONDecodeError) as err:
+                raise StaleArtifactError(
+                    f"not a stream bundle (bad __meta__): {err}"
+                ) from err
+            if meta.get("bundle_version") != _BUNDLE_VERSION:
+                raise StaleArtifactError(
+                    f"unsupported stream bundle version "
+                    f"{meta.get('bundle_version')}"
                 )
-                for i in range(entry["threads"])
-            ]
-            digest = streams_digest(streams)
-            if digest != entry["digest"]:
-                raise ReproError(
-                    f"stream bundle entry {name!r} digest mismatch "
-                    f"({digest} != {entry['digest']}); artifact is stale "
-                    f"or corrupted"
-                )
-            bundle[name] = streams
+            bundle: dict[str, list[FrozenStream]] = {}
+            try:
+                items = list(meta["entries"].items())
+            except (KeyError, AttributeError) as err:
+                raise StaleArtifactError(
+                    f"stream bundle metadata lacks entries: {err}"
+                ) from err
+            for name, entry in items:
+                try:
+                    streams = [
+                        FrozenStream(
+                            **{
+                                field: z[f"{name}::{field}_{i}"]
+                                for field in _FIELDS
+                            }
+                        )
+                        for i in range(entry["threads"])
+                    ]
+                except KeyError as err:
+                    raise StaleArtifactError(
+                        f"stream bundle entry {name!r} is incomplete: "
+                        f"missing array {err}"
+                    ) from err
+                digest = streams_digest(streams)
+                if digest != entry["digest"]:
+                    raise StaleArtifactError(
+                        f"stream bundle entry {name!r} digest mismatch "
+                        f"({digest} != {entry['digest']}); artifact is "
+                        f"stale or corrupted"
+                    )
+                bundle[name] = streams
+    except FileNotFoundError:
+        raise  # a missing artifact is a caller error, not a stale one
+    except (zipfile.BadZipFile, zlib.error, ValueError, EOFError,
+            OSError) as err:
+        raise StaleArtifactError(
+            f"unreadable stream bundle: {err}"
+        ) from err
     return bundle, meta
 
 

@@ -16,7 +16,13 @@ import numpy as np
 
 from repro.types import ReproError
 
-__all__ = ["ErrorNorms", "compare", "check", "ValidationError"]
+__all__ = [
+    "ErrorNorms",
+    "compare",
+    "check",
+    "ValidationError",
+    "nonfinite_report",
+]
 
 
 class ValidationError(ReproError):
@@ -61,6 +67,22 @@ def compare(test: np.ndarray, reference: np.ndarray) -> ErrorNorms:
     ref_l2 = float(np.sqrt((r**2).sum()))
     l2_rel = l2_abs / ref_l2 if ref_l2 > 0 else l2_abs
     return ErrorNorms(linf_abs, l2_abs, linf_rel, l2_rel)
+
+
+def nonfinite_report(
+    arrays: list[np.ndarray],
+) -> list[tuple[int, int, int]]:
+    """Non-finite accounting over a tensor set (the numerics-watchdog
+    primitive): ``(index, n_nan, n_inf)`` for every array containing a
+    NaN or Inf, empty when all values are finite."""
+    bad = []
+    for i, a in enumerate(arrays):
+        if np.isfinite(a).all():
+            continue
+        n_nan = int(np.isnan(a).sum())
+        n_inf = int(np.isinf(a).sum())
+        bad.append((i, n_nan, n_inf))
+    return bad
 
 
 def check(

@@ -472,7 +472,10 @@ class TestHttp:
 
                 health = json.loads(
                     urllib.request.urlopen(f"{base}/healthz").read())
-                assert health == {"status": "ok"}
+                assert health["status"] == "ok"
+                assert health["live_workers"] == health[
+                    "configured_workers"
+                ]
                 metrics = json.loads(
                     urllib.request.urlopen(f"{base}/metrics").read())
                 assert metrics["counters"]["serve.responses"] >= 1
