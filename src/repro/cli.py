@@ -126,6 +126,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=int, default=1)
         p.add_argument("--queue-capacity", type=int, default=256)
         p.add_argument("--batch-window-ms", type=float, default=2.0)
+        p.add_argument("--max-queue-wait-ms", type=float, default=None,
+                       help="adaptive backpressure: shed once the "
+                            "estimated queue wait (service-time EWMA x "
+                            "depth) exceeds this budget")
         p.add_argument("--checkpoint", default=None,
                        help="trained weights (.npz) to load into replicas")
         p.add_argument("--load-streams", default=None,
@@ -158,6 +162,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=2.0,
                    help="open-loop run length (s)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--client-timeout", type=float, default=30.0,
+                   help="per-request client timeout (s)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="max client retries on shed/503 (0 disables)")
+    p.add_argument("--hedge", action="store_true",
+                   help="arm the p95 hedged second attempt "
+                        "(closed loop only)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-request deadline (relative ms)")
     p.add_argument("--out", default=None,
                    help="write the LoadReport JSON here")
 
@@ -372,6 +385,7 @@ def _serve_config_from_args(args):
         workers=args.workers,
         queue_capacity=args.queue_capacity,
         batch_window_ms=args.batch_window_ms,
+        max_queue_wait_ms=args.max_queue_wait_ms,
         checkpoint=args.checkpoint,
     )
 
@@ -397,7 +411,8 @@ def _cmd_serve(args) -> int:
     httpd = serve_http(server, host=args.host, port=args.port)
     host, port = httpd.server_address[:2]
     print(f"serving on http://{host}:{port} "
-          f"(POST /predict, GET /metrics, GET /healthz)")
+          f"(POST /predict, GET /metrics, GET /healthz, "
+          f"POST /admin/drain|resume|reload)")
     try:
         while True:
             time.sleep(3600)
@@ -412,8 +427,19 @@ def _cmd_serve(args) -> int:
 def _cmd_loadgen(args) -> int:
     import json
 
-    from repro.serve import InferenceServer, run_closed_loop, run_open_loop
+    from repro.serve import (
+        ClientConfig,
+        InferenceServer,
+        run_closed_loop,
+        run_open_loop,
+    )
 
+    client_config = ClientConfig(
+        timeout_s=args.client_timeout,
+        max_retries=args.retries,
+        hedge=args.hedge,
+        seed=args.seed,
+    )
     server = InferenceServer(_serve_config_from_args(args))
     boot = server.start(streams_artifact=args.load_streams)
     print(f"booted {boot['engine']} engine in {boot['boot_s']:.3f}s")
@@ -421,19 +447,24 @@ def _cmd_loadgen(args) -> int:
         if args.mode == "closed":
             report = run_closed_loop(
                 server, clients=args.clients, requests=args.requests,
-                seed=args.seed,
+                seed=args.seed, client_config=client_config,
+                deadline_ms=args.deadline_ms,
             )
         else:
             report = run_open_loop(
                 server, rate_rps=args.rate, duration_s=args.duration,
-                seed=args.seed,
+                seed=args.seed, client_config=client_config,
+                deadline_ms=args.deadline_ms,
             )
     finally:
         server.stop()
     lat = report.latency_ms
     print(
         f"{report.mode}: {report.completed}/{report.requests} completed, "
-        f"{report.shed} shed, {report.throughput_rps:.0f} req/s"
+        f"{report.shed} shed, {report.errors} errors, "
+        f"{report.timeouts} timeouts, {report.deadline_exceeded} expired, "
+        f"{report.retries} retries, {report.hedges} hedges, "
+        f"{report.throughput_rps:.0f} req/s"
     )
     if lat:
         print(

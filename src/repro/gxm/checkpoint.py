@@ -42,6 +42,7 @@ from repro.types import ReproError
 __all__ = [
     "save_checkpoint",
     "load_checkpoint",
+    "read_checkpoint_meta",
     "TrainingCheckpoint",
     "save_training_checkpoint",
     "load_training_checkpoint",
@@ -209,6 +210,15 @@ def load_checkpoint(etg: ExecutionTaskGraph, path_or_file, strict: bool = True) 
         for key, src in loaded.items():
             state[key][...] = src
     return sorted(loaded)
+
+
+def read_checkpoint_meta(path_or_file) -> dict:
+    """The checkpoint's metadata document (version, topology, keys,
+    content ``digest``) without loading any weight array -- what a
+    serving reload reports so operators can tell which weights are live.
+    Raises :class:`ReproError` on anything unreadable."""
+    with _checkpoint_file(path_or_file) as (_z, meta):
+        return dict(meta)
 
 
 # ---------------------------------------------------------------------------

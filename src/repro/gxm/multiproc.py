@@ -93,6 +93,8 @@ def _worker_main(
             os._exit(17)  # simulated SIGKILL: no cleanup, no goodbye
         if fault is not None and fault.kind == "hang":
             time.sleep(3600)  # the root's timeout reaps us
+        if fault is not None and fault.kind == "slow":
+            time.sleep(fault.delay_s)  # latency, not death
         for p, w in zip(params, weights):
             p[...] = w
         loss = etg.train_step(x, labels)

@@ -19,11 +19,44 @@ from __future__ import annotations
 import threading
 from collections import deque
 
-__all__ = ["MetricsRegistry", "get_metrics"]
+__all__ = ["Ewma", "MetricsRegistry", "get_metrics"]
 
 #: retained samples per distribution -- a rolling window, enough for a
 #: stable p99 over any recent load burst without unbounded growth
 _DIST_WINDOW = 32768
+
+
+class Ewma:
+    """Thread-safe exponentially weighted moving average.
+
+    The serving admission controller estimates queue wait from a decayed
+    per-request service time; an EWMA tracks the recent regime (a load
+    spike shifts it within ~1/alpha samples) without keeping a window.
+    ``value`` is ``None`` until the first update so callers can tell
+    "no samples yet" apart from a genuine 0.
+    """
+
+    __slots__ = ("alpha", "_value", "_lock")
+
+    def __init__(self, alpha: float = 0.2):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"EWMA alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value: float | None = None
+        self._lock = threading.Lock()
+
+    def update(self, sample: float) -> float:
+        with self._lock:
+            if self._value is None:
+                self._value = float(sample)
+            else:
+                self._value += self.alpha * (sample - self._value)
+            return self._value
+
+    @property
+    def value(self) -> float | None:
+        with self._lock:
+            return self._value
 
 
 class MetricsRegistry:

@@ -29,6 +29,16 @@ site                    kinds honoured there
                         restarts it)
 ``serve.replica.run``   ``tier_fail`` -- the compiled execution tier fails
                         once, forcing degrade-to-``interpret``
+``serve.worker.slow``   ``slow`` -- the serving worker stalls ``delay_s``
+                        seconds before running its batch (drives request
+                        deadlines past expiry deterministically)
+``serve.reload.canary_fail``  ``canary_fail`` -- the shadow replica's canary
+                        batch is rejected during
+                        :meth:`~repro.serve.server.InferenceServer
+                        .reload_checkpoint`, forcing a rollback
+``mp.worker.step``      additionally ``slow`` -- the training worker sleeps
+                        ``delay_s`` before computing its shard (latency,
+                        not death: the root's timeout must NOT reap it)
 ======================  ====================================================
 
 Injected faults count into ``resilience.faults_injected``.
@@ -61,6 +71,8 @@ _KINDS = (
     "nan_grad",
     "corrupt_message",
     "tier_fail",
+    "slow",
+    "canary_fail",
 )
 
 
@@ -88,7 +100,8 @@ class FaultSpec:
     ``rank`` (``None`` = any) narrow when/where it fires; ``count``
     bounds how many times; ``probability`` < 1 draws from the plan's
     seeded RNG, so stochastic campaigns stay reproducible.  ``param``
-    selects which tensor a ``nan_grad`` poisons.
+    selects which tensor a ``nan_grad`` poisons; ``delay_s`` how long a
+    ``slow`` fault stalls its call site.
     """
 
     site: str
@@ -98,6 +111,7 @@ class FaultSpec:
     count: int = 1
     probability: float = 1.0
     param: int = 0
+    delay_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -108,6 +122,8 @@ class FaultSpec:
             raise ReproError("fault count must be >= 1")
         if not 0.0 < self.probability <= 1.0:
             raise ReproError("fault probability must be in (0, 1]")
+        if self.delay_s < 0:
+            raise ReproError("fault delay_s must be >= 0")
 
 
 @dataclass(frozen=True)

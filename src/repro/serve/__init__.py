@@ -40,6 +40,31 @@ tier fails rebuilds that bucket on the ``interpret`` tier and retries
 :meth:`InferenceServer.health` -- ``ok``/``degraded``/``down`` plus
 live-worker counts and every degradation reason.
 
+Request lifecycle (this layer is what makes the server operable):
+
+* **deadlines** -- :meth:`submit`/:meth:`predict` take an absolute
+  monotonic ``deadline`` (HTTP: ``X-Deadline-Ms``); expired requests
+  are dropped at admission, at batch assembly and before replay
+  (``serve.deadline_expired``, :class:`DeadlineExceeded`, HTTP 504) so
+  a stale batch never wastes an engine pass.
+* **adaptive backpressure** -- ``max_queue_wait_ms`` sheds on the
+  *estimated queue wait* (service-time EWMA x depth / workers), not a
+  raw depth threshold (``serve.shed_backpressure``).
+* **circuit breaker** -- :class:`CircuitBreaker` fast-fails ``/predict``
+  (and :class:`ServeClient` calls) once the recent error rate trips,
+  then half-opens with bounded probes.
+* **a real client** -- :class:`ServeClient`: per-request timeout,
+  bounded jittered retries (503-class only -- never 4xx/504), optional
+  p95 hedging; both load generators drive it.
+* **drain + hot reload** -- :meth:`InferenceServer.drain` stops
+  admission and finishes in-flight batches;
+  :meth:`InferenceServer.reload_checkpoint` canaries new weights on
+  shadow replicas against the numerics contract, atomically swaps on
+  success (rebuilding the stream warm cache) and rolls back on failure
+  (:class:`CanaryError`, HTTP 409) with the old weights never leaving
+  service.  ``POST /admin/drain`` / ``/admin/resume`` /
+  ``/admin/reload`` expose the same over HTTP.
+
 Quick start::
 
     from repro.serve import InferenceServer, ServeConfig, run_closed_loop
@@ -60,24 +85,39 @@ place that needed care).
 
 from repro.serve.admission import AdmissionQueue
 from repro.serve.batcher import MicroBatcher
-from repro.serve.config import ServeConfig
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.client import ClientConfig, ServeClient
+from repro.serve.config import ServeConfig, ServeConfigError
 from repro.serve.http import serve_http
 from repro.serve.loadgen import LoadReport, run_closed_loop, run_open_loop
-from repro.serve.request import InferenceRequest, RequestShed, ServerClosed
-from repro.serve.server import InferenceServer
+from repro.serve.request import (
+    DeadlineExceeded,
+    InferenceRequest,
+    RequestShed,
+    ServerClosed,
+)
+from repro.serve.server import CanaryError, InferenceServer
 from repro.serve.warmcache import StreamWarmCache
-from repro.serve.worker import EngineReplica
+from repro.serve.worker import EngineReplica, ReplicaSlot, SwapGate
 
 __all__ = [
     "ServeConfig",
+    "ServeConfigError",
     "InferenceServer",
     "InferenceRequest",
     "RequestShed",
     "ServerClosed",
+    "DeadlineExceeded",
+    "CanaryError",
     "AdmissionQueue",
     "MicroBatcher",
+    "CircuitBreaker",
+    "ClientConfig",
+    "ServeClient",
     "StreamWarmCache",
     "EngineReplica",
+    "ReplicaSlot",
+    "SwapGate",
     "LoadReport",
     "run_closed_loop",
     "run_open_loop",

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.obs.metrics import MetricsRegistry, get_metrics
-from repro.serve.request import InferenceRequest
+from repro.serve.request import DeadlineExceeded, InferenceRequest
 from repro.types import ShapeError
 
 __all__ = ["MicroBatcher"]
@@ -33,6 +33,26 @@ class MicroBatcher:
     ):
         self.buckets = tuple(sorted(buckets))
         self._metrics = metrics if metrics is not None else get_metrics()
+
+    def drop_expired(
+        self, requests: list[InferenceRequest]
+    ) -> list[InferenceRequest]:
+        """Fail every already-expired request with
+        :class:`DeadlineExceeded` (``serve.deadline_expired``) and return
+        the live remainder.  Called immediately before padding a batch so
+        a request that aged out during the batching window never wastes a
+        bucket row -- and a batch whose every row expired is never
+        replayed at all (the caller skips an empty return)."""
+        live: list[InferenceRequest] = []
+        for req in requests:
+            if req.expired:
+                self._metrics.inc("serve.deadline_expired")
+                req._fail(DeadlineExceeded(
+                    f"request {req.id} expired before its batch was built"
+                ))
+            else:
+                live.append(req)
+        return live
 
     def bucket_for(self, n: int) -> int:
         """Smallest configured bucket that fits ``n`` requests."""

@@ -15,12 +15,22 @@ from dataclasses import asdict, dataclass, field
 
 from repro.types import ReproError
 
-__all__ = ["ServeConfig"]
+__all__ = ["ServeConfig", "ServeConfigError"]
 
 _MODELS = ("resnet_mini", "inception_mini")
 _ENGINES = ("fast", "blocked")
 #: sentinel: "use the configured tier" (``None`` means process default)
 _UNSET = object()
+
+
+class ServeConfigError(ReproError, ValueError):
+    """An invalid :class:`ServeConfig` field, rejected at construction.
+
+    Doubles as a ``ValueError`` so callers validating user input (CLI,
+    HTTP admin) can catch the standard type; before this, a zero queue
+    capacity or negative batch window surfaced as a confusing runtime
+    hang instead of an error at the obvious place.
+    """
 
 
 @dataclass(frozen=True)
@@ -49,6 +59,12 @@ class ServeConfig:
     batch_window_ms:
         How long a worker waits for the batch to fill once at least one
         request is pending (the latency/occupancy trade-off knob).
+    max_queue_wait_ms:
+        Adaptive backpressure budget: admission sheds a request whose
+        *estimated* queue wait (EWMA of per-request service time x
+        queue depth / workers) exceeds this, long before the hard
+        ``queue_capacity`` is hit.  ``None`` disables the estimator and
+        keeps depth-only shedding.
     """
 
     model: str = "resnet_mini"
@@ -63,35 +79,59 @@ class ServeConfig:
     workers: int = 1
     queue_capacity: int = 256
     batch_window_ms: float = 2.0
+    max_queue_wait_ms: float | None = None
     seed: int = 7
     checkpoint: str | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.model not in _MODELS:
-            raise ReproError(
+            raise ServeConfigError(
                 f"unknown serve model {self.model!r}; expected {_MODELS}"
             )
         if self.engine not in _ENGINES:
-            raise ReproError(
+            raise ServeConfigError(
                 f"unknown serve engine {self.engine!r}; expected {_ENGINES}"
             )
         buckets = tuple(int(b) for b in self.buckets)
-        if not buckets or any(b < 1 for b in buckets):
-            raise ReproError("buckets must be a non-empty list of sizes >= 1")
+        if not buckets:
+            raise ServeConfigError(
+                "buckets must not be empty: a server with no micro-batch "
+                "bucket can never build an engine (supply e.g. (1, 2, 4))"
+            )
+        if any(b < 1 for b in buckets):
+            raise ServeConfigError(
+                f"every bucket must be a size >= 1, got {buckets}"
+            )
         if list(buckets) != sorted(set(buckets)):
-            raise ReproError(f"buckets must be ascending and unique: {buckets}")
+            raise ServeConfigError(
+                f"buckets must be ascending and unique: {buckets}"
+            )
         object.__setattr__(self, "buckets", buckets)
         object.__setattr__(
             self, "input_shape", tuple(int(d) for d in self.input_shape)
         )
         if len(self.input_shape) != 3:
-            raise ReproError(
+            raise ServeConfigError(
                 f"input_shape must be (C, H, W), got {self.input_shape}"
             )
         if self.workers < 1:
-            raise ReproError("workers must be >= 1")
+            raise ServeConfigError(
+                f"workers must be >= 1, got {self.workers}"
+            )
         if self.queue_capacity < 1:
-            raise ReproError("queue_capacity must be >= 1")
+            raise ServeConfigError(
+                f"queue_capacity (max queue depth) must be >= 1, got "
+                f"{self.queue_capacity}; 0 would hang every submit"
+            )
+        if self.batch_window_ms < 0:
+            raise ServeConfigError(
+                f"batch_window_ms must be >= 0, got {self.batch_window_ms}"
+            )
+        if self.max_queue_wait_ms is not None and self.max_queue_wait_ms <= 0:
+            raise ServeConfigError(
+                f"max_queue_wait_ms must be positive (or None to disable "
+                f"adaptive backpressure), got {self.max_queue_wait_ms}"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -103,7 +143,7 @@ class ServeConfig:
         doc = asdict(self)
         # runtime-only knobs do not change the streams an engine records
         for k in ("workers", "queue_capacity", "batch_window_ms",
-                  "checkpoint"):
+                  "max_queue_wait_ms", "checkpoint"):
             doc.pop(k)
         blob = json.dumps(doc, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()[:16]

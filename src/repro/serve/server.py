@@ -8,7 +8,24 @@ a short batching wait, one engine call, scatter.  SLO signals use the
 (:attr:`InferenceServer.metrics`): ``serve.latency_ms`` (distribution
 -> p50/p95/p99), ``serve.queue_depth``, ``serve.batch_occupancy``,
 ``serve.shed``/``serve.batches``/``serve.responses``/
-``serve.cancelled`` counters and the ``serve.boot_s`` gauge.
+``serve.cancelled``/``serve.deadline_expired`` counters and the
+``serve.boot_s`` gauge.
+
+Because the kernel-stream design makes a cold restart expensive (every
+bucket's dryrun again), production robustness comes from *lifecycle*
+operations on the running server rather than kill-and-reboot:
+
+* :meth:`drain` -- stop admission, let in-flight and queued batches
+  finish, fail (and report) anything left after the timeout.  Admission
+  can be re-opened with :meth:`resume`.
+* :meth:`reload_checkpoint` -- load new weights into a **shadow**
+  replica set (reusing the stream warm cache, so no dryrun), validate a
+  canary batch per bucket against the numerics contract (finite values,
+  correct shape, probability simplex), then atomically swap the shadows
+  in under the :class:`~repro.serve.worker.SwapGate` and rebuild the
+  warm cache from the new replicas.  Any canary failure rolls back:
+  shadows are discarded, the old replicas never stopped serving, and
+  the error is raised to the operator (``serve.reload.rollbacks``).
 
 Resilience: boot falls back to a cold dryrun when the warm-cache
 artifact is stale or corrupt (:class:`StaleArtifactError` -> counted in
@@ -22,6 +39,7 @@ from __future__ import annotations
 
 import threading
 import time
+from dataclasses import replace
 
 import numpy as np
 
@@ -32,11 +50,11 @@ from repro.serve.batcher import MicroBatcher
 from repro.serve.config import ServeConfig
 from repro.serve.request import InferenceRequest, ServerClosed
 from repro.serve.warmcache import StreamWarmCache
-from repro.serve.worker import EngineReplica, Worker
+from repro.serve.worker import EngineReplica, ReplicaSlot, SwapGate, Worker
 from repro.streams.serialize import StaleArtifactError
 from repro.types import ReproError, ShapeError
 
-__all__ = ["InferenceServer"]
+__all__ = ["CanaryError", "InferenceServer"]
 
 #: supervisor scan period and restart backoff bounds
 _SUPERVISE_S = 0.05
@@ -44,11 +62,18 @@ _BACKOFF_BASE_S = 0.05
 _BACKOFF_MAX_S = 2.0
 
 
+class CanaryError(ReproError):
+    """A shadow replica's canary batch violated the numerics contract
+    during :meth:`InferenceServer.reload_checkpoint`; the reload was
+    rolled back and the old replicas kept serving."""
+
+
 class InferenceServer:
     """Dynamic-batching front end over bucket-sized inference engines.
 
     ``fault_injector`` arms deterministic fault injection at the serving
-    sites (``serve.worker.crash``, ``serve.replica.run``);
+    sites (``serve.worker.crash``, ``serve.worker.slow``,
+    ``serve.replica.run``, ``serve.reload.canary_fail``);
     ``max_worker_restarts`` bounds how many times the supervisor will
     replace any one worker slot before leaving it down (and reporting it
     through :meth:`health`).
@@ -68,17 +93,36 @@ class InferenceServer:
         self.injector = fault_injector
         self.max_worker_restarts = max_worker_restarts
         self.queue = AdmissionQueue(
-            config.queue_capacity, metrics=self.metrics
+            config.queue_capacity,
+            metrics=self.metrics,
+            max_wait_s=(
+                config.max_queue_wait_ms / 1e3
+                if config.max_queue_wait_ms is not None
+                else None
+            ),
+            workers=config.workers,
         )
         self.batcher = MicroBatcher(config.buckets, metrics=self.metrics)
         self.warm_cache = StreamWarmCache(config.fingerprint())
-        self._replicas: list[EngineReplica] = []
+        #: read side held per batch by workers, write side by replica
+        #: swaps (reload) and drain's in-flight barrier
+        self.gate = SwapGate()
+        self._slots: list[ReplicaSlot] = []
         self._workers: list[Worker] = []
         self._restarts: list[int] = []
         self._supervisor: threading.Thread | None = None
         self._stopping = threading.Event()
+        #: serializes lifecycle operations (drain/resume/reload/stop)
+        self._lifecycle = threading.Lock()
         self.boot_stats: dict = {}
         self._started = False
+        self._draining = False
+
+    @property
+    def _replicas(self) -> list[EngineReplica]:
+        """The live replica set (compat accessor; tests patch
+        ``server._replicas[0].run``)."""
+        return [slot.replica for slot in self._slots]
 
     # ------------------------------------------------------------------
     def start(self, streams_artifact=None) -> dict:
@@ -111,13 +155,13 @@ class InferenceServer:
                 self.config, self.warm_cache, metrics=self.metrics,
                 injector=self.injector,
             )
-            self._replicas.append(replica)
-            self._workers.append(self._make_worker(i, replica))
+            self._slots.append(ReplicaSlot(replica))
+            self._workers.append(self._make_worker(i, self._slots[i]))
             self._restarts.append(0)
         if self.config.checkpoint:
-            self._load_checkpoint(self.config.checkpoint)
+            self._load_checkpoint(self.config.checkpoint, self._replicas)
         boot_s = time.perf_counter() - t0
-        first = self._replicas[0]
+        first = self._slots[0].replica
         self.boot_stats = {
             "boot_s": boot_s,
             "engine": self.config.engine,
@@ -137,29 +181,27 @@ class InferenceServer:
         self._started = True
         return self.boot_stats
 
-    def _make_worker(self, slot: int, replica: EngineReplica) -> Worker:
+    def _make_worker(self, slot_idx: int, slot: ReplicaSlot) -> Worker:
         return Worker(
-            name=f"serve-worker-{slot}",
+            name=f"serve-worker-{slot_idx}",
             queue=self.queue,
             batcher=self.batcher,
-            replica=replica,
+            replica=slot,
             batch_window_s=self.config.batch_window_ms / 1e3,
             metrics=self.metrics,
             injector=self.injector,
+            gate=self.gate,
         )
 
-    def _load_checkpoint(self, path: str) -> None:
+    @staticmethod
+    def _load_checkpoint(path: str, replicas) -> None:
         """Copy trained parameters from a checkpoint into every graph of
         every replica (all graphs share one layout, so loading is a flat
         parameter copy per graph)."""
         from repro.gxm.checkpoint import load_checkpoint
 
-        for replica in self._replicas:
-            seen = set()
-            for session in replica._sessions.values():
-                if id(session) in seen:
-                    continue
-                seen.add(id(session))
+        for replica in replicas:
+            for session in replica.sessions():
                 load_checkpoint(session.etg, path)
 
     # -- self-healing ---------------------------------------------------
@@ -168,35 +210,42 @@ class InferenceServer:
 
         A worker that exited because the queue closed
         (``exited_cleanly``) is never restarted; one that died any other
-        way is replaced on its own replica -- engines are stateless
-        between batches, so the replacement picks up immediately.
+        way is replaced on its own replica slot -- engines are stateless
+        between batches, so the replacement picks up immediately (and a
+        slot repointed by a hot reload restarts onto the new replica).
         """
         while not self._stopping.wait(_SUPERVISE_S):
-            for slot, worker in enumerate(self._workers):
+            for slot_idx, worker in enumerate(self._workers):
                 if worker.is_alive() or worker.exited_cleanly:
                     continue
-                if self._restarts[slot] >= self.max_worker_restarts:
+                if self._restarts[slot_idx] >= self.max_worker_restarts:
                     continue  # slot abandoned; health() reports it
                 delay = min(
-                    _BACKOFF_BASE_S * (2 ** self._restarts[slot]),
+                    _BACKOFF_BASE_S * (2 ** self._restarts[slot_idx]),
                     _BACKOFF_MAX_S,
                 )
                 if self._stopping.wait(delay):
                     return
-                self._restarts[slot] += 1
+                self._restarts[slot_idx] += 1
                 self.metrics.inc("serve.worker_restarts")
                 replacement = self._make_worker(
-                    slot, self._replicas[slot]
+                    slot_idx, self._slots[slot_idx]
                 )
-                self._workers[slot] = replacement
+                self._workers[slot_idx] = replacement
                 replacement.start()
 
     # ------------------------------------------------------------------
-    def submit(self, x: np.ndarray) -> InferenceRequest:
+    def submit(
+        self, x: np.ndarray, deadline: float | None = None
+    ) -> InferenceRequest:
         """Admit one ``(C, H, W)`` image; returns the pending request.
 
-        Raises :class:`RequestShed` when the queue is full and
-        :class:`ServerClosed` after :meth:`stop`.
+        ``deadline`` is an absolute ``time.perf_counter()`` moment after
+        which nobody cares about the answer; the pipeline drops the
+        request (failing it with :class:`DeadlineExceeded`) instead of
+        computing into the void.  Raises :class:`RequestShed` when
+        admission sheds (full queue or estimated wait over budget) and
+        :class:`ServerClosed` after :meth:`stop` or during a drain.
         """
         if not self._started:
             raise ServerClosed("server not started")
@@ -206,15 +255,179 @@ class InferenceServer:
                 f"request shape {x.shape} != configured "
                 f"{self.config.input_shape}"
             )
-        req = InferenceRequest(x)
+        req = InferenceRequest(x, deadline=deadline)
         self.queue.put(req)
         return req
 
     def predict(
-        self, x: np.ndarray, timeout: float | None = 30.0
+        self,
+        x: np.ndarray,
+        timeout: float | None = 30.0,
+        deadline: float | None = None,
     ) -> np.ndarray:
         """Blocking convenience: submit one image, wait for its probs."""
-        return self.submit(x).result(timeout)
+        return self.submit(x, deadline=deadline).result(timeout)
+
+    # -- lifecycle: drain / resume / hot reload -------------------------
+    def drain(self, timeout_s: float = 30.0) -> dict:
+        """Graceful quiesce: stop admission, finish queued and in-flight
+        batches, report what was left.
+
+        New submissions fail with :class:`ServerClosed` ("draining") the
+        moment this is called; workers keep draining the queue.  When the
+        queue has not emptied within ``timeout_s`` the leftovers are
+        failed with :class:`ServerClosed` and counted in the report --
+        nothing is ever left hanging on ``result()``.  The server stays
+        started (use :meth:`resume` to re-open admission, or :meth:`stop`
+        to shut down, which is now instant)."""
+        if not self._started:
+            raise ServerClosed("server not started")
+        with self._lifecycle:
+            t0 = time.perf_counter()
+            self.queue.pause()
+            self._draining = True
+            self.metrics.set_gauge("serve.draining", 1)
+            # queue empty AND every taken batch acknowledged: a batch
+            # popped the instant before the drain is still waited for
+            self.queue.join(timeout_s)
+            leftover = self.queue.drain()
+            for req in leftover:
+                req._fail(ServerClosed(
+                    "server drained before this request ran"
+                ))
+            # barrier: wait for every in-flight batch to finish
+            with self.gate.write():
+                pass
+            report = {
+                "drained": not leftover,
+                "leftover_failed": len(leftover),
+                "duration_s": time.perf_counter() - t0,
+                "queue_depth": self.queue.depth,
+            }
+            self.metrics.inc("serve.drains")
+            return report
+
+    def resume(self) -> dict:
+        """Re-open admission after :meth:`drain`."""
+        if not self._started:
+            raise ServerClosed("server not started")
+        with self._lifecycle:
+            self.queue.resume()
+            self._draining = False
+            self.metrics.set_gauge("serve.draining", 0)
+            return {"resumed": True}
+
+    def _canary_contract(self, probs, bucket: int) -> str | None:
+        """Why ``probs`` violates the serving numerics contract, or
+        ``None`` if it honours it.  The contract is what every response
+        from the *old* replicas already satisfies: a finite, row-wise
+        probability simplex of the configured class count."""
+        probs = np.asarray(probs)
+        want = (bucket, self.config.num_classes)
+        if probs.shape != want:
+            return f"canary output shape {probs.shape} != {want}"
+        if not np.isfinite(probs).all():
+            return "canary output contains non-finite values"
+        if (probs < 0).any():
+            return "canary output contains negative probabilities"
+        if not np.allclose(probs.sum(axis=1), 1.0, atol=1e-4):
+            return "canary output rows do not sum to 1"
+        return None
+
+    def reload_checkpoint(self, path: str, canary_seed: int = 0) -> dict:
+        """Hot-swap to new weights with zero dropped requests.
+
+        Mechanics: (1) build a **shadow** replica set from the warm
+        cache (stream replay, no dryrun) and load ``path`` into it --
+        the live replicas keep serving untouched; (2) run one canary
+        batch per bucket on a shadow and validate the numerics contract
+        (finite, correct shape, probability simplex); (3) only if every
+        canary passes, take the swap gate's write side (waits for
+        in-flight batches, holds new ones back for the swap instant),
+        repoint every worker slot at its shadow, and rebuild the stream
+        warm cache from the new replicas; (4) close the old replicas.
+
+        On *any* canary failure -- including an injected
+        ``serve.reload.canary_fail`` -- the shadows are discarded, the
+        old replicas never stopped serving, ``serve.reload.rollbacks``
+        is bumped and :class:`CanaryError` raised.  Client requests in
+        flight observe either the old or the new weights, never an
+        error, never a hang."""
+        if not self._started:
+            raise ServerClosed("server not started")
+        with self._lifecycle:
+            t0 = time.perf_counter()
+            new_config = replace(self.config, checkpoint=path)
+            shadows: list[EngineReplica] = []
+            try:
+                for _ in self._slots:
+                    shadows.append(EngineReplica(
+                        new_config, self.warm_cache,
+                        metrics=self.metrics, injector=self.injector,
+                    ))
+                self._load_checkpoint(path, shadows)
+                # canary: one deterministic batch per bucket, on shadows
+                rng = np.random.default_rng(canary_seed)
+                for bucket in self.config.buckets:
+                    x = rng.standard_normal(
+                        (bucket, *self.config.input_shape)
+                    ).astype(np.float32)
+                    probs = shadows[0].run(x, bucket)
+                    violation = self._canary_contract(probs, bucket)
+                    if violation is None and self.injector is not None:
+                        fault = self.injector.fire(
+                            "serve.reload.canary_fail"
+                        )
+                        if fault is not None and fault.kind == "canary_fail":
+                            violation = (
+                                "injected canary failure "
+                                "(serve.reload.canary_fail)"
+                            )
+                    if violation is not None:
+                        raise CanaryError(
+                            f"reload of {path!r} rolled back: bucket "
+                            f"{bucket} {violation}"
+                        )
+            except BaseException:
+                # rollback: discard shadows; old replicas never stopped
+                for shadow in shadows:
+                    shadow.close()
+                self.metrics.inc("serve.reload.rollbacks")
+                raise
+            # every canary passed: atomic swap under the write gate
+            old: list[EngineReplica]
+            with self.gate.write():
+                old = [slot.replica for slot in self._slots]
+                for slot, shadow in zip(self._slots, shadows):
+                    slot.replica = shadow
+                self.config = new_config
+                # invalidate + rebuild the warm cache from the replicas
+                # now live, so a saved artifact always reflects them
+                if new_config.engine == "blocked":
+                    self.warm_cache.clear()
+                    for bucket, state in shadows[0].stream_state().items():
+                        self.warm_cache.put(bucket, state)
+            for replica in old:
+                replica.close()
+            duration = time.perf_counter() - t0
+            self.metrics.inc("serve.reloads")
+            self.metrics.set_gauge("serve.reload_s", duration)
+            report = {
+                "checkpoint": path,
+                "buckets_canaried": list(self.config.buckets),
+                "duration_s": duration,
+                "warm_cache_rebuilt": self.config.engine == "blocked",
+            }
+            try:
+                from repro.gxm.checkpoint import read_checkpoint_meta
+
+                report["checkpoint_digest"] = read_checkpoint_meta(
+                    path
+                ).get("digest")
+            except ReproError:  # pragma: no cover -- digest is advisory
+                report["checkpoint_digest"] = None
+            self.boot_stats["checkpoint"] = path
+            return report
 
     # ------------------------------------------------------------------
     def stop(self) -> None:
@@ -230,12 +443,13 @@ class InferenceServer:
             w.join(timeout=30.0)
         for req in self.queue.drain():
             req._fail(ServerClosed("server stopped before request ran"))
-        for replica in self._replicas:
-            replica.close()
-        self._replicas.clear()
+        for slot in self._slots:
+            slot.replica.close()
+        self._slots.clear()
         self._workers.clear()
         self._restarts.clear()
         self._started = False
+        self._draining = False
 
     def __enter__(self) -> "InferenceServer":
         if not self._started:
@@ -251,8 +465,9 @@ class InferenceServer:
 
         ``status`` is ``"ok"`` (full capacity, no degradation),
         ``"degraded"`` (serving, but with dead workers, a degraded
-        execution tier, or after a warm-artifact rejection) or
-        ``"down"`` (not started / nothing alive to serve)."""
+        execution tier, a warm-artifact rejection, or admission paused
+        by a drain) or ``"down"`` (not started / nothing alive to
+        serve)."""
         live = sum(1 for w in self._workers if w.is_alive())
         degraded_buckets = sorted(
             {
@@ -268,6 +483,7 @@ class InferenceServer:
             live < len(self._workers)
             or degraded_buckets
             or artifact_fallback
+            or self._draining
         ):
             status = "degraded"
         else:
@@ -275,6 +491,7 @@ class InferenceServer:
         return {
             "status": status,
             "started": self._started,
+            "draining": self._draining,
             "live_workers": live,
             "configured_workers": self.config.workers,
             "worker_restarts": self.metrics.value("serve.worker_restarts"),
@@ -282,6 +499,12 @@ class InferenceServer:
             "artifact_fallback": artifact_fallback,
             "artifact_error": self.boot_stats.get("artifact_error"),
             "queue_depth": self.queue.depth,
+            "estimated_wait_ms": self.queue.estimated_wait_s() * 1e3,
+            "reloads": self.metrics.value("serve.reloads"),
+            "reload_rollbacks": self.metrics.value(
+                "serve.reload.rollbacks"
+            ),
+            "checkpoint": self.config.checkpoint,
         }
 
     def stats(self) -> dict:

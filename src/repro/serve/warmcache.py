@@ -45,6 +45,12 @@ class StreamWarmCache:
     def put(self, bucket: int, streams_by_node: dict[str, list]) -> None:
         self._by_bucket[int(bucket)] = dict(streams_by_node)
 
+    def clear(self) -> None:
+        """Invalidate every entry (hot reload rebuilds the cache from
+        the freshly swapped replicas so saved artifacts always describe
+        the engines actually serving)."""
+        self._by_bucket.clear()
+
     def digests(self) -> dict[str, str]:
         """Content digest per ``bucket/node`` entry (the cache key the
         serve stats expose)."""

@@ -15,6 +15,22 @@ Engine strategy per :class:`~repro.serve.config.ServeConfig`:
   warm-cache streams when available (no dryrun) and contributes its
   freshly recorded streams to the cache otherwise.
 
+Hot reload support: a worker reads its replica through a
+:class:`ReplicaSlot` (a one-field holder the server repoints during
+:meth:`~repro.serve.server.InferenceServer.reload_checkpoint`) and runs
+each batch under the shared :class:`SwapGate`'s read side.  The reload
+path takes the write side, so a swap happens only between batches --
+never under a replay in flight -- and an in-flight batch always
+finishes on the replica it started on.
+
+Request lifecycle: expired requests are dropped (and failed with
+:class:`~repro.serve.request.DeadlineExceeded`) immediately before the
+batch is built, so a batch whose every row already missed its deadline
+is **never replayed** -- the engine call is skipped entirely.  The
+``serve.worker.slow`` fault site stalls the worker between take and
+build, which is exactly how tests age a batch past its deadline
+deterministically.
+
 Graceful degradation: a blocked replica whose compiled execution tier
 fails at runtime rebuilds the offending bucket's engine on the
 ``interpret`` tier and retries the batch (``serve.tier_degraded``
@@ -28,6 +44,7 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 
 from repro.gxm.inference import InferenceSession
 from repro.obs.metrics import get_metrics
@@ -39,7 +56,66 @@ from repro.serve.config import ServeConfig
 from repro.serve.request import InferenceRequest
 from repro.serve.warmcache import StreamWarmCache
 
-__all__ = ["EngineReplica", "Worker"]
+__all__ = ["EngineReplica", "ReplicaSlot", "SwapGate", "Worker"]
+
+
+class SwapGate:
+    """Readers-writer gate between batch execution and replica swaps.
+
+    Workers hold the read side for the duration of one engine call;
+    :meth:`~repro.serve.server.InferenceServer.reload_checkpoint` (and
+    drain) take the write side, which waits for every in-flight batch
+    and briefly holds new ones back.  Writers have priority so a steady
+    request stream cannot starve a reload.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self):
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+
+class ReplicaSlot:
+    """One worker's view of "its" replica, indirected so the server can
+    atomically repoint every slot at a shadow replica set during hot
+    reload.  Plain attribute read/write under the :class:`SwapGate` --
+    no lock of its own."""
+
+    __slots__ = ("replica",)
+
+    def __init__(self, replica: "EngineReplica"):
+        self.replica = replica
 
 
 class EngineReplica:
@@ -132,10 +208,25 @@ class EngineReplica:
                 self.metrics.inc("serve.tier_degraded")
         return self._sessions[bucket].predict(batch)
 
+    def sessions(self) -> list[InferenceSession]:
+        """Each distinct session exactly once (the fast replica maps
+        every bucket to one)."""
+        return list({id(s): s for s in self._sessions.values()}.values())
+
+    def stream_state(self) -> dict[int, dict[str, list]]:
+        """Per-bucket recorded forward streams, the payload a
+        :class:`~repro.serve.warmcache.StreamWarmCache` rebuild wants
+        after a hot reload (empty for the fast engine -- it records no
+        streams)."""
+        if self.config.engine != "blocked":
+            return {}
+        return {
+            bucket: session.etg.conv_stream_state()
+            for bucket, session in self._sessions.items()
+        }
+
     def close(self) -> None:
-        # the fast replica maps every bucket to one session: exit each
-        # distinct session exactly once
-        for session in {id(s): s for s in self._sessions.values()}.values():
+        for session in self.sessions():
             session.__exit__(None, None, None)
         self._sessions.clear()
 
@@ -148,21 +239,32 @@ class Worker(threading.Thread):
         name: str,
         queue: AdmissionQueue,
         batcher: MicroBatcher,
-        replica: EngineReplica,
+        replica,
         batch_window_s: float,
         metrics=None,
         injector: FaultInjector | None = None,
+        gate: SwapGate | None = None,
     ):
         super().__init__(name=name, daemon=True)
         self.queue = queue
         self.batcher = batcher
-        self.replica = replica
+        #: indirection for hot reload; a bare replica is wrapped so
+        #: standalone construction (tests, benchmarks) keeps working
+        self.slot = (
+            replica if isinstance(replica, ReplicaSlot)
+            else ReplicaSlot(replica)
+        )
         self.batch_window_s = batch_window_s
         self.metrics = metrics if metrics is not None else get_metrics()
         self.injector = injector
+        self.gate = gate
         #: set when the thread exits because the queue closed (orderly);
         #: a dead thread without this flag crashed and may be restarted
         self.exited_cleanly = False
+
+    @property
+    def replica(self) -> EngineReplica:
+        return self.slot.replica
 
     def run(self) -> None:
         try:
@@ -181,34 +283,66 @@ class Worker(threading.Thread):
             requests = self.queue.take(max_n, self.batch_window_s)
             if not requests:
                 return  # queue closed and drained
-            live = [r for r in requests if not r.cancelled]
-            if len(live) < len(requests):
-                metrics.inc("serve.cancelled", len(requests) - len(live))
-            if not live:
-                continue  # every submitter in the batch gave up waiting
-            requests = live
             try:
-                self._serve_batch(requests, metrics, tracer)
-            except BaseException as err:  # noqa: BLE001 -- fail, don't die
-                metrics.inc("serve.errors")
-                for req in requests:
-                    req._fail(err)
-            if self.injector is not None:
-                fault = self.injector.fire("serve.worker.crash")
-                if fault is not None and fault.kind == "crash":
-                    raise InjectedFault(
-                        f"injected crash of {self.name}"
-                    )
+                self._handle_batch(requests, metrics, tracer)
+            finally:
+                # acknowledge every taken request -- served, failed,
+                # cancelled or expired -- so a drain's join() sees the
+                # batch through even across an injected crash
+                self.queue.task_done(len(requests))
+
+    def _handle_batch(self, requests, metrics, tracer) -> None:
+        live = [r for r in requests if not r.cancelled]
+        if len(live) < len(requests):
+            metrics.inc("serve.cancelled", len(requests) - len(live))
+        if not live:
+            return  # every submitter in the batch gave up waiting
+        if self.injector is not None:
+            fault = self.injector.fire("serve.worker.slow")
+            if fault is not None and fault.kind == "slow":
+                # stall between take and build: the deterministic way
+                # to age a batch past its deadline
+                time.sleep(fault.delay_s)
+        # the pre-replay deadline check: a row that expired while
+        # batching is failed here, and a fully-expired batch never
+        # reaches the engine at all
+        requests = self.batcher.drop_expired(live)
+        if not requests:
+            return
+        try:
+            self._serve_batch(requests, metrics, tracer)
+        except BaseException as err:  # noqa: BLE001 -- fail, don't die
+            metrics.inc("serve.errors")
+            for req in requests:
+                req._fail(err)
+        if self.injector is not None:
+            fault = self.injector.fire("serve.worker.crash")
+            if fault is not None and fault.kind == "crash":
+                raise InjectedFault(
+                    f"injected crash of {self.name}"
+                )
+
+    def _run_gated(self, batch, bucket: int):
+        """One engine call on the current replica, holding the swap
+        gate's read side so a concurrent reload cannot close the replica
+        out from under the replay."""
+        if self.gate is None:
+            return self.slot.replica.run(batch, bucket)
+        with self.gate.read():
+            return self.slot.replica.run(batch, bucket)
 
     def _serve_batch(
         self, requests: list[InferenceRequest], metrics, tracer
     ) -> None:
         batch, n, bucket = self.batcher.build(requests)
+        t0 = time.perf_counter()
         if tracer.enabled:
             with tracer.span("serve.batch", bucket=bucket, n=n):
-                probs = self.replica.run(batch, bucket)
+                probs = self._run_gated(batch, bucket)
         else:
-            probs = self.replica.run(batch, bucket)
+            probs = self._run_gated(batch, bucket)
+        # feed the admission controller's wait estimator
+        self.queue.record_service(time.perf_counter() - t0, n)
         self.batcher.scatter(requests, probs)
         done = time.perf_counter()
         for req in requests:
