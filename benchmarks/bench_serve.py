@@ -14,6 +14,9 @@ Three measurements, one JSON report:
    stream) vs warm boot from a saved stream artifact (dryrun skipped).
    Both boots run in the same process *after* a throwaway boot, so the
    JIT kernel cache is hot and the delta isolates the dryrun itself.
+4. **Execution tiers** -- per-bucket blocked-engine predict latency,
+   ``compiled`` vs ``stream_compiled`` (whole-segment closure replay),
+   with bitwise-identical outputs required.
 
 Run as a plain script (not pytest -- the timing loop is its own harness)::
 
@@ -156,6 +159,48 @@ def bench_boot(cfg: ServeConfig) -> dict:
     }
 
 
+def bench_tiers(cfg: ServeConfig, buckets, repeats: int) -> dict:
+    """Per-bucket predict latency: compiled vs stream_compiled replay on
+    the same blocked engine (same streams, same JIT'ed variants)."""
+    rng = np.random.default_rng(5)
+    rows = []
+    for bucket in buckets:
+        x = rng.standard_normal(
+            (bucket, *cfg.input_shape)
+        ).astype(np.float32)
+        row = {"bucket": bucket}
+        outs = {}
+        for tier in ("compiled", "stream_compiled"):
+            etg = cfg.build_etg(bucket, execution_tier=tier)
+            with InferenceSession(etg) as sess:
+                sess.predict(x)  # warm up: plan building / stream lowering
+                times = []
+                for _ in range(repeats):
+                    t0 = time.perf_counter()
+                    out = sess.predict(x)
+                    times.append(time.perf_counter() - t0)
+                outs[tier] = out.copy()
+            times.sort()
+            row[f"{tier}_p50_ms"] = times[len(times) // 2] * 1e3
+        row["exact"] = bool(
+            np.array_equal(
+                outs["compiled"].view(np.uint32),
+                outs["stream_compiled"].view(np.uint32),
+            )
+        )
+        row["speedup"] = (
+            row["compiled_p50_ms"] / row["stream_compiled_p50_ms"]
+        )
+        rows.append(row)
+        print(
+            f"  bucket {bucket:>2}: compiled p50 "
+            f"{row['compiled_p50_ms']:7.2f}ms  stream_compiled p50 "
+            f"{row['stream_compiled_p50_ms']:7.2f}ms  "
+            f"({row['speedup']:.2f}x, exact={row['exact']})"
+        )
+    return {"repeats": repeats, "buckets": rows}
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--requests", type=int, default=256,
@@ -203,6 +248,11 @@ def main(argv=None) -> int:
         f"({boot['speedup']:.1f}x, {boot['stream_entries']} stream entries)"
     )
 
+    print("execution tiers (blocked engine, per-bucket predict p50):")
+    tier_buckets = [2] if args.quick else [8, 16]
+    tiers = bench_tiers(blocked_cfg, tier_buckets,
+                        repeats=5 if args.quick else 20)
+
     report = {
         "bench": "serve",
         "config": {
@@ -215,6 +265,7 @@ def main(argv=None) -> int:
         "batching": batching,
         "bitwise": bitwise,
         "boot": boot,
+        "tiers": tiers,
     }
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
@@ -224,6 +275,10 @@ def main(argv=None) -> int:
     if not bitwise["exact"]:
         print("FAIL: batched outputs are not bitwise-identical",
               file=sys.stderr)
+        return 1
+    if not all(r["exact"] for r in tiers["buckets"]):
+        print("FAIL: stream_compiled predictions are not bitwise-"
+              "identical to compiled", file=sys.stderr)
         return 1
     if batching["speedup"] < args.min_speedup:
         print(

@@ -41,6 +41,12 @@ from repro.gxm.profiler import TaskProfiler
 from repro.gxm.topology import TopologySpec
 from repro.gxm.trainer import SGD, Trainer
 from repro.jit.kernel_cache import KernelCache, get_default_cache
+from repro.jit.tiers import (
+    EXECUTION_TIERS,
+    ExecutionTier,
+    ReplayOptions,
+    UnknownTierError,
+)
 from repro.obs import MetricsRegistry, Tracer, get_metrics, get_tracer
 from repro.perf.model import ConvPerfModel
 from repro.quant.qconv_engine import QuantConvForward
@@ -75,9 +81,13 @@ __all__ = [
     "get_tracer",
     "get_metrics",
     "TaskProfiler",
-    # JIT cache
+    # JIT cache + execution tiers
     "KernelCache",
     "get_default_cache",
+    "ExecutionTier",
+    "EXECUTION_TIERS",
+    "ReplayOptions",
+    "UnknownTierError",
     # perf + framework
     "ConvPerfModel",
     "TopologySpec",

@@ -103,8 +103,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", default="blocked",
                    choices=["fast", "blocked"])
     p.add_argument("--threads", type=int, default=1)
+    from repro.jit.tiers import EXECUTION_TIERS
+
     p.add_argument("--execution-tier", default="compiled",
-                   choices=["compiled", "interpret", "einsum", "verify"],
+                   choices=sorted(EXECUTION_TIERS),
                    help="kernel-stream execution tier; 'verify' runs the "
                         "compiled and interpreter tiers and asserts "
                         "bitwise-identical outputs")
@@ -119,8 +121,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--width", type=int, default=32)
         p.add_argument("--engine", default="fast",
                        choices=["fast", "blocked"])
+        # serving excludes "verify" (a debugging tier that doubles every
+        # replay); any other registered tier is fair game
         p.add_argument("--execution-tier", default=None,
-                       choices=["compiled", "interpret", "einsum"])
+                       choices=sorted(t for t in EXECUTION_TIERS
+                                      if t != "verify"))
         p.add_argument("--buckets", default="1,2,4,8,16",
                        help="comma-separated ascending micro-batch sizes")
         p.add_argument("--workers", type=int, default=1)

@@ -37,6 +37,7 @@ from repro.conv.forward import DirectConvForward
 from repro.conv.params import ConvParams
 from repro.conv.upd import DirectConvUpd
 from repro.jit.kernel_cache import KernelCache
+from repro.jit.tiers import ReplayOptions
 from repro.obs.tracer import Tracer
 from repro.types import DType, Pass, ReproError
 
@@ -96,13 +97,14 @@ def make_engine(
     threads: int = 1,
     fused_ops: Sequence = (),
     plan=None,
-    prefetch: str = "both",
+    prefetch: str | None = None,
     kernel_cache: KernelCache | None = None,
     tracer: Tracer | None = None,
     strategy=None,
     chain_limit: int | None = None,
     execution_tier: str | None = None,
     streams=None,
+    replay: ReplayOptions | None = None,
 ) -> ConvEngine:
     """Construct the engine for ``pass_`` with one uniform keyword set.
 
@@ -124,7 +126,8 @@ def make_engine(
         :class:`UpdBlockingPlan` (upd) overriding the heuristic choice.
     prefetch:
         Software-prefetch levels for the JIT'ed kernels
-        (``"none" | "l1" | "l2" | "both"``).
+        (``"none" | "l1" | "l2" | "both"``; ``None`` defers to
+        ``replay.prefetch``, itself defaulting to ``"both"``).
     kernel_cache:
         A :class:`KernelCache` to share between engines (defaults to the
         process-wide cache).
@@ -136,19 +139,37 @@ def make_engine(
     chain_limit:
         Quant only: int16 accumulation-chain length (§II-K).
     execution_tier:
-        How recorded kernel streams are executed:
+        How recorded kernel streams are executed -- an
+        :class:`~repro.jit.ExecutionTier` or its string spelling:
         ``"compiled"`` (default; vectorized numpy closures from
         :mod:`repro.jit.compile` with batched stream replay),
+        ``"stream_compiled"`` (whole-stream closure chains from
+        :mod:`repro.jit.streamcompile`),
         ``"interpret"`` (the µop interpreter, one call per record),
         ``"einsum"`` (the legacy per-call einsum closures) or
         ``"verify"`` (run compiled *and* interpret, assert bitwise
-        equality).  ``None`` resolves to the process-wide default
-        (:func:`repro.jit.set_default_execution_tier`).
+        equality).  ``None`` resolves through ``replay`` and then to the
+        process-wide default
+        (:func:`repro.jit.set_default_execution_tier`).  Unknown names
+        raise :class:`~repro.jit.UnknownTierError` listing the valid
+        tiers.
     streams:
         Forward f32 engine only: pre-recorded per-thread
         :class:`~repro.streams.stream.FrozenStream` list (e.g. from a
         serve warm cache) adopted instead of running the dryrun phase.
+    replay:
+        A :class:`~repro.jit.ReplayOptions` bundle.  The explicit
+        ``execution_tier``/``prefetch`` keywords above win over it when
+        both are given (back-compat shims); ``replay.trace=True``
+        resolves non-trace-safe tiers to the interpreter.
     """
+    if replay is not None:
+        if execution_tier is None:
+            execution_tier = replay.resolve_tier()
+        if prefetch is None:
+            prefetch = replay.prefetch
+    if prefetch is None:
+        prefetch = "both"
     p, quant = _normalize_pass(pass_)
     if dtype is DType.QI16F32:
         quant = True

@@ -20,7 +20,11 @@ one of the execution tiers (:mod:`repro.jit.compile`):
 * ``einsum`` -- the legacy per-call numpy contraction closures built
   straight from the descriptor;
 * ``verify`` -- run ``compiled`` and ``interpret`` back to back and assert
-  bitwise equality of the outputs.
+  bitwise equality of the outputs;
+* ``stream_compiled`` -- the whole replay (CONV chunks *and* fused APPLY
+  records) pre-lowered once into a flat closure chain with preallocated
+  scratch (:mod:`repro.jit.streamcompile`); bit-identical to ``compiled``
+  and therefore to the interpreter.
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ from repro.jit.codegen import ConvKernelDesc, generate_conv_kernel
 from repro.jit.compile import TierMismatchError, resolve_execution_tier
 from repro.jit.interpreter import execute_kernel
 from repro.jit.kernel_cache import KernelCache, get_default_cache
+from repro.jit.streamcompile import StreamExecutor, compile_stream
 from repro.obs.metrics import get_metrics
 from repro.obs.tracer import Tracer, get_tracer
 from repro.parallel.partition import partition_forward
@@ -126,6 +131,10 @@ class DirectConvForward:
         self._desc_index: dict[tuple, int] = {}
         self.programs = []  # µop programs, parallel to self._descs
         self.compiled = []  # CompiledKernel | None, parallel to self._descs
+        # stream_compiled executors, one per buffer-dtype signature; an
+        # executor owns mutable per-stream state (cells + scratch) so it is
+        # engine-private, never shared through the kernel cache
+        self._stream_execs: dict[tuple, StreamExecutor] = {}
         self._build_variants()
         metrics = get_metrics()
         if streams is not None:
@@ -475,6 +484,58 @@ class DirectConvForward:
                 kernels.append(self._interp_kernel(vid, buffers, scale))
         return kernels
 
+    # ------------------------------------------------------------------
+    # stream_compiled tier: whole-segment closure chains (ROADMAP #5)
+    # ------------------------------------------------------------------
+    def _stream_out_dtype(self) -> np.dtype:
+        """Output dtype the replay buffers will actually carry (int16
+        engine hook: the quantized engine replays into fp32)."""
+        return np.dtype(self.dtype.np_accum)
+
+    def _stream_executor(
+        self, xb: np.ndarray, wb: np.ndarray, ob: np.ndarray
+    ) -> StreamExecutor:
+        key = (xb.dtype.str, wb.dtype.str, ob.dtype.str)
+        ex = self._stream_execs.get(key)
+        if ex is None:
+            ex = self._build_stream_executor(
+                xb.dtype, wb.dtype, ob.dtype
+            )
+            self._stream_execs[key] = ex
+        return ex
+
+    def _build_stream_executor(self, xdt, wdt, odt) -> StreamExecutor:
+        with self.tracer.span(
+            "jit.stream_compile", pass_="fwd", layer=self.params.describe(),
+        ):
+            proto = {
+                "I": np.empty(0, dtype=xdt),
+                "W": np.empty(0, dtype=wdt),
+                "O": np.empty(0, dtype=odt),
+            }
+            shape_by_variant = self._shapes_by_variant(np.dtype(odt).itemsize)
+            programs = [
+                compile_stream(
+                    stream, segments, self.compiled, self.programs, proto,
+                    args=("I", "W", "O"), fused_ops=self.fused_ops,
+                    shape_by_variant=shape_by_variant,
+                )
+                for stream, segments in zip(self.streams, self.segments)
+            ]
+        ex = StreamExecutor(programs)
+        self.cache.note_stream_program(ex.meta())
+        return ex
+
+    def prepare_stream_compiled(self) -> dict:
+        """Pre-build the stream_compiled executor for this engine's replay
+        dtypes (serve boot / warm-cache path); returns its metadata."""
+        idt = np.dtype(self.dtype.np_input)
+        return self._stream_executor(
+            np.empty(0, dtype=idt),
+            np.empty(0, dtype=idt),
+            np.empty(0, dtype=self._stream_out_dtype()),
+        ).meta()
+
     def _run_streams(self, kernels, ob, shape_by_variant, parallel) -> None:
         if parallel and len(self.streams) > 1:
             from concurrent.futures import ThreadPoolExecutor
@@ -540,6 +601,14 @@ class DirectConvForward:
             metrics.inc("exec.verify.checks")
             metrics.inc("exec.calls.compiled", self.total_conv_calls)
             metrics.inc("exec.calls.interpret", self.total_conv_calls)
+        elif tier == "stream_compiled":
+            ex = self._stream_executor(xb, wb, ob)
+            ex.run(
+                {"I": xb, "W": wb, "O": ob},
+                scale=self._dequant_scale(),
+                parallel=parallel,
+            )
+            metrics.inc("exec.calls.stream_compiled", self.total_conv_calls)
         else:
             kernels = self._tier_kernels(tier, xb, wb, ob)
             self._run_streams(kernels, ob, shape_by_variant, parallel)

@@ -135,6 +135,9 @@ class DirectConvUpd:
         self.compiled = [
             self.cache.get_compiled(d, generate_upd_kernel) for d in self.descs
         ]
+        # stream_compiled programs + cells per buffer-dtype signature
+        # (engine-private mutable state; see DirectConvForward)
+        self._stream_progs: dict[tuple, tuple] = {}
 
     # ------------------------------------------------------------------
     # dryrun (section II-H applied to Algorithm 9)
@@ -271,11 +274,56 @@ class DirectConvUpd:
             replay(stream, seg, kernels, [])
         return copies
 
-    def _execute(self, x: BlockedTensor, dy: BlockedTensor) -> BlockedTensor:
-        from repro.streams.rle import encode_segments
+    def _stream_programs(self, xb, dyb):
+        """stream_compiled lowering of every thread stream (cached per
+        input-dtype signature; the dW copies are always fp32)."""
+        key = (xb.dtype.str, dyb.dtype.str)
+        got = self._stream_progs.get(key)
+        if got is None:
+            from repro.jit.streamcompile import BufferCell, compile_stream
 
+            proto = {
+                "I": np.empty(0, dtype=xb.dtype),
+                "dO": np.empty(0, dtype=dyb.dtype),
+                "dW": np.empty(0, dtype=np.float32),
+            }
+            with self.tracer.span(
+                "jit.stream_compile", pass_="upd",
+                layer=self.params.describe(),
+            ):
+                progs = [
+                    compile_stream(
+                        stream, stream.segments(), self.compiled,
+                        self.programs, proto, args=("I", "dW", "dO"),
+                    )
+                    for stream in self.streams
+                ]
+            cells = [BufferCell() for _ in progs]
+            got = self._stream_progs[key] = (progs, cells)
+            self.cache.note_stream_program({
+                "streams": len(progs),
+                "chunks": sum(p.meta["chunks"] for p in progs),
+            })
+        return got
+
+    def _stream_replay_into(self, xb, dyb):
+        """Replay through the pre-lowered closure chains.  Each stream's
+        cell binds that thread's gradient copy, so the per-copy sequential
+        accumulation order matches the compiled tier exactly."""
+        copies = [
+            np.zeros(self.dw_layout.size, dtype=np.float32)
+            for _ in range(self.ncopies)
+        ]
+        progs, cells = self._stream_programs(xb, dyb)
+        for prog, gi, cell in zip(progs, self.stream_group, cells):
+            cell.buffers = {"I": xb, "dO": dyb, "dW": copies[gi]}
+            cell.scale = 1.0
+            prog.run(cell)
+        return copies
+
+    def _execute(self, x: BlockedTensor, dy: BlockedTensor) -> BlockedTensor:
         xb, dyb = x.data, dy.data
-        segs = [encode_segments(s) for s in self.streams]
+        segs = [s.segments() for s in self.streams]
         tier = self.execution_tier
         metrics = get_metrics()
         total_calls = sum(len(s) for s in self.streams)
@@ -295,6 +343,9 @@ class DirectConvUpd:
             metrics.inc("exec.verify.checks")
             metrics.inc("exec.calls.compiled", total_calls)
             metrics.inc("exec.calls.interpret", total_calls)
+        elif tier == "stream_compiled":
+            copies = self._stream_replay_into(xb, dyb)
+            metrics.inc("exec.calls.stream_compiled", total_calls)
         else:
             copies = self._replay_into(xb, dyb, segs, tier)
             metrics.inc(f"exec.calls.{tier}", total_calls)

@@ -41,6 +41,12 @@ import numpy as np
 
 from repro.arch.isa import KernelProgram, Op
 from repro.jit.interpreter import execute_kernel
+from repro.jit.tiers import (
+    EXECUTION_TIERS,
+    ExecutionTier,
+    UnknownTierError,
+    as_tier,
+)
 from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
 from repro.types import ReproError, UnsupportedError
@@ -51,6 +57,8 @@ __all__ = [
     "CompiledKernel",
     "compile_kernel",
     "EXECUTION_TIERS",
+    "ExecutionTier",
+    "UnknownTierError",
     "resolve_execution_tier",
     "set_default_execution_tier",
     "get_default_execution_tier",
@@ -66,44 +74,29 @@ class TierMismatchError(ReproError):
 
 
 # ----------------------------------------------------------------------
-# execution-tier selection
+# execution-tier selection (the enum + capability registry live in
+# repro.jit.tiers; this module keeps the process-wide default)
 # ----------------------------------------------------------------------
-#: "compiled"  -- vectorized closures from this module (the default);
-#: "interpret" -- the exact µop interpreter;
-#: "einsum"    -- the engines' legacy per-call numpy contraction closures;
-#: "verify"    -- run compiled AND interpret, assert bitwise equality.
-EXECUTION_TIERS = ("compiled", "interpret", "einsum", "verify")
-
-_default_tier = "compiled"
+_default_tier = ExecutionTier.COMPILED
 
 
-def set_default_execution_tier(tier: str) -> str:
+def set_default_execution_tier(tier) -> ExecutionTier:
     """Set the process-wide default tier; returns the previous default."""
     global _default_tier
-    if tier not in EXECUTION_TIERS:
-        raise ReproError(
-            f"unknown execution tier {tier!r}; expected one of "
-            f"{EXECUTION_TIERS}"
-        )
-    prev, _default_tier = _default_tier, tier
+    prev, _default_tier = _default_tier, as_tier(tier)
     return prev
 
 
-def get_default_execution_tier() -> str:
+def get_default_execution_tier() -> ExecutionTier:
     return _default_tier
 
 
-def resolve_execution_tier(tier: Optional[str]) -> str:
-    """Map an engine's ``execution_tier`` argument (None = process default)
-    to a validated tier name."""
+def resolve_execution_tier(tier) -> ExecutionTier:
+    """Map an engine's ``execution_tier`` argument (None = process default,
+    legacy strings coerced) to a validated :class:`ExecutionTier`."""
     if tier is None:
         return _default_tier
-    if tier not in EXECUTION_TIERS:
-        raise ReproError(
-            f"unknown execution tier {tier!r}; expected one of "
-            f"{EXECUTION_TIERS}"
-        )
-    return tier
+    return as_tier(tier)
 
 
 # ----------------------------------------------------------------------
@@ -381,13 +374,17 @@ def _sig(node, memo: dict) -> tuple:
 # evaluation plan: gather indices + cumsum reductions, one per store group
 # ----------------------------------------------------------------------
 class _Ctx:
-    __slots__ = ("buffers", "bases", "scale", "batch")
+    __slots__ = ("buffers", "bases", "scale", "batch", "cache")
 
-    def __init__(self, buffers, bases, scale, batch) -> None:
+    def __init__(self, buffers, bases, scale, batch, cache=None) -> None:
         self.buffers = buffers
         self.bases = bases
         self.scale = scale
         self.batch = batch  # None for a single call, else the batch size B
+        # optional per-call-site scratch dict: accumulator chains reuse
+        # their term buffers across replays (the stream_compiled tier
+        # preallocates one cache per compiled chunk)
+        self.cache = cache
 
 
 def _f64(a: np.ndarray) -> np.ndarray:
@@ -566,7 +563,16 @@ class _EAcc:
 
     def eval(self, ctx: _Ctx) -> np.ndarray:
         init = self.init.eval(ctx)
-        terms = np.empty((self.total + 1,) + init.shape)
+        shape = (self.total + 1,) + init.shape
+        terms = None
+        if ctx.cache is not None:
+            terms = ctx.cache.get(id(self))
+            if terms is not None and terms.shape != shape:
+                terms = None
+        if terms is None:
+            terms = np.empty(shape)
+            if ctx.cache is not None:
+                ctx.cache[id(self)] = terms
         terms[0] = init
         pos = 1
         for run in self.runs:
@@ -607,8 +613,8 @@ class _Plan:
         # bound the working set of one batched evaluation (~16 MB of f64)
         self.batch_cap = max(1, 2_000_000 // max(1, est))
 
-    def run(self, buffers, bases, scale, batch) -> None:
-        ctx = _Ctx(buffers, bases, scale, batch)
+    def run(self, buffers, bases, scale, batch, cache=None) -> None:
+        ctx = _Ctx(buffers, bases, scale, batch, cache)
         for st in self.stores:
             st.execute(ctx)
 

@@ -46,6 +46,8 @@ class KernelCache:
         self.misses = 0
         self.compiled_hits = 0
         self.compiled_misses = 0
+        self.stream_programs = 0
+        self.stream_chunks = 0
 
     def get(
         self, desc: Hashable, generator: Callable[[Hashable], KernelProgram]
@@ -111,6 +113,16 @@ class KernelCache:
             "compiled": after["compiled_variants"] - before["compiled_variants"],
         }
 
+    def note_stream_program(self, meta: dict) -> None:
+        """Record that an engine lowered its streams for the
+        ``stream_compiled`` tier.  Executors themselves are *not* cached
+        here -- they own mutable per-stream replay state (cells, scratch)
+        and must stay engine-private -- but their build counts surface in
+        :meth:`stats` next to the per-variant JIT counters."""
+        with self._lock:
+            self.stream_programs += int(meta.get("streams", 1))
+            self.stream_chunks += int(meta.get("chunks", 0))
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._programs)
@@ -138,6 +150,8 @@ class KernelCache:
                 "compiled_variants": sum(
                     1 for v in self._compiled.values() if v is not None
                 ),
+                "stream_programs": self.stream_programs,
+                "stream_chunks": self.stream_chunks,
             }
 
     @property

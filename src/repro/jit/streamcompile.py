@@ -1,0 +1,422 @@
+"""The ``stream_compiled`` tier: whole-segment compiled replay (ROADMAP #5).
+
+The ``compiled`` tier already turns each µop program into one vectorized
+closure, but the replay loop around it still pays Python per call-site per
+replay: splitting CONV streaks into same-variant runs, re-slicing offset
+arrays, rebuilding per-chunk base dicts, computing store-safe chunk
+boundaries (:func:`~repro.jit.compile._unique_prefix` argsorts the offsets
+of *every* replay), resolving fused-op kinds and ``as_strided`` geometry per
+APPLY record, and allocating a fresh accumulator scratch per chunk.  None of
+that depends on the data -- a frozen stream's offsets never change -- so all
+of it can be hoisted to engine build time.
+
+:func:`compile_stream` walks one :class:`~repro.streams.stream.FrozenStream`
+plus its RLE segments **once** and emits a :class:`StreamProgram`: a flat
+chain of pre-bound step closures,
+
+* one :class:`_BatchChunkStep` per store-safe vector chunk of a
+  same-variant run, carrying its pre-sliced base arrays, the dtype-resolved
+  evaluation plan, and a preallocated accumulator-scratch cache;
+* one :class:`_SingleCallStep` per length-1 chunk (pre-built int bases);
+* one :class:`_ApplyStep`/:class:`_ApplyAddStep` per fused APPLY record
+  with the output-block shape/strides resolved at compile time (the
+  ``isinstance(op, EltwiseAdd)`` fusion branch becomes a step *class*);
+* one :class:`_InterpCallStep` per call of a variant the vectorizing
+  translator rejected (the same per-variant interpreter fallback the
+  compiled tier performs, still bit-exact).
+
+Replaying is then ``for step in steps: step(cell)`` -- no dict lookups, no
+offset-list indexing, no fusion branching.  Only the *buffers* change
+between replays, so each replay re-points one :class:`BufferCell` and runs
+the chain.  The arithmetic inside every step is byte-for-byte the compiled
+tier's (identical plans, identical chunk boundaries, identical f64
+left-fold cumsum), so the tier inherits the compiled tier's bitwise
+equality with the µop interpreter.
+
+When a ``trace``/``touch`` observer is requested the conv steps are built
+interpreter-backed instead (``StreamProgram.tier == "interpret"``), the
+same trace-forces-interpreter contract as :meth:`CompiledKernel.bind`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.jit.compile import _unique_prefix  # noqa: F401 (shared chunking)
+from repro.jit.interpreter import execute_kernel
+from repro.jit.tiers import ExecutionTier, register_tier
+from repro.obs.metrics import get_metrics
+from repro.streams.rle import SegmentKind
+
+__all__ = [
+    "BufferCell",
+    "StreamProgram",
+    "StreamExecutor",
+    "compile_stream",
+]
+
+register_tier(
+    ExecutionTier.STREAM_COMPILED,
+    batchable=True,
+    trace_safe=False,
+    degrade_to=ExecutionTier.COMPILED,
+    description=(
+        "whole-segment compiled replay: one pre-bound closure chain per "
+        "frozen stream, preallocated scratch, zero per-call dispatch"
+    ),
+)
+
+
+class BufferCell:
+    """The only per-replay state: the concrete buffers (and the runtime
+    dequantization scale) every pre-bound step reads through one level of
+    indirection.  Re-pointed by the executor before each replay."""
+
+    __slots__ = ("buffers", "scale")
+
+    def __init__(self) -> None:
+        self.buffers: dict[str, np.ndarray] = {}
+        self.scale: float = 1.0
+
+
+class _BatchChunkStep:
+    """One store-safe vector chunk of a same-variant CONV run.
+
+    The chunk boundary, the sliced int64 base arrays and the accumulator
+    scratch are all fixed at compile time; the step body is a single
+    ``plan.run`` against the cell's current buffers.  ``cache`` is shared
+    between every step of the same (plan, chunk size) within one program
+    -- the accumulator scratch is fully overwritten per evaluation, so
+    sharing keeps the replay's resident scratch at one working set per
+    variant instead of one per chunk.
+    """
+
+    __slots__ = ("plan", "bases", "batch", "cache")
+
+    def __init__(self, plan, bases: dict, batch: int, cache: dict) -> None:
+        self.plan = plan
+        self.bases = bases
+        self.batch = batch
+        self.cache = cache
+
+    def __call__(self, cell: BufferCell) -> None:
+        self.plan.run(cell.buffers, self.bases, cell.scale, self.batch,
+                      cache=self.cache)
+
+
+class _SingleCallStep:
+    """A chunk of length one: plain-int bases, no batch axis."""
+
+    __slots__ = ("plan", "bases", "cache")
+
+    def __init__(self, plan, bases: dict, cache: dict) -> None:
+        self.plan = plan
+        self.bases = bases
+        self.cache = cache
+
+    def __call__(self, cell: BufferCell) -> None:
+        self.plan.run(cell.buffers, self.bases, cell.scale, None,
+                      cache=self.cache)
+
+
+class _InterpCallStep:
+    """One interpreter-backed call: the fallback for variants the
+    vectorizing translator rejected, and the whole-stream form when a
+    trace/touch observer is attached."""
+
+    __slots__ = ("program", "bases", "trace", "touch")
+
+    def __init__(self, program, bases: dict, trace=None, touch=None) -> None:
+        self.program = program
+        self.bases = bases
+        self.trace = trace
+        self.touch = touch
+
+    def __call__(self, cell: BufferCell) -> None:
+        execute_kernel(
+            self.program, cell.buffers, self.bases,
+            trace=self.trace, touch=self.touch, scale=cell.scale,
+        )
+
+
+class _ApplyStep:
+    """One fused APPLY record with pre-resolved block geometry."""
+
+    __slots__ = ("op", "kb", "o_off", "shape", "strides", "out")
+
+    def __init__(self, op, kb: int, o_off: int, shape, strides,
+                 out: str) -> None:
+        self.op = op
+        self.kb = kb
+        self.o_off = o_off
+        self.shape = shape
+        self.strides = strides
+        self.out = out
+
+    def __call__(self, cell: BufferCell) -> None:
+        block = as_strided(
+            cell.buffers[self.out][self.o_off:], self.shape, self.strides
+        )
+        self.op.apply_block(block, self.kb)
+
+
+class _ApplyAddStep:
+    """The :class:`~repro.conv.fusion.EltwiseAdd` APPLY form (needs the
+    residual operand's matching block view)."""
+
+    __slots__ = ("op", "kb", "o_off", "shape", "strides", "out")
+
+    def __init__(self, op, kb: int, o_off: int, shape, strides,
+                 out: str) -> None:
+        self.op = op
+        self.kb = kb
+        self.o_off = o_off
+        self.shape = shape
+        self.strides = strides
+        self.out = out
+
+    def __call__(self, cell: BufferCell) -> None:
+        block = as_strided(
+            cell.buffers[self.out][self.o_off:], self.shape, self.strides
+        )
+        other = as_strided(
+            self.op.other_flat[self.o_off:], self.shape, self.strides
+        )
+        self.op.apply_block(block, self.kb, other)
+
+
+class StreamProgram:
+    """The flat pre-bound closure chain for one frozen stream."""
+
+    __slots__ = ("steps", "tier", "meta")
+
+    def __init__(self, steps: list, tier: str, meta: dict) -> None:
+        self.steps = steps
+        self.tier = tier
+        self.meta = meta
+
+    def run(self, cell: BufferCell) -> None:
+        for step in self.steps:
+            step(cell)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def _conv_chunks(
+    stream, lo: int, hi: int, plan,
+    args, extra_bases, out: list, meta: dict, caches: dict,
+) -> None:
+    """Lower one same-variant run [lo, hi) into chunk steps, reproducing
+    :meth:`_CompiledBound.batch`'s store-safe chunking exactly (so the
+    read-modify-write sequencing -- and hence every rounding step -- is
+    identical to the compiled tier)."""
+    i_arr = stream.i_off[lo:hi]
+    w_arr = stream.w_off[lo:hi]
+    o_arr = stream.o_off[lo:hi]
+    arrs = (i_arr, w_arr, o_arr)
+    n = hi - lo
+    store_arrays = [
+        arrs[pos] for pos, name in enumerate(args)
+        if name in plan.store_tensors
+    ]
+    extra = dict(extra_bases) if extra_bases else {}
+
+    def single(t_rel: int) -> None:
+        bases = dict(extra)
+        bases[args[0]] = int(i_arr[t_rel])
+        bases[args[1]] = int(w_arr[t_rel])
+        bases[args[2]] = int(o_arr[t_rel])
+        cache = caches.setdefault((id(plan), None), {})
+        out.append(_SingleCallStep(plan, bases, cache))
+        meta["single_calls"] += 1
+
+    if n == 1:
+        # a lone call inside a streak replays through fn(...), not .batch
+        single(0)
+        return
+    cap = plan.batch_cap
+    clo = 0
+    while clo < n:
+        chi = min(n, clo + cap)
+        for sa in store_arrays:
+            chi = min(chi, clo + _unique_prefix(sa, clo, chi))
+        if chi - clo == 1:
+            single(clo)
+            clo = chi
+            continue
+        bases = dict(extra)
+        bases[args[0]] = i_arr[clo:chi]
+        bases[args[1]] = w_arr[clo:chi]
+        bases[args[2]] = o_arr[clo:chi]
+        # one scratch per (variant, chunk size): equal-shape chunks reuse
+        # the same accumulator arrays instead of each holding their own
+        cache = caches.setdefault((id(plan), chi - clo), {})
+        out.append(_BatchChunkStep(plan, bases, chi - clo, cache))
+        meta["chunks"] += 1
+        clo = chi
+
+
+def _interp_calls(
+    stream, lo: int, hi: int, program, args, extra_bases, out: list,
+    meta: dict, trace=None, touch=None,
+) -> None:
+    """Lower run [lo, hi) to per-call interpreter steps with the prefetch
+    bases (next conv call's offsets) pre-resolved."""
+    i_off = stream.i_off_list
+    w_off = stream.w_off_list
+    o_off = stream.o_off_list
+    next_conv = stream.next_conv_list
+    a0, a1, a2 = args
+    for t in range(lo, hi):
+        nt = next_conv[t]
+        bases = dict(extra_bases) if extra_bases else {}
+        bases.update({
+            a0: i_off[t], a1: w_off[t], a2: o_off[t],
+            a0 + "_pf": i_off[nt], a1 + "_pf": w_off[nt],
+            a2 + "_pf": o_off[nt],
+        })
+        out.append(_InterpCallStep(program, bases, trace=trace, touch=touch))
+        meta["fallback_calls"] += 1
+
+
+def compile_stream(
+    stream,
+    segments,
+    compiled: Sequence,
+    programs: Sequence,
+    proto_buffers: dict[str, np.ndarray],
+    *,
+    args: Sequence[str] = ("I", "W", "O"),
+    fused_ops: Sequence = (),
+    shape_by_variant: Optional[dict] = None,
+    extra_bases: Optional[dict] = None,
+    trace=None,
+    touch=None,
+) -> StreamProgram:
+    """Compile one frozen stream into a :class:`StreamProgram`.
+
+    ``compiled``/``programs`` are the engine's variant tables
+    (:class:`CompiledKernel` | ``None``, and the µop programs).
+    ``proto_buffers`` supplies the buffer *dtypes* (zero-length arrays
+    suffice) so each variant's dtype-resolved evaluation plan can be
+    fetched up front -- the same cached plan the compiled tier binds, which
+    is what makes the two tiers bit-identical.  ``trace``/``touch`` force
+    interpreter-backed conv steps (exact memory traces).
+    """
+    from repro.conv.fusion import EltwiseAdd
+
+    args = tuple(args)
+    out_name = args[2]
+    meta = {
+        "conv_calls": int(stream.conv_calls),
+        "apply_calls": int(stream.apply_calls),
+        "chunks": 0,
+        "single_calls": 0,
+        "fallback_calls": 0,
+    }
+    forced_interp = trace is not None or touch is not None
+    plans: dict[int, object] = {}
+    caches: dict = {}  # (id(plan), chunk size) -> shared scratch dict
+    steps: list = []
+    kinds = stream.kinds_list
+    i_off = stream.i_off_list
+    w_off = stream.w_off_list
+    o_off = stream.o_off_list
+    apply_op = stream.apply_op_list
+    metrics = get_metrics()
+
+    for seg in segments:
+        if seg.kind is SegmentKind.APPLY:
+            t = seg.start
+            op = fused_ops[apply_op[t]]
+            shape, strides = shape_by_variant[i_off[t]]
+            cls = _ApplyAddStep if isinstance(op, EltwiseAdd) else _ApplyStep
+            steps.append(
+                cls(op, w_off[t], o_off[t], shape, strides, out_name)
+            )
+            continue
+        stop = seg.start + seg.info
+        lo = seg.start
+        while lo < stop:
+            variant = kinds[lo]
+            hi = lo + 1
+            while hi < stop and kinds[hi] == variant:
+                hi += 1
+            ck = compiled[variant]
+            if forced_interp or ck is None:
+                if not forced_interp:
+                    metrics.inc("exec.compile_fallbacks")
+                _interp_calls(
+                    stream, lo, hi, programs[variant], args, extra_bases,
+                    steps, meta, trace=trace, touch=touch,
+                )
+            else:
+                plan = plans.get(variant)
+                if plan is None:
+                    plan = plans[variant] = ck._plan_for(proto_buffers)
+                _conv_chunks(
+                    stream, lo, hi, plan, args, extra_bases, steps, meta,
+                    caches,
+                )
+            lo = hi
+
+    tier = "interpret" if forced_interp else "stream_compiled"
+    metrics.inc("jit.stream_programs")
+    metrics.inc("jit.stream_chunks", meta["chunks"])
+    return StreamProgram(steps, tier, meta)
+
+
+class StreamExecutor:
+    """All of one engine's thread streams, compiled once, re-bound per
+    replay.  Each stream owns its own :class:`BufferCell` (and thereby its
+    own scratch), so parallel replay of disjoint streams stays race-free.
+    """
+
+    __slots__ = ("programs", "cells")
+
+    def __init__(self, programs: Sequence[StreamProgram]) -> None:
+        self.programs = list(programs)
+        self.cells = [BufferCell() for _ in self.programs]
+
+    def meta(self) -> dict:
+        """Aggregated segment-closure metadata (persisted by the serve
+        warm cache; surfaced in serve stats)."""
+        agg = {
+            "streams": len(self.programs),
+            "tier": self.programs[0].tier if self.programs
+            else "stream_compiled",
+        }
+        for key in ("conv_calls", "apply_calls", "chunks", "single_calls",
+                    "fallback_calls"):
+            agg[key] = sum(p.meta[key] for p in self.programs)
+        return agg
+
+    def run(
+        self,
+        buffers: dict[str, np.ndarray],
+        scale: float = 1.0,
+        parallel: bool = False,
+    ) -> None:
+        """Replay every stream against ``buffers`` (one shared dict)."""
+        for cell in self.cells:
+            cell.buffers = buffers
+            cell.scale = scale
+        if parallel and len(self.programs) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(
+                max_workers=len(self.programs)
+            ) as pool:
+                futures = [
+                    pool.submit(prog.run, cell)
+                    for prog, cell in zip(self.programs, self.cells)
+                ]
+                for f in futures:
+                    f.result()
+        else:
+            for prog, cell in zip(self.programs, self.cells):
+                prog.run(cell)

@@ -97,6 +97,11 @@ class QuantConvForward(DirectConvForward):
         the actual factor is known only once the operands are quantized)."""
         return self._scale
 
+    def _stream_out_dtype(self) -> np.dtype:
+        """The int16 engine replays into an fp32 output (``run_quantized``
+        allocates it explicitly), not ``np_accum``."""
+        return np.dtype(np.float32)
+
     def _prepare_weights(self, w: BlockedTensor) -> BlockedTensor:
         """All int16 kernels consume the VNNI pair layout (section II-K):
         adjacent reduction channels interleaved per output lane, so each

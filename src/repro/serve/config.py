@@ -13,6 +13,7 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass, field
 
+from repro.jit.tiers import ReplayOptions, as_tier
 from repro.types import ReproError
 
 __all__ = ["ServeConfig", "ServeConfigError"]
@@ -46,8 +47,14 @@ class ServeConfig:
         ``"blocked"`` (the full kernel-stream engine; the one the stream
         warm cache accelerates).
     execution_tier:
-        Kernel-stream tier for ``"blocked"`` (``None`` = process
-        default, i.e. ``compiled``).
+        Kernel-stream tier for ``"blocked"`` -- any registered
+        :class:`~repro.jit.ExecutionTier` or its string spelling
+        (``None`` = process default, i.e. ``compiled``).  Unknown names
+        are rejected at construction with the valid tiers listed.
+    replay:
+        Optional :class:`~repro.jit.ReplayOptions` (back-compat shim):
+        its tier is folded into ``execution_tier`` when that field is
+        unset.  Not part of the stream fingerprint.
     buckets:
         Ascending micro-batch sizes.  A batch of ``n`` pending requests
         is padded up to the smallest bucket >= n; engines exist only for
@@ -73,6 +80,7 @@ class ServeConfig:
     input_shape: tuple[int, int, int] = (16, 8, 8)
     engine: str = "fast"
     execution_tier: str | None = None
+    replay: ReplayOptions | None = field(default=None, compare=False)
     machine: str = "SKX"
     threads: int = 1
     buckets: tuple[int, ...] = (1, 2, 4, 8, 16)
@@ -92,6 +100,15 @@ class ServeConfig:
             raise ServeConfigError(
                 f"unknown serve engine {self.engine!r}; expected {_ENGINES}"
             )
+        tier = self.execution_tier
+        if tier is None and self.replay is not None:
+            tier = self.replay.resolve_tier()
+        if tier is not None:
+            # validate eagerly (UnknownTierError is a ValueError too) and
+            # normalize to the canonical string spelling so fingerprints
+            # are stable across enum/string call sites
+            tier = str(as_tier(tier))
+        object.__setattr__(self, "execution_tier", tier)
         buckets = tuple(int(b) for b in self.buckets)
         if not buckets:
             raise ServeConfigError(
@@ -142,8 +159,9 @@ class ServeConfig:
         """Content digest of every field that affects recorded streams."""
         doc = asdict(self)
         # runtime-only knobs do not change the streams an engine records
+        # (replay is already folded into execution_tier at construction)
         for k in ("workers", "queue_capacity", "batch_window_ms",
-                  "max_queue_wait_ms", "checkpoint"):
+                  "max_queue_wait_ms", "checkpoint", "replay"):
             doc.pop(k)
         blob = json.dumps(doc, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()[:16]

@@ -31,13 +31,16 @@ is **never replayed** -- the engine call is skipped entirely.  The
 build, which is exactly how tests age a batch past its deadline
 deterministically.
 
-Graceful degradation: a blocked replica whose compiled execution tier
-fails at runtime rebuilds the offending bucket's engine on the
-``interpret`` tier and retries the batch (``serve.tier_degraded``
-counter, :attr:`EngineReplica.degraded_buckets`).  A worker thread that
-dies (e.g. an injected crash) is restarted by the server's supervisor --
-its batches are never lost because the crash boundary is between
-batches.
+Graceful degradation: a blocked replica whose execution tier fails at
+runtime rebuilds the offending bucket's engine on the next tier down
+the registry's ``degrade_to`` chain (``stream_compiled`` -> ``compiled``
+-> ``interpret``) and retries the batch.  Each transition increments
+``serve.tier_degraded`` plus a ``serve.tier_degraded.<from>_to_<to>``
+pair counter and records the bucket in
+:attr:`EngineReplica.degraded_buckets`; a bucket already at the bottom
+of its chain propagates the failure.  A worker thread that dies (e.g.
+an injected crash) is restarted by the server's supervisor -- its
+batches are never lost because the crash boundary is between batches.
 """
 
 from __future__ import annotations
@@ -136,9 +139,12 @@ class EngineReplica:
         self._sessions: dict[int, InferenceSession] = {}
         self.warm_buckets: list[int] = []
         self.cold_buckets: list[int] = []
-        #: buckets rebuilt on the ``interpret`` tier after a compiled-
-        #: tier failure (graceful degradation, never silent)
+        #: buckets rebuilt on a lower tier after a runtime tier failure
+        #: (graceful degradation, never silent)
         self.degraded_buckets: list[int] = []
+        #: the tier each degraded bucket currently runs (buckets absent
+        #: here run the configured tier)
+        self._bucket_tier: dict = {}
         if config.engine == "fast":
             # one graph handles any leading dimension
             etg = config.build_etg(config.max_bucket)
@@ -157,13 +163,18 @@ class EngineReplica:
                 else:
                     self.warm_buckets.append(bucket)
                 self._sessions[bucket] = InferenceSession(etg).__enter__()
+                # stream_compiled lowering happens now, not on the first
+                # request; the warm cache keeps the closure-chain metadata
+                replay_meta = etg.prepare_replay()
+                if replay_meta and warm_cache is not None:
+                    warm_cache.put_replay_meta(bucket, replay_meta)
 
     def run(self, batch, bucket: int):
         """Probabilities for one ``(bucket, C, H, W)`` batch.
 
-        A blocked-engine failure on a compiled-style tier degrades the
-        bucket to the ``interpret`` tier and retries once; anything the
-        interpreter also rejects propagates.
+        A blocked-engine failure degrades the bucket one step down the
+        tier registry's ``degrade_to`` chain and retries; a failure with
+        nothing lower to reach propagates.
         """
         if self.injector is not None:
             fault = self.injector.fire("serve.replica.run")
@@ -177,36 +188,58 @@ class EngineReplica:
         except Exception as err:  # noqa: BLE001 -- degrade, don't die
             return self._degrade_and_retry(batch, bucket, err)
 
+    def _current_tier(self, bucket: int):
+        """The tier this bucket actually runs right now."""
+        tier = self._bucket_tier.get(bucket)
+        if tier is not None:
+            return tier
+        from repro.jit.compile import resolve_execution_tier
+
+        return resolve_execution_tier(self.config.execution_tier)
+
     def _degrade_and_retry(self, batch, bucket: int, err: BaseException):
-        """Rebuild one bucket's engine on the interpreter tier."""
+        """Rebuild one bucket's engine on the next tier down the
+        registry's ``degrade_to`` chain."""
         if self.config.engine != "blocked":
             raise err  # the fast engine has no tier to fall back to
-        if self.config.execution_tier == "interpret":
-            raise err  # already interpreting: nothing lower to reach
-        if bucket in self.degraded_buckets:
-            raise err  # already on the fallback tier: genuine failure
-        with self._lock:
-            if bucket not in self.degraded_buckets:
-                streams = (
-                    self._warm_cache.get(bucket)
-                    if self._warm_cache is not None
-                    else None
-                )
-                etg = self.config.build_etg(
-                    bucket,
-                    conv_streams=streams,
-                    execution_tier="interpret",
-                )
-                if self.config.checkpoint:
-                    from repro.gxm.checkpoint import load_checkpoint
+        from repro.jit.tiers import get_tier_spec
 
-                    load_checkpoint(etg, self.config.checkpoint)
-                old = self._sessions[bucket]
-                self._sessions[bucket] = InferenceSession(etg).__enter__()
-                old.__exit__(None, None, None)
+        with self._lock:
+            cur = self._current_tier(bucket)
+            nxt = get_tier_spec(cur).degrade_to
+            if nxt is None:
+                raise err  # bottom of the chain: genuine failure
+            streams = (
+                self._warm_cache.get(bucket)
+                if self._warm_cache is not None
+                else None
+            )
+            etg = self.config.build_etg(
+                bucket,
+                conv_streams=streams,
+                execution_tier=nxt,
+            )
+            if self.config.checkpoint:
+                from repro.gxm.checkpoint import load_checkpoint
+
+                load_checkpoint(etg, self.config.checkpoint)
+            old = self._sessions[bucket]
+            self._sessions[bucket] = InferenceSession(etg).__enter__()
+            old.__exit__(None, None, None)
+            self._bucket_tier[bucket] = nxt
+            if bucket not in self.degraded_buckets:
                 self.degraded_buckets.append(bucket)
-                self.metrics.inc("serve.tier_degraded")
+            self.metrics.inc("serve.tier_degraded")
+            self.metrics.inc(f"serve.tier_degraded.{cur}_to_{nxt}")
         return self._sessions[bucket].predict(batch)
+
+    def bucket_tiers(self) -> dict[int, str]:
+        """The tier each bucket currently runs (observability)."""
+        with self._lock:
+            return {
+                bucket: str(self._current_tier(bucket))
+                for bucket in self.config.buckets
+            }
 
     def sessions(self) -> list[InferenceSession]:
         """Each distinct session exactly once (the fast replica maps

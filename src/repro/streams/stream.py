@@ -143,6 +143,19 @@ class FrozenStream:
             got = cache[name] = getattr(self, name).tolist()
         return got
 
+    def segments(self) -> list:
+        """The RLE segment encoding of this stream, computed once and
+        cached (segments are a pure function of the immutable arrays, so
+        per-replay re-encoding -- the update pass used to pay it every
+        call -- is wasted work)."""
+        got = self.__dict__.get("_segments")
+        if got is None:
+            from repro.streams.rle import encode_segments
+
+            got = encode_segments(self)
+            object.__setattr__(self, "_segments", got)
+        return got
+
     def __len__(self) -> int:
         return int(self.kinds.size)
 

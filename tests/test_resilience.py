@@ -638,6 +638,42 @@ class TestServeResilience:
         finally:
             server.stop()
 
+    def test_stream_compiled_walks_the_degrade_chain(self, clean_metrics):
+        """A stream_compiled bucket degrades one registry step per
+        failure (stream_compiled -> compiled -> interpret), each hop
+        counted under its from/to pair, and still answers bitwise."""
+        from repro.serve import InferenceServer
+
+        cfg = self._config(engine="blocked", buckets=(1,),
+                           execution_tier="stream_compiled")
+        x = self._image(cfg)
+        with InferenceServer(cfg) as healthy:
+            ref = healthy.predict(x)
+
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site="serve.replica.run", kind="tier_fail",
+                          count=2),
+            )
+        )
+        server = InferenceServer(cfg, fault_injector=FaultInjector(plan))
+        try:
+            server.start()
+            assert np.array_equal(server.predict(x, timeout=60.0), ref)
+            assert np.array_equal(server.predict(x, timeout=60.0), ref)
+            health = server.health()
+            assert health["status"] == "degraded"
+            assert health["degraded_buckets"] == [1]
+            assert server.metrics.value("serve.tier_degraded") == 2
+            assert server.metrics.value(
+                "serve.tier_degraded.stream_compiled_to_compiled") == 1
+            assert server.metrics.value(
+                "serve.tier_degraded.compiled_to_interpret") == 1
+            # a third failure would find nothing below interpret
+            assert np.array_equal(server.predict(x, timeout=60.0), ref)
+        finally:
+            server.stop()
+
     def test_healthz_endpoint_reports_degradation(self, tmp_path,
                                                   clean_metrics):
         import json

@@ -87,6 +87,25 @@ class TestServeConfig:
         with pytest.raises(ReproError):
             ServeConfig(**kw)
 
+    def test_replay_options_fold_into_tier(self):
+        from repro import ReplayOptions
+
+        cfg = ServeConfig(engine="blocked",
+                          replay=ReplayOptions(tier="stream_compiled"))
+        assert cfg.execution_tier == "stream_compiled"
+        # the explicit kwarg wins over the back-compat bundle
+        cfg = ServeConfig(engine="blocked", execution_tier="interpret",
+                          replay=ReplayOptions(tier="stream_compiled"))
+        assert cfg.execution_tier == "interpret"
+
+    def test_unknown_tier_rejected_listing_registry(self):
+        from repro import EXECUTION_TIERS
+
+        with pytest.raises(ValueError, match="unknown execution tier") as ei:
+            ServeConfig(engine="blocked", execution_tier="turbo")
+        for name in EXECUTION_TIERS:
+            assert name in str(ei.value)
+
     def test_fingerprint_tracks_stream_relevant_fields(self):
         base = ServeConfig()
         assert base.fingerprint() == ServeConfig().fingerprint()
@@ -189,7 +208,8 @@ class TestBitwiseIdentity:
 
     @pytest.mark.parametrize(
         "engine,tier",
-        [("fast", None), ("blocked", "compiled"), ("blocked", "interpret")],
+        [("fast", None), ("blocked", "compiled"), ("blocked", "interpret"),
+         ("blocked", "stream_compiled")],
     )
     def test_threads_through_batcher_match_direct_predict(
         self, engine, tier, clean_metrics
@@ -279,6 +299,29 @@ class TestWarmCache:
         warm.stop()
         for a, b in zip(out, ref):
             assert (a == b).all()
+
+    def test_replay_meta_round_trips_with_streams(self, clean_metrics):
+        cfg = tiny_config(engine="blocked",
+                          execution_tier="stream_compiled", buckets=(1, 2))
+        server = InferenceServer(cfg)
+        server.start()
+        try:
+            meta1 = server.warm_cache.replay_meta(1)
+            meta2 = server.warm_cache.replay_meta(2)
+            assert meta1 and meta2, (
+                "stream_compiled boot must record closure metadata"
+            )
+            node_meta = next(iter(meta1.values()))
+            assert node_meta["conv_calls"] > 0
+            buf = io.BytesIO()
+            server.save_streams_artifact(buf)
+        finally:
+            server.stop()
+        buf.seek(0)
+        other = StreamWarmCache(cfg.fingerprint())
+        other.load(buf)
+        assert other.replay_meta(1) == meta1
+        assert other.replay_meta(2) == meta2
 
     def test_restore_rejects_unknown_fused_ops(self):
         """A stream carrying APPLY records for fused ops the engine does
