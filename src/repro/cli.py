@@ -140,6 +140,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--load-streams", default=None,
                        help="warm-start artifact from a previous "
                             "--save-streams run (blocked engine)")
+        p.add_argument("--replicas", type=int, default=1,
+                       help="server processes; > 1 boots an "
+                            "InferenceFleet behind the router tier")
 
     p = sub.add_parser(
         "serve", help="dynamic-batching inference server over HTTP"
@@ -176,6 +179,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(closed loop only)")
     p.add_argument("--deadline-ms", type=float, default=None,
                    help="per-request deadline (relative ms)")
+    p.add_argument("--fleet", action="store_true",
+                   help="drive an InferenceFleet (implies --replicas 2 "
+                        "unless --replicas says otherwise)")
     p.add_argument("--out", default=None,
                    help="write the LoadReport JSON here")
 
@@ -395,19 +401,50 @@ def _serve_config_from_args(args):
     )
 
 
-def _cmd_serve(args) -> int:
-    import time
+def _boot_serve_target(args, replicas: int):
+    """Boot either one ``InferenceServer`` or an ``InferenceFleet``
+    (``replicas > 1``), print the boot banner, return the target."""
+    config = _serve_config_from_args(args)
+    if replicas > 1:
+        from repro.serve import InferenceFleet
 
-    from repro.serve import InferenceServer, serve_http
+        fleet = InferenceFleet(config, replicas=replicas)
+        boot = fleet.start(streams_artifact=args.load_streams)
+        warm = boot["warm_ms"]
+        print(
+            f"booted {boot['engine']} fleet: {boot['replicas']} replicas "
+            f"in {boot['boot_s']:.3f}s (per-replica warm_ms "
+            + ", ".join(f"r{i}={warm[i]:.0f}" for i in sorted(warm))
+            + (", shared warm bundle "
+               f"{boot['bundle_shared_bytes']} bytes"
+               if boot["bundle_verified_once"] else "")
+            + ")"
+        )
+        return fleet
+    from repro.serve import InferenceServer
 
-    server = InferenceServer(_serve_config_from_args(args))
+    server = InferenceServer(config)
     boot = server.start(streams_artifact=args.load_streams)
     print(
         f"booted {boot['engine']} engine in {boot['boot_s']:.3f}s "
         f"(warm buckets {boot['warm_buckets']}, "
         f"cold {boot['cold_buckets']})"
     )
+    return server
+
+
+def _cmd_serve(args) -> int:
+    import time
+
+    from repro.serve import serve_http
+
+    server = _boot_serve_target(args, args.replicas)
     if args.save_streams:
+        if args.replicas > 1:
+            print("--save-streams needs a single server "
+                  "(record once, then boot the fleet from the artifact)")
+            server.stop()
+            return 2
         n = server.save_streams_artifact(args.save_streams)
         print(f"warm-cache artifact: {args.save_streams} ({n} entries)")
     if args.boot_only:
@@ -432,12 +469,7 @@ def _cmd_serve(args) -> int:
 def _cmd_loadgen(args) -> int:
     import json
 
-    from repro.serve import (
-        ClientConfig,
-        InferenceServer,
-        run_closed_loop,
-        run_open_loop,
-    )
+    from repro.serve import ClientConfig, run_closed_loop, run_open_loop
 
     client_config = ClientConfig(
         timeout_s=args.client_timeout,
@@ -445,9 +477,10 @@ def _cmd_loadgen(args) -> int:
         hedge=args.hedge,
         seed=args.seed,
     )
-    server = InferenceServer(_serve_config_from_args(args))
-    boot = server.start(streams_artifact=args.load_streams)
-    print(f"booted {boot['engine']} engine in {boot['boot_s']:.3f}s")
+    replicas = args.replicas
+    if args.fleet and replicas < 2:
+        replicas = 2
+    server = _boot_serve_target(args, replicas)
     try:
         if args.mode == "closed":
             report = run_closed_loop(
@@ -470,7 +503,14 @@ def _cmd_loadgen(args) -> int:
         f"{report.timeouts} timeouts, {report.deadline_exceeded} expired, "
         f"{report.retries} retries, {report.hedges} hedges, "
         f"{report.throughput_rps:.0f} req/s"
+        + (f" across {report.replicas} replicas" if report.replicas > 1
+           else "")
     )
+    if report.router_stats:
+        print("router: " + ", ".join(
+            f"{k.removeprefix('serve.router.')}={int(v)}"
+            for k, v in sorted(report.router_stats.items())
+        ))
     if lat:
         print(
             f"latency ms: p50 {lat['p50']:.2f}  p95 {lat['p95']:.2f}  "

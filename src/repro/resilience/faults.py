@@ -39,6 +39,16 @@ site                    kinds honoured there
 ``mp.worker.step``      additionally ``slow`` -- the training worker sleeps
                         ``delay_s`` before computing its shard (latency,
                         not death: the root's timeout must NOT reap it)
+``fleet.replica.predict``  ``crash`` (``os._exit`` of one fleet replica
+                        process mid-request: the router reroutes, the
+                        supervisor respawns) and ``hang`` (the replica's
+                        control loop sleeps ``delay_s``; health polls go
+                        unanswered until the fleet SIGKILLs it)
+``fleet.replica.reply``  ``corrupt_message`` -- the replica scribbles the
+                        shared-memory slot's generation header before
+                        replying, so the parent must refuse the payload
+                        (``SlotCorruption``) without touching any other
+                        request's answer
 ======================  ====================================================
 
 Injected faults count into ``resilience.faults_injected``.

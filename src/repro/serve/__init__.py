@@ -65,6 +65,17 @@ Request lifecycle (this layer is what makes the server operable):
   service.  ``POST /admin/drain`` / ``/admin/resume`` /
   ``/admin/reload`` expose the same over HTTP.
 
+Fleet serving (see :mod:`repro.serve.fleet`): one server is GIL-bound,
+so :class:`InferenceFleet` boots N full server *processes* behind a
+power-of-two-choices :class:`Router` fed by replica health, moves
+tensor payloads through a generation-tagged shared-memory ring
+(:class:`TensorShm` -- the router never copies activations), shares one
+verified warm-stream bundle across all replicas, supervises them with
+SIGKILL/hang detection + respawn, and rolls drain/reload (canary
+replica first) across the fleet.  It duck-types the server surface, so
+``serve_http``, :class:`ServeClient` and the load generators drive a
+fleet unchanged.
+
 Quick start::
 
     from repro.serve import InferenceServer, ServeConfig, run_closed_loop
@@ -88,6 +99,7 @@ from repro.serve.batcher import MicroBatcher
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.client import ClientConfig, ServeClient
 from repro.serve.config import ServeConfig, ServeConfigError
+from repro.serve.fleet import InferenceFleet, ReplicaHandle
 from repro.serve.http import serve_http
 from repro.serve.loadgen import LoadReport, run_closed_loop, run_open_loop
 from repro.serve.request import (
@@ -96,7 +108,9 @@ from repro.serve.request import (
     RequestShed,
     ServerClosed,
 )
+from repro.serve.router import Router
 from repro.serve.server import CanaryError, InferenceServer
+from repro.serve.shm import ShmArrayStore, SlotCorruption, TensorShm
 from repro.serve.warmcache import StreamWarmCache
 from repro.serve.worker import EngineReplica, ReplicaSlot, SwapGate
 
@@ -104,6 +118,12 @@ __all__ = [
     "ServeConfig",
     "ServeConfigError",
     "InferenceServer",
+    "InferenceFleet",
+    "ReplicaHandle",
+    "Router",
+    "TensorShm",
+    "ShmArrayStore",
+    "SlotCorruption",
     "InferenceRequest",
     "RequestShed",
     "ServerClosed",

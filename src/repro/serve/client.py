@@ -101,9 +101,17 @@ class _InProcessTransport:
         # slow: place the backup attempt.  If admission sheds it, the
         # hedge simply doesn't happen -- the primary is still in flight
         # and adding retries here would feed the very overload that made
-        # the primary slow.
+        # the primary slow.  Against a fleet, the backup is steered to a
+        # *different* replica than the one holding the slow primary --
+        # a hedge that lands behind the same queue buys nothing.
+        kwargs = {}
+        if (
+            getattr(self.server, "routes_replicas", False)
+            and primary.replica_id is not None
+        ):
+            kwargs["exclude_replica"] = primary.replica_id
         try:
-            backup = self.server.submit(x, deadline=deadline)
+            backup = self.server.submit(x, deadline=deadline, **kwargs)
         except (RequestShed, ServerClosed):
             backup = None
         end = time.perf_counter() + max(0.0, timeout_s - hedge_cutoff_s)
@@ -181,9 +189,12 @@ class _HttpTransport:
 class ServeClient:
     """Retrying, hedging, breaker-guarded front door to one server.
 
-    ``target`` is an :class:`~repro.serve.server.InferenceServer` or an
-    HTTP base URL string.  Thread-safe: the load generators share one
-    client across every worker thread.
+    ``target`` is an :class:`~repro.serve.server.InferenceServer`, an
+    :class:`~repro.serve.fleet.InferenceFleet` (the fleet endpoint:
+    retries, hedging and the breaker run unchanged against the router,
+    and hedged backups are steered to a *different* replica than the
+    slow primary), or an HTTP base URL string.  Thread-safe: the load
+    generators share one client across every worker thread.
     """
 
     def __init__(

@@ -62,7 +62,7 @@ class InferenceRequest:
     """
 
     __slots__ = (
-        "id", "x", "t_submit", "deadline",
+        "id", "x", "t_submit", "deadline", "replica_id",
         "_event", "_value", "_error", "_cancelled",
     )
 
@@ -73,6 +73,9 @@ class InferenceRequest:
         self.t_submit = time.perf_counter()
         #: absolute monotonic deadline (None = no deadline)
         self.deadline = deadline
+        #: fleet replica serving this request (None in single-process
+        #: serving); hedged backups use it to target a different replica
+        self.replica_id: int | None = None
         self._event = threading.Event()
         self._value: np.ndarray | None = None
         self._error: BaseException | None = None

@@ -1,0 +1,123 @@
+"""Replica selection for the serving fleet: power-of-two-choices.
+
+The router is deliberately *dumb and fast*: it never touches tensor
+bytes (payloads ride the :mod:`repro.serve.shm` ring) and never blocks
+on a replica.  Per dispatch it draws **two** distinct candidates from
+the available replica set and sends the request to the one with the
+lower load score -- the classic power-of-two-choices result: near-
+least-loaded balancing with O(1) work and no global scan, robust to the
+staleness of the health data it feeds on.
+
+The score blends what the parent knows *exactly* with what each replica
+last reported through ``health()``:
+
+* ``outstanding`` -- requests dispatched to the replica and not yet
+  answered.  Parent-side, exact, updated on every dispatch/completion.
+* ``estimated_wait_ms`` -- the replica's own EWMA-based admission
+  estimate (queue depth x decayed service time), from the last health
+  poll.  This is what makes the balancing *load*-aware rather than
+  merely count-aware: a replica chewing a deep queue of slow batches
+  reports a long wait even when its outstanding count matches its
+  neighbour's.
+* a **degraded-bucket penalty** -- a replica whose health reports
+  buckets degraded off the configured execution tier (see
+  ``bucket_tiers``) is deprioritized, so bucketed shapes keep landing on
+  replicas that run them at full speed.  This is the shape-bucket
+  awareness: same shape, same bucket ladder everywhere, but the router
+  prefers the replicas whose ladder is intact.
+
+Dispatch decisions are counted per replica
+(``serve.router.dispatched.r<id>``) next to the fleet-wide totals
+(``serve.router.dispatched``, ``serve.router.rerouted``,
+``serve.router.bytes_copied``, ``serve.router.shm_fallback``) so a load
+imbalance is visible in one ``stats()`` read.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serve.request import RequestShed
+
+__all__ = ["Router"]
+
+#: weight of the replica-reported estimated wait (ms) against one
+#: outstanding request -- 1 outstanding ~ 5 ms of reported queue wait
+_WAIT_MS_PER_OUTSTANDING = 5.0
+#: score penalty for each bucket a replica runs below its configured
+#: execution tier
+_DEGRADED_BUCKET_PENALTY = 2.0
+
+
+class Router:
+    """Power-of-two-choices dispatch over a set of replica handles.
+
+    ``handles`` is the fleet's live list (the fleet mutates states in
+    place; the router re-reads availability on every pick).  A handle
+    must expose ``id``, ``available`` (bool), ``outstanding_count``,
+    ``est_wait_ms`` and ``degraded_buckets`` -- the fleet's
+    ``ReplicaHandle`` does.
+    """
+
+    def __init__(self, handles, metrics, seed: int = 0):
+        self._handles = handles
+        self._metrics = metrics
+        self._rng = np.random.default_rng(seed)
+
+    @staticmethod
+    def score(handle) -> float:
+        """Lower is better: exact outstanding count, the replica's own
+        wait estimate, and a penalty per degraded bucket."""
+        return (
+            handle.outstanding_count
+            + handle.est_wait_ms / _WAIT_MS_PER_OUTSTANDING
+            + _DEGRADED_BUCKET_PENALTY * len(handle.degraded_buckets)
+        )
+
+    def pick(self, exclude: int | None = None):
+        """Choose a replica for one request (power of two choices).
+
+        ``exclude`` keeps a hedged backup off the primary's replica; it
+        is a preference, not a hard rule -- when the excluded replica is
+        the only one available it still serves (a slow answer beats a
+        shed).  Raises :class:`RequestShed` when nothing is available.
+        """
+        candidates = [h for h in self._handles if h.available]
+        if not candidates:
+            self._metrics.inc("serve.router.no_replica")
+            raise RequestShed(
+                "no fleet replica available to take the request"
+            )
+        preferred = [h for h in candidates if h.id != exclude]
+        if preferred:
+            candidates = preferred
+        if len(candidates) == 1:
+            chosen = candidates[0]
+        elif len(candidates) == 2:
+            a, b = candidates
+            chosen = a if self.score(a) <= self.score(b) else b
+        else:
+            i, j = self._rng.choice(len(candidates), size=2, replace=False)
+            a, b = candidates[int(i)], candidates[int(j)]
+            chosen = a if self.score(a) <= self.score(b) else b
+        self._metrics.inc("serve.router.dispatched")
+        self._metrics.inc(f"serve.router.dispatched.r{chosen.id}")
+        return chosen
+
+    def note_reroute(self) -> None:
+        self._metrics.inc("serve.router.rerouted")
+
+    def note_copy(self, nbytes: int) -> None:
+        """A payload left the shared-memory path (ring exhausted or an
+        unbucketable shape) and was pickled instead -- the one thing the
+        hot path must never do silently."""
+        self._metrics.inc("serve.router.bytes_copied", nbytes)
+        self._metrics.inc("serve.router.shm_fallback")
+
+    def stats(self) -> dict:
+        counters = self._metrics.counters()
+        return {
+            name: value
+            for name, value in sorted(counters.items())
+            if name.startswith("serve.router.")
+        }

@@ -1,0 +1,305 @@
+"""Shared-memory tensor transport for the serving fleet.
+
+The router's whole point is to keep N replica *processes* busy without
+itself becoming the copy bottleneck: pickling a ``(C, H, W)`` float32
+image through a pipe costs a serialize + a kernel copy + a deserialize
+per hop, twice per request (input and output).  Instead, tensor payloads
+live in one :class:`multiprocessing.shared_memory.SharedMemory` segment
+carved into fixed-size **slots** (a ring slab): the submitter writes the
+request tensor into a leased slot exactly once, the control message
+crossing the pipe is a few integers (slot index, generation, deadline),
+the replica reads its input as a zero-copy view, runs the batch, writes
+the probability row back into the same slot's response region, and the
+router-side reader hands the result to the waiting future.  The router
+never serializes an activation on this path -- ``serve.router
+.bytes_copied`` stays 0 for every bucketed shape.
+
+Crash safety comes from **generation tags**.  Every slot carries a
+monotonically increasing generation, stored both in the parent's
+bookkeeping and in a header word inside the segment itself.  A lease
+pins one generation; releasing (or reclaiming after a replica crash)
+bumps it.  A reply is only trusted when the message's generation, the
+parent's bookkeeping *and* the in-segment header still agree -- so a
+late write from a killed replica, or a scribble across the header (the
+``fleet.replica.reply`` corruption fault), fails exactly the one
+request that owned the slot and can never be mistaken for another
+request's answer.  Reclaimed slots return to the ring; nothing leaks.
+
+:class:`ShmArrayStore` is the read-only sibling used for warm-boot
+artifacts: the fleet parent loads and digest-verifies the stream bundle
+**once**, packs every offset array into one shared segment, and each
+replica process reconstructs zero-copy read-only views -- no per-replica
+re-verify, no per-replica deserialize, one physical copy of the warm
+streams for the whole fleet.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.types import ReproError
+
+__all__ = ["ShmLease", "SlotCorruption", "TensorShm", "ShmArrayStore"]
+
+#: per-slot header: one uint64 generation word
+_HDR_DTYPE = np.uint64
+_HDR_BYTES = 8
+
+
+class SlotCorruption(ReproError):
+    """A slot's in-segment generation header no longer matches the lease
+    that owns it: the payload cannot be trusted.  Exactly one request --
+    the slot's owner -- fails with this; the slot itself is reclaimed
+    with a fresh generation, so neighbouring requests are untouched."""
+
+
+class ShmLease:
+    """One acquired slot: ``(slot, generation)`` plus where it came
+    from.  Valid until :meth:`TensorShm.release` / :meth:`reclaim`."""
+
+    __slots__ = ("slot", "generation")
+
+    def __init__(self, slot: int, generation: int):
+        self.slot = slot
+        self.generation = generation
+
+    def __repr__(self) -> str:  # pragma: no cover -- debugging aid
+        return f"ShmLease(slot={self.slot}, gen={self.generation})"
+
+
+class TensorShm:
+    """A generation-tagged ring of fixed-size tensor slots in one shared
+    segment.
+
+    Layout: ``slots`` header words up front, then per slot a request
+    region of ``prod(request_shape)`` float32 values followed by a
+    response region of ``prod(response_shape)`` float32 values, each
+    64-byte aligned so replica reads never false-share a neighbour's
+    cache line.
+
+    The free list (and therefore :meth:`acquire`/:meth:`release`) is
+    parent-side only; :meth:`request_view`/:meth:`response_view` are
+    lock-free and safe from any process that inherited the segment.
+    """
+
+    _ALIGN = 64
+
+    def __init__(
+        self,
+        slots: int,
+        request_shape: tuple[int, ...],
+        response_shape: tuple[int, ...],
+    ):
+        if slots < 1:
+            raise ReproError(f"TensorShm needs >= 1 slot, got {slots}")
+        self.slots = int(slots)
+        self.request_shape = tuple(int(d) for d in request_shape)
+        self.response_shape = tuple(int(d) for d in response_shape)
+        req_bytes = int(np.prod(self.request_shape)) * 4
+        resp_bytes = int(np.prod(self.response_shape)) * 4
+        align = self._ALIGN
+
+        def pad(n: int) -> int:
+            return (n + align - 1) // align * align
+
+        self._req_bytes = pad(req_bytes)
+        self._resp_bytes = pad(resp_bytes)
+        self._hdr_bytes = pad(self.slots * _HDR_BYTES)
+        self._slot_bytes = self._req_bytes + self._resp_bytes
+        self.nbytes = self._hdr_bytes + self.slots * self._slot_bytes
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=self.nbytes
+        )
+        self._owner = True
+        hdr = np.ndarray(
+            (self.slots,), dtype=_HDR_DTYPE, buffer=self._shm.buf
+        )
+        hdr[:] = 0
+        # parent-side bookkeeping: authoritative generation per slot and
+        # the free ring (acquire pops left, release appends right)
+        self._gen = [0] * self.slots
+        self._free: deque[int] = deque(range(self.slots))
+        self._cond = threading.Condition()
+        self._acquire_timeouts = 0
+
+    # -- views (lock-free; safe in any process sharing the segment) ----
+    def _headers(self) -> np.ndarray:
+        return np.ndarray(
+            (self.slots,), dtype=_HDR_DTYPE, buffer=self._shm.buf
+        )
+
+    def request_view(self, slot: int) -> np.ndarray:
+        """Writable float32 view of one slot's request region."""
+        off = self._hdr_bytes + slot * self._slot_bytes
+        return np.ndarray(
+            self.request_shape, dtype=np.float32,
+            buffer=self._shm.buf, offset=off,
+        )
+
+    def response_view(self, slot: int) -> np.ndarray:
+        """Writable float32 view of one slot's response region."""
+        off = self._hdr_bytes + slot * self._slot_bytes + self._req_bytes
+        return np.ndarray(
+            self.response_shape, dtype=np.float32,
+            buffer=self._shm.buf, offset=off,
+        )
+
+    def read_header(self, slot: int) -> int:
+        return int(self._headers()[slot])
+
+    def write_header(self, slot: int, generation: int) -> None:
+        self._headers()[slot] = generation
+
+    # -- leasing (parent-side only) ------------------------------------
+    def acquire(self, timeout_s: float = 0.0) -> ShmLease | None:
+        """Lease one free slot; ``None`` when the ring is exhausted for
+        ``timeout_s`` (callers fall back to pickling the payload --
+        counted, never an error)."""
+        with self._cond:
+            if not self._free and timeout_s > 0:
+                self._cond.wait(timeout_s)
+            if not self._free:
+                self._acquire_timeouts += 1
+                return None
+            slot = self._free.popleft()
+            gen = self._gen[slot]
+        self.write_header(slot, gen)
+        return ShmLease(slot, gen)
+
+    def _bump_and_free(self, lease: ShmLease) -> None:
+        with self._cond:
+            if self._gen[lease.slot] != lease.generation:
+                return  # already reclaimed (e.g. crash path won the race)
+            self._gen[lease.slot] = lease.generation + 1
+            self._free.append(lease.slot)
+            self._cond.notify()
+
+    def release(self, lease: ShmLease) -> None:
+        """Return a slot to the ring; its generation is bumped so any
+        late write against the old lease is detectable garbage."""
+        self._bump_and_free(lease)
+
+    def reclaim(self, lease: ShmLease) -> None:
+        """Crash-path release: same generation bump, so a slot held by a
+        killed replica is never leaked and its half-written payload can
+        never satisfy a *different* request's generation check."""
+        self._bump_and_free(lease)
+
+    def check(self, lease: ShmLease, message_gen: int) -> None:
+        """Trust gate for a reply: message generation, parent
+        bookkeeping and the in-segment header must all agree."""
+        with self._cond:
+            current = self._gen[lease.slot]
+        if message_gen != lease.generation or current != lease.generation:
+            raise SlotCorruption(
+                f"slot {lease.slot} reply generation {message_gen} does "
+                f"not match lease {lease.generation} (current {current})"
+            )
+        header = self.read_header(lease.slot)
+        if header != lease.generation:
+            raise SlotCorruption(
+                f"slot {lease.slot} header generation {header} does not "
+                f"match lease {lease.generation}; payload untrusted"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        with self._cond:
+            return self.slots - len(self._free)
+
+    def stats(self) -> dict:
+        with self._cond:
+            return {
+                "slots": self.slots,
+                "in_use": self.slots - len(self._free),
+                "slot_bytes": self._slot_bytes,
+                "nbytes": self.nbytes,
+                "acquire_timeouts": self._acquire_timeouts,
+            }
+
+    def close(self) -> None:
+        """Unmap and (in the creating process) unlink the segment."""
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover -- a view still exported
+            return
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover -- already gone
+                pass
+            self._owner = False
+
+
+class ShmArrayStore:
+    """Immutable named-array store in one shared segment.
+
+    Built once by the fleet parent from the verified warm-stream bundle;
+    every replica process reconstructs the arrays as zero-copy
+    **read-only** views over the same physical pages.  ``from_arrays``
+    is the only writer; after construction the segment is data plus a
+    parent-held index (``name -> (offset, dtype, shape)``) that forked
+    children inherit.
+    """
+
+    def __init__(self) -> None:
+        self._shm: shared_memory.SharedMemory | None = None
+        self._index: dict[str, tuple[int, str, tuple[int, ...]]] = {}
+        self.nbytes = 0
+        self._owner = False
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "ShmArrayStore":
+        store = cls()
+        align = TensorShm._ALIGN
+        offset = 0
+        packed: list[tuple[str, np.ndarray, int]] = []
+        for name, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            packed.append((name, arr, offset))
+            store._index[name] = (offset, arr.dtype.str, arr.shape)
+            offset += (arr.nbytes + align - 1) // align * align
+        store.nbytes = max(offset, 1)
+        store._shm = shared_memory.SharedMemory(
+            create=True, size=store.nbytes
+        )
+        store._owner = True
+        for name, arr, off in packed:
+            dst = np.ndarray(
+                arr.shape, dtype=arr.dtype,
+                buffer=store._shm.buf, offset=off,
+            )
+            dst[:] = arr
+        return store
+
+    def names(self) -> list[str]:
+        return sorted(self._index)
+
+    def get(self, name: str) -> np.ndarray:
+        """Read-only zero-copy view of one stored array."""
+        off, dtype, shape = self._index[name]
+        view = np.ndarray(
+            shape, dtype=np.dtype(dtype),
+            buffer=self._shm.buf, offset=off,
+        )
+        view.flags.writeable = False
+        return view
+
+    def close(self) -> None:
+        if self._shm is None:
+            return
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover -- a view still exported
+            return
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            self._owner = False
