@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
 import time
 
@@ -183,10 +184,17 @@ def main(argv=None) -> int:
         sum(math.log(r["stream_speedup"]) for r in rows) / len(rows)
     )
     all_exact = all(r["exact"] for r in rows)
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        usable = os.cpu_count() or 1
     report = {
         "bench": "exec_tiers",
         "machine_f32": SKX.name,
+        "machine_f32_fingerprint": SKX.fingerprint(),
         "machine_q16": KNM.name,
+        "machine_q16_fingerprint": KNM.fingerprint(),
+        "host": {"cpus": os.cpu_count(), "usable_cpus": usable},
         "minibatch": args.minibatch,
         "repeats": args.repeats,
         "layers": rows,

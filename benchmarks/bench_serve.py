@@ -448,6 +448,14 @@ def main(argv=None) -> int:
         else replica_counts,
     )
 
+    import os
+
+    from repro.arch.machine import machine_by_name
+
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        usable = os.cpu_count() or 1
     report = {
         "bench": "serve",
         "config": {
@@ -457,6 +465,9 @@ def main(argv=None) -> int:
             "buckets": list(fast_cfg.buckets),
             "requests": requests,
         },
+        "machine": fast_cfg.machine,
+        "machine_fingerprint": machine_by_name(fast_cfg.machine).fingerprint(),
+        "host": {"cpus": os.cpu_count(), "usable_cpus": usable},
         "batching": batching,
         "bitwise": bitwise,
         "boot": boot,

@@ -1,0 +1,211 @@
+"""Autotuning benchmark: tuned mapspace winners vs the paper heuristics.
+
+For each Table-1 ResNet-50 layer this searches the full mapspace
+(:func:`repro.tune.search_mapspace` -- analytical pricing, cachesim
+refinement, bit-exact validation), then measures two things against the
+heuristic plan:
+
+* **roofline**: modeled cycles of the tuned winner vs the heuristic,
+  both priced at identical model fidelity (win rate is >= 1.0 per layer
+  by construction -- the heuristic itself rides through the finalist
+  refinement, so the winner can never price worse);
+* **wall-clock**: compiled-tier replay time of a real
+  :class:`DirectConvForward` built with the tuned plan + prefetch vs one
+  built with the heuristics, on identical blocked inputs, asserting the
+  two outputs are *bitwise* identical (register/cache blocking never
+  changes the reduction order).
+
+Run as a plain script (not pytest -- the timing loop is its own harness)::
+
+    PYTHONPATH=src python benchmarks/bench_tune.py --quick
+    PYTHONPATH=src python benchmarks/bench_tune.py --out BENCH_tune.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+
+import numpy as np
+
+from repro.arch.machine import SKX
+from repro.conv.forward import DirectConvForward
+from repro.conv.params import ConvParams
+from repro.models.resnet50 import resnet50_layer
+from repro.tensor.blocked import block_activations, block_weights
+from repro.tune import search_mapspace
+
+#: Table-1 ids spanning the shape space: early wide-spatial, 1x1
+#: projections, strided 3x3, and the deep narrow-spatial tail
+DEFAULT_LAYERS = [1, 2, 4, 8, 12, 16, 20]
+
+
+def _time_call(fn, repeats: int) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_layer(
+    layer_id: int,
+    p: ConvParams,
+    repeats: int,
+    top_k: int,
+    max_candidates: int | None,
+) -> dict:
+    t0 = time.perf_counter()
+    outcome = search_mapspace(
+        p, SKX, top_k=top_k, max_candidates=max_candidates,
+    )
+    search_s = time.perf_counter() - t0
+
+    rng = np.random.default_rng(layer_id)
+    x = rng.standard_normal((p.N, p.C, p.H, p.W)).astype(np.float32)
+    w = rng.standard_normal((p.K, p.C, p.R, p.S)).astype(np.float32)
+
+    times = {}
+    outs = {}
+    heur_cand = outcome.heuristic.candidate
+    for name, plan, prefetch in (
+        ("heuristic", heur_cand.plan(p, SKX), heur_cand.prefetch),
+        ("tuned", outcome.plan, outcome.best.candidate.prefetch),
+    ):
+        eng = DirectConvForward(
+            p, machine=SKX, plan=plan, prefetch=prefetch,
+            execution_tier="compiled",
+        )
+        bx = block_activations(x, plan.vlen, pad_h=p.pad_h, pad_w=p.pad_w)
+        bw = block_weights(w, plan.vlen)
+
+        def run(eng=eng, bx=bx, bw=bw):
+            return eng(bx, bw)
+
+        outs[name] = run().data.copy()  # warm: streams recorded + compiled
+        times[name] = _time_call(run, repeats)
+
+    return {
+        "layer": layer_id,
+        "params": p.describe(),
+        "candidates": outcome.candidates,
+        "rejected": outcome.rejected,
+        "search_s": search_s,
+        "tuned": outcome.best.candidate.describe(),
+        "heuristic": heur_cand.describe(),
+        "model_cycles_tuned": outcome.best.cycles,
+        "model_cycles_heuristic": outcome.heuristic.cycles,
+        "model_speedup": outcome.speedup,
+        "wall_s_tuned": times["tuned"],
+        "wall_s_heuristic": times["heuristic"],
+        "wall_speedup": times["heuristic"] / times["tuned"],
+        "exact": bool(
+            np.array_equal(
+                outs["tuned"].view(np.uint32),
+                outs["heuristic"].view(np.uint32),
+            )
+        ),
+    }
+
+
+def _geomean(vals) -> float:
+    vals = list(vals)
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--layers", default=None,
+                    help="comma-separated Table-1 layer ids "
+                         f"(default {DEFAULT_LAYERS})")
+    ap.add_argument("--minibatch", type=int, default=1,
+                    help="N per layer (plans are N-independent; 1 keeps "
+                         "the wall-clock loop affordable)")
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--top-k", type=int, default=8)
+    ap.add_argument("--max-candidates", type=int, default=None,
+                    help="truncate the mapspace enumeration per layer")
+    ap.add_argument("--quick", action="store_true",
+                    help="two small layers with a truncated mapspace "
+                         "(CI smoke)")
+    ap.add_argument("--out", default="BENCH_tune.json")
+    ap.add_argument("--min-tune-winrate", type=float, default=0.0,
+                    help="fail if the modeled win rate (tuned <= "
+                         "heuristic cycles) is below this fraction")
+    args = ap.parse_args(argv)
+
+    if args.quick:
+        layers = [2, 8]
+        if args.max_candidates is None:
+            args.max_candidates = 150
+    else:
+        layers = (
+            [int(t) for t in args.layers.split(",")]
+            if args.layers else DEFAULT_LAYERS
+        )
+
+    rows = []
+    for lid in layers:
+        p = resnet50_layer(lid, minibatch=args.minibatch)
+        row = bench_layer(
+            lid, p, args.repeats, args.top_k, args.max_candidates,
+        )
+        rows.append(row)
+        print(
+            f"layer {lid:>2}  model {row['model_speedup']:6.3f}x  "
+            f"wall {row['wall_speedup']:6.3f}x  "
+            f"({row['candidates']} pts, search {row['search_s']:.1f}s, "
+            f"rej {row['rejected']})  exact={row['exact']}  "
+            f"{row['tuned']}"
+        )
+
+    model_wins = sum(r["model_speedup"] >= 1.0 for r in rows)
+    wall_wins = sum(r["wall_speedup"] >= 1.0 for r in rows)
+    all_exact = all(r["exact"] for r in rows)
+    report = {
+        "bench": "tune",
+        "machine": SKX.name,
+        "machine_fingerprint": SKX.fingerprint(),
+        "minibatch": args.minibatch,
+        "repeats": args.repeats,
+        "top_k": args.top_k,
+        "max_candidates": args.max_candidates,
+        "layers": rows,
+        "model_win_rate": model_wins / len(rows),
+        "wall_win_rate": wall_wins / len(rows),
+        "geomean_model_speedup": _geomean(
+            r["model_speedup"] for r in rows),
+        "geomean_wall_speedup": _geomean(r["wall_speedup"] for r in rows),
+        "all_exact": all_exact,
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(
+        f"model: win rate {report['model_win_rate']:.0%}, geomean "
+        f"{report['geomean_model_speedup']:.3f}x | wall: win rate "
+        f"{report['wall_win_rate']:.0%}, geomean "
+        f"{report['geomean_wall_speedup']:.3f}x over {len(rows)} layers "
+        f"-> {args.out}"
+    )
+
+    if not all_exact:
+        print("FAIL: a tuned plan is not bitwise-identical to the "
+              "heuristic plan's output", file=sys.stderr)
+        return 1
+    if report["model_win_rate"] < args.min_tune_winrate:
+        print(
+            f"FAIL: modeled win rate {report['model_win_rate']:.2f} < "
+            f"required {args.min_tune_winrate}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,7 @@ from repro.jit.tiers import (
 from repro.obs import MetricsRegistry, Tracer, get_metrics, get_tracer
 from repro.perf.model import ConvPerfModel
 from repro.quant.qconv_engine import QuantConvForward
+from repro.tune import TuningDatabase, search_mapspace, tune_layer
 from repro.types import DType, Pass, ReproError
 
 __version__ = "1.1.0"
@@ -88,6 +89,10 @@ __all__ = [
     "EXECUTION_TIERS",
     "ReplayOptions",
     "UnknownTierError",
+    # autotuning (the full API lives in repro.tune)
+    "TuningDatabase",
+    "search_mapspace",
+    "tune_layer",
     # perf + framework
     "ConvPerfModel",
     "TopologySpec",

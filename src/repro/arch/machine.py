@@ -18,7 +18,9 @@ are the standard microarchitectural values for these parts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
 
 from repro.types import DType
 
@@ -130,6 +132,20 @@ class MachineConfig:
     def scaled(self, **changes) -> "MachineConfig":
         """A copy with some fields replaced (for what-if studies)."""
         return replace(self, **changes)
+
+    def fingerprint(self) -> str:
+        """Stable 16-hex-digit hash over everything that affects codegen
+        and the cost model: vector length, register-file/FMA parameters,
+        the full cache hierarchy and its bandwidths.
+
+        Tuning-database entries and benchmark reports are keyed by this
+        value so a plan tuned for one machine model is never silently
+        replayed on another (``SKX.scaled(l2_bytes=...)`` fingerprints
+        differently from ``SKX``).
+        """
+        doc = asdict(self)
+        canon = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode()).hexdigest()[:16]
 
 
 #: Dual-socket node uses 2 x SKX; kernel benchmarks are single-socket.

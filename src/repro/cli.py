@@ -19,6 +19,10 @@ command                   what it does
                           optional kernel-stream warm-start artifact
 ``loadgen``               drive an in-process server with synthetic closed-
                           or open-loop load; print the SLO report
+``tune``                  mapspace-autotune Table I layers; persist the
+                          validated winners into a tuning database that
+                          ``make_engine(tuned=...)`` / ``serve --tune-db``
+                          consult
 ========================  ====================================================
 
 Examples::
@@ -31,6 +35,7 @@ Examples::
     python -m repro profile resnet_mini --steps 2 --trace-out trace.json
     python -m repro serve --engine blocked --save-streams /tmp/streams.npz
     python -m repro loadgen --mode open --rate 200 --duration 2
+    python -m repro tune --layers 2,4,8 --db tune.json
 """
 
 from __future__ import annotations
@@ -143,6 +148,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--replicas", type=int, default=1,
                        help="server processes; > 1 boots an "
                             "InferenceFleet behind the router tier")
+        p.add_argument("--tune-db", default=None,
+                       help="tuning database (python -m repro tune) "
+                            "consulted for every blocked conv layer's "
+                            "blocking plan; missing/corrupt falls back "
+                            "to the paper heuristics")
 
     p = sub.add_parser(
         "serve", help="dynamic-batching inference server over HTTP"
@@ -184,6 +194,30 @@ def build_parser() -> argparse.ArgumentParser:
                         "unless --replicas says otherwise)")
     p.add_argument("--out", default=None,
                    help="write the LoadReport JSON here")
+
+    p = sub.add_parser(
+        "tune",
+        help="autotune layer blocking; persist winners to a tuning DB",
+    )
+    p.add_argument("--layers", default="2,4,8,13,18",
+                   help="comma-separated Table I layer ids (1-20), or "
+                        "'all'")
+    p.add_argument("--machine", default="SKX", choices=["SKX", "KNM"])
+    p.add_argument("--dtype", default="f32", choices=["f32", "qi16f32"])
+    p.add_argument("--minibatch", type=int, default=None,
+                   help="Table I minibatch (default: 28 SKX / 70 KNM)")
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--top-k", type=int, default=8,
+                   help="finalists refined empirically and validated")
+    p.add_argument("--db", default="tune.json",
+                   help="tuning-database artifact to create or extend")
+    p.add_argument("--max-candidates", type=int, default=None,
+                   help="truncate the mapspace enumeration (CI smoke)")
+    p.add_argument("--no-refine", action="store_true",
+                   help="skip the cachesim refinement of the finalists")
+    p.add_argument("--no-validate", action="store_true",
+                   help="skip bit-exact validation (winners are then NOT "
+                        "recorded into the database)")
 
     p = sub.add_parser("disasm", help="print one JIT'ed kernel's µops")
     p.add_argument("--layer", type=int, default=8, choices=range(1, 21),
@@ -398,6 +432,7 @@ def _serve_config_from_args(args):
         batch_window_ms=args.batch_window_ms,
         max_queue_wait_ms=args.max_queue_wait_ms,
         checkpoint=args.checkpoint,
+        tune_db=args.tune_db,
     )
 
 
@@ -523,6 +558,63 @@ def _cmd_loadgen(args) -> int:
     return 0
 
 
+def _cmd_tune(args) -> int:
+    import os
+    import time
+
+    from repro.arch.machine import machine_by_name
+    from repro.models.resnet50 import resnet50_layers
+    from repro.tune import TuningDatabase, search_mapspace
+    from repro.types import DType
+
+    machine = machine_by_name(args.machine)
+    dtype = DType(args.dtype)
+    mb = args.minibatch or (70 if machine.name == "KNM" else 28)
+    table = dict(resnet50_layers(mb))
+    if args.layers.strip().lower() == "all":
+        ids = sorted(table)
+    else:
+        ids = [int(t) for t in args.layers.split(",") if t.strip()]
+    validate = not args.no_validate
+    db: TuningDatabase
+    if os.path.exists(args.db):
+        db = TuningDatabase.load(args.db)
+        print(f"extending {args.db} ({len(db)} entries)")
+    else:
+        db = TuningDatabase(args.db)
+    print(
+        f"machine {machine.name} (fingerprint {machine.fingerprint()}), "
+        f"dtype {dtype.value}, minibatch {mb}"
+    )
+    print(f"{'layer':>5} {'shape':<26} {'points':>6} {'heur':>9} "
+          f"{'tuned':>9} {'speedup':>8} {'rej':>4}  winner")
+    for lid in ids:
+        p = table[lid]
+        t0 = time.perf_counter()
+        out = search_mapspace(
+            p, machine, dtype=dtype, threads=args.threads,
+            top_k=args.top_k, refine=not args.no_refine,
+            validate=validate, max_candidates=args.max_candidates,
+        )
+        dt = time.perf_counter() - t0
+        if validate:
+            db.record(p, machine, dtype, out.entry())
+        shape = f"C{p.C} K{p.K} {p.H}x{p.W} {p.R}x{p.S}/{p.stride}"
+        print(
+            f"{lid:>5} {shape:<26} {out.candidates:>6} "
+            f"{out.heuristic.cycles:>9.0f} {out.best.cycles:>9.0f} "
+            f"{out.speedup:>7.3f}x {out.rejected:>4}  "
+            f"{out.best.candidate.describe()}  [{dt:.1f}s]"
+        )
+    if validate:
+        db.save()
+        print(f"database: {args.db} ({len(db)} entries, "
+              f"digest {db.digest()[:16]})")
+    else:
+        print("validation skipped: nothing recorded")
+    return 0
+
+
 def _cmd_disasm(args) -> int:
     from repro.arch.disasm import disassemble, summarize_program
     from repro.arch.machine import machine_by_name
@@ -555,6 +647,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": _cmd_profile,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
+        "tune": _cmd_tune,
     }[args.command](args)
 
 

@@ -23,11 +23,42 @@ from repro.arch.machine import MachineConfig
 from repro.conv.params import ConvParams
 from repro.types import CodegenError, DType
 
-__all__ = ["BlockingPlan", "UpdBlockingPlan", "choose_blocking", "choose_upd_blocking"]
+__all__ = [
+    "BlockingPlan",
+    "UpdBlockingPlan",
+    "accumulator_budget",
+    "choose_blocking",
+    "choose_upd_blocking",
+]
 
 #: registers reserved for weight vector(s), broadcast source and spill-free
 #: addressing -- the rest of the 32-entry file holds accumulators.
 RESERVED_REGS = 4
+
+#: int16 kernels keep fp32+int32 accumulator pairs, roughly halving the
+#: usable budget (section II-K).
+Q16_ACC_BUDGET = 13
+
+
+def accumulator_budget(
+    machine: MachineConfig,
+    dtype: DType = DType.F32,
+    cap: int | None = None,
+) -> int:
+    """Live accumulators ``RB_P * RB_Q`` may occupy on ``machine``.
+
+    The register-file constraint shared by the heuristics, the autotuner
+    and the :mod:`repro.tune` mapspace: 32 vector registers minus the
+    :data:`RESERVED_REGS` reserved for weights/broadcast/addressing,
+    halved-ish for int16's accumulator pairs, optionally capped further
+    by the caller (output-channel unrolling etc.).
+    """
+    budget = 32 - RESERVED_REGS
+    if dtype is DType.QI16F32:
+        budget = min(budget, Q16_ACC_BUDGET)
+    if cap is not None:
+        budget = min(budget, cap)
+    return budget
 
 
 @dataclass(frozen=True, slots=True)

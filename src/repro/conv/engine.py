@@ -36,7 +36,7 @@ from repro.conv.backward import DirectConvBackward
 from repro.conv.forward import DirectConvForward
 from repro.conv.params import ConvParams
 from repro.conv.upd import DirectConvUpd
-from repro.jit.kernel_cache import KernelCache
+from repro.jit.kernel_cache import KernelCache, get_default_cache
 from repro.jit.tiers import ReplayOptions
 from repro.obs.tracer import Tracer
 from repro.types import DType, Pass, ReproError
@@ -88,6 +88,44 @@ def _normalize_pass(pass_) -> tuple[Pass, bool]:
     )
 
 
+def _tuned_plan(tuned, params, machine, dtype, kernel_cache):
+    """Resolve ``tuned`` to a ``(plan, prefetch)`` pair, or ``(None,
+    None)`` when no usable entry exists.
+
+    Every failure mode short of a programming error degrades to the
+    heuristics: a missing artifact (``tune.db_missing``), a corrupt or
+    stale one (``tune.db_rejected``), or simply no entry for this
+    (machine, dtype, shape) key (``tune.db_misses``).
+    """
+    from repro.obs.metrics import get_metrics
+    from repro.tune.db import TuningDBError, resolve_db
+
+    metrics = get_metrics()
+    try:
+        db = resolve_db(tuned)
+    except FileNotFoundError:
+        metrics.inc("tune.db_missing")
+        return None, None
+    except TuningDBError:
+        metrics.inc("tune.db_rejected")
+        return None, None
+    if db is None:
+        metrics.inc("tune.db_misses")
+        return None, None
+    try:
+        entry = db.lookup(params, machine, dtype)
+    except TuningDBError:
+        metrics.inc("tune.db_rejected")
+        return None, None
+    if entry is None:
+        metrics.inc("tune.db_misses")
+        return None, None
+    metrics.inc("tune.db_hits")
+    cache = kernel_cache if kernel_cache is not None else get_default_cache()
+    cache.note_tuned_plan()
+    return entry.plan(), entry.prefetch
+
+
 def make_engine(
     pass_,
     params: ConvParams,
@@ -105,6 +143,7 @@ def make_engine(
     execution_tier: str | None = None,
     streams=None,
     replay: ReplayOptions | None = None,
+    tuned=False,
 ) -> ConvEngine:
     """Construct the engine for ``pass_`` with one uniform keyword set.
 
@@ -162,17 +201,34 @@ def make_engine(
         ``execution_tier``/``prefetch`` keywords above win over it when
         both are given (back-compat shims); ``replay.trace=True``
         resolves non-trace-safe tiers to the interpreter.
+    tuned:
+        Consult the :mod:`repro.tune` database for a validated blocking
+        plan before falling back to the paper heuristics.  ``True`` uses
+        the process default (:func:`repro.tune.set_default_db`), a path
+        loads that artifact, or pass a
+        :class:`~repro.tune.TuningDatabase` directly.  Only the forward
+        pass (f32 and int16) is tuned; an explicit ``plan`` wins.  A
+        missing, corrupt or entry-less database degrades silently to the
+        heuristics (``tune.db_rejected`` / ``tune.db_misses`` metrics) --
+        tuning can never make engine construction fail.
     """
     if replay is not None:
         if execution_tier is None:
             execution_tier = replay.resolve_tier()
         if prefetch is None:
             prefetch = replay.prefetch
-    if prefetch is None:
-        prefetch = "both"
     p, quant = _normalize_pass(pass_)
     if dtype is DType.QI16F32:
         quant = True
+    if tuned and plan is None and p is Pass.FWD:
+        plan, tuned_prefetch = _tuned_plan(
+            tuned, params, machine,
+            DType.QI16F32 if quant else dtype, kernel_cache,
+        )
+        if prefetch is None and tuned_prefetch is not None:
+            prefetch = tuned_prefetch
+    if prefetch is None:
+        prefetch = "both"
     if strategy is not None and p is not Pass.UPD:
         raise ReproError("'strategy' applies only to the update pass")
     if chain_limit is not None and not quant:

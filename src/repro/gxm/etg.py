@@ -61,6 +61,12 @@ class ExecutionTaskGraph:
         A :class:`~repro.jit.ReplayOptions` bundle; the explicit
         ``execution_tier`` keyword wins over ``replay.tier`` when both
         are given.
+    tuned:
+        Forwarded to :func:`repro.conv.make_engine` for every
+        ``"blocked"`` conv node: ``True`` / a path / a
+        :class:`~repro.tune.TuningDatabase` consults the tuning database
+        for each layer's blocking plan, falling back to the paper
+        heuristics per layer when no validated entry exists.
     """
 
     def __init__(
@@ -76,6 +82,7 @@ class ExecutionTaskGraph:
         execution_tier: str | None = None,
         conv_streams: dict | None = None,
         replay: ReplayOptions | None = None,
+        tuned=False,
     ):
         if replay is not None and execution_tier is None:
             execution_tier = replay.resolve_tier()
@@ -115,6 +122,7 @@ class ExecutionTaskGraph:
                 layer, in_shapes, engine, machine, threads, rng,
                 execution_tier=execution_tier,
                 streams=(conv_streams or {}).get(layer.name),
+                tuned=tuned,
             )
         self.shapes = shapes
         self._loss_nodes = [

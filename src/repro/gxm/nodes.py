@@ -85,6 +85,7 @@ class ConvNode(Node):
         rng: np.random.Generator | None = None,
         execution_tier: str | None = None,
         streams=None,
+        tuned=False,
     ):
         super().__init__(spec)
         rng = rng or np.random.default_rng(0)
@@ -125,7 +126,7 @@ class ConvNode(Node):
             self._fwd = make_engine(
                 Pass.FWD, self.p, machine=machine, threads=threads,
                 fused_ops=fused_ops, execution_tier=execution_tier,
-                streams=streams,
+                streams=streams, tuned=tuned,
             )
         elif engine != "fast":
             raise ReproError(f"unknown conv engine {engine!r}")
@@ -352,6 +353,7 @@ def build_node(
     rng: np.random.Generator | None = None,
     execution_tier: str | None = None,
     streams=None,
+    tuned=False,
 ) -> Node:
     """Instantiate the runtime node for a layer spec."""
     t = spec.type
@@ -360,7 +362,7 @@ def build_node(
     if t == "Convolution":
         return ConvNode(
             spec, in_shapes[0], engine, machine, threads, rng,
-            execution_tier=execution_tier, streams=streams,
+            execution_tier=execution_tier, streams=streams, tuned=tuned,
         )
     if t == "ReLU":
         return _LayerNode(spec, ReLULayer())

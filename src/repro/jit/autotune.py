@@ -1,23 +1,32 @@
-"""Register-blocking autotuner.
+"""Register-blocking autotuner (deprecated shim).
 
-The heuristics in :mod:`repro.conv.blocking` encode the paper's reasoning
-(latency window, register budget, divisibility); this module *searches* the
-feasible ``(RB_P, RB_Q)`` space instead, pricing every candidate with the
-timing model (or, optionally, the cycle-level scheduler) and returning the
-best -- the "fine-tuning for each topology" that static approaches need and
-a JIT can afford to do once per layer at setup time (section I).
+.. deprecated::
+    This module predates :mod:`repro.tune`, which searches the *full*
+    mapspace (register blocks, cache blocks, loop order, prefetch),
+    validates winners bit-exactly against the interpreter, and persists
+    them in a tuning database that ``make_engine(tuned=...)`` consults.
+    ``autotune_blocking`` remains for callers of the old (RB_P, RB_Q)-only
+    search; new code should use :func:`repro.tune.search_mapspace` /
+    :func:`repro.tune.tune_layer`.
 
-Tests assert the heuristic plan is within a few percent of the tuned
-optimum across Table I -- evidence the paper's closed-form rules capture
-what an exhaustive search finds.
+The shim now enumerates through :func:`repro.tune.feasible_rb_pairs`
+(the same register-budget and divisibility constraints the mapspace
+uses) and ranks deterministically: ties on modeled cost break on
+``(rb_p, rb_q)``, so the ranking -- and any artifact derived from it --
+is identical run to run.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.arch.machine import MachineConfig
-from repro.conv.blocking import RESERVED_REGS, BlockingPlan, choose_blocking
+from repro.conv.blocking import (
+    BlockingPlan,
+    accumulator_budget,
+    choose_blocking,
+)
 from repro.conv.params import ConvParams
 from repro.jit.codegen import ConvKernelDesc, generate_conv_kernel
 from repro.jit.timing import time_kernel
@@ -77,44 +86,47 @@ def autotune_blocking(
 ) -> TuneResult:
     """Search feasible (RB_P, RB_Q) pairs; return the cheapest as a plan.
 
-    Candidates must (a) fit the accumulator budget, (b) not exceed the
-    spatial extents, and (c) divide the spatial extents *or* leave a
-    remainder a second variant can cover (always true, so only (a)/(b)
-    bind).  Ranking uses steady-state cycles/flop of the main variant.
+    .. deprecated:: use :func:`repro.tune.search_mapspace`, which also
+        varies cache blocking, loop order and prefetch, and validates the
+        winner bit-exactly before it can be persisted.
+
+    Candidates come from :func:`repro.tune.feasible_rb_pairs` -- the
+    accumulator budget and low-waste divisibility constraints shared with
+    the full mapspace.  Ranking uses steady-state cycles/flop of the main
+    variant with tail work surcharged, and is totally ordered: equal
+    costs break on ``(rb_p, rb_q)``.
     """
-    budget = 32 - RESERVED_REGS
-    if dtype is DType.QI16F32:
-        budget = min(budget, 13)
+    from repro.tune.mapspace import feasible_rb_pairs
+
+    warnings.warn(
+        "repro.jit.autotune is deprecated; use repro.tune.search_mapspace "
+        "(full-mapspace search with validation and a persistent database)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     heur = choose_blocking(
         p, machine, DType.F32,
-        acc_budget_cap=13 if dtype is DType.QI16F32 else None,
+        acc_budget_cap=accumulator_budget(machine, dtype),
     )
     ranking: list[tuple[int, int, float]] = []
-    seen = 0
-    for rb_q in range(1, min(p.Q, budget) + 1):
-        max_p = min(p.P, budget // rb_q)
-        for rb_p in range(1, max_p + 1):
-            if seen >= max_candidates:
-                break
-            # prefer low-waste candidates: skip blocks whose remainder
-            # exceeds half the block (they'd spend most calls in tails)
-            if p.Q % rb_q > rb_q // 2 and rb_q != p.Q:
-                continue
-            try:
-                cpf = _price(p, machine, rb_p, rb_q, dtype)
-            except CodegenError:
-                continue
-            # charge the tail work at the remainder variant's rate
-            waste = 1.0
-            if p.Q % rb_q:
-                waste += 0.1 * (p.Q % rb_q) / p.Q
-            if p.P % rb_p:
-                waste += 0.1 * (p.P % rb_p) / p.P
-            ranking.append((rb_p, rb_q, cpf * waste))
-            seen += 1
+    for rb_p, rb_q in feasible_rb_pairs(p, machine, dtype):
+        if len(ranking) >= max_candidates:
+            break
+        try:
+            cpf = _price(p, machine, rb_p, rb_q, dtype)
+        except CodegenError:
+            continue
+        # charge the tail work at the remainder variant's rate
+        waste = 1.0
+        if p.Q % rb_q:
+            waste += 0.1 * (p.Q % rb_q) / p.Q
+        if p.P % rb_p:
+            waste += 0.1 * (p.P % rb_p) / p.P
+        ranking.append((rb_p, rb_q, cpf * waste))
     if not ranking:
         raise CodegenError(f"no feasible blocking for {p.describe()}")
-    ranking.sort(key=lambda t: t[2])
+    # deterministic total order: cost, then the candidate pair itself
+    ranking.sort(key=lambda t: (t[2], t[0], t[1]))
     rb_p, rb_q, cpf = ranking[0]
     plan = BlockingPlan(
         vlen=machine.vlen(dtype),

@@ -48,6 +48,7 @@ class KernelCache:
         self.compiled_misses = 0
         self.stream_programs = 0
         self.stream_chunks = 0
+        self.tuned_plans = 0
 
     def get(
         self, desc: Hashable, generator: Callable[[Hashable], KernelProgram]
@@ -113,6 +114,14 @@ class KernelCache:
             "compiled": after["compiled_variants"] - before["compiled_variants"],
         }
 
+    def note_tuned_plan(self) -> None:
+        """Record that an engine's variants came from a tuning-database
+        plan instead of the heuristics (``make_engine(tuned=...)`` hit);
+        surfaces in :meth:`stats` so serve boot logs show how much of
+        the warm set is database-tuned."""
+        with self._lock:
+            self.tuned_plans += 1
+
     def note_stream_program(self, meta: dict) -> None:
         """Record that an engine lowered its streams for the
         ``stream_compiled`` tier.  Executors themselves are *not* cached
@@ -152,6 +161,7 @@ class KernelCache:
                 ),
                 "stream_programs": self.stream_programs,
                 "stream_chunks": self.stream_chunks,
+                "tuned_plans": self.tuned_plans,
             }
 
     @property

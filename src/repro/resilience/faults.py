@@ -49,6 +49,11 @@ site                    kinds honoured there
                         replying, so the parent must refuse the payload
                         (``SlotCorruption``) without touching any other
                         request's answer
+``tune.candidate``      ``corrupt_message`` -- the autotuner's compiled
+                        probe output is scribbled before the bit-exact
+                        comparison; the validator must reject the
+                        candidate (it never enters the tuning database)
+                        and the search continues with the next finalist
 ======================  ====================================================
 
 Injected faults count into ``resilience.faults_injected``.

@@ -72,6 +72,13 @@ class ServeConfig:
         queue depth / workers) exceeds this, long before the hard
         ``queue_capacity`` is hit.  ``None`` disables the estimator and
         keeps depth-only shedding.
+    tune_db:
+        Path to a :mod:`repro.tune` database consulted for every blocked
+        conv layer's blocking plan at engine build time (``None`` = paper
+        heuristics).  A missing or corrupt artifact degrades to the
+        heuristics per layer.  The *content digest* of the database (not
+        the path) is folded into :meth:`fingerprint`, so stream warm
+        caches recorded under different tuned plans are refused at boot.
     """
 
     model: str = "resnet_mini"
@@ -90,6 +97,7 @@ class ServeConfig:
     max_queue_wait_ms: float | None = None
     seed: int = 7
     checkpoint: str | None = field(default=None, compare=False)
+    tune_db: str | None = None
 
     def __post_init__(self) -> None:
         if self.model not in _MODELS:
@@ -163,8 +171,24 @@ class ServeConfig:
         for k in ("workers", "queue_capacity", "batch_window_ms",
                   "max_queue_wait_ms", "checkpoint", "replay"):
             doc.pop(k)
+        # the tuning DB changes blocking plans, hence recorded streams --
+        # fold in its *content* digest: two paths to identical databases
+        # fingerprint the same, and an unusable database fingerprints
+        # like no database (both fall back to the heuristics)
+        doc["tune_db"] = self._tune_db_digest()
         blob = json.dumps(doc, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()[:16]
+
+    def _tune_db_digest(self) -> str | None:
+        if self.tune_db is None:
+            return None
+        from repro.tune.db import TuningDBError, resolve_db
+
+        try:
+            db = resolve_db(self.tune_db)
+        except (FileNotFoundError, TuningDBError):
+            return None
+        return db.digest() if db is not None else None
 
     # ------------------------------------------------------------------
     def build_topology(self):
@@ -205,4 +229,5 @@ class ServeConfig:
                 else execution_tier
             ),
             conv_streams=conv_streams,
+            tuned=self.tune_db if self.tune_db is not None else False,
         )

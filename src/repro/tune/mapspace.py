@@ -1,0 +1,223 @@
+"""Mapspace definition: every legal variant of one layer on one machine.
+
+A *candidate* is a point in the blocking mapspace the JIT can actually
+realize: register-block factors ``(RB_P, RB_Q)``, the L2 cache block over
+output rows (``oj_block``, section II-C), the reduction-loop position
+(``cb_outer`` vs the 1x1 ``cb_inner`` of section II-C) and the software
+prefetch level (section II-E).  :func:`build_mapspace` enumerates the
+feasible set under FactorFlow-style per-dimension constraints:
+
+* **register budget** -- ``rb_p * rb_q`` accumulators must fit the vector
+  register file (:func:`repro.conv.blocking.accumulator_budget`), and the
+  pair should expose at least ``fma_ports * fma_latency`` independent
+  chains (latency-hiding, section II-B) whenever the layer allows it;
+* **divisibility / low waste** -- factors are preferred that divide the
+  spatial extents; a non-divisor whose remainder exceeds half the block
+  is pruned (it would spend most calls in tail variants, section II-H);
+* **capacity** -- ``oj_block`` choices are multiples of ``rb_p`` whose
+  working set (input rows + output rows + weight block) plausibly fits
+  L2; the ladder brackets the paper's half-L2 heuristic from both sides.
+
+Enumeration order is deterministic, so downstream rankings (and the
+tuning-database digests built from them) are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.arch.machine import MachineConfig
+from repro.conv.blocking import (
+    BlockingPlan,
+    accumulator_budget,
+    choose_blocking,
+)
+from repro.conv.params import ConvParams
+from repro.types import CodegenError, DType
+
+__all__ = ["Candidate", "Mapspace", "build_mapspace", "feasible_rb_pairs"]
+
+#: software-prefetch levels the codegen understands (section II-E)
+PREFETCH_MODES = ("both", "l2", "l1", "none")
+
+#: oj_block ladder: powers of two over rb_p, bracketing the heuristic
+_OJ_LADDER = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True, slots=True)
+class Candidate:
+    """One point of the mapspace -- everything the searcher varies."""
+
+    rb_p: int
+    rb_q: int
+    oj_block: int
+    loop_order: str  # "cb_outer" | "cb_inner"
+    prefetch: str  # "none" | "l1" | "l2" | "both"
+
+    def sort_key(self) -> tuple:
+        """Total deterministic order over candidates (tie-breaking)."""
+        return (
+            self.rb_p,
+            self.rb_q,
+            self.oj_block,
+            self.loop_order,
+            self.prefetch,
+        )
+
+    def plan(self, p: ConvParams, machine: MachineConfig,
+             dtype: DType = DType.F32) -> BlockingPlan:
+        """Materialize this candidate as an engine-ready blocking plan."""
+        vlen = machine.vlen(dtype)
+        return BlockingPlan(
+            vlen=vlen,
+            rb_p=self.rb_p,
+            rb_q=self.rb_q,
+            rb_p_rem=p.P % self.rb_p if self.rb_p > 1 else 0,
+            rb_q_rem=p.Q % self.rb_q,
+            loop_order=self.loop_order,
+            # cb_inner keeps the block in registers across the whole
+            # reduction; cb_outer re-loads it per c_b, so hoisting pays
+            hoist_output=self.loop_order == "cb_outer",
+            oj_block=self.oj_block,
+            acc_regs=self.rb_p * self.rb_q,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"rb{self.rb_p}x{self.rb_q} oj{self.oj_block} "
+            f"{self.loop_order} pf:{self.prefetch}"
+        )
+
+
+def feasible_rb_pairs(
+    p: ConvParams,
+    machine: MachineConfig,
+    dtype: DType = DType.F32,
+    max_waste: float = 0.5,
+) -> list[tuple[int, int]]:
+    """Feasible ``(rb_p, rb_q)`` register blockings, deterministic order.
+
+    Shared between the mapspace and the legacy ``repro.jit.autotune``
+    shim so both search the same space.  ``max_waste`` is the
+    divisibility constraint: a factor whose remainder exceeds
+    ``max_waste * factor`` is pruned unless it is the full extent.
+    """
+    budget = accumulator_budget(machine, dtype)
+    pairs: list[tuple[int, int]] = []
+    for rb_q in range(1, min(p.Q, budget) + 1):
+        if p.Q % rb_q > rb_q * max_waste and rb_q != p.Q:
+            continue
+        for rb_p in range(1, min(p.P, budget // rb_q) + 1):
+            if rb_p > 1 and p.P % rb_p > rb_p * max_waste and rb_p != p.P:
+                continue
+            pairs.append((rb_p, rb_q))
+    return pairs
+
+
+def _oj_blocks(p: ConvParams, machine: MachineConfig, vlen: int,
+               rb_p: int) -> tuple[int, ...]:
+    """Candidate L2 cache blocks over output rows for one ``rb_p``."""
+    from repro.conv.blocking import _choose_oj_block
+
+    out = {rb_p * m for m in _OJ_LADDER if rb_p * m <= max(p.P, rb_p)}
+    out.add(_choose_oj_block(p, machine, vlen, rb_p))  # the paper's pick
+    # the whole output plane (rounded up to rb_p) -- "no chunking"
+    out.add(-(-p.P // rb_p) * rb_p)
+    return tuple(sorted(out))
+
+
+@dataclass(frozen=True)
+class Mapspace:
+    """The enumerated feasible set for one (layer, machine, dtype)."""
+
+    params: ConvParams
+    machine: MachineConfig
+    dtype: DType
+    rb_pairs: tuple[tuple[int, int], ...]
+    oj_blocks: dict  # rb_p -> tuple of oj_block choices
+    loop_orders: tuple[str, ...]
+    prefetch_modes: tuple[str, ...]
+
+    def __iter__(self) -> Iterator[Candidate]:
+        return self.candidates()
+
+    def candidates(self) -> Iterator[Candidate]:
+        """All points, in a fixed deterministic order."""
+        for rb_p, rb_q in self.rb_pairs:
+            for oj in self.oj_blocks[rb_p]:
+                for order in self.loop_orders:
+                    for pf in self.prefetch_modes:
+                        yield Candidate(rb_p, rb_q, oj, order, pf)
+
+    @property
+    def size(self) -> int:
+        per_pair = len(self.loop_orders) * len(self.prefetch_modes)
+        return sum(
+            len(self.oj_blocks[rb_p]) * per_pair
+            for rb_p, _ in self.rb_pairs
+        )
+
+    def heuristic_candidate(self) -> Candidate:
+        """The paper's closed-form pick, expressed as a mapspace point."""
+        plan = choose_blocking(
+            self.params, self.machine, DType.F32,
+            acc_budget_cap=accumulator_budget(self.machine, self.dtype),
+        )
+        # clamp into the legal space: e.g. the int16 engine cannot
+        # schedule the cb_inner pick choose_blocking makes for 1x1 layers
+        order = (plan.loop_order if plan.loop_order in self.loop_orders
+                 else self.loop_orders[0])
+        return Candidate(
+            rb_p=plan.rb_p,
+            rb_q=plan.rb_q,
+            oj_block=plan.oj_block,
+            loop_order=order,
+            prefetch="both",
+        )
+
+
+def build_mapspace(
+    p: ConvParams,
+    machine: MachineConfig,
+    dtype: DType = DType.F32,
+    prefetch_modes: tuple[str, ...] = PREFETCH_MODES,
+    max_waste: float = 0.5,
+) -> Mapspace:
+    """Enumerate the feasible mapspace of ``p`` on ``machine``.
+
+    Raises :class:`~repro.types.CodegenError` for shapes the blocked
+    engines cannot realize at all (feature maps not multiples of VLEN).
+    """
+    vlen = machine.vlen(dtype)
+    if p.C % vlen or p.K % vlen:
+        raise CodegenError(
+            f"feature maps must be multiples of VLEN={vlen}: C={p.C}, K={p.K}"
+        )
+    for mode in prefetch_modes:
+        if mode not in PREFETCH_MODES:
+            raise CodegenError(
+                f"unknown prefetch mode {mode!r}; expected one of "
+                f"{PREFETCH_MODES}"
+            )
+    pairs = tuple(feasible_rb_pairs(p, machine, dtype, max_waste))
+    oj = {rb_p: _oj_blocks(p, machine, vlen, rb_p)
+          for rb_p in sorted({rp for rp, _ in pairs})}
+    # cb_inner only pays (and is only generated) for 1x1 layers: the whole
+    # C_b reduction unrolls into one kernel body (section II-C).  The int16
+    # engine's split accumulator chains (section II-K) exist only in the
+    # cb_outer schedule, so its mapspace excludes cb_inner entirely.
+    orders = (
+        ("cb_outer", "cb_inner")
+        if p.is_1x1() and dtype is not DType.QI16F32
+        else ("cb_outer",)
+    )
+    return Mapspace(
+        params=p,
+        machine=machine,
+        dtype=dtype,
+        rb_pairs=pairs,
+        oj_blocks=oj,
+        loop_orders=orders,
+        prefetch_modes=tuple(prefetch_modes),
+    )

@@ -1,0 +1,306 @@
+"""Pruned mapspace search with empirical refinement and validation.
+
+The pipeline of :func:`search_mapspace`:
+
+1. **enumerate** the feasible mapspace (:func:`repro.tune.build_mapspace`
+   -- register-budget + divisibility pruning keeps it small);
+2. **price** every candidate on the analytical model
+   (:func:`repro.tune.cost.price_candidate`); rank deterministically --
+   cheapest modeled cycles first, ties broken on the candidate tuple;
+3. **refine** the analytical top-k with the empirical evaluators: the
+   µop-level kernel timing is already inside the pricing, so refinement
+   adds the cachesim-measured L2->L1 stream (:func:`refine_cost`) and
+   re-ranks the k finalists;
+4. **validate** the winner bit-exactly against the µop interpreter on a
+   one-sample probe problem; a candidate that fails validation (or whose
+   output an armed ``tune.candidate`` fault corrupts) is *rejected* and
+   the next finalist is tried -- the search continues, never crashes.
+
+Only a validated winner is returned as ``best`` / recorded into a
+:class:`~repro.tune.db.TuningDatabase`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.arch.machine import MachineConfig
+from repro.conv.blocking import BlockingPlan
+from repro.conv.params import ConvParams
+from repro.jit.kernel_cache import KernelCache, get_default_cache
+from repro.obs.metrics import get_metrics
+from repro.resilience.faults import FaultInjector
+from repro.tune.cost import CandidateCost, price_candidate, refine_cost
+from repro.tune.db import TuneEntry, TuningDatabase
+from repro.tune.mapspace import Candidate, Mapspace, build_mapspace
+from repro.types import CodegenError, DType
+
+__all__ = ["TuneOutcome", "search_mapspace", "validate_candidate",
+           "tune_layer"]
+
+#: probe minibatch for bit-exact validation -- plans are N-independent,
+#: so one sample exercises every kernel variant the plan generates
+_PROBE_N = 1
+
+
+def _probe_params(
+    p: ConvParams, cand: Candidate, machine: MachineConfig, dtype: DType
+) -> ConvParams:
+    """The smallest problem that exercises every µop program and stream
+    record the candidate generates on ``p``.
+
+    Spatial extents stay (they decide the remainder variants and block
+    boundaries); the minibatch shrinks to one sample and the feature-map
+    counts to the fewest blocks with identical kernels: ``K`` to one
+    output block (all ``k_b`` iterations replay the same program) and
+    ``C`` to two blocks (one accumulation step over ``c_b`` plus the
+    zero-init first step) -- except for ``cb_inner`` candidates, whose
+    descriptor unrolls the *full* reduction (``cb_unroll = C/VLEN``), so
+    ``C`` must be kept.  This turns interpreter validation of the large
+    Table-I layers from tens of seconds into fractions of one without
+    weakening what is checked bit-for-bit.
+    """
+    vlen = machine.vlen(dtype)
+    c = p.C if cand.loop_order == "cb_inner" else min(p.C, 2 * vlen)
+    return replace(p, N=_PROBE_N, C=c, K=vlen)
+
+
+@dataclass
+class TuneOutcome:
+    """Everything one layer's search produced."""
+
+    params: ConvParams
+    machine: MachineConfig
+    machine_fingerprint: str
+    dtype: DType
+    threads: int
+    best: CandidateCost  # the validated winner
+    heuristic: CandidateCost  # the paper's pick, priced identically
+    ranking: list[CandidateCost]  # analytical order, deterministic
+    candidates: int  # mapspace points priced
+    validated: bool  # False only when validate=False was requested
+    rejected: int  # finalists discarded by validation
+
+    @property
+    def plan(self) -> BlockingPlan:
+        return self.best.candidate.plan(self.params, self.machine, self.dtype)
+
+    @property
+    def speedup(self) -> float:
+        """Modeled heuristic/tuned cycles (>= 1.0: tuner won or tied)."""
+        return (self.heuristic.cycles / self.best.cycles
+                if self.best.cycles else 1.0)
+
+    def entry(self) -> TuneEntry:
+        cand = self.best.candidate
+        return TuneEntry(
+            vlen=self.plan.vlen,
+            rb_p=cand.rb_p,
+            rb_q=cand.rb_q,
+            rb_p_rem=self.plan.rb_p_rem,
+            rb_q_rem=self.plan.rb_q_rem,
+            loop_order=cand.loop_order,
+            hoist_output=self.plan.hoist_output,
+            oj_block=cand.oj_block,
+            acc_regs=cand.rb_p * cand.rb_q,
+            prefetch=cand.prefetch,
+            cycles=self.best.cycles,
+            heuristic_cycles=self.heuristic.cycles,
+            validated=self.validated,
+        )
+
+
+def validate_candidate(
+    p: ConvParams,
+    cand: Candidate,
+    machine: MachineConfig,
+    dtype: DType = DType.F32,
+    kernel_cache: KernelCache | None = None,
+    injector: FaultInjector | None = None,
+    seed: int = 0,
+) -> bool:
+    """Bit-exact check of one candidate against the µop interpreter.
+
+    Builds the real engine with the candidate's plan and prefetch mode
+    on a one-sample probe, runs the compiled tier and the interpreter on
+    identical blocked inputs, and compares raw output bytes.  An armed
+    ``tune.candidate`` fault (kind ``corrupt_message``) scribbles the
+    compiled output before the comparison -- the mechanism the fault
+    tests use to prove a wrong candidate cannot enter the database.
+    """
+    from repro.tensor.blocked import block_activations, block_weights
+
+    probe = _probe_params(p, cand, machine, dtype)
+    plan = cand.plan(probe, machine, dtype)
+    rng = np.random.default_rng(seed + 17 * cand.rb_p + cand.rb_q)
+    x = rng.standard_normal(
+        (probe.N, probe.C, probe.H, probe.W)).astype(np.float32)
+    w = rng.standard_normal(
+        (probe.K, probe.C, probe.R, probe.S)).astype(np.float32)
+
+    if dtype is DType.QI16F32:
+        from repro.quant.qconv_engine import QuantConvForward
+        from repro.quant.qtensor import quantize
+
+        eng = QuantConvForward(
+            probe, machine, threads=1, plan=plan, prefetch=cand.prefetch,
+            kernel_cache=kernel_cache, execution_tier="compiled",
+        )
+        # narrow operands: tier equivalence is width-independent, and
+        # 12-bit products can never overflow the int32 accumulator chain
+        qx, qw = quantize(x, bits=12), quantize(w, bits=12)
+        eng._scale = qx.scale * qw.scale
+        bx = block_activations(
+            qx.data.reshape(probe.N, probe.C, probe.H, probe.W),
+            plan.vlen, pad_h=probe.pad_h, pad_w=probe.pad_w, dtype=np.int16,
+        )
+        bw = block_weights(
+            qw.data.reshape(probe.K, probe.C, probe.R, probe.S),
+            plan.vlen, dtype=np.int16,
+        )
+    else:
+        from repro.conv.forward import DirectConvForward
+
+        eng = DirectConvForward(
+            probe, machine, dtype=dtype, threads=1, plan=plan,
+            prefetch=cand.prefetch, kernel_cache=kernel_cache,
+            execution_tier="compiled",
+        )
+        bx = block_activations(
+            x, plan.vlen, pad_h=probe.pad_h, pad_w=probe.pad_w,
+            dtype=dtype.np_input,
+        )
+        bw = block_weights(w, plan.vlen, dtype=dtype.np_input)
+
+    got = eng(bx, bw)
+    if injector is not None:
+        spec = injector.fire("tune.candidate")
+        if spec is not None and spec.kind == "corrupt_message":
+            # deterministic scribble over the compiled output: the
+            # validator below must catch this and reject the candidate
+            flat = got.data
+            flat[: max(1, flat.size // 7)] += 1.0
+    want = eng.execute_uops(bx, bw)
+    return got.data.tobytes() == want.data.tobytes()
+
+
+def search_mapspace(
+    p: ConvParams,
+    machine: MachineConfig,
+    dtype: DType = DType.F32,
+    threads: int = 1,
+    top_k: int = 8,
+    refine: bool = True,
+    validate: bool = True,
+    injector: FaultInjector | None = None,
+    kernel_cache: KernelCache | None = None,
+    max_candidates: int | None = None,
+    mapspace: Mapspace | None = None,
+) -> TuneOutcome:
+    """Search the full mapspace of ``p`` on ``machine``; return the
+    cheapest *validated* candidate plus the complete deterministic
+    ranking.
+
+    ``max_candidates`` truncates the enumeration (CI smoke); ``refine``
+    toggles the cachesim top-k refinement; ``validate=False`` skips the
+    interpreter check (the outcome is then not recordable into a DB).
+    """
+    metrics = get_metrics()
+    cache = kernel_cache if kernel_cache is not None else get_default_cache()
+    space = mapspace if mapspace is not None else build_mapspace(
+        p, machine, dtype)
+
+    costs: list[CandidateCost] = []
+    for i, cand in enumerate(space.candidates()):
+        if max_candidates is not None and i >= max_candidates:
+            break
+        try:
+            costs.append(
+                price_candidate(p, cand, machine, dtype, threads, cache))
+        except CodegenError:
+            continue  # infeasible point (e.g. unroll limits); skip
+    if not costs:
+        raise CodegenError(f"no feasible mapspace point for {p.describe()}")
+    costs.sort(key=CandidateCost.sort_key)
+    metrics.inc("tune.candidates_priced", len(costs))
+
+    # the paper's heuristic, priced with the identical model -- both the
+    # win-rate report and the fallback guarantee hang off this
+    heur_cost = price_candidate(
+        p, space.heuristic_candidate(), machine, dtype, threads, cache)
+
+    # the heuristic always rides through the finalist stage so tuned and
+    # heuristic are compared at the same model fidelity (and the winner
+    # can never price worse than it)
+    finalists = costs[: max(1, top_k)]
+    if all(c.candidate != heur_cost.candidate for c in finalists):
+        finalists.append(heur_cost)
+    if refine:
+        refined = [
+            refine_cost(p, c, machine, dtype, threads, cache)
+            for c in finalists
+        ]
+        refined.sort(key=CandidateCost.sort_key)
+        finalists = refined
+        metrics.inc("tune.candidates_refined", len(refined))
+    for c in finalists:
+        if c.candidate == heur_cost.candidate:
+            heur_cost = c
+            break
+
+    rejected = 0
+    best: CandidateCost | None = None
+    if validate:
+        for cost in finalists:
+            if validate_candidate(
+                p, cost.candidate, machine, dtype, cache, injector,
+            ):
+                best = cost
+                break
+            rejected += 1
+            metrics.inc("tune.candidates_rejected")
+        if best is None:
+            # every finalist failed (pathological injector plans): fall
+            # back to the validated heuristic rather than dying
+            if not validate_candidate(
+                p, heur_cost.candidate, machine, dtype, cache, injector,
+            ):
+                raise CodegenError(
+                    f"tuning validation failed for every finalist and the "
+                    f"heuristic of {p.describe()}"
+                )
+            best = heur_cost
+    else:
+        best = finalists[0]
+
+    metrics.inc("tune.layers_tuned")
+    return TuneOutcome(
+        params=p,
+        machine=machine,
+        machine_fingerprint=machine.fingerprint(),
+        dtype=dtype,
+        threads=threads,
+        best=best,
+        heuristic=heur_cost,
+        ranking=costs,
+        candidates=len(costs),
+        validated=validate,
+        rejected=rejected,
+    )
+
+
+def tune_layer(
+    p: ConvParams,
+    machine: MachineConfig,
+    db: TuningDatabase,
+    dtype: DType = DType.F32,
+    threads: int = 1,
+    **kwargs,
+) -> TuneOutcome:
+    """Search one layer and record the validated winner into ``db``."""
+    outcome = search_mapspace(
+        p, machine, dtype=dtype, threads=threads, **kwargs)
+    db.record(p, machine, dtype, outcome.entry())
+    return outcome

@@ -11,6 +11,9 @@ from repro.jit.autotune import autotune_blocking, _price
 from repro.models.resnet50 import resnet50_layers
 from tests.conftest import assert_close, rand_conv_tensors
 
+# the module under test is a deprecated shim; every call warns by design
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 class TestAutotune:
     def test_returns_feasible_plan(self):
@@ -54,3 +57,19 @@ class TestAutotune:
         p = ConvParams(N=1, C=16, K=16, H=28, W=28, R=3, S=3, stride=1)
         res = autotune_blocking(p, SKX)
         assert res.plan.rb_p * res.plan.rb_q >= SKX.fma_ports * SKX.fma_latency
+
+    def test_ranking_is_deterministic_with_stable_tiebreak(self):
+        """Equal-cost candidates order on (rb_p, rb_q), so the ranking --
+        and anything derived from it -- is identical run to run."""
+        p = ConvParams(N=1, C=32, K=32, H=28, W=28, R=3, S=3, stride=1)
+        a = autotune_blocking(p, SKX)
+        b = autotune_blocking(p, SKX)
+        assert a.ranking == b.ranking
+        assert a.best == b.best
+        keys = [(cpf, rb_p, rb_q) for rb_p, rb_q, cpf in a.ranking]
+        assert keys == sorted(keys)
+
+    def test_module_is_deprecated(self):
+        p = ConvParams(N=1, C=16, K=16, H=10, W=10, R=3, S=3, stride=1)
+        with pytest.warns(DeprecationWarning, match="repro.tune"):
+            autotune_blocking(p, SKX)
