@@ -1,0 +1,239 @@
+"""All-reduce benchmark: overlapped ring/tree vs the blocking root fold.
+
+One sweep, one JSON report: data-parallel training of the mini-ResNet
+at 2/4/8 worker processes under each ``--allreduce`` mode, measuring
+per-step wall-clock at the root.  ``root`` is the blocking baseline
+(scatter weights, gather gradients, fold at the root); ``ring`` and
+``tree`` stream gradient buckets between workers layer-by-layer while
+the backward pass is still producing them, so the communication the
+root baseline serializes is overlapped away.
+
+Every (mode, workers) cell re-checks the headline invariant -- ring
+and tree final weights are *bitwise identical* to the root fold over
+the same batches -- and records the workers' own overlap accounting
+(``collective.overlap_ms`` vs ``collective.exposed_ms``).
+
+Scaling is core-bound: ``workers`` processes plus the root must fit on
+the host for overlap to show up as wall-clock, so the report records
+``host.cpus`` and the ``--min-allreduce-scaling`` gate (ring speedup
+over root at 4 workers) skips with a notice on low-core runners
+instead of failing them.
+
+Run as a plain script (not pytest -- the timing loop is its own harness)::
+
+    PYTHONPATH=src python benchmarks/bench_allreduce.py --quick
+    PYTHONPATH=src python benchmarks/bench_allreduce.py --out BENCH_allreduce.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.arch.machine import SKX
+from repro.gxm.data import SyntheticImageDataset
+from repro.gxm.multiproc import ProcessParallelTrainer
+from repro.models.resnet50 import resnet_mini_topology
+from repro.obs.metrics import get_metrics
+
+SHAPE = (3, 12, 12)
+CLASSES = 8
+#: the scaling gate needs this many workers' cell in the sweep
+GATE_WORKERS = 4
+#: below this many usable cores the gate is noise: skip with a notice
+GATE_MIN_CPUS = 4
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _topology(width: int):
+    # comm-heavy on purpose: wide layers fatten the gradient stream the
+    # root baseline has to serialize through one pipe
+    return resnet_mini_topology(num_classes=CLASSES, width=width)
+
+
+def bench_cell(mode: str, nodes: int, width: int, steps: int,
+               batch_per_worker: int) -> dict:
+    """Train ``steps`` batches under ``mode``; per-step wall-clock is
+    the median of the steady-state steps (the first is warmup: worker
+    spawn, mesh build, first-touch)."""
+    ds = SyntheticImageDataset(
+        n=batch_per_worker * nodes * steps, num_classes=CLASSES,
+        shape=SHAPE, seed=5,
+    )
+    get_metrics().clear()
+    t = ProcessParallelTrainer(
+        _topology(width), (batch_per_worker, *SHAPE), nodes=nodes,
+        seed=0, allreduce=mode, step_timeout=120.0,
+    )
+    try:
+        wall_ms = []
+        for x, labels in ds.batches(batch_per_worker * nodes, 1,
+                                    seed=t.shuffle_seed):
+            t0 = time.perf_counter()
+            t.train_step(x, labels)
+            wall_ms.append((time.perf_counter() - t0) * 1e3)
+        weights = [p.copy() for p in t.root.params()]
+        losses = list(t.metrics.losses)
+    finally:
+        t.close()
+    m = get_metrics()
+    dists = m.distributions()
+    steady = wall_ms[1:] or wall_ms
+    return {
+        "mode": mode,
+        "workers": nodes,
+        "steps": len(wall_ms),
+        "step_ms_median": float(np.median(steady)),
+        "step_ms_first": wall_ms[0],
+        "grad_mb_per_step": (
+            m.value("collective.bytes") / max(len(wall_ms), 1) / 2**20
+            if mode != "root" else None
+        ),
+        # per-(worker, step) means: comm hidden under backward vs paid
+        # after the last bucket was cut
+        "overlap_ms_mean": dists.get("collective.overlap_ms",
+                                     {}).get("mean", 0.0),
+        "exposed_ms_mean": dists.get("collective.exposed_ms",
+                                     {}).get("mean", 0.0),
+        "_weights": weights,
+        "_losses": losses,
+    }
+
+
+def bench_sweep(worker_counts, modes, width: int, steps: int,
+                batch_per_worker: int) -> dict:
+    rows = []
+    bitwise_ok = True
+    for nodes in worker_counts:
+        ref = None
+        for mode in modes:
+            cell = bench_cell(mode, nodes, width, steps, batch_per_worker)
+            if mode == "root":
+                ref = cell
+            elif ref is not None:
+                exact = (
+                    cell["_losses"] == ref["_losses"]
+                    and all(np.array_equal(a, b) for a, b in
+                            zip(cell["_weights"], ref["_weights"]))
+                )
+                cell["bitwise_vs_root"] = exact
+                if mode == "ring":
+                    # ring's chain fold is rank-order, exactly the root
+                    # fold: bitwise identity is the acceptance bar
+                    bitwise_ok = bitwise_ok and exact
+                else:
+                    # the binomial tree legitimately sums in a different
+                    # order; require numerical agreement, not bit equality
+                    close = all(np.allclose(a, b, rtol=1e-4, atol=1e-6)
+                                for a, b in zip(cell["_weights"],
+                                                ref["_weights"]))
+                    cell["allclose_vs_root"] = close
+                    bitwise_ok = bitwise_ok and close
+            if ref is not None and mode != "root":
+                ratio = ref["step_ms_median"] / cell["step_ms_median"]
+                speed = f"  ({ratio:.2f}x vs root)"
+            else:
+                speed = ""
+            print(f"  {mode:>4} x{nodes}: "
+                  f"{cell['step_ms_median']:8.1f} ms/step{speed}")
+            rows.append(cell)
+    for row in rows:
+        row.pop("_weights")
+        row.pop("_losses")
+    by = {(r["mode"], r["workers"]): r for r in rows}
+    gate_cell = by.get(("ring", GATE_WORKERS))
+    gate_base = by.get(("root", GATE_WORKERS))
+    return {
+        "host": {"cpus": os.cpu_count(), "usable_cpus": _usable_cpus()},
+        "machine_fingerprint": SKX.fingerprint(),
+        "width": width,
+        "batch_per_worker": batch_per_worker,
+        "rows": rows,
+        "bitwise_ok": bitwise_ok,
+        "ring_speedup_at_4": (
+            gate_base["step_ms_median"] / gate_cell["step_ms_median"]
+            if gate_cell and gate_base else None
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--workers", default="2,4,8",
+                    help="comma-separated worker counts")
+    ap.add_argument("--modes", default="root,ring,tree",
+                    help="comma-separated all-reduce modes (root first: "
+                         "it is the baseline the others compare against)")
+    ap.add_argument("--steps", type=int, default=6,
+                    help="training steps per cell (first is warmup)")
+    ap.add_argument("--width", type=int, default=24,
+                    help="mini-ResNet width (wider = heavier gradients)")
+    ap.add_argument("--batch", type=int, default=2,
+                    help="per-worker batch size")
+    ap.add_argument("--quick", action="store_true",
+                    help="small sweep (CI smoke): 2/4 workers, 4 steps")
+    ap.add_argument("--out", default="BENCH_allreduce.json")
+    ap.add_argument("--min-allreduce-scaling", type=float, default=0.0,
+                    help="fail if ring/root per-step speedup at 4 workers "
+                         "is below this -- skipped with a notice when the "
+                         f"host has fewer than {GATE_MIN_CPUS} usable "
+                         "cores (bitwise identity is always enforced)")
+    args = ap.parse_args(argv)
+
+    worker_counts = [int(c) for c in args.workers.split(",")]
+    modes = [m.strip() for m in args.modes.split(",")]
+    steps = 4 if args.quick else args.steps
+    if args.quick:
+        worker_counts = [c for c in worker_counts if c <= 4] or [2]
+
+    print(f"all-reduce sweep: modes={modes} workers={worker_counts} "
+          f"steps={steps} width={args.width} "
+          f"({_usable_cpus()} usable cores)")
+    report = bench_sweep(worker_counts, modes, args.width, steps,
+                         args.batch)
+    report["args"] = {
+        "workers": worker_counts, "modes": modes, "steps": steps,
+        "quick": args.quick,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(f"wrote {args.out}")
+
+    if not report["bitwise_ok"]:
+        print("FAIL: ring/tree weights are not bitwise-identical to the "
+              "root fold", file=sys.stderr)
+        return 1
+    if args.min_allreduce_scaling:
+        cpus = report["host"]["usable_cpus"]
+        speedup = report["ring_speedup_at_4"]
+        if cpus < GATE_MIN_CPUS:
+            print(f"NOTICE: --min-allreduce-scaling skipped: only {cpus} "
+                  f"usable cores (< {GATE_MIN_CPUS}); overlap cannot show "
+                  f"up as wall-clock on this host")
+        elif speedup is None:
+            print("FAIL: --min-allreduce-scaling set but the sweep has "
+                  f"no ring+root cells at {GATE_WORKERS} workers",
+                  file=sys.stderr)
+            return 1
+        elif speedup < args.min_allreduce_scaling:
+            print(f"FAIL: ring speedup at {GATE_WORKERS} workers "
+                  f"{speedup:.2f}x < required "
+                  f"{args.min_allreduce_scaling}x ({cpus} usable cores)",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,7 +28,7 @@ Quick start::
     y = conv.run_nchw(x, w)   # blocked layout + JIT'ed streams inside
 """
 
-from repro import obs
+from repro import collective, obs
 from repro.arch.machine import KNM, SKX, MachineConfig, machine_by_name
 from repro.conv.backward import DirectConvBackward
 from repro.conv.engine import ConvEngine, make_engine
@@ -75,6 +75,8 @@ __all__ = [
     "SKX",
     "KNM",
     "machine_by_name",
+    # fault-tolerant overlapped all-reduce (repro.collective)
+    "collective",
     # observability
     "obs",
     "Tracer",

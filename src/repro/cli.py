@@ -80,6 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--process-parallel", action="store_true",
                    help="real OS processes per replica (self-healing "
                         "all-reduce) instead of in-process sharding")
+    p.add_argument("--allreduce", default="ring",
+                   choices=["ring", "tree", "root"],
+                   help="gradient exchange under --process-parallel: "
+                        "overlapped peer-to-peer ring (default), "
+                        "binomial tree, or the blocking root fold")
     p.add_argument("--checkpoint-every", type=int, default=0,
                    help="autosave a full training checkpoint (weights + "
                         "SGD velocity + step) every N steps; requires "
@@ -300,6 +305,7 @@ def _cmd_train(args) -> int:
             input_shape=(per_node, 16, 16, 16),
             nodes=args.nodes,
             lr=args.lr,
+            allreduce=args.allreduce,
             nan_policy=args.nan_policy,
             checkpoint_path=autosave,
             checkpoint_every=args.checkpoint_every,

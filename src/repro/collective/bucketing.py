@@ -1,0 +1,103 @@
+"""Deterministic gradient bucketing.
+
+As each layer's UPD task lands its weight gradients (the ETG
+``grad_hook``), the bucketer accumulates their parameter indices in
+landing order and cuts a bucket whenever the byte threshold is crossed.
+Landing order is the ETG task order -- identical on every rank (same
+topology, same compile) -- so bucket ids, contents and boundaries agree
+across the whole ring without any negotiation.
+
+``finish`` sweeps up the remainder *and* any parameter whose layer never
+fired the hook, so the union of all buckets always covers every
+parameter index exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BucketSpec", "GradBucketer", "layer_param_indices"]
+
+
+def layer_param_indices(etg) -> dict[str, tuple[int, ...]]:
+    """Map each trainable layer name to its index range in the flat
+    ``etg.params()`` / ``etg.grads()`` ordering."""
+    out: dict[str, tuple[int, ...]] = {}
+    i = 0
+    for name, node in etg.nodes.items():
+        k = len(node.params())
+        if k:
+            out[name] = tuple(range(i, i + k))
+            i += k
+    return out
+
+
+@dataclass(frozen=True)
+class BucketSpec:
+    """One bucket: its ring-wide id, the flat parameter indices it
+    carries (in landing order), and the payload size in bytes."""
+
+    bucket_id: int
+    indices: tuple
+    nbytes: int
+
+
+class GradBucketer:
+    """Cuts landing-order gradient buckets at a byte threshold.
+
+    A single layer larger than ``bucket_bytes`` still forms one bucket
+    (buckets never split a layer's tensors).
+    """
+
+    def __init__(self, layer_indices: dict[str, tuple[int, ...]],
+                 sizes_bytes: list[int], bucket_bytes: int):
+        if bucket_bytes < 1:
+            raise ValueError("bucket_bytes must be >= 1")
+        self._layer_indices = layer_indices
+        self._sizes = list(sizes_bytes)
+        self._cap = bucket_bytes
+        self._pending: list[int] = []
+        self._pending_arrays: dict[int, object] = {}
+        self._pending_bytes = 0
+        self._next_id = 0
+        self._landed: set[int] = set()
+
+    @property
+    def buckets_cut(self) -> int:
+        return self._next_id
+
+    def land(self, layer: str, arrays) -> list[tuple[BucketSpec, list]]:
+        """Record ``layer``'s gradient arrays; returns the buckets (if
+        any) that became full and should be fed to the engine now."""
+        idxs = self._layer_indices.get(layer, ())
+        for idx, a in zip(idxs, arrays):
+            if idx in self._landed:
+                continue
+            self._landed.add(idx)
+            self._pending.append(idx)
+            self._pending_arrays[idx] = a
+            self._pending_bytes += self._sizes[idx]
+        if self._pending and self._pending_bytes >= self._cap:
+            return [self._cut()]
+        return []
+
+    def finish(self, all_grads) -> list[tuple[BucketSpec, list]]:
+        """Flush the remainder plus any never-landed parameters (flat
+        index order) as the final bucket."""
+        for idx in range(len(self._sizes)):
+            if idx not in self._landed:
+                self._landed.add(idx)
+                self._pending.append(idx)
+                self._pending_arrays[idx] = all_grads[idx]
+                self._pending_bytes += self._sizes[idx]
+        return [self._cut()] if self._pending else []
+
+    def _cut(self) -> tuple[BucketSpec, list]:
+        spec = BucketSpec(
+            self._next_id, tuple(self._pending), self._pending_bytes
+        )
+        arrays = [self._pending_arrays.pop(i) for i in self._pending]
+        self._pending = []
+        self._pending_bytes = 0
+        self._next_id += 1
+        return spec, arrays

@@ -1,0 +1,77 @@
+"""Typed failures of the peer-to-peer collective.
+
+Every error carries a ``kind`` (a short machine-readable tag that the
+root folds into ``collective.errors.<kind>`` counters) and, where the
+protocol can attribute blame, a ``culprit`` rank.  Attribution is always
+*direct*: a corrupt or missing hop blames the rank that sent (or should
+have sent) it, because every hop re-frames the payload with a fresh
+checksum -- corruption cannot travel further than one edge.
+"""
+
+from __future__ import annotations
+
+from repro.types import ReproError
+
+__all__ = [
+    "CollectiveError",
+    "CorruptBucket",
+    "HopTimeout",
+    "PeerGone",
+    "RingBuildError",
+    "StaleBucket",
+]
+
+
+class CollectiveError(ReproError):
+    """Base class: something went wrong inside an all-reduce step.
+
+    ``culprit`` is the rank the failure is attributed to (``None`` when
+    unattributable), ``kind`` a short tag for counters/logs.
+    """
+
+    def __init__(self, detail: str, *, culprit: int | None = None,
+                 kind: str = "collective"):
+        super().__init__(detail)
+        self.culprit = culprit
+        self.kind = kind
+
+
+class HopTimeout(CollectiveError):
+    """An expected bucket never arrived within the per-hop timeout; the
+    sending rank is presumed hung (or wedged upstream of us)."""
+
+    def __init__(self, detail: str, *, culprit: int | None = None):
+        super().__init__(detail, culprit=culprit, kind="timeout")
+
+
+class CorruptBucket(CollectiveError):
+    """A hop failed its checksum / framing / shape validation.  Rejected
+    at the receiving rank; blamed on the direct sender."""
+
+    def __init__(self, detail: str, *, culprit: int | None = None):
+        super().__init__(detail, culprit=culprit, kind="corrupt")
+
+
+class StaleBucket(CollectiveError):
+    """A hop carried a (step, epoch) header *ahead of* or inconsistent
+    with the receiver's -- a protocol violation.  (Messages from an
+    *older* epoch/step are stragglers of an aborted collective; those are
+    silently dropped and counted, not raised.)"""
+
+    def __init__(self, detail: str, *, culprit: int | None = None):
+        super().__init__(detail, culprit=culprit, kind="stale")
+
+
+class PeerGone(CollectiveError):
+    """A peer connection died mid-collective (EOF/EPIPE): the peer
+    process crashed or was SIGKILLed."""
+
+    def __init__(self, detail: str, *, culprit: int | None = None):
+        super().__init__(detail, culprit=culprit, kind="peer_gone")
+
+
+class RingBuildError(CollectiveError):
+    """The peer mesh for a new epoch could not be wired up in time."""
+
+    def __init__(self, detail: str, *, culprit: int | None = None):
+        super().__init__(detail, culprit=culprit, kind="build")

@@ -1,0 +1,126 @@
+"""The binomial-tree all-reduce (the comparison topology).
+
+Reduce phase: in round *k* (distances 1, 2, 4, ...), every rank whose
+index is an odd multiple of 2^k sends its partial sum to ``rank - 2^k``;
+rank 0 ends up holding the total, divides by N, and the broadcast phase
+mirrors the reduce edges in reverse.  log2(N) hops of latency instead of
+the ring's 2N-2, at the cost of 2x the bytes through the root-adjacent
+links -- the classic latency-vs-bandwidth trade the paper's MLSL layer
+models.
+
+The fold order is the binomial combination ``(g0+g1) + (g2+g3) ...``,
+*not* rank order -- so tree mode has its own root-side emulation
+(:func:`fold_tree`) that degraded steps use to stay bit-identical to
+healthy tree steps.  Works for any N, powers of two or not.
+"""
+
+from __future__ import annotations
+
+from repro.collective.engine import AllReduceEngine
+
+__all__ = ["TreeEngine", "fold_tree", "tree_children", "tree_parent",
+           "tree_peers"]
+
+
+def tree_parent(rank: int) -> int | None:
+    """The rank this one reduces into (None for rank 0)."""
+    if rank == 0:
+        return None
+    k = 1
+    while rank % (2 * k) != k:
+        k *= 2
+    return rank - k
+
+
+def tree_children(rank: int, nodes: int) -> list[int]:
+    """The ranks that reduce into this one, in ascending round order."""
+    out = []
+    k = 1
+    while k < nodes:
+        if rank % (2 * k) == k:
+            break  # this rank sends at round log2(k); no later rounds
+        if rank % (2 * k) == 0 and rank + k < nodes:
+            out.append(rank + k)
+        k *= 2
+    return out
+
+
+def tree_peers(rank: int, nodes: int) -> set[int]:
+    peers = set(tree_children(rank, nodes))
+    parent = tree_parent(rank)
+    if parent is not None:
+        peers.add(parent)
+    return peers
+
+
+def fold_tree(shard_grads: list[list], divisor: int) -> list:
+    """Root-side emulation of the binomial fold.  Bitwise identical to
+    what :class:`TreeEngine` produces across real processes."""
+    n = len(shard_grads)
+    parts = [list(s) for s in shard_grads]
+    own = [False] * n  # whether parts[r] is already a private copy
+    d = 1
+    while d < n:
+        for r in range(0, n - d, 2 * d):
+            if not own[r]:
+                parts[r] = [g.copy() for g in parts[r]]
+                own[r] = True
+            for a, g in zip(parts[r], parts[r + d]):
+                a += g
+        d *= 2
+    acc = parts[0] if own[0] else [g.copy() for g in parts[0]]
+    for a in acc:
+        a /= divisor
+    return acc
+
+
+class TreeEngine(AllReduceEngine):
+    """Binomial-tree engine at one rank (see module docstring)."""
+
+    def __init__(self, **kw):
+        super().__init__(**kw)
+        self._children = tree_children(self.rank, self.nodes)
+        self._parent = tree_parent(self.rank)
+
+    def _run_protocol(self) -> None:
+        pending = []  # buckets awaiting the average from our parent
+        while True:
+            item = self._next_local()
+            if item is None:
+                break
+            spec, own = item
+            self._fire_fault(spec)
+            if self._children:
+                acc = [g.copy() for g in own]
+                for child in self._children:  # ascending distance order
+                    part = self._take("red", spec, child)
+                    self._validate(spec, part, child)
+                    for a, g in zip(acc, part):
+                        a += g
+            else:
+                acc = own
+            if self._parent is not None:
+                self._send(self._parent, "red", spec, acc)
+                pending.append(spec)
+            else:
+                for a in acc:
+                    a /= self.nodes
+                self._store(spec, acc)
+                for child in reversed(self._children):
+                    self._send(child, "avg", spec, acc)
+            self._drain_pending(pending, block=False)
+        self._drain_pending(pending, block=True)
+
+    def _drain_pending(self, pending: list, block: bool) -> None:
+        for spec in list(pending):
+            if block:
+                arrays = self._take("avg", spec, self._parent)
+            else:
+                arrays = self._try_take("avg", spec, self._parent)
+                if arrays is None:
+                    continue
+            self._validate(spec, arrays, self._parent)
+            self._store(spec, arrays)
+            for child in reversed(self._children):
+                self._send(child, "avg", spec, arrays)
+            pending.remove(spec)

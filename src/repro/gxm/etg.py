@@ -131,6 +131,11 @@ class ExecutionTaskGraph:
         if not self._loss_nodes:
             raise ReproError("topology has no SoftmaxWithLoss layer")
         self._pools = _TensorPools({}, {})
+        #: optional ``hook(layer_name)`` invoked right after each UPD task
+        #: lands that layer's weight gradients -- the overlap seam the
+        #: collective all-reduce (:mod:`repro.collective`) hangs buckets
+        #: off, so communication starts while backprop is still running.
+        self.grad_hook = None
 
     # ------------------------------------------------------------------
     def params(self) -> list[np.ndarray]:
@@ -308,6 +313,8 @@ class ExecutionTaskGraph:
         else:  # UPD
             if training:
                 node.update()
+                if self.grad_hook is not None:
+                    self.grad_hook(task.layer)
 
     def _is_data(self, tensor: str) -> bool:
         prod = self._producer.get(tensor)

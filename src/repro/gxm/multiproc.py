@@ -2,45 +2,65 @@
 
 :class:`ProcessParallelTrainer` runs one *real* OS process per simulated
 node -- the closest a pure-Python, no-MPI environment gets to the paper's
-multi-node setup.  The communication pattern is exactly MLSL's data
-parallelism (section II-L):
+multi-node setup.  Since the collective rework the default communication
+pattern is MLSL's *overlapped* data parallelism (section II-L):
 
-1. the root scatters minibatch shards to the workers,
-2. each worker runs FWD/BWD/UPD on its replica,
-3. the gradients are all-reduced (gathered and averaged at the root --
-   numerically identical to a ring all-reduce),
-4. the root takes the SGD step and broadcasts the updated weights.
+1. the root broadcasts the initial weights + optimizer velocity once
+   (``sync``), then acts as a **coordinator**, not a gradient funnel;
+2. each step, workers run FWD/BWD/UPD on their minibatch shard; as every
+   layer's dW lands, a deterministic gradient bucket is cut and pushed
+   into a peer-to-peer all-reduce (:mod:`repro.collective`) that runs
+   *while the rest of backprop continues* -- ``allreduce="ring"`` (the
+   pipelined chain-ring, whose fold order is bitwise identical to the
+   root fold) or ``"tree"`` (binomial);
+3. when every worker reports its finished average, the root commits: an
+   all-or-nothing barrier where workers and the root replica take the
+   *same* SGD step on the *same* averaged gradients -- replicas stay
+   bitwise in lockstep with no per-step weight scatter;
+4. ``allreduce="root"`` keeps the legacy blocking scatter/gather through
+   the root (stateless workers, per-step weight broadcast) -- the
+   baseline ``benchmarks/bench_allreduce.py`` measures against, and the
+   fallback path whenever the mesh cannot be built (a rank is down and
+   out of respawn budget), so training always makes progress.
 
-Workers rebuild the ETG from the (picklable) topology + seed, so replicas
-start bit-identical; weight broadcast keeps them synchronized thereafter.
-Numerics match the in-process ``Trainer(nodes=k)`` exactly, which the tests
-assert.
-
-Fault tolerance: every pipe operation is timeout-guarded (a dead or hung
-worker raises a typed :class:`~repro.resilience.WorkerFailure`, never an
-indefinite ``recv`` block).  When a worker fails mid-step the root
-finishes the step *degraded* -- by default it recomputes the lost shard
-on its own replica, which keeps the all-reduce bit-identical to a
-healthy run (``degrade_policy="recompute"``); ``"rescale"`` instead
-averages over the surviving workers only.  Failed workers are respawned
-(bounded by ``max_respawns``) and resynchronize through the per-step
-weight scatter, so a recovered run continues exactly where a healthy one
-would be.  A :class:`~repro.resilience.NumericsWatchdog` screens every
-worker's gradients (``nan_policy``), and periodic training-checkpoint
-autosave plus :meth:`ProcessParallelTrainer.resume` survive a root
-crash.  Faults themselves are injectable deterministically via a
-:class:`~repro.resilience.FaultPlan` (site ``"mp.worker.step"``).
+Fault tolerance.  Every pipe *and* peer-channel operation is
+timeout-guarded; peer hops carry (step, epoch, bucket) headers plus a
+CRC, and are rejected with typed :class:`~repro.collective.errors
+.CollectiveError`\\ s.  A worker lost mid-collective (crash, SIGKILL,
+hang, corruption) triggers **ring repair**: the first rank to notice
+reports a ``cerr`` to the root, the root bumps the epoch (straggling
+buckets of the old epoch become stale everywhere), kills the attributed
+culprit, collects the survivors' local shard gradients over the root
+pipes, and completes the step under the existing degrade policies --
+``"recompute"`` re-runs lost shards on the root replica and folds all N
+shards with the mode's deterministic fold, so recovered weights are
+**bit-identical** to a healthy run; ``"rescale"`` averages survivors
+only.  The folded average is re-broadcast (``commit_degraded``) so
+surviving replicas stay in lockstep; failed ranks are respawned
+(bounded by ``max_respawns``) and resynchronized at the next mesh
+rewire.  No step is ever half-applied: weights only move inside the
+commit barrier.  A :class:`~repro.resilience.NumericsWatchdog` screens
+gradients with per-rank attribution even in collective mode (a worker
+that detects local NaN withholds its buckets and reports ``cerr
+numerics``; the root re-checks every collected shard), and periodic
+training-checkpoint autosave plus :meth:`ProcessParallelTrainer.resume`
+survive a root crash.  Faults are injectable deterministically via a
+:class:`~repro.resilience.FaultPlan` (sites ``"mp.worker.step"``,
+``"mp.worker.reply"`` and ``"collective.hop"``).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import shutil
+import tempfile
 import time
 from typing import Optional
 
 import numpy as np
 
+from repro.collective.repair import Membership, fold_gradients, peers_for
 from repro.gxm.etg import ExecutionTaskGraph
 from repro.gxm.topology import TopologySpec
 from repro.gxm.trainer import SGD, TrainMetrics
@@ -56,6 +76,21 @@ __all__ = ["ProcessParallelTrainer", "WorkerFailure"]
 #: stale a dead-process check can be)
 _POLL_S = 0.05
 
+#: root-pipe reply tags a stale (older step/epoch) copy of which may be
+#: safely discarded while waiting for something else; any other payload
+#: is a corrupt message
+_KNOWN_REPLIES = ("done", "cerr", "grads", "ringok", "ringfail")
+
+
+def _drain_obs(trace: bool):
+    if not trace:
+        return None
+    return {
+        "pid": os.getpid(),
+        "events": get_tracer().export_events(clear=True),
+        "metrics": get_metrics().snapshot(clear=True),
+    }
+
 
 def _worker_main(
     conn,
@@ -65,11 +100,34 @@ def _worker_main(
     trace: bool = False,
     rank: int = 0,
     fault_plan: FaultPlan | None = None,
+    collective: dict | None = None,
 ) -> None:
-    """Worker loop: receive (step, weights, shard) -> return
-    (grads, loss, acc, obs-payload)."""
+    """Worker loop.  Root-pipe protocol (all messages are tagged tuples;
+    ``None`` = shutdown):
+
+    =====================================  ============================
+    root -> worker                         worker -> root
+    =====================================  ============================
+    ``("sync", weights, velocity)``        --
+    ``("ring", epoch, mode, addresses)``   ``("ringok", epoch)`` or
+                                           ``("ringfail", epoch, why)``
+    ``("step", step, epoch, x, y)``        ``("done", step, loss, acc,
+                                           payload, stats, avg|None)``
+                                           or ``("cerr", step, epoch,
+                                           kind, culprit, detail)``
+    ``("commit", step)``                   -- (applies the average)
+    ``("abort", step)``                    ``("grads", step, grads,
+                                           loss, acc, payload)``
+    ``("commit_degraded", step, avg)``     -- (applies the average)
+    ``("wstep", step, weights, x, y)``     ``("grads", step, grads,
+                                           loss, acc, payload)``
+    =====================================  ============================
+    """
     from repro import obs
-    from repro.gxm.parser import parse_topology
+    from repro.collective.channels import PeerHub
+    from repro.collective.engine import PeerReceiver
+    from repro.collective.worker import CollectiveStepRunner
+    from repro.collective.bucketing import layer_param_indices
 
     injector = FaultInjector(fault_plan)
     if trace:
@@ -78,41 +136,209 @@ def _worker_main(
         # drained after every step and merged at the root
         get_tracer().clear()
         get_metrics().clear()
+    hub = None
+    opt = None
+    layer_idx = None
+    if collective is not None:
+        # listen before the (slow) ETG build so peers can start dialing
+        hub = PeerHub(collective["address"], collective["authkey"])
     etg = ExecutionTaskGraph(
-        parse_topology(topo_text), input_shape, engine="fast", seed=seed
+        parse_topology_text(topo_text), input_shape, engine="fast", seed=seed
     )
     params = etg.params()
-    while True:
-        msg = conn.recv()
-        if msg is None:
+    if collective is not None:
+        opt = SGD(params, collective["lr"], collective["momentum"],
+                  collective["weight_decay"])
+        layer_idx = layer_param_indices(etg)
+    conns: dict = {}
+    receiver = None
+    epoch = -1
+    mode = None
+    tracer = get_tracer()
+
+    def reply_fault(step):
+        f = injector.fire("mp.worker.reply", step=step, rank=rank)
+        if f is not None and f.kind == "crash":
+            os._exit(19)  # died right after the reply hit the pipe
+
+    try:
+        while True:
+            msg = conn.recv()
+            if msg is None:
+                return
+            tag = msg[0]
+            if tag == "sync":
+                _, weights, velocity = msg
+                for p, w in zip(params, weights):
+                    p[...] = w
+                for v, w in zip(opt._velocity, velocity):
+                    v[...] = w
+            elif tag == "ring":
+                _, new_epoch, new_mode, addresses = msg
+                try:
+                    if receiver is not None:
+                        receiver.stop()  # before rewire closes its conns
+                        receiver = None
+                    peers = peers_for(new_mode, rank, collective["nodes"])
+                    conns = hub.rewire(
+                        rank, peers, addresses, new_epoch,
+                        timeout=collective["ring_timeout"],
+                    )
+                    receiver = PeerReceiver(conns, new_epoch)
+                    epoch, mode = new_epoch, new_mode
+                    conn.send(("ringok", new_epoch))
+                except Exception as err:
+                    conn.send(("ringfail", new_epoch, repr(err)))
+            elif tag == "wstep":
+                # stateless legacy step: weights in, local grads out
+                _, step, weights, x, labels = msg
+                fault = injector.fire("mp.worker.step", step=step, rank=rank)
+                if fault is not None and fault.kind == "crash":
+                    os._exit(17)  # simulated SIGKILL: no cleanup
+                if fault is not None and fault.kind == "hang":
+                    time.sleep(3600)  # the root's timeout reaps us
+                if fault is not None and fault.kind == "slow":
+                    time.sleep(fault.delay_s)  # latency, not death
+                for p, w in zip(params, weights):
+                    p[...] = w
+                loss = etg.train_step(x, labels)
+                acc = etg.accuracy()
+                payload = _drain_obs(trace)
+                grads = [g.copy() for g in etg.grads()]
+                if fault is not None and fault.kind == "nan_grad":
+                    grads[fault.param % len(grads)].flat[0] = np.nan
+                reply = ("grads", step, grads, float(loss), float(acc),
+                         payload)
+                if fault is not None and fault.kind == "corrupt_message":
+                    reply = ("corrupt", step)
+                conn.send(reply)
+                reply_fault(step)
+            elif tag == "step":
+                _, step, sepoch, x, labels = msg
+                fault = injector.fire("mp.worker.step", step=step, rank=rank)
+                if fault is not None and fault.kind == "crash":
+                    os._exit(17)
+                if fault is not None and fault.kind == "hang":
+                    time.sleep(3600)
+                if fault is not None and fault.kind == "slow":
+                    time.sleep(fault.delay_s)
+                poison = fault is not None and fault.kind == "nan_grad"
+                corrupt = (
+                    fault is not None and fault.kind == "corrupt_message"
+                )
+                runner = None
+                if not poison:
+                    runner = CollectiveStepRunner(
+                        mode=mode, rank=rank, nodes=collective["nodes"],
+                        step=step, epoch=sepoch, conns=conns,
+                        receiver=receiver, etg=etg,
+                        layer_indices=layer_idx,
+                        bucket_bytes=collective["bucket_bytes"],
+                        hop_timeout=collective["hop_timeout"],
+                        injector=injector, corrupt_first=corrupt,
+                    )
+                    runner.attach()
+                if tracer.enabled:
+                    with tracer.span("collective.step", step=step,
+                                     mode=mode or "detached", rank=rank):
+                        loss = etg.train_step(x, labels)
+                else:
+                    loss = etg.train_step(x, labels)
+                acc = etg.accuracy()
+                if runner is not None:
+                    runner.detach_and_finish()
+                _finish_collective_step(
+                    conn, runner, tracer, trace, rank, step,
+                    epoch, opt, etg, float(loss), float(acc),
+                    poison_param=(fault.param if poison else None),
+                    reply_fault=reply_fault,
+                )
+            elif tag == "commit_degraded":
+                # a repaired step's folded average, arriving after this
+                # worker already returned its local grads: apply it so
+                # the replica stays in lockstep with the root
+                opt.step(msg[2])
+            # stale "commit"/"abort" and unknown tags are ignored
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass  # root went away; nothing to report to
+    finally:
+        if receiver is not None:
+            receiver.stop()
+        if hub is not None:
+            hub.close()
+        try:
             conn.close()
-            return
-        step, weights, x, labels = msg
-        fault = injector.fire("mp.worker.step", step=step, rank=rank)
-        if fault is not None and fault.kind == "crash":
-            os._exit(17)  # simulated SIGKILL: no cleanup, no goodbye
-        if fault is not None and fault.kind == "hang":
-            time.sleep(3600)  # the root's timeout reaps us
-        if fault is not None and fault.kind == "slow":
-            time.sleep(fault.delay_s)  # latency, not death
-        for p, w in zip(params, weights):
-            p[...] = w
-        loss = etg.train_step(x, labels)
-        acc = etg.accuracy()
-        payload = None
-        if trace:
-            payload = {
-                "pid": os.getpid(),
-                "events": get_tracer().export_events(clear=True),
-                "metrics": get_metrics().snapshot(clear=True),
-            }
-        grads = [g.copy() for g in etg.grads()]
-        if fault is not None and fault.kind == "nan_grad":
-            grads[fault.param % len(grads)].flat[0] = np.nan
-        reply = (grads, float(loss), float(acc), payload)
-        if fault is not None and fault.kind == "corrupt_message":
-            reply = ("corrupt", step)
-        conn.send(reply)
+        except OSError:
+            pass
+
+
+def _finish_collective_step(conn, runner, tracer, trace, rank,
+                            step, epoch, opt, etg, loss, acc, *,
+                            poison_param, reply_fault) -> None:
+    """Post-compute worker state machine: wait for the all-reduce while
+    obeying the root (commit / abort), and escalate engine failures."""
+
+    def local_grads():
+        g = [a.copy() for a in etg.grads()]
+        if poison_param is not None:
+            g[poison_param % len(g)].flat[0] = np.nan
+        return g
+
+    if poison_param is not None:
+        # never feed poisoned gradients to peers: withhold buckets and
+        # self-report so the root keeps per-rank NaN attribution
+        conn.send(("cerr", step, epoch, "numerics", rank,
+                   "nan detected in local gradients"))
+    done_sent = False
+    cerr_sent = poison_param is not None
+    avg = None
+    span = None
+    if tracer.enabled and runner is not None:
+        span = tracer.span("collective.exposed", step=step, rank=rank)
+        span.__enter__()
+    try:
+        while True:
+            engine = runner.engine if runner is not None else None
+            if engine is not None and engine.done and not done_sent:
+                if span is not None:
+                    span.__exit__(None, None, None)
+                    span = None
+                avg = engine.result_list()
+                conn.send(("done", step, loss, acc, _drain_obs(trace),
+                           runner.step_stats(),
+                           avg if rank == 0 else None))
+                done_sent = True
+                reply_fault(step)
+            elif (engine is not None and engine.failed is not None
+                    and not done_sent and not cerr_sent):
+                err = engine.failed
+                conn.send(("cerr", step, epoch, err.kind, err.culprit,
+                           str(err)))
+                cerr_sent = True
+            if conn.poll(0.02):
+                msg = conn.recv()
+                if msg is None:
+                    raise EOFError  # shutdown mid-step
+                tag = msg[0]
+                if tag == "commit" and done_sent and msg[1] == step:
+                    opt.step(avg)
+                    return
+                if tag == "abort" and msg[1] == step:
+                    if runner is not None:
+                        runner.abandon()
+                    conn.send(("grads", step, local_grads(), loss, acc,
+                               _drain_obs(trace)))
+                    return
+                # stale control traffic for an older step: ignore
+    finally:
+        if span is not None:
+            span.__exit__(None, None, None)
+
+
+def parse_topology_text(text: str):
+    from repro.gxm.parser import parse_topology
+
+    return parse_topology(text)
 
 
 class ProcessParallelTrainer:
@@ -122,21 +348,34 @@ class ProcessParallelTrainer:
 
     Parameters (beyond the healthy-path ones)
     -----------------------------------------
+    allreduce:
+        ``"ring"`` (default) -- overlapped bucketed chain-ring all-reduce
+        between the workers; ``"tree"`` -- binomial tree; ``"root"`` --
+        the legacy blocking scatter/gather through the root.  With
+        ``nodes=1`` there is nothing to reduce and ``"root"`` is used.
+    bucket_bytes:
+        Gradient-bucket threshold for the collective modes; smaller
+        buckets start communicating earlier (more overlap) at more
+        per-hop overhead.
     step_timeout:
         Seconds the root waits for any single worker reply before
-        declaring it hung (:class:`WorkerFailure`); never blocks forever.
+        declaring it hung (:class:`WorkerFailure`); never blocks
+        forever.  Also the per-hop timeout inside the collective.
     max_respawns:
         Total worker respawns allowed across the run; a rank whose
-        budget is exhausted stays down (every later step degrades).
+        budget is exhausted stays down (every later step degrades
+        through the root-fold fallback).
     degrade_policy:
         ``"recompute"`` (default) -- a failed worker's shard is re-run on
-        the root's replica, keeping training numerics bit-identical to a
+        the root's replica and folded with the active mode's
+        deterministic fold, keeping training numerics bit-identical to a
         healthy run; ``"rescale"`` -- average over survivors only.
     nan_policy:
         Numerics-watchdog policy: ``"raise"``/``"skip"``/``"off"``.
     fault_plan:
         Deterministic :class:`~repro.resilience.FaultPlan` handed to
-        every worker (fault-matrix testing).
+        every worker (fault-matrix testing; sites ``mp.worker.step``,
+        ``mp.worker.reply``, ``collective.hop``).
     checkpoint_path / checkpoint_every:
         Training-checkpoint autosave every N steps (atomic write);
         :meth:`resume` restores it exact-to-the-step.
@@ -161,6 +400,8 @@ class ProcessParallelTrainer:
         checkpoint_path: str | None = None,
         checkpoint_every: int = 0,
         shuffle_seed: int = 1,
+        allreduce: str = "ring",
+        bucket_bytes: int = 1 << 20,
     ):
         if nodes < 1:
             raise ReproError("need at least one worker node")
@@ -169,6 +410,13 @@ class ProcessParallelTrainer:
                 f"unknown degrade_policy {degrade_policy!r}; expected "
                 f"'recompute' or 'rescale'"
             )
+        if allreduce not in ("ring", "tree", "root"):
+            raise ReproError(
+                f"unknown allreduce {allreduce!r}; expected 'ring', "
+                f"'tree' or 'root'"
+            )
+        if nodes == 1:
+            allreduce = "root"  # degenerate: nothing to reduce
         # per-process tracer merge: workers record their own spans/metrics
         # and the root folds them in after every step (default: follow the
         # root tracer's enabled state at construction time)
@@ -180,16 +428,16 @@ class ProcessParallelTrainer:
         # and, under the recompute policy, to re-run a failed worker's
         # shard.  It is built from the same topology *text* the workers
         # parse, so a recomputed shard is bit-identical to the lost one.
-        from repro.gxm.parser import parse_topology
-
         self.root = ExecutionTaskGraph(
-            parse_topology(self._topo_text), input_shape, engine="fast",
-            seed=seed,
+            parse_topology_text(self._topo_text), input_shape,
+            engine="fast", seed=seed,
         )
         self.params = self.root.params()
         self.opt = SGD(self.params, lr, momentum, weight_decay)
         self.metrics = TrainMetrics()
         self.nodes = nodes
+        self.allreduce = allreduce
+        self.bucket_bytes = bucket_bytes
         self.step_timeout = step_timeout
         self.degrade_policy = degrade_policy
         self.watchdog = NumericsWatchdog(nan_policy)
@@ -205,16 +453,47 @@ class ProcessParallelTrainer:
         self._ctx = mp.get_context(start_method)
         self._conns: list = [None] * nodes
         self._procs: list = [None] * nodes
+        self._mesh = Membership(nodes)
+        self._mesh.reset_all()
+        self._sockdir = None
+        self._authkey = os.urandom(16)
+        self._spawn_gen = 0
+        #: a mesh (re)build may legitimately wait for a fresh worker's
+        #: ETG construction -- give it more room than one step
+        self.ring_build_timeout = max(step_timeout, 20.0)
+        if self.allreduce != "root":
+            self._sockdir = tempfile.mkdtemp(prefix="repro-ring-")
         for rank in range(nodes):
             self._spawn(rank)
 
     # -- worker lifecycle ----------------------------------------------
     def _spawn(self, rank: int) -> None:
         parent, child = self._ctx.Pipe()
+        collective = None
+        if self.allreduce != "root":
+            # fresh socket path per incarnation: a crashed predecessor's
+            # bound path must never collide with the replacement's
+            address = os.path.join(
+                self._sockdir, f"w{rank}.g{self._spawn_gen}"
+            )
+            self._spawn_gen += 1
+            self._mesh.addresses[rank] = address
+            collective = {
+                "mode": self.allreduce,
+                "nodes": self.nodes,
+                "address": address,
+                "authkey": self._authkey,
+                "lr": self.opt.lr,
+                "momentum": self.opt.momentum,
+                "weight_decay": self.opt.weight_decay,
+                "bucket_bytes": self.bucket_bytes,
+                "hop_timeout": self.step_timeout,
+                "ring_timeout": self.ring_build_timeout,
+            }
         proc = self._ctx.Process(
             target=_worker_main,
             args=(child, self._topo_text, self._input_shape, self._seed,
-                  self.trace, rank, self.fault_plan),
+                  self.trace, rank, self.fault_plan, collective),
             daemon=True,
         )
         proc.start()
@@ -241,14 +520,15 @@ class ProcessParallelTrainer:
 
     def _respawn(self, rank: int) -> bool:
         """Bounded replacement of a failed worker.  The fresh process
-        resynchronizes through the next step's weight scatter (workers
-        are stateless between steps), so recovery needs no extra
-        broadcast round."""
+        resynchronizes through the next mesh rewire (collective modes)
+        or the per-step weight scatter (root mode)."""
         self._kill(rank)
+        self._mesh.stale = True
         if self._respawn_budget <= 0:
             return False
         self._respawn_budget -= 1
         self._spawn(rank)
+        self._mesh.needs_sync.add(rank)
         get_metrics().inc("resilience.respawns")
         return True
 
@@ -257,6 +537,13 @@ class ProcessParallelTrainer:
         return sum(
             1 for p in self._procs if p is not None and p.is_alive()
         )
+
+    def _live_ranks(self) -> list[int]:
+        return [
+            r for r in range(self.nodes)
+            if self._procs[r] is not None and self._procs[r].is_alive()
+            and self._conns[r] is not None
+        ]
 
     # -- timeout-guarded pipe I/O --------------------------------------
     def _send(self, rank: int, msg) -> None:
@@ -268,43 +555,102 @@ class ProcessParallelTrainer:
         except (BrokenPipeError, OSError) as err:
             raise WorkerFailure(rank, f"send failed ({err})") from err
 
-    def _recv(self, rank: int):
-        """Receive one reply, never blocking past ``step_timeout`` and
-        detecting a dead worker in at most ``_POLL_S`` seconds."""
+    @staticmethod
+    def _reply_matches(msg, want) -> bool:
+        if want is None:
+            return True
+        tags, key = want
+        return (
+            isinstance(msg, tuple)
+            and len(msg) >= 2
+            and msg[0] in tags
+            and msg[1] == key
+        )
+
+    def _classify(self, rank: int, msg, want):
+        """Return the message if it matches ``want``; silently discard a
+        stale-but-recognized reply (``None``); raise on garbage."""
+        if self._reply_matches(msg, want):
+            return msg
+        if isinstance(msg, tuple) and msg and msg[0] in _KNOWN_REPLIES:
+            return None  # a stale reply that raced an abort/rewire
+        raise WorkerFailure(rank, f"corrupt message ({msg!r:.120})")
+
+    def _recv(self, rank: int, want=None, timeout: float | None = None):
+        """Receive the reply matching ``want`` (``(tags, step-or-epoch)``;
+        ``None`` = first message), never blocking past the timeout and
+        detecting a dead worker in at most ``_POLL_S`` seconds.  A worker
+        that replied and *then* exited is not a failure: everything it
+        queued is drained before the death verdict."""
         conn, proc = self._conns[rank], self._procs[rank]
         if conn is None or proc is None:
             raise WorkerFailure(rank, "worker is down")
-        deadline = time.monotonic() + self.step_timeout
+        budget = self.step_timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
         while True:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise WorkerFailure(
                     rank,
-                    f"no reply within {self.step_timeout}s (hung worker)",
+                    f"no reply within {budget}s (hung worker)",
                 )
             try:
                 if conn.poll(min(_POLL_S, remaining)):
-                    return conn.recv()
+                    msg = self._classify(rank, conn.recv(), want)
+                    if msg is not None:
+                        return msg
+                    continue
             except (EOFError, OSError) as err:
                 raise WorkerFailure(
                     rank, f"pipe broke mid-step ({err})"
                 ) from err
             if not proc.is_alive():
-                # the worker may have replied and then exited: drain once
+                # the worker may have replied (possibly several queued
+                # messages: a stale ack plus the real reply) and then
+                # exited -- drain the whole queue before declaring death
                 try:
-                    if conn.poll(0):
-                        return conn.recv()
+                    while conn.poll(0):
+                        msg = self._classify(rank, conn.recv(), want)
+                        if msg is not None:
+                            return msg
                 except (EOFError, OSError):
                     pass
                 raise WorkerFailure(
                     rank, f"process died (exit code {proc.exitcode})"
                 )
 
-    def _validate_reply(self, rank: int, reply):
+    def _poll_worker(self, rank: int):
+        """One non-blocking look at a worker: ``("msg", m)``,
+        ``("dead", WorkerFailure)`` or ``None`` (nothing yet)."""
+        conn, proc = self._conns[rank], self._procs[rank]
+        if conn is None or proc is None:
+            return ("dead", WorkerFailure(rank, "worker is down"))
+        try:
+            if conn.poll(0):
+                return ("msg", conn.recv())
+        except (EOFError, OSError) as err:
+            return ("dead", WorkerFailure(rank, f"pipe broke ({err})"))
+        if not proc.is_alive():
+            try:
+                if conn.poll(0):
+                    return ("msg", conn.recv())
+            except (EOFError, OSError):
+                pass
+            return (
+                "dead",
+                WorkerFailure(
+                    rank, f"process died (exit code {proc.exitcode})"
+                ),
+            )
+        return None
+
+    def _validate_grads_reply(self, rank: int, reply):
         """Typed rejection of corrupt messages (never a downstream
         TypeError/ValueError deep in the all-reduce)."""
         try:
-            grads, loss, acc, payload = reply
+            tag, step, grads, loss, acc, payload = reply
+            if tag != "grads":
+                raise ValueError(f"unexpected tag {tag!r}")
             if len(grads) != len(self.params):
                 raise ValueError(
                     f"{len(grads)} gradient tensors, expected "
@@ -319,18 +665,26 @@ class ProcessParallelTrainer:
                 rank, f"corrupt message ({err})"
             ) from err
 
+    def _ingest_payload(self, payload) -> None:
+        if payload is not None:
+            get_tracer().ingest(payload["events"], pid=payload["pid"])
+            get_metrics().merge(payload["metrics"])
+
     # ------------------------------------------------------------------
     def _recompute_shard(self, x: np.ndarray, labels: np.ndarray):
         """Re-run a lost shard on the root replica.  The root's params
-        still hold exactly the weights scattered this step (the SGD step
-        happens after the all-reduce), so the result is bit-identical to
-        what the failed worker would have returned."""
+        still hold exactly the step's starting weights (the SGD step
+        happens at the commit barrier, after the all-reduce), so the
+        result is bit-identical to what the failed worker computed."""
         loss = self.root.train_step(x, labels)
         acc = self.root.accuracy()
         return [g.copy() for g in self.root.grads()], float(loss), float(acc)
 
     def train_step(self, x: np.ndarray, labels: np.ndarray) -> float:
-        """Scatter -> compute -> all-reduce -> step -> (implicit) broadcast.
+        """One data-parallel step.  Collective modes: dispatch ->
+        overlapped all-reduce -> commit barrier; ring repair + degraded
+        completion on any failure.  Root mode (and the fallback when the
+        mesh cannot cover every rank): scatter -> compute -> root fold.
 
         Survives worker failures mid-step: the step completes degraded
         (recompute or rescale), failed ranks are respawned afterwards,
@@ -338,13 +692,281 @@ class ProcessParallelTrainer:
         """
         step = self.iteration
         shards = np.array_split(np.arange(len(labels)), self.nodes)
-        weights = [p.copy() for p in self.params]
+        if self.allreduce == "root":
+            return self._train_step_root(step, x, labels, shards)
+        if len(self._live_ranks()) < self.nodes:
+            # a rank is down (respawn budget exhausted, or it died since
+            # last step): the mesh cannot cover every shard, so fall
+            # back to the blocking root fold -- same mode-aware fold,
+            # so a recompute-policy run stays bit-identical
+            get_metrics().inc("collective.rootsteps")
+            return self._train_step_root(step, x, labels, shards)
         failed: dict[int, WorkerFailure] = {}
+        if not self._ensure_mesh(failed):
+            for rank in sorted(failed):
+                self._kill(rank)
+            get_metrics().inc("collective.rootsteps")
+            return self._train_step_root(
+                step, x, labels, shards, prefailed=failed
+            )
+        return self._train_step_collective(step, x, labels, shards)
+
+    # -- mesh / sync ----------------------------------------------------
+    def _ensure_mesh(self, failed: dict) -> bool:
+        """Bring every worker's replica and peer mesh up to date.  On
+        any failure the offending ranks land in ``failed`` and the
+        caller falls back to a root-fold step."""
+        mesh = self._mesh
+        if not mesh.stale and not mesh.needs_sync:
+            return True
+        try:
+            for rank in sorted(mesh.needs_sync):
+                self._send(rank, ("sync", self.params, self.opt._velocity))
+            get_metrics().inc("collective.syncs", len(mesh.needs_sync))
+            mesh.needs_sync = set()
+            epoch = mesh.epoch + 1
+            for rank in range(self.nodes):
+                self._send(
+                    rank, ("ring", epoch, self.allreduce, mesh.addresses)
+                )
+            for rank in range(self.nodes):
+                ack = self._recv(
+                    rank, want=(("ringok", "ringfail"), epoch),
+                    timeout=self.ring_build_timeout,
+                )
+                if ack[0] != "ringok":
+                    raise WorkerFailure(
+                        rank, f"mesh build failed: {ack[2]}"
+                    )
+            mesh.epoch = epoch
+            mesh.stale = False
+            get_metrics().inc("collective.rebuilds")
+            return True
+        except WorkerFailure as f:
+            failed[f.rank] = f
+            mesh.stale = True
+            mesh.epoch += 1  # invalidate anything the half-built mesh sent
+            return False
+
+    # -- collective step ------------------------------------------------
+    def _train_step_collective(self, step, x, labels, shards) -> float:
+        mesh = self._mesh
+        culprits: dict[int, WorkerFailure] = {}
+        pending = set(range(self.nodes))
+        dones: dict[int, tuple] = {}
+        cerrs: list[dict] = []
+        grace = None
+        avg = None
         for rank in range(self.nodes):
+            try:
+                self._send(rank, ("step", step, mesh.epoch,
+                                  x[shards[rank]], labels[shards[rank]]))
+            except WorkerFailure as f:
+                culprits[rank] = f
+                pending.discard(rank)
+        # wait: every rank reports done, or anyone reports/becomes a
+        # failure -- compute plus the slowest hop-timeout cascade (a
+        # broadcast-phase wait is 2x the hop timeout), with margin
+        deadline = time.monotonic() + self.step_timeout * 3 + 2
+        while pending and not culprits:
+            if cerrs:
+                # definitive evidence (EOF, CRC, stale epoch, NaN) names
+                # the culprit outright; a hop *timeout* only implicates a
+                # neighbour, and a hung rank stalls its whole downstream
+                # cascade -- so the first timeout report opens a grace
+                # window long enough for every healthy rank's own wait
+                # (up to 2x the hop timeout on broadcast legs) to expire
+                # and report, after which the silent accused stand out
+                if any(c["kind"] != "timeout" for c in cerrs):
+                    break
+                if time.monotonic() > grace:
+                    break
+            progressed = False
+            for rank in sorted(pending):
+                got = self._poll_worker(rank)
+                if got is None:
+                    continue
+                progressed = True
+                if got[0] == "dead":
+                    culprits[rank] = got[1]
+                    pending.discard(rank)
+                    break
+                msg = got[1]
+                try:
+                    msg = self._classify(
+                        rank, msg, (("done", "cerr"), step)
+                    )
+                except WorkerFailure as f:
+                    culprits[rank] = f
+                    pending.discard(rank)
+                    break
+                if msg is None:
+                    continue  # stale reply from before a repair
+                if msg[0] == "done":
+                    _, _, loss_r, acc_r, payload, stats, rank_avg = msg
+                    self._ingest_payload(payload)
+                    dones[rank] = (loss_r, acc_r, stats)
+                    if rank_avg is not None:
+                        avg = rank_avg
+                    pending.discard(rank)
+                else:  # cerr
+                    cerrs.append({"rank": rank, "kind": msg[3],
+                                  "culprit": msg[4], "detail": msg[5]})
+                    pending.discard(rank)
+                    if grace is None:
+                        grace = (time.monotonic()
+                                 + self.step_timeout * 2 + 0.5)
+            if not progressed:
+                if time.monotonic() > max(deadline, grace or 0):
+                    for rank in sorted(pending):
+                        culprits[rank] = WorkerFailure(
+                            rank, "no collective result within budget"
+                        )
+                    pending.clear()
+                    break
+                time.sleep(_POLL_S)
+        if culprits or cerrs:
+            return self._repair_and_complete(
+                step, x, labels, shards, culprits, cerrs, dones
+            )
+        # -- healthy commit barrier -------------------------------------
+        m = get_metrics()
+        if avg is None:  # pragma: no cover - defensive
+            return self._repair_and_complete(
+                step, x, labels, shards,
+                {0: WorkerFailure(0, "no average reported")}, [], dones,
+            )
+        ok = self.watchdog.check(avg, node="collective", step=step)
+        if not ok:
+            # never half-apply: abort instead of committing, discard the
+            # survivors' grads replies, and skip the step everywhere
+            mesh.stale = True
+            mesh.epoch += 1
+            _, afails = self._abort_collect(step, set(), collect=False)
+            self.watchdog.skipped()
+            for rank in sorted(afails):
+                self._respawn(rank)
+            self._finish_step_accounting(step, shards, {
+                r: (d[0], d[1]) for r, d in dones.items()
+            })
+            return self.metrics.losses[-1]
+        postfail: dict[int, WorkerFailure] = {}
+        for rank in range(self.nodes):
+            try:
+                self._send(rank, ("commit", step))
+            except WorkerFailure as f:
+                postfail[rank] = f
+        self.opt.step([np.asarray(g) for g in avg])
+        for rank, (_, _, stats) in dones.items():
+            m.inc("collective.buckets", stats.get("buckets", 0))
+            m.inc("collective.hops", stats.get("hops", 0))
+            m.inc("collective.bytes", stats.get("bytes", 0))
+            m.inc("collective.stale_dropped", stats.get("stale_dropped", 0))
+            m.observe("collective.exposed_ms", stats.get("exposed_ms", 0.0))
+            m.observe("collective.overlap_ms", stats.get("overlap_ms", 0.0))
+        m.inc("collective.steps")
+        if postfail:
+            # a worker died between its done and the commit: its replica
+            # missed the update, so it must be resynced from scratch
+            self.failures.extend(postfail[r] for r in sorted(postfail))
+            for rank in sorted(postfail):
+                self._respawn(rank)
+        self._finish_step_accounting(step, shards, {
+            r: (d[0], d[1]) for r, d in dones.items()
+        })
+        return self.metrics.losses[-1]
+
+    def _abort_collect(self, step, exclude: set, collect: bool = True):
+        """Broadcast ``abort`` and (optionally) gather every surviving
+        worker's local shard gradients; returns ``{rank: (grads, loss,
+        acc)}`` plus the ranks that failed while collecting."""
+        collected: dict[int, tuple] = {}
+        failures: dict[int, WorkerFailure] = {}
+        live = [r for r in self._live_ranks() if r not in exclude]
+        for rank in live:
+            try:
+                self._send(rank, ("abort", step))
+            except WorkerFailure as f:
+                failures[rank] = f
+        for rank in live:
+            if rank in failures:
+                continue
+            try:
+                reply = self._recv(
+                    rank, want=(("grads",), step),
+                    timeout=self.step_timeout * 1.5 + 1,
+                )
+                grads, loss_r, acc_r, payload = self._validate_grads_reply(
+                    rank, reply
+                )
+            except WorkerFailure as f:
+                failures[rank] = f
+                continue
+            if collect:
+                self._ingest_payload(payload)
+                collected[rank] = (grads, loss_r, acc_r)
+        return collected, failures
+
+    def _repair_and_complete(self, step, x, labels, shards, culprits,
+                             cerrs, dones) -> float:
+        """Ring repair: epoch bump, culprit kill, survivor grad
+        collection over the root pipes, degraded completion."""
+        mesh = self._mesh
+        m = get_metrics()
+        m.inc("collective.aborts")
+        mesh.epoch += 1  # in-flight buckets of the old epoch are stale
+        mesh.stale = True
+        numerics = any(c["kind"] == "numerics" for c in cerrs)
+        for c in cerrs:
+            m.inc(f"collective.errors.{c['kind']}")
+        if cerrs and not numerics:
+            # a rank that reported (or finished) was demonstrably making
+            # progress: the real culprit is whoever was accused yet stayed
+            # silent through the grace window.  A pile-up of timeout
+            # reports otherwise blames the first accused's own victim.
+            reporters = {c["rank"] for c in cerrs}
+            accused = [c for c in cerrs if c["culprit"] is not None]
+            guilty = [c for c in accused
+                      if c["culprit"] not in reporters
+                      and c["culprit"] not in dones] or accused[:1]
+            for c in guilty:
+                blamed = c["culprit"]
+                culprits.setdefault(blamed, WorkerFailure(
+                    blamed,
+                    f"collective {c['kind']}: {c['detail']}",
+                ))
+        # the culprit's collective state is untrusted: reap it (numerics
+        # reporters stay -- their process is healthy and their gradients
+        # are needed for per-rank watchdog attribution)
+        for rank in sorted(culprits):
+            self._kill(rank)
+        collected, fails = self._abort_collect(step, set(culprits))
+        culprits.update(fails)
+        for rank in sorted(fails):
+            self._kill(rank)
+        results: list[Optional[tuple]] = [None] * self.nodes
+        for rank, res in collected.items():
+            results[rank] = res
+        return self._complete_degraded(
+            step, x, labels, shards, results, culprits,
+            count_degraded=bool(culprits), broadcast=True,
+        )
+
+    # -- root-fold path (legacy mode + fallback) ------------------------
+    def _train_step_root(self, step, x, labels, shards,
+                         prefailed: dict | None = None) -> float:
+        """Blocking scatter/compute/gather through the root: stateless
+        workers receive this step's weights with their shard."""
+        failed: dict[int, WorkerFailure] = dict(prefailed or {})
+        weights = [p.copy() for p in self.params]
+        for rank in range(self.nodes):
+            if rank in failed:
+                continue
             try:
                 self._send(
                     rank,
-                    (step, weights, x[shards[rank]], labels[shards[rank]]),
+                    ("wstep", step, weights, x[shards[rank]],
+                     labels[shards[rank]]),
                 )
             except WorkerFailure as f:
                 failed[rank] = f
@@ -353,28 +975,52 @@ class ProcessParallelTrainer:
             if rank in failed:
                 continue
             try:
-                reply = self._recv(rank)
-                grads, loss_r, acc_r, payload = self._validate_reply(
+                reply = self._recv(rank, want=(("grads",), step))
+                grads, loss_r, acc_r, payload = self._validate_grads_reply(
                     rank, reply
                 )
             except WorkerFailure as f:
                 failed[rank] = f
                 self._kill(rank)
                 continue
-            if payload is not None:
-                get_tracer().ingest(payload["events"], pid=payload["pid"])
-                get_metrics().merge(payload["metrics"])
+            self._ingest_payload(payload)
             results[rank] = (grads, loss_r, acc_r)
-        if failed:
+        # stateless workers' replicas now diverge from the root (they
+        # never see this step's update): resync before any collective
+        if self.allreduce != "root":
+            self._mesh.reset_all()
+        return self._complete_degraded(
+            step, x, labels, shards, results, failed,
+            count_degraded=bool(failed), broadcast=False,
+        )
+
+    # -- shared degraded/root completion --------------------------------
+    def _complete_degraded(self, step, x, labels, shards, results, failed,
+                           *, count_degraded, broadcast) -> float:
+        """Finish a step from per-rank shard gradients: degrade policy,
+        numerics watchdog (per-rank attribution), the mode's
+        deterministic fold, the optimizer commit, respawns."""
+        # a rank can die *unblamed*: the wait loop stops at the first
+        # detected culprit, so a simultaneous casualty elsewhere in the
+        # ring shows up only as a missing result here.  It must still be
+        # failed -- recompute covers its shard (bit-identity), rescale
+        # excludes it *explicitly* -- never silently dropped from the
+        # fold divisor and the loss weighting
+        for rank, res in enumerate(results):
+            if res is None and rank not in failed:
+                failed[rank] = WorkerFailure(
+                    rank, f"no shard gradients for step {step} "
+                    "(died unblamed mid-collective)"
+                )
+                count_degraded = True
+        if failed and count_degraded:
             get_metrics().inc("resilience.degraded_steps")
-            self.failures.extend(
-                failed[rank] for rank in sorted(failed)
-            )
-            if self.degrade_policy == "recompute":
-                for rank in sorted(failed):
-                    results[rank] = self._recompute_shard(
-                        x[shards[rank]], labels[shards[rank]]
-                    )
+            self.failures.extend(failed[rank] for rank in sorted(failed))
+        if failed and self.degrade_policy == "recompute":
+            for rank in sorted(failed):
+                results[rank] = self._recompute_shard(
+                    x[shards[rank]], labels[shards[rank]]
+                )
         # numerics watchdog: attribute divergence to the worker rank
         ok = True
         for rank, res in enumerate(results):
@@ -382,46 +1028,65 @@ class ProcessParallelTrainer:
                 ok = self.watchdog.check(
                     res[0], node=f"worker{rank}", step=step
                 ) and ok
-        # all-reduce folded in rank order -- the same accumulation order
-        # as a healthy run, so recovered numerics stay bit-identical
-        acc_grads: Optional[list[np.ndarray]] = None
-        loss = acc = 0.0
-        n_samples = contributing = 0
+        shard_grads = []
+        contributors: dict[int, tuple] = {}
         for rank, res in enumerate(results):
             if res is None:
                 continue
-            grads, loss_r, acc_r = res
-            n = len(shards[rank])
-            loss += loss_r * n
-            acc += acc_r * n
-            n_samples += n
-            contributing += 1
-            if acc_grads is None:
-                acc_grads = grads
-            else:
-                for g0, g1 in zip(acc_grads, grads):
-                    g0 += g1
-        if acc_grads is None:
+            shard_grads.append(res[0])
+            contributors[rank] = (res[1], res[2])
+        if not shard_grads:
+            # every worker failed: heal (bounded) *before* propagating,
+            # otherwise the fleet stays permanently dead and every
+            # subsequent step is doomed
+            for rank in sorted(failed):
+                self._respawn(rank)
             raise WorkerFailure(
                 -1, f"step {step}: every worker failed "
                 f"({[str(f) for f in failed.values()]})"
             )
         if ok:
-            for g in acc_grads:
-                g /= contributing
-            self.opt.step(acc_grads)
+            avg = fold_gradients(
+                self.allreduce, shard_grads, len(shard_grads)
+            )
+            self.opt.step(avg)
+            if broadcast:
+                # keep the surviving replicas' weights in lockstep: they
+                # apply the same average inside the same barrier
+                for rank in list(contributors):
+                    if rank in failed or self._procs[rank] is None:
+                        continue  # this shard was recomputed at the root
+                    try:
+                        self._send(
+                            rank, ("commit_degraded", step, avg)
+                        )
+                    except WorkerFailure as f:
+                        failed[rank] = f
+                        self._kill(rank)
         else:
             self.watchdog.skipped()
-        loss /= n_samples
-        acc /= n_samples
-        self.metrics.losses.append(float(loss))
-        self.metrics.accuracies.append(float(acc))
-        # heal: bounded respawn; the fresh worker resyncs next scatter
+            if broadcast:
+                self._mesh.stale = True
         for rank in sorted(failed):
             self._respawn(rank)
+        self._finish_step_accounting(step, shards, contributors)
+        return self.metrics.losses[-1]
+
+    def _finish_step_accounting(self, step, shards, contributors) -> None:
+        loss = acc = 0.0
+        n_samples = 0
+        for rank, (loss_r, acc_r) in contributors.items():
+            n = len(shards[rank])
+            loss += loss_r * n
+            acc += acc_r * n
+            n_samples += n
+        if n_samples:
+            loss /= n_samples
+            acc /= n_samples
+        self.metrics.losses.append(float(loss))
+        self.metrics.accuracies.append(float(acc))
         self.iteration += 1
         self._maybe_autosave()
-        return float(loss)
 
     def fit(self, dataset, batch_size: int, epochs: int = 1) -> TrainMetrics:
         skip, self._resume_skip = self._resume_skip, 0
@@ -463,8 +1128,9 @@ class ProcessParallelTrainer:
         )
 
     def resume(self, path_or_file) -> int:
-        """Restore a :meth:`save`d checkpoint exact-to-the-step; workers
-        resynchronize through the next step's weight scatter."""
+        """Restore a :meth:`save`d checkpoint exact-to-the-step; worker
+        replicas resynchronize at the next mesh rewire (collective) or
+        weight scatter (root mode)."""
         from repro.gxm.checkpoint import load_training_checkpoint
 
         ck = load_training_checkpoint(path_or_file, self.root, self.opt)
@@ -474,6 +1140,7 @@ class ProcessParallelTrainer:
         self.metrics.accuracies = list(ck.accuracies)
         if ck.rng_state and "shuffle_seed" in ck.rng_state:
             self.shuffle_seed = ck.rng_state["shuffle_seed"]
+        self._mesh.reset_all()
         return ck.step
 
     # ------------------------------------------------------------------
@@ -502,6 +1169,9 @@ class ProcessParallelTrainer:
                 proc.join(timeout=5)
         self._conns = []
         self._procs = []
+        if self._sockdir is not None:
+            shutil.rmtree(self._sockdir, ignore_errors=True)
+            self._sockdir = None
 
     def __enter__(self) -> "ProcessParallelTrainer":
         return self

@@ -21,6 +21,16 @@ same counters: ``resilience.faults_injected``, ``resilience.respawns``,
 ``serve.tier_degraded`` and ``serve.artifact_rejected`` on each
 :class:`~repro.serve.server.InferenceServer`'s private registry.
 
+So does the overlapped all-reduce (:mod:`repro.collective`):
+``collective.steps`` / ``.buckets`` / ``.bytes`` / ``.hops`` count the
+healthy gradient exchange, ``collective.syncs`` / ``.rebuilds`` /
+``.aborts`` / ``.rootsteps`` / ``.stale_dropped`` /
+``.errors.<kind>`` the repair machinery, and every worker observes
+per-step ``collective.overlap_ms`` vs ``collective.exposed_ms``
+distributions (communication hidden under backward vs paid after it)
+with matching ``collective.step`` / ``collective.exposed`` spans --
+all merged into the root registry/tracer after each step.
+
 Quick start::
 
     from repro import obs

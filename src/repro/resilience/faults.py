@@ -54,6 +54,17 @@ site                    kinds honoured there
                         comparison; the validator must reject the
                         candidate (it never enters the tuning database)
                         and the search continues with the next finalist
+``collective.hop``      ``crash`` / ``hang`` / ``corrupt_message`` /
+                        ``slow`` inside the peer-to-peer all-reduce
+                        (:mod:`repro.collective`), filtered by ``rank``
+                        **and** ``bucket`` -- the fault fires just
+                        before the chosen rank forwards the chosen
+                        gradient bucket, so any ring/tree position x
+                        early/late-bucket combination is reachable
+``mp.worker.reply``     ``crash`` -- the training worker exits
+                        immediately *after* its reply is queued on the
+                        pipe (the replied-then-died race the root's
+                        drain loop must tolerate)
 ======================  ====================================================
 
 Injected faults count into ``resilience.faults_injected``.
@@ -116,7 +127,8 @@ class FaultSpec:
     bounds how many times; ``probability`` < 1 draws from the plan's
     seeded RNG, so stochastic campaigns stay reproducible.  ``param``
     selects which tensor a ``nan_grad`` poisons; ``delay_s`` how long a
-    ``slow`` fault stalls its call site.
+    ``slow`` fault stalls its call site; ``bucket`` (``None`` = any)
+    narrows collective-site faults to one gradient bucket.
     """
 
     site: str
@@ -127,6 +139,7 @@ class FaultSpec:
     probability: float = 1.0
     param: int = 0
     delay_s: float = 0.05
+    bucket: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -177,9 +190,14 @@ class FaultInjector:
         )
 
     def fire(
-        self, site: str, *, step: int | None = None, rank: int | None = None
+        self,
+        site: str,
+        *,
+        step: int | None = None,
+        rank: int | None = None,
+        bucket: int | None = None,
     ) -> FaultSpec | None:
-        """The matching armed fault for this (site, step, rank), if any."""
+        """The matching armed fault for this (site, step, rank, bucket)."""
         if self.plan is None:
             return None
         with self._lock:
@@ -189,6 +207,8 @@ class FaultInjector:
                 if spec.step is not None and step != spec.step:
                     continue
                 if spec.rank is not None and rank != spec.rank:
+                    continue
+                if spec.bucket is not None and bucket != spec.bucket:
                     continue
                 if spec.probability < 1.0 and (
                     self._rng.random() >= spec.probability

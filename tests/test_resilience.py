@@ -342,6 +342,44 @@ class TestProcessParallelFaultMatrix:
 
 
 # ---------------------------------------------------------------------------
+class TestMidCollectiveFaults:
+    """Faults fired *inside* the overlapped all-reduce (site
+    ``collective.hop``: a hop send, not a whole worker step).  The full
+    position x bucket matrix lives in tests/test_collective.py; this is
+    the fault-matrix anchor -- one kill and one hang mid-ring must
+    complete the step degraded with bit-identical recovery."""
+
+    def _run(self, ds, plan=None, **kw):
+        kw.setdefault("step_timeout", kw.pop("timeout", 15.0))
+        t = ProcessParallelTrainer(
+            tiny_topology(), (2, *SHAPE), nodes=3, seed=0,
+            fault_plan=plan, bucket_bytes=1024, **kw,
+        )
+        try:
+            t.fit(ds, batch_size=2, epochs=1)
+            return t, weights_of(t.root), list(t.metrics.losses)
+        finally:
+            t.close()
+
+    @pytest.mark.parametrize("kind,rank,timeout",
+                             [("crash", 1, 15.0), ("hang", 2, 2.0)])
+    def test_hop_fault_recovers_bit_identical(self, clean_metrics, kind,
+                                              rank, timeout):
+        ds = tiny_dataset(n=18)
+        _, ref_w, ref_losses = self._run(ds)
+        get_metrics().clear()
+        plan = FaultPlan(specs=(FaultSpec(
+            site="collective.hop", kind=kind, step=1, rank=rank, bucket=0,
+        ),))
+        t, w, losses = self._run(ds, plan, timeout=timeout)
+        assert clean_metrics.value("collective.aborts") == 1
+        assert clean_metrics.value("resilience.degraded_steps") == 1
+        assert [f.rank for f in t.failures] == [rank]
+        assert losses == ref_losses
+        assert all(np.array_equal(a, b) for a, b in zip(ref_w, w))
+
+
+# ---------------------------------------------------------------------------
 class TestTrainerWatchdog:
     def test_trainer_grads_site_raises(self, clean_metrics):
         plan = FaultPlan(
