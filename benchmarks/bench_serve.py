@@ -29,6 +29,11 @@ Three measurements, one JSON report:
    verified stream bundle at 1/2/4/8 replicas: per-replica
    ``serve.boot.warm_ms`` must stay flat as the fleet grows (the
    bundle is loaded and verified once, not once per replica).
+7. **Flight-recorder overhead** -- identical closed-loop load with the
+   :mod:`repro.forensics` recorder disabled vs enabled (admission +
+   batch events per request).  The record path is one GIL-atomic deque
+   append, so the p50 delta must stay inside noise;
+   ``--max-recorder-overhead 0.02`` gates it at 2%.
 
 Run as a plain script (not pytest -- the timing loop is its own harness)::
 
@@ -368,6 +373,76 @@ def bench_fleet_boot(cfg: ServeConfig, replica_counts) -> dict:
     }
 
 
+def bench_recorder_overhead(
+    cfg: ServeConfig, requests: int, clients: int, rounds: int,
+) -> dict:
+    """Identical closed-loop load, flight recorder off vs on.
+
+    Runs back-to-back off/on pairs for ``rounds`` rounds and takes the
+    *median of the per-round paired overheads*: adjacent runs see
+    nearly the same background load, so pairing cancels machine-load
+    drift and the median discards an unlucky round -- scheduler noise
+    on small runners easily exceeds the effect being measured (one
+    GIL-atomic deque append per recorded event).
+    """
+    from dataclasses import replace
+
+    from repro.forensics import disable, get_recorder
+
+    def _run(config: ServeConfig) -> dict:
+        server = InferenceServer(config)
+        server.start()
+        try:
+            rep = run_closed_loop(
+                server, clients=clients, requests=requests, seed=17
+            )
+        finally:
+            server.stop()
+        return rep.latency_ms
+
+    off_runs, on_runs = [], []
+    try:
+        _run(replace(cfg, recorder=0))  # warm-up: JIT + allocator caches
+        for _ in range(rounds):
+            disable()
+            off_runs.append(_run(replace(cfg, recorder=0)))
+            on_runs.append(_run(replace(cfg, recorder=4096)))
+    finally:
+        # the recorder knob arms the process-wide singleton; put it back
+        disable()
+        get_recorder().clear()
+
+    def _paired_overhead(key: str) -> float:
+        deltas = sorted(
+            (on[key] - off[key]) / off[key]
+            for off, on in zip(off_runs, on_runs) if off[key]
+        )
+        return deltas[len(deltas) // 2] if deltas else 0.0
+
+    off_p50 = min(r["p50"] for r in off_runs)
+    on_p50 = min(r["p50"] for r in on_runs)
+    off_p99 = min(r["p99"] for r in off_runs)
+    on_p99 = min(r["p99"] for r in on_runs)
+    row = {
+        "requests": requests,
+        "clients": clients,
+        "rounds": rounds,
+        "disabled_p50_ms": off_p50,
+        "enabled_p50_ms": on_p50,
+        "disabled_p99_ms": off_p99,
+        "enabled_p99_ms": on_p99,
+        "p50_overhead": _paired_overhead("p50"),
+        "p99_overhead": _paired_overhead("p99"),
+    }
+    print(
+        f"  recorder OFF: p50 {off_p50:6.2f}ms  p99 {off_p99:6.2f}ms\n"
+        f"  recorder ON : p50 {on_p50:6.2f}ms  p99 {on_p99:6.2f}ms  "
+        f"(p50 {row['p50_overhead'] * 100:+.2f}%, "
+        f"p99 {row['p99_overhead'] * 100:+.2f}%)"
+    )
+    return row
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--requests", type=int, default=256,
@@ -387,6 +462,10 @@ def main(argv=None) -> int:
                          "throughput is below this (only meaningful on "
                          "multi-core runners; bitwise identity and the "
                          "zero-copy hot path are always enforced)")
+    ap.add_argument("--max-recorder-overhead", type=float, default=0.0,
+                    help="fail if the flight-recorder-enabled p50 exceeds "
+                         "the disabled p50 by more than this fraction "
+                         "(acceptance bar: 0.02 = 2%%)")
     args = ap.parse_args(argv)
 
     requests = 64 if args.quick else args.requests
@@ -448,6 +527,15 @@ def main(argv=None) -> int:
         else replica_counts,
     )
 
+    print("flight-recorder overhead (fast engine, closed loop):")
+    # moderate concurrency: at heavy oversubscription on small runners
+    # scheduler noise is 5-10x the effect being measured
+    recorder = bench_recorder_overhead(
+        fast_cfg, 64 if args.quick else min(requests, 128),
+        clients=min(4, client_counts[-1]),
+        rounds=3 if args.quick else 5,
+    )
+
     import os
 
     from repro.arch.machine import machine_by_name
@@ -474,6 +562,7 @@ def main(argv=None) -> int:
         "tiers": tiers,
         "fleet": fleet,
         "fleet_boot": fleet_boot,
+        "recorder": recorder,
     }
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
@@ -535,6 +624,17 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 1
+    if (args.max_recorder_overhead
+            and recorder["p50_overhead"] > args.max_recorder_overhead):
+        print(
+            f"FAIL: flight-recorder p50 overhead "
+            f"{recorder['p50_overhead'] * 100:.2f}% > allowed "
+            f"{args.max_recorder_overhead * 100:.2f}% "
+            f"({recorder['disabled_p50_ms']:.2f}ms -> "
+            f"{recorder['enabled_p50_ms']:.2f}ms)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -14,7 +14,9 @@ The public API groups into four levels:
   every table and figure of the paper (:mod:`repro.perf`,
   :mod:`repro.baselines`, :mod:`repro.models`, :mod:`repro.cachesim`).
 * **Observability** -- tracing spans and metrics threaded through all of
-  the above (:mod:`repro.obs`; ``python -m repro profile``).
+  the above (:mod:`repro.obs`; ``python -m repro profile``), plus the
+  flight recorder and incident bundles of :mod:`repro.forensics`
+  (``python -m repro incident``).
 
 Quick start::
 
@@ -28,7 +30,7 @@ Quick start::
     y = conv.run_nchw(x, w)   # blocked layout + JIT'ed streams inside
 """
 
-from repro import collective, obs
+from repro import collective, forensics, obs
 from repro.arch.machine import KNM, SKX, MachineConfig, machine_by_name
 from repro.conv.backward import DirectConvBackward
 from repro.conv.engine import ConvEngine, make_engine
@@ -77,8 +79,9 @@ __all__ = [
     "machine_by_name",
     # fault-tolerant overlapped all-reduce (repro.collective)
     "collective",
-    # observability
+    # observability + forensics
     "obs",
+    "forensics",
     "Tracer",
     "MetricsRegistry",
     "get_tracer",

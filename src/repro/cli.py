@@ -23,6 +23,9 @@ command                   what it does
                           validated winners into a tuning database that
                           ``make_engine(tuned=...)`` / ``serve --tune-db``
                           consult
+``incident``              list / inspect / diff / deterministically replay
+                          :mod:`repro.forensics` incident bundles captured
+                          by trainers and servers
 ========================  ====================================================
 
 Examples::
@@ -36,6 +39,8 @@ Examples::
     python -m repro serve --engine blocked --save-streams /tmp/streams.npz
     python -m repro loadgen --mode open --rate 200 --duration 2
     python -m repro tune --layers 2,4,8 --db tune.json
+    python -m repro incident list --dir incidents
+    python -m repro incident replay incidents/incident_train_1234_0000
 """
 
 from __future__ import annotations
@@ -223,6 +228,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-validate", action="store_true",
                    help="skip bit-exact validation (winners are then NOT "
                         "recorded into the database)")
+
+    p = sub.add_parser(
+        "incident",
+        help="list / inspect / diff / replay forensics incident bundles",
+    )
+    p.add_argument("action", choices=["list", "show", "replay", "diff"],
+                   help="list a directory of bundles; show one bundle's "
+                        "manifest; replay one bundle asserting bitwise "
+                        "identity; diff two bundles field by field")
+    p.add_argument("bundle", nargs="*",
+                   help="bundle path(s): none for list (uses --dir), one "
+                        "for show/replay, two for diff")
+    p.add_argument("--dir", default="incidents",
+                   help="incident directory scanned by 'list' "
+                        "(default: ./incidents)")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip digest verification in 'show' (inspect a "
+                        "corrupt bundle; replay always verifies)")
 
     p = sub.add_parser("disasm", help="print one JIT'ed kernel's µops")
     p.add_argument("--layer", type=int, default=8, choices=range(1, 21),
@@ -621,6 +644,68 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_incident(args) -> int:
+    import json
+
+    from repro.forensics import (
+        ReplayMismatch,
+        diff_incidents,
+        list_incidents,
+        load_incident,
+        replay_incident,
+    )
+    from repro.types import ReproError
+
+    def _paths(n: int) -> list[str]:
+        if len(args.bundle) != n:
+            raise ReproError(
+                f"incident {args.action} takes exactly {n} bundle "
+                f"path(s), got {len(args.bundle)}"
+            )
+        return args.bundle
+
+    if args.action == "list":
+        rows = list_incidents(args.dir)
+        if not rows:
+            print(f"no incident bundles under {args.dir}")
+            return 0
+        for r in rows:
+            if not r["valid"]:
+                print(f"BAD {r['name']}  {r['error']}")
+                continue
+            err = (f"{r['error']}: {r['message']}" if r["error"]
+                   else "(manual dump)")
+            print(f"ok  {r['name']}  kind={r['kind']}  {err}  "
+                  f"tensors={','.join(r['tensors']) or '-'}")
+        return 0
+
+    if args.action == "show":
+        (path,) = _paths(1)
+        doc = load_incident(path, verify=not args.no_verify)
+        m = dict(doc["manifest"])
+        m["events"] = {k: len(v) for k, v in doc["events"].items()}
+        m["tensor_shapes"] = {
+            k: list(v.shape) for k, v in sorted(doc["tensors"].items())
+        }
+        print(json.dumps(m, indent=2, sort_keys=True))
+        return 0
+
+    if args.action == "diff":
+        a, b = _paths(2)
+        rep = diff_incidents(a, b)
+        print(json.dumps(rep, indent=2, sort_keys=True))
+        return 0 if rep["same"] else 1
+
+    (path,) = _paths(1)
+    try:
+        rep = replay_incident(path)
+    except ReplayMismatch as err:
+        print(f"REPLAY MISMATCH: {err}")
+        return 1
+    print(json.dumps(rep, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_disasm(args) -> int:
     from repro.arch.disasm import disassemble, summarize_program
     from repro.arch.machine import machine_by_name
@@ -654,6 +739,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
         "tune": _cmd_tune,
+        "incident": _cmd_incident,
     }[args.command](args)
 
 

@@ -40,6 +40,7 @@ import threading
 import time
 
 from repro.collective.channels import decode_bucket, send_bucket
+from repro.forensics.recorder import get_recorder
 from repro.collective.errors import (
     CollectiveError,
     CorruptBucket,
@@ -326,6 +327,13 @@ class AllReduceEngine:
             self._t_first_send = time.monotonic()
         self.stats["bytes"] += n
         self.stats["hops"] += 1
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record(
+                "collective.hop", step=self.step, epoch=self.epoch,
+                bucket=spec.bucket_id, kind=kind, rank=self.rank,
+                peer=prank, bytes=n,
+            )
 
     def _store(self, spec, arrays) -> None:
         for idx, a in zip(spec.indices, arrays):

@@ -1,0 +1,66 @@
+"""repro.forensics -- the black-box flight recorder + incident replay.
+
+Every other subsystem promises bitwise determinism; this package makes
+failures *inherit* that promise.  Three pieces:
+
+* :class:`FlightRecorder` (:mod:`.recorder`) -- a lock-cheap bounded
+  ring of recent structured events (admissions, batch compositions,
+  collective hops, tier degrades, fault firings, checkpoint/reload
+  lifecycle), one singleton per process, branch-cheap when disabled --
+  the same contract as :mod:`repro.obs`.  Worker-process rings drain to
+  the parent through the payload that already carries tracer spans.
+* :class:`IncidentWriter` (:mod:`.bundle`) -- on every typed failure
+  (:class:`~repro.resilience.WorkerFailure`,
+  :class:`~repro.collective.CollectiveError`,
+  :class:`~repro.serve.CanaryError`,
+  :class:`~repro.serve.SlotCorruption`,
+  :class:`~repro.resilience.DivergenceError`) or an explicit
+  ``POST /admin/dump``, an atomic digest-verified bundle directory:
+  config + fingerprints, the active fault plan, RNG/shuffle state, the
+  tuning-DB digest, the failing tensors themselves, the recorder ring
+  and merged tracer spans.
+* :func:`replay_incident` (:mod:`.replay`) -- reconstructs the
+  engine/trainer from the bundle and re-executes the failing step or
+  request, asserting bitwise identity with the recorded digests
+  (``python -m repro incident {list,show,replay,diff}``).
+"""
+
+from repro.forensics.bundle import (
+    BundleError,
+    IncidentWriter,
+    diff_incidents,
+    list_incidents,
+    load_incident,
+    tensor_digest,
+    write_incident,
+)
+from repro.forensics.recorder import (
+    EventRecord,
+    FlightRecorder,
+    disable,
+    enable,
+    get_recorder,
+)
+from repro.forensics.replay import (
+    ReplayMismatch,
+    digest_tensor_list,
+    replay_incident,
+)
+
+__all__ = [
+    "FlightRecorder",
+    "EventRecord",
+    "get_recorder",
+    "enable",
+    "disable",
+    "IncidentWriter",
+    "BundleError",
+    "write_incident",
+    "load_incident",
+    "list_incidents",
+    "diff_incidents",
+    "tensor_digest",
+    "digest_tensor_list",
+    "ReplayMismatch",
+    "replay_incident",
+]

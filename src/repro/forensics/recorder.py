@@ -1,0 +1,162 @@
+"""The flight recorder: a bounded ring of recent structured events.
+
+A crashed step or a corrupted serving reply is only debuggable if the
+moments *before* it survived the crash.  The :class:`FlightRecorder`
+keeps the last ``capacity`` structured events -- request admissions,
+batch compositions, collective hops, tier degrades, fault firings,
+checkpoint/reload lifecycle -- in every process, so an
+:class:`~repro.forensics.bundle.IncidentWriter` can freeze the recent
+history into the bundle the instant a typed failure fires.
+
+Design constraints mirror :mod:`repro.obs.tracer` exactly:
+
+* ONE process-wide :class:`FlightRecorder` singleton
+  (:func:`get_recorder`), *never replaced* -- only its ``enabled`` flag
+  flips, so hot paths bind it once and pay a single attribute read when
+  recording is off.
+* the ring is a ``collections.deque(maxlen=...)``: appends are atomic
+  under the GIL (lock-cheap -- no lock at all on the record path) and
+  old events fall off the far end, so memory is bounded however long
+  the process runs.
+* events are plain picklable dataclasses so worker-process rings drain
+  to the parent through the same payload that already carries tracer
+  spans and metrics snapshots
+  (:meth:`FlightRecorder.export_events` / :meth:`FlightRecorder.ingest`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = [
+    "EventRecord",
+    "FlightRecorder",
+    "get_recorder",
+    "enable",
+    "disable",
+    "DEFAULT_CAPACITY",
+]
+
+#: default ring size -- enough recent history to cover several serving
+#: batches or training steps without unbounded growth
+DEFAULT_CAPACITY = 4096
+
+
+@dataclass
+class EventRecord:
+    """One recorded event: a kind, a wall-clock microsecond timestamp
+    (comparable across processes, unlike ``perf_counter``), the
+    recording pid and the structured payload."""
+
+    kind: str
+    ts_us: int
+    pid: int
+    args: dict = field(default_factory=dict)
+
+    def to_doc(self) -> dict:
+        """JSON-serializable form (bundle ``events.json``)."""
+        return {
+            "kind": self.kind,
+            "ts_us": self.ts_us,
+            "pid": self.pid,
+            "args": dict(self.args),
+        }
+
+
+class FlightRecorder:
+    """Bounded ring of :class:`EventRecord`\\ s shared by every thread
+    in the process.
+
+    Usage::
+
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record("serve.batch", bucket=4, n=3)
+    """
+
+    def __init__(self, enabled: bool = False,
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        self.enabled = enabled
+        self._ring: deque = deque(maxlen=int(capacity))
+
+    @property
+    def capacity(self) -> int:
+        return self._ring.maxlen
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # -- recording -----------------------------------------------------
+    def record(self, kind: str, /, **args) -> None:
+        """Append one event (no-op when disabled; deque append is
+        GIL-atomic, so no lock on this path).  The event name is
+        positional-only so payloads may themselves carry a ``kind`` key
+        (e.g. a fault's kind)."""
+        if not self.enabled:
+            return
+        self._ring.append(EventRecord(
+            kind=kind,
+            ts_us=time.time_ns() // 1000,
+            pid=os.getpid(),
+            args=args,
+        ))
+
+    # -- inspection / merging ------------------------------------------
+    def events(self, kind: str | None = None) -> list[EventRecord]:
+        ring = list(self._ring)
+        if kind is None:
+            return ring
+        return [r for r in ring if r.kind == kind]
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def export_events(self, clear: bool = False) -> list[EventRecord]:
+        """Snapshot the ring (picklable) for cross-process transport."""
+        out = list(self._ring)
+        if clear:
+            self._ring.clear()
+        return out
+
+    def ingest(self, events, pid: int | None = None) -> None:
+        """Merge events drained from another process's ring (the parent
+        calls this with every worker payload, like tracer spans)."""
+        for r in events:
+            if pid is not None:
+                r.pid = pid
+            self._ring.append(r)
+
+    def resize(self, capacity: int) -> None:
+        """Grow/shrink the ring, keeping the newest events."""
+        capacity = int(capacity)
+        if capacity == self._ring.maxlen:
+            return
+        self._ring = deque(self._ring, maxlen=capacity)
+
+
+#: the process-wide recorder; disabled by default so hot paths pay one
+#: attribute read (identical contract to ``obs.tracer._TRACER``).
+_RECORDER = FlightRecorder(enabled=False)
+
+
+def get_recorder() -> FlightRecorder:
+    """The process-wide :class:`FlightRecorder` singleton (stable
+    identity -- bind it once, guard with ``.enabled``)."""
+    return _RECORDER
+
+
+def enable(capacity: int | None = None) -> FlightRecorder:
+    """Turn on event recording globally; optionally resize the ring."""
+    if capacity is not None:
+        _RECORDER.resize(capacity)
+    _RECORDER.enabled = True
+    return _RECORDER
+
+
+def disable() -> FlightRecorder:
+    """Stop recording (already-recorded events are kept)."""
+    _RECORDER.enabled = False
+    return _RECORDER

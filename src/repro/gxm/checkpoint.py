@@ -8,7 +8,11 @@ trainable parameter plus BatchNorm running statistics through a single
 
 Crash safety: every on-disk write goes through an atomic
 tmp-sibling-then-``os.replace`` rename, so a process killed mid-save can
-never leave a half-written file under the checkpoint's name.  Every
+never leave a half-written file under the checkpoint's name.  The
+``checkpoint.save`` fault site (kind ``crash``) fires in exactly that
+torn-write window -- after the tmp sibling is fully written, before the
+rename -- so tests can prove the last good checkpoint survives a
+mid-save death and a subsequent resume falls back to it.  Every
 checkpoint embeds a content digest that is re-verified on load, and
 every way a file can be unusable (truncated zip, missing ``__meta__``,
 version mismatch, bit corruption) raises a descriptive
@@ -33,6 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.forensics.recorder import get_recorder
 from repro.gxm.etg import ExecutionTaskGraph
 from repro.gxm.nodes import ConvNode, _LayerNode
 from repro.layers.bn import BatchNorm2D
@@ -78,10 +83,17 @@ def _digest(arrays: dict[str, np.ndarray]) -> str:
     return h.hexdigest()[:16]
 
 
-def _atomic_savez(path_or_file, payload: dict) -> None:
+def _atomic_savez(path_or_file, payload: dict, injector=None) -> None:
     """``np.savez_compressed`` through a tmp sibling + ``os.replace`` so
     a crash mid-write never truncates an existing checkpoint (file
-    objects are written directly -- the caller owns their atomicity)."""
+    objects are written directly -- the caller owns their atomicity).
+
+    ``injector`` arms the ``checkpoint.save`` fault site: a ``crash``
+    fires in the torn-write window between the completed tmp write and
+    the rename, raising :class:`~repro.resilience.InjectedFault` -- the
+    tmp sibling is unlinked and the file under ``path`` (the last good
+    checkpoint) is never touched.
+    """
     if hasattr(path_or_file, "write"):
         np.savez_compressed(path_or_file, **payload)
         return
@@ -90,6 +102,15 @@ def _atomic_savez(path_or_file, payload: dict) -> None:
     try:
         with open(tmp, "wb") as fh:
             np.savez_compressed(fh, **payload)
+        if injector is not None:
+            fault = injector.fire("checkpoint.save")
+            if fault is not None and fault.kind == "crash":
+                from repro.resilience.faults import InjectedFault
+
+                raise InjectedFault(
+                    f"injected crash between tmp write and replace of "
+                    f"{path}"
+                )
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -147,8 +168,23 @@ class _checkpoint_file:
             self._z = None
 
 
-def save_checkpoint(etg: ExecutionTaskGraph, path_or_file) -> None:
-    """Dump all trainable state of the ETG's nodes (atomic on-disk)."""
+def _record_ck(event: str, path_or_file, digest: str | None) -> None:
+    """Flight-recorder checkpoint lifecycle breadcrumb (no-op when the
+    recorder is disabled)."""
+    rec = get_recorder()
+    if rec.enabled:
+        rec.record(
+            event,
+            path=(None if hasattr(path_or_file, "write")
+                  else os.fspath(path_or_file)),
+            digest=digest,
+        )
+
+
+def save_checkpoint(etg: ExecutionTaskGraph, path_or_file,
+                    injector=None) -> None:
+    """Dump all trainable state of the ETG's nodes (atomic on-disk).
+    ``injector`` arms the ``checkpoint.save`` torn-write fault site."""
     state = _state_dict(etg)
     meta = {
         "version": _VERSION,
@@ -164,7 +200,9 @@ def save_checkpoint(etg: ExecutionTaskGraph, path_or_file) -> None:
             ),
             **state,
         },
+        injector=injector,
     )
+    _record_ck("checkpoint.save", path_or_file, meta["digest"])
 
 
 def load_checkpoint(etg: ExecutionTaskGraph, path_or_file, strict: bool = True) -> list[str]:
@@ -209,6 +247,7 @@ def load_checkpoint(etg: ExecutionTaskGraph, path_or_file, strict: bool = True) 
         # verified: now (and only now) mutate the live parameters
         for key, src in loaded.items():
             state[key][...] = src
+    _record_ck("checkpoint.load", path_or_file, want)
     return sorted(loaded)
 
 
@@ -248,6 +287,7 @@ def save_training_checkpoint(
     losses=(),
     accuracies=(),
     rng_state: dict | None = None,
+    injector=None,
 ) -> None:
     """Atomically persist weights + SGD velocity + step + trajectory.
 
@@ -286,7 +326,9 @@ def save_training_checkpoint(
             ),
             **arrays,
         },
+        injector=injector,
     )
+    _record_ck("checkpoint.save", path_or_file, meta["digest"])
 
 
 def load_training_checkpoint(
@@ -355,6 +397,7 @@ def load_training_checkpoint(
             state[key][...] = loaded[key]
         for i, v in enumerate(opt._velocity):
             v[...] = loaded[f"__velocity__/{i}"]
+    _record_ck("checkpoint.load", path_or_file, want)
     return TrainingCheckpoint(
         step=int(meta["step"]),
         losses=list(meta.get("losses", ())),

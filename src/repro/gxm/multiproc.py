@@ -61,6 +61,10 @@ from typing import Optional
 import numpy as np
 
 from repro.collective.repair import Membership, fold_gradients, peers_for
+from repro.forensics.bundle import IncidentWriter
+from repro.forensics.recorder import get_recorder
+from repro.forensics.recorder import enable as _recorder_enable
+from repro.forensics.replay import digest_tensor_list
 from repro.gxm.etg import ExecutionTaskGraph
 from repro.gxm.topology import TopologySpec
 from repro.gxm.trainer import SGD, TrainMetrics
@@ -83,12 +87,18 @@ _KNOWN_REPLIES = ("done", "cerr", "grads", "ringok", "ringfail")
 
 
 def _drain_obs(trace: bool):
-    if not trace:
+    """Everything a worker ships back with each reply: tracer spans,
+    metrics and the flight-recorder ring -- so the parent's merged view
+    (and any incident bundle it writes) includes the children's recent
+    history, even for workers that die right after replying."""
+    rec = get_recorder()
+    if not trace and not rec.enabled:
         return None
     return {
         "pid": os.getpid(),
-        "events": get_tracer().export_events(clear=True),
-        "metrics": get_metrics().snapshot(clear=True),
+        "events": get_tracer().export_events(clear=True) if trace else [],
+        "metrics": get_metrics().snapshot(clear=True) if trace else {},
+        "ring": rec.export_events(clear=True) if rec.enabled else [],
     }
 
 
@@ -101,6 +111,7 @@ def _worker_main(
     rank: int = 0,
     fault_plan: FaultPlan | None = None,
     collective: dict | None = None,
+    record: bool = False,
 ) -> None:
     """Worker loop.  Root-pipe protocol (all messages are tagged tuples;
     ``None`` = shutdown):
@@ -136,6 +147,12 @@ def _worker_main(
         # drained after every step and merged at the root
         get_tracer().clear()
         get_metrics().clear()
+    if record:
+        # this worker's flight-recorder ring rides the same per-reply
+        # payload as the tracer spans and lands in the parent's ring
+        _recorder_enable()
+        get_recorder().clear()
+    recorder = get_recorder()
     hub = None
     opt = None
     layer_idx = None
@@ -186,12 +203,20 @@ def _worker_main(
                     )
                     receiver = PeerReceiver(conns, new_epoch)
                     epoch, mode = new_epoch, new_mode
+                    if recorder.enabled:
+                        recorder.record(
+                            "collective.rewire", epoch=new_epoch,
+                            mode=new_mode, rank=rank,
+                        )
                     conn.send(("ringok", new_epoch))
                 except Exception as err:
                     conn.send(("ringfail", new_epoch, repr(err)))
             elif tag == "wstep":
                 # stateless legacy step: weights in, local grads out
                 _, step, weights, x, labels = msg
+                if recorder.enabled:
+                    recorder.record("mp.step", step=step, rank=rank,
+                                    mode="root", n=len(labels))
                 fault = injector.fire("mp.worker.step", step=step, rank=rank)
                 if fault is not None and fault.kind == "crash":
                     os._exit(17)  # simulated SIGKILL: no cleanup
@@ -215,6 +240,10 @@ def _worker_main(
                 reply_fault(step)
             elif tag == "step":
                 _, step, sepoch, x, labels = msg
+                if recorder.enabled:
+                    recorder.record("mp.step", step=step, rank=rank,
+                                    mode=mode, epoch=sepoch,
+                                    n=len(labels))
                 fault = injector.fire("mp.worker.step", step=step, rank=rank)
                 if fault is not None and fault.kind == "crash":
                     os._exit(17)
@@ -379,6 +408,14 @@ class ProcessParallelTrainer:
     checkpoint_path / checkpoint_every:
         Training-checkpoint autosave every N steps (atomic write);
         :meth:`resume` restores it exact-to-the-step.
+    incident_dir:
+        When set, arms the forensics layer: the flight recorder is
+        enabled in the root *and* every worker (rings drain back with
+        each reply), and every degraded step writes one
+        :mod:`repro.forensics` incident bundle there -- the failing
+        shard, the step-start weights and the digests of the gradients
+        the root recomputed bit-identically, replayable via
+        ``python -m repro incident replay``.
     """
 
     def __init__(
@@ -402,6 +439,7 @@ class ProcessParallelTrainer:
         shuffle_seed: int = 1,
         allreduce: str = "ring",
         bucket_bytes: int = 1 << 20,
+        incident_dir: str | None = None,
     ):
         if nodes < 1:
             raise ReproError("need at least one worker node")
@@ -442,6 +480,15 @@ class ProcessParallelTrainer:
         self.degrade_policy = degrade_policy
         self.watchdog = NumericsWatchdog(nan_policy)
         self.fault_plan = fault_plan
+        #: root-side injector: only root-owned sites (``checkpoint.save``)
+        #: fire here; worker sites fire in the workers' own injectors
+        self._injector = FaultInjector(fault_plan) if fault_plan else None
+        self.incidents = IncidentWriter(incident_dir)
+        if incident_dir is not None:
+            _recorder_enable()
+        #: workers enable their own recorder ring when the parent's is
+        #: armed (incident_dir, or recording already on at construction)
+        self.record = get_recorder().enabled
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
         self.shuffle_seed = shuffle_seed
@@ -493,7 +540,8 @@ class ProcessParallelTrainer:
         proc = self._ctx.Process(
             target=_worker_main,
             args=(child, self._topo_text, self._input_shape, self._seed,
-                  self.trace, rank, self.fault_plan, collective),
+                  self.trace, rank, self.fault_plan, collective,
+                  self.record),
             daemon=True,
         )
         proc.start()
@@ -669,6 +717,9 @@ class ProcessParallelTrainer:
         if payload is not None:
             get_tracer().ingest(payload["events"], pid=payload["pid"])
             get_metrics().merge(payload["metrics"])
+            get_recorder().ingest(
+                payload.get("ring", ()), pid=payload["pid"]
+            )
 
     # ------------------------------------------------------------------
     def _recompute_shard(self, x: np.ndarray, labels: np.ndarray):
@@ -1021,6 +1072,13 @@ class ProcessParallelTrainer:
                 results[rank] = self._recompute_shard(
                     x[shards[rank]], labels[shards[rank]]
                 )
+        if failed and count_degraded and self.incidents.enabled:
+            # the root's params still hold the step-start weights (the
+            # optimizer commit is below), so the bundle freezes exactly
+            # the state a replay must rebuild
+            self._capture_train_incident(
+                step, x, labels, shards, results, failed
+            )
         # numerics watchdog: attribute divergence to the worker rank
         ok = True
         for rank, res in enumerate(results):
@@ -1071,6 +1129,62 @@ class ProcessParallelTrainer:
             self._respawn(rank)
         self._finish_step_accounting(step, shards, contributors)
         return self.metrics.losses[-1]
+
+    def _capture_train_incident(self, step, x, labels, shards, results,
+                                failed) -> None:
+        """One incident bundle for a degraded step: the first failed
+        rank's shard, the step-start weights, and (under ``recompute``)
+        the digests of the bit-identically recomputed gradients the
+        replay must reproduce."""
+        rank = sorted(failed)[0]
+        err = failed[rank]
+        tensors = {
+            "x": np.ascontiguousarray(x[shards[rank]]),
+            "labels": np.ascontiguousarray(labels[shards[rank]]),
+        }
+        for i, p in enumerate(self.params):
+            tensors[f"weights__{i}"] = p.copy()
+        expect = {}
+        if self.degrade_policy == "recompute" and results[rank] is not None:
+            grads, loss_r, _acc = results[rank]
+            expect = {
+                "grads": digest_tensor_list(grads),
+                "loss": float(loss_r),
+            }
+        machine = getattr(self.root, "machine", None)
+        self.incidents.capture(
+            "train",
+            error=err,
+            replay={
+                "mode": "train",
+                "topo_text": self._topo_text,
+                "input_shape": list(self._input_shape),
+                "seed": self._seed,
+                "engine": "fast",
+                "step": step,
+            },
+            machine_fingerprint=(
+                machine.fingerprint()
+                if machine is not None and hasattr(machine, "fingerprint")
+                else None
+            ),
+            fault_plan=self.fault_plan,
+            rng_state={
+                "shuffle_seed": self.shuffle_seed,
+                "batches_consumed": self.iteration,
+            },
+            tensors=tensors,
+            expect=expect,
+            extra={
+                "failed_rank": rank,
+                "failures": {
+                    r: str(f) for r, f in sorted(failed.items())
+                },
+                "degrade_policy": self.degrade_policy,
+                "allreduce": self.allreduce,
+                "nodes": self.nodes,
+            },
+        )
 
     def _finish_step_accounting(self, step, shards, contributors) -> None:
         loss = acc = 0.0
@@ -1125,6 +1239,7 @@ class ProcessParallelTrainer:
                 "shuffle_seed": self.shuffle_seed,
                 "batches_consumed": self.iteration,
             },
+            injector=self._injector,
         )
 
     def resume(self, path_or_file) -> int:

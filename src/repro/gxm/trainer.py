@@ -235,6 +235,7 @@ class Trainer:
                 "shuffle_seed": self.shuffle_seed,
                 "batches_consumed": self.iteration,
             },
+            injector=self.injector,
         )
 
     def resume(self, path_or_file) -> int:

@@ -65,9 +65,18 @@ site                    kinds honoured there
                         immediately *after* its reply is queued on the
                         pipe (the replied-then-died race the root's
                         drain loop must tolerate)
+``checkpoint.save``     ``crash`` -- the checkpoint writer dies between
+                        the tmp-sibling write and the ``os.replace``
+                        (the torn-write window); the last good
+                        checkpoint under the final name must survive
+                        untouched
 ======================  ====================================================
 
-Injected faults count into ``resilience.faults_injected``.
+Injected faults count into ``resilience.faults_injected`` and every
+firing is recorded into the process's
+:class:`~repro.forensics.FlightRecorder` ring (``fault.fire`` events),
+so an incident bundle shows exactly which injected faults preceded the
+failure.
 :func:`corrupt_file` deterministically flips bytes of an on-disk
 artifact -- the "artifact corruption" fault for checkpoint/stream tests.
 """
@@ -79,6 +88,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.forensics.recorder import get_recorder
 from repro.obs.metrics import get_metrics
 from repro.types import ReproError
 
@@ -216,6 +226,12 @@ class FaultInjector:
                     continue
                 self._remaining[i] -= 1
                 self._metrics.inc("resilience.faults_injected")
+                rec = get_recorder()
+                if rec.enabled:
+                    rec.record(
+                        "fault.fire", site=site, kind=spec.kind,
+                        step=step, rank=rank, bucket=bucket,
+                    )
                 return spec
         return None
 

@@ -63,7 +63,15 @@ Request lifecycle (this layer is what makes the server operable):
   success (rebuilding the stream warm cache) and rolls back on failure
   (:class:`CanaryError`, HTTP 409) with the old weights never leaving
   service.  ``POST /admin/drain`` / ``/admin/resume`` /
-  ``/admin/reload`` expose the same over HTTP.
+  ``/admin/reload`` expose the same over HTTP.  Lifecycle operations
+  never interleave: a second drain/resume/reload while one is in flight
+  is refused deterministically (:class:`LifecycleBusy`, HTTP 409).
+* **forensics** -- with ``ServeConfig.incident_dir`` set, the flight
+  recorder (:mod:`repro.forensics`) logs admissions, batch compositions,
+  tier degrades and lifecycle transitions; canary rollbacks,
+  shared-memory slot corruption and ``POST /admin/dump`` each freeze a
+  digest-verified incident bundle replayable bitwise via
+  ``python -m repro incident replay``.
 
 Fleet serving (see :mod:`repro.serve.fleet`): one server is GIL-bound,
 so :class:`InferenceFleet` boots N full server *processes* behind a
@@ -109,7 +117,7 @@ from repro.serve.request import (
     ServerClosed,
 )
 from repro.serve.router import Router
-from repro.serve.server import CanaryError, InferenceServer
+from repro.serve.server import CanaryError, InferenceServer, LifecycleBusy
 from repro.serve.shm import ShmArrayStore, SlotCorruption, TensorShm
 from repro.serve.warmcache import StreamWarmCache
 from repro.serve.worker import EngineReplica, ReplicaSlot, SwapGate
@@ -129,6 +137,7 @@ __all__ = [
     "ServerClosed",
     "DeadlineExceeded",
     "CanaryError",
+    "LifecycleBusy",
     "AdmissionQueue",
     "MicroBatcher",
     "CircuitBreaker",

@@ -79,6 +79,17 @@ class ServeConfig:
         heuristics per layer.  The *content digest* of the database (not
         the path) is folded into :meth:`fingerprint`, so stream warm
         caches recorded under different tuned plans are refused at boot.
+    incident_dir:
+        Directory for :mod:`repro.forensics` incident bundles.  When
+        set, the server arms the process-wide flight recorder and every
+        typed failure (canary rollback, shared-memory slot corruption)
+        plus ``POST /admin/dump`` freezes an atomic, digest-verified
+        bundle here.  ``None`` (default) disables capture entirely.
+    recorder:
+        Flight-recorder ring capacity (events).  ``0`` leaves the
+        recorder alone; a positive value enables it with this capacity
+        even without an ``incident_dir``.  Neither knob affects recorded
+        streams, so both stay out of the fingerprint.
     """
 
     model: str = "resnet_mini"
@@ -98,6 +109,8 @@ class ServeConfig:
     seed: int = 7
     checkpoint: str | None = field(default=None, compare=False)
     tune_db: str | None = None
+    incident_dir: str | None = field(default=None, compare=False)
+    recorder: int = 0
 
     def __post_init__(self) -> None:
         if self.model not in _MODELS:
@@ -157,6 +170,11 @@ class ServeConfig:
                 f"max_queue_wait_ms must be positive (or None to disable "
                 f"adaptive backpressure), got {self.max_queue_wait_ms}"
             )
+        if self.recorder < 0:
+            raise ServeConfigError(
+                f"recorder (flight-recorder ring capacity) must be >= 0, "
+                f"got {self.recorder}"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -169,7 +187,8 @@ class ServeConfig:
         # runtime-only knobs do not change the streams an engine records
         # (replay is already folded into execution_tier at construction)
         for k in ("workers", "queue_capacity", "batch_window_ms",
-                  "max_queue_wait_ms", "checkpoint", "replay"):
+                  "max_queue_wait_ms", "checkpoint", "replay",
+                  "incident_dir", "recorder"):
             doc.pop(k)
         # the tuning DB changes blocking plans, hence recorded streams --
         # fold in its *content* digest: two paths to identical databases

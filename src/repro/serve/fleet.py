@@ -62,9 +62,13 @@ import os
 import signal
 import threading
 import time
+from contextlib import contextmanager
 
 import numpy as np
 
+from repro.forensics.bundle import IncidentWriter
+from repro.forensics.recorder import enable as _recorder_enable
+from repro.forensics.recorder import get_recorder
 from repro.obs.metrics import MetricsRegistry, merge_snapshots
 from repro.resilience.faults import FaultInjector, FaultPlan
 from repro.serve.config import ServeConfig
@@ -75,6 +79,7 @@ from repro.serve.request import (
     ServerClosed,
 )
 from repro.serve.router import Router
+from repro.serve.server import LifecycleBusy, _config_doc
 from repro.serve.shm import ShmArrayStore, SlotCorruption, TensorShm
 from repro.serve.warmcache import StreamWarmCache
 from repro.streams.serialize import StaleArtifactError
@@ -179,6 +184,11 @@ def _replica_main(
     answered promptly unless the process is genuinely hung or dead,
     which is exactly what the parent's hang detection should see."""
     _reinit_shared_locks()
+    if config.recorder or config.incident_dir:
+        # fresh ring per replica: the fork copied the parent's events,
+        # and this process's ring is drained back via the stats op
+        _recorder_enable(config.recorder or None)
+        get_recorder().clear()
     from repro.serve.server import CanaryError, InferenceServer
 
     injector = FaultInjector(plan) if plan is not None else None
@@ -326,6 +336,10 @@ def _replica_main(
                 handle_op(msg["id"], lambda: {
                     "stats": server.stats(),
                     "snapshot": server.metrics.snapshot(),
+                    "ring": (
+                        get_recorder().export_events(clear=True)
+                        if get_recorder().enabled else []
+                    ),
                 })
             elif op == "drain":
                 handle_op(
@@ -466,6 +480,9 @@ class InferenceFleet:
         self._supervisor: threading.Thread | None = None
         self._stopping = threading.Event()
         self._lifecycle = threading.Lock()
+        if config.recorder or config.incident_dir:
+            _recorder_enable(config.recorder or None)
+        self._incidents = IncidentWriter(config.incident_dir)
         self.boot_stats: dict = {}
         self._started = False
         self._draining = False
@@ -653,6 +670,10 @@ class InferenceFleet:
             self._shm.check(disp.lease, msg["gen"])
         except SlotCorruption as err:
             self.metrics.inc("serve.fleet.shm_corruption")
+            # capture BEFORE reclaim: the request region (written only
+            # by the parent) is still intact; reclaim returns the slot
+            # to the ring and a new lease could overwrite it
+            self._capture_slot_incident(handle, disp, err)
             self._shm.reclaim(disp.lease)
             disp.req._fail(err)
             return
@@ -661,6 +682,43 @@ class InferenceFleet:
         )
         self._shm.release(disp.lease)
         disp.req._resolve(probs)
+
+    def _capture_slot_incident(
+        self, handle: ReplicaHandle, disp: _Dispatch, err: SlotCorruption
+    ) -> None:
+        """Freeze the corrupted exchange into an incident bundle.
+
+        Runs on the reader thread, so it must not round-trip on any
+        replica pipe: the failing request tensor is read back from the
+        slot's *request* region (the replica scribbled the header, the
+        parent-written request bytes are intact) and only the parent's
+        flight-recorder ring rides along."""
+        if not self._incidents.enabled:
+            return
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record(
+                "fleet.slot_corruption", replica=handle.id,
+                slot=disp.lease.slot, req=disp.req.id,
+            )
+        x = np.array(
+            self._shm.request_view(disp.lease.slot), dtype=np.float32
+        )
+        self._incidents.capture(
+            "serve",
+            error=err,
+            replay={"mode": "serve", "bucket": int(self.config.buckets[0])},
+            config=_config_doc(self.config),
+            config_fingerprint=self.config.fingerprint(),
+            fault_plan=self.fault_plan,
+            tensors={"x": x[None]},
+            extra={
+                "trigger": "slot_corruption",
+                "replica": handle.id,
+                "slot": disp.lease.slot,
+                "restarts": handle.restarts,
+            },
+        )
 
     def _on_fail(self, handle: ReplicaHandle, msg: dict) -> None:
         disp = self._pop_dispatch(handle, msg["req"])
@@ -890,12 +948,31 @@ class InferenceFleet:
     def _up_handles(self) -> list[ReplicaHandle]:
         return [h for h in self._handles if h.state == "up"]
 
+    @contextmanager
+    def _lifecycle_op(self, name: str):
+        """Serialize fleet lifecycle operations; a second one arriving
+        while one is in flight is refused with :class:`LifecycleBusy`
+        (HTTP 409) instead of queueing behind it and interleaving its
+        per-replica rollout with the running one's."""
+        if not self._lifecycle.acquire(blocking=False):
+            raise LifecycleBusy(
+                f"another fleet lifecycle operation is in flight; "
+                f"retry {name} after it completes"
+            )
+        try:
+            rec = get_recorder()
+            if rec.enabled:
+                rec.record(f"fleet.{name}")
+            yield
+        finally:
+            self._lifecycle.release()
+
     def drain(self, timeout_s: float = 30.0) -> dict:
         """Rolling drain: stop fleet admission, then quiesce each
         replica in turn.  Outstanding dispatches finish normally."""
         if not self._started:
             raise ServerClosed("fleet not started")
-        with self._lifecycle:
+        with self._lifecycle_op("drain"):
             if self._draining:
                 raise ReproError("fleet already draining")
             self._draining = True
@@ -914,7 +991,7 @@ class InferenceFleet:
     def resume(self) -> dict:
         if not self._started:
             raise ServerClosed("fleet not started")
-        with self._lifecycle:
+        with self._lifecycle_op("resume"):
             if not self._draining:
                 raise ReproError("fleet is not draining")
             reports = {}
@@ -941,7 +1018,7 @@ class InferenceFleet:
         to one replica whose swap is atomic."""
         if not self._started:
             raise ServerClosed("fleet not started")
-        with self._lifecycle:
+        with self._lifecycle_op("reload"):
             ups = self._up_handles()
             if not ups:
                 raise ServerClosed("no live replica to reload")
@@ -1038,6 +1115,11 @@ class InferenceFleet:
                 continue
             per_replica[handle.id] = payload["stats"]
             snapshots.append(payload["snapshot"])
+            ring = payload.get("ring")
+            if ring:
+                # replica flight-recorder events drain into the
+                # parent's ring, tagged with the replica's pid
+                get_recorder().ingest(ring, pid=handle.pid)
         return {
             "counters": self.metrics.counters(),
             "gauges": self.metrics.gauges(),
@@ -1049,6 +1131,40 @@ class InferenceFleet:
             "per_replica": per_replica,
             "health": self.health(),
         }
+
+    def dump_incident(self) -> str:
+        """Operator capture (``POST /admin/dump``): drain every live
+        replica's flight-recorder ring into the parent, then freeze
+        config + merged rings + a replayable canary request into one
+        bundle.  Returns the bundle path."""
+        if not self._started:
+            raise ServerClosed("fleet not started")
+        if not self._incidents.enabled:
+            raise ReproError(
+                "no incident directory configured; set "
+                "ServeConfig.incident_dir to enable /admin/dump"
+            )
+        self.stats()  # pulls replica rings into the parent recorder
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record("fleet.dump")
+        bucket = self.config.buckets[0]
+        rng = np.random.default_rng(self.config.seed)
+        x = rng.standard_normal(
+            (bucket, *self.config.input_shape)
+        ).astype(np.float32)
+        path = self._incidents.capture(
+            "manual",
+            replay={"mode": "serve", "bucket": int(bucket)},
+            config=_config_doc(self.config),
+            config_fingerprint=self.config.fingerprint(),
+            fault_plan=self.fault_plan,
+            tensors={"x": x},
+            extra={"trigger": "dump", "health": self.health()},
+        )
+        if path is None:
+            raise ReproError("incident capture failed (see metrics)")
+        return path
 
     # -- shutdown ------------------------------------------------------
     def stop(self) -> None:

@@ -17,6 +17,15 @@ Endpoints, JSON in/out:
   reload with canary + rollback (:meth:`reload_checkpoint`).  ``200``
   on swap; ``409`` when the canary failed and the old weights kept
   serving.
+* ``POST /admin/dump`` -- freeze a :mod:`repro.forensics` incident
+  bundle of the running server (flight-recorder ring, config, live
+  weights, a replayable canary request); response ``{"bundle": path}``.
+  ``500`` when no ``incident_dir`` is configured.
+
+Admin operations never interleave: a drain/resume/reload arriving while
+another lifecycle operation is in flight gets a deterministic ``409``
+(``{"busy": true}``, :class:`~repro.serve.server.LifecycleBusy`) instead
+of queueing behind it.
 
 Load shedding and shutdown map to ``503`` (the standard back-pressure
 status), malformed input to ``400``, a timeout or missed deadline to
@@ -52,7 +61,7 @@ from repro.serve.request import (
     RequestShed,
     ServerClosed,
 )
-from repro.serve.server import CanaryError
+from repro.serve.server import CanaryError, LifecycleBusy
 from repro.types import ReproError, ShapeError
 
 __all__ = ["serve_http"]
@@ -112,6 +121,10 @@ def _make_handler(server, breaker: CircuitBreaker | None):
                 self._admin(lambda doc: server.resume())
             elif self.path == "/admin/reload":
                 self._admin(self._reload)
+            elif self.path == "/admin/dump":
+                self._admin(
+                    lambda doc: {"bundle": server.dump_incident()}
+                )
             else:
                 self._reply(404, {"error": f"no such path {self.path}"})
 
@@ -121,6 +134,10 @@ def _make_handler(server, breaker: CircuitBreaker | None):
                 return
             try:
                 self._reply(200, op(doc))
+            except LifecycleBusy as err:
+                # another lifecycle op is in flight: deterministic 409,
+                # never queued behind it
+                self._reply(409, {"error": str(err), "busy": True})
             except CanaryError as err:
                 # rolled back: the old weights never stopped serving
                 self._reply(409, {"error": str(err), "rolled_back": True})

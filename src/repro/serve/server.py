@@ -33,16 +33,33 @@ artifact is stale or corrupt (:class:`StaleArtifactError` -> counted in
 restarts crashed worker threads with exponential backoff
 (``serve.worker_restarts``); and :meth:`health` -- the ``/healthz``
 payload -- reports live-worker count and every degraded state.
+
+Lifecycle operations never interleave: drain/resume/reload serialize on
+one lock, and a second operation arriving while one is in flight is
+refused *deterministically* with :class:`LifecycleBusy` (HTTP 409)
+instead of queueing behind it -- an operator script that fires a reload
+during a drain gets a typed refusal, not an arbitrary interleaving.
+
+Forensics: with :attr:`ServeConfig.incident_dir` set the server arms
+the process-wide :mod:`repro.forensics` flight recorder (admissions,
+batch compositions, tier degrades, lifecycle transitions) and freezes
+an atomic, digest-verified incident bundle on every canary rollback and
+on ``POST /admin/dump`` (:meth:`dump_incident`) -- each bundle replays
+bitwise via ``python -m repro incident replay``.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import replace
+from contextlib import contextmanager
+from dataclasses import asdict, replace
 
 import numpy as np
 
+from repro.forensics.bundle import IncidentWriter, tensor_digest
+from repro.forensics.recorder import enable as _recorder_enable
+from repro.forensics.recorder import get_recorder
 from repro.obs.metrics import MetricsRegistry
 from repro.resilience.faults import FaultInjector
 from repro.serve.admission import AdmissionQueue
@@ -54,7 +71,7 @@ from repro.serve.worker import EngineReplica, ReplicaSlot, SwapGate, Worker
 from repro.streams.serialize import StaleArtifactError
 from repro.types import ReproError, ShapeError
 
-__all__ = ["CanaryError", "InferenceServer"]
+__all__ = ["CanaryError", "InferenceServer", "LifecycleBusy"]
 
 #: supervisor scan period and restart backoff bounds
 _SUPERVISE_S = 0.05
@@ -66,6 +83,21 @@ class CanaryError(ReproError):
     """A shadow replica's canary batch violated the numerics contract
     during :meth:`InferenceServer.reload_checkpoint`; the reload was
     rolled back and the old replicas kept serving."""
+
+
+class LifecycleBusy(ReproError):
+    """A lifecycle operation (drain/resume/reload) was refused because
+    another one is already in flight.  Typed so the HTTP front end maps
+    it to a deterministic ``409`` -- the operation never queues behind
+    the running one and never interleaves with it."""
+
+
+def _config_doc(config: ServeConfig) -> dict:
+    """JSON-serializable config document for an incident manifest
+    (``replay`` is a runtime object, not part of the capture)."""
+    doc = asdict(config)
+    doc.pop("replay", None)
+    return doc
 
 
 class InferenceServer:
@@ -114,6 +146,9 @@ class InferenceServer:
         self._stopping = threading.Event()
         #: serializes lifecycle operations (drain/resume/reload/stop)
         self._lifecycle = threading.Lock()
+        if config.recorder or config.incident_dir:
+            _recorder_enable(config.recorder or None)
+        self._incidents = IncidentWriter(config.incident_dir)
         self.boot_stats: dict = {}
         self._started = False
         self._draining = False
@@ -257,6 +292,9 @@ class InferenceServer:
             )
         req = InferenceRequest(x, deadline=deadline)
         self.queue.put(req)
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record("serve.admit", req=req.id)
         return req
 
     def predict(
@@ -269,6 +307,24 @@ class InferenceServer:
         return self.submit(x, deadline=deadline).result(timeout)
 
     # -- lifecycle: drain / resume / hot reload -------------------------
+    @contextmanager
+    def _lifecycle_op(self, name: str):
+        """Serialize lifecycle operations; a second one arriving while
+        one is in flight is refused with :class:`LifecycleBusy` instead
+        of queueing behind it and interleaving."""
+        if not self._lifecycle.acquire(blocking=False):
+            raise LifecycleBusy(
+                f"another lifecycle operation is in flight; retry "
+                f"{name} after it completes"
+            )
+        try:
+            rec = get_recorder()
+            if rec.enabled:
+                rec.record(f"serve.{name}")
+            yield
+        finally:
+            self._lifecycle.release()
+
     def drain(self, timeout_s: float = 30.0) -> dict:
         """Graceful quiesce: stop admission, finish queued and in-flight
         batches, report what was left.
@@ -282,7 +338,7 @@ class InferenceServer:
         to shut down, which is now instant)."""
         if not self._started:
             raise ServerClosed("server not started")
-        with self._lifecycle:
+        with self._lifecycle_op("drain"):
             t0 = time.perf_counter()
             self.queue.pause()
             self._draining = True
@@ -311,7 +367,7 @@ class InferenceServer:
         """Re-open admission after :meth:`drain`."""
         if not self._started:
             raise ServerClosed("server not started")
-        with self._lifecycle:
+        with self._lifecycle_op("resume"):
             self.queue.resume()
             self._draining = False
             self.metrics.set_gauge("serve.draining", 0)
@@ -355,7 +411,7 @@ class InferenceServer:
         error, never a hang."""
         if not self._started:
             raise ServerClosed("server not started")
-        with self._lifecycle:
+        with self._lifecycle_op("reload"):
             t0 = time.perf_counter()
             new_config = replace(self.config, checkpoint=path)
             shadows: list[EngineReplica] = []
@@ -384,10 +440,14 @@ class InferenceServer:
                                 "(serve.reload.canary_fail)"
                             )
                     if violation is not None:
-                        raise CanaryError(
+                        err = CanaryError(
                             f"reload of {path!r} rolled back: bucket "
                             f"{bucket} {violation}"
                         )
+                        self._capture_canary_incident(
+                            err, new_config, x, bucket, path
+                        )
+                        raise err
             except BaseException:
                 # rollback: discard shadows; old replicas never stopped
                 for shadow in shadows:
@@ -428,6 +488,81 @@ class InferenceServer:
                 report["checkpoint_digest"] = None
             self.boot_stats["checkpoint"] = path
             return report
+
+    def _capture_canary_incident(
+        self, err: CanaryError, new_config: ServeConfig,
+        x: np.ndarray, bucket: int, path: str,
+    ) -> None:
+        """Freeze the failing canary batch before the rollback discards
+        the shadows.  The bundle carries the *new* config (checkpoint =
+        the rejected path), so a replay rebuilds exactly the engine the
+        canary ran on."""
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record(
+                "serve.reload.rollback", bucket=int(bucket),
+                checkpoint=path,
+            )
+        if not self._incidents.enabled:
+            return
+        self._incidents.capture(
+            "serve",
+            error=err,
+            replay={"mode": "serve", "bucket": int(bucket)},
+            config=_config_doc(new_config),
+            config_fingerprint=new_config.fingerprint(),
+            fault_plan=(
+                self.injector.plan if self.injector is not None else None
+            ),
+            tune_db_digest=new_config._tune_db_digest(),
+            tensors={"x": np.array(x)},
+            extra={"checkpoint": path, "trigger": "canary"},
+        )
+
+    def dump_incident(self) -> str:
+        """Operator-triggered capture (``POST /admin/dump``): freeze the
+        flight-recorder ring, config and a deterministic canary request
+        -- together with the live weights and the current output digest
+        -- into one replayable bundle.  Returns the bundle path."""
+        if not self._started:
+            raise ServerClosed("server not started")
+        if not self._incidents.enabled:
+            raise ReproError(
+                "no incident directory configured; set "
+                "ServeConfig.incident_dir to enable /admin/dump"
+            )
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record("serve.dump")
+        bucket = self.config.buckets[0]
+        rng = np.random.default_rng(self.config.seed)
+        x = rng.standard_normal(
+            (bucket, *self.config.input_shape)
+        ).astype(np.float32)
+        with self.gate.read():
+            replica = self._slots[0].replica
+            y = np.asarray(replica.run(x, bucket))
+            tensors = {"x": x}
+            for i, p in enumerate(
+                replica._sessions[bucket].etg.params()
+            ):
+                tensors[f"weights__{i}"] = p.copy()
+        path = self._incidents.capture(
+            "manual",
+            replay={"mode": "serve", "bucket": int(bucket)},
+            config=_config_doc(self.config),
+            config_fingerprint=self.config.fingerprint(),
+            fault_plan=(
+                self.injector.plan if self.injector is not None else None
+            ),
+            tune_db_digest=self.config._tune_db_digest(),
+            tensors=tensors,
+            expect={"x": tensor_digest(x), "y": tensor_digest(y)},
+            extra={"trigger": "dump", "health": self.health()},
+        )
+        if path is None:
+            raise ReproError("incident capture failed (see metrics)")
+        return path
 
     # ------------------------------------------------------------------
     def stop(self) -> None:
@@ -505,6 +640,7 @@ class InferenceServer:
                 "serve.reload.rollbacks"
             ),
             "checkpoint": self.config.checkpoint,
+            "incident_bundles": len(self._incidents.written),
         }
 
     def stats(self) -> dict:

@@ -49,6 +49,7 @@ import threading
 import time
 from contextlib import contextmanager
 
+from repro.forensics.recorder import get_recorder
 from repro.gxm.inference import InferenceSession
 from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
@@ -231,6 +232,13 @@ class EngineReplica:
                 self.degraded_buckets.append(bucket)
             self.metrics.inc("serve.tier_degraded")
             self.metrics.inc(f"serve.tier_degraded.{cur}_to_{nxt}")
+            rec = get_recorder()
+            if rec.enabled:
+                rec.record(
+                    "serve.tier_degrade", bucket=bucket,
+                    frm=str(cur), to=str(nxt),
+                    error=f"{type(err).__name__}: {err}",
+                )
         return self._sessions[bucket].predict(batch)
 
     def bucket_tiers(self) -> dict[int, str]:
@@ -368,6 +376,12 @@ class Worker(threading.Thread):
         self, requests: list[InferenceRequest], metrics, tracer
     ) -> None:
         batch, n, bucket = self.batcher.build(requests)
+        rec = get_recorder()
+        if rec.enabled:
+            rec.record(
+                "serve.batch", bucket=bucket, n=n,
+                reqs=[r.id for r in requests],
+            )
         t0 = time.perf_counter()
         if tracer.enabled:
             with tracer.span("serve.batch", bucket=bucket, n=n):

@@ -1,0 +1,575 @@
+"""repro.forensics: flight recorder, incident bundles, deterministic
+replay.
+
+The load-bearing guarantees, each tested here:
+
+* **lock-cheap recorder** -- a bounded ring, branch-cheap when disabled,
+  whose events survive cross-process drains with the sender's pid;
+* **atomic, tamper-evident bundles** -- a capture either fully exists
+  under its final name or not at all, and any bit flipped after the
+  write is detected at load time (:class:`BundleError`), never replayed;
+* **torn-write checkpoint safety** -- a crash injected between the tmp
+  write and the ``os.replace`` leaves the last good checkpoint intact,
+  so a resume falls back to it with no live array half-mutated;
+* **deterministic replay** -- a training-step bundle captured during a
+  mid-collective worker crash and a serving bundle captured during a
+  shared-memory slot corruption both re-execute bitwise
+  (``python -m repro incident replay``), end to end through the CLI.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.forensics import (
+    BundleError,
+    FlightRecorder,
+    IncidentWriter,
+    ReplayMismatch,
+    diff_incidents,
+    digest_tensor_list,
+    get_recorder,
+    list_incidents,
+    load_incident,
+    replay_incident,
+    tensor_digest,
+    write_incident,
+)
+from repro.gxm.checkpoint import (
+    load_checkpoint,
+    load_training_checkpoint,
+    save_checkpoint,
+    save_training_checkpoint,
+)
+from repro.gxm.etg import ExecutionTaskGraph
+from repro.gxm.multiproc import ProcessParallelTrainer
+from repro.gxm.trainer import SGD
+from repro.models.resnet50 import resnet_mini_topology
+from repro.obs.metrics import get_metrics
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+from repro.serve import (
+    CanaryError,
+    InferenceFleet,
+    InferenceServer,
+    ServeConfig,
+    SlotCorruption,
+)
+
+pytestmark = pytest.mark.timeout(180)
+
+SHAPE = (3, 8, 8)
+
+
+@pytest.fixture(autouse=True)
+def _pristine_recorder():
+    """Trainer/server construction arms the process-wide recorder;
+    restore its state so tests cannot leak into each other."""
+    rec = get_recorder()
+    enabled, capacity = rec.enabled, rec.capacity
+    yield
+    rec.enabled = enabled
+    rec.resize(capacity)
+    rec.clear()
+
+
+def _etg(seed=0):
+    return ExecutionTaskGraph(
+        resnet_mini_topology(num_classes=4, width=8), (2, *SHAPE),
+        engine="fast", seed=seed,
+    )
+
+
+def serve_images(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, 16, 8, 8)).astype(np.float32)
+
+
+# ---------------------------------------------------------------------------
+class TestFlightRecorder:
+    def test_disabled_is_a_no_op(self):
+        rec = FlightRecorder(enabled=False, capacity=8)
+        rec.record("serve.admit", req=1)
+        assert len(rec) == 0 and rec.events() == []
+
+    def test_bounded_ring_drops_oldest(self):
+        rec = FlightRecorder(enabled=True, capacity=4)
+        for i in range(10):
+            rec.record("tick", i=i)
+        assert len(rec) == 4
+        assert [r.args["i"] for r in rec.events()] == [6, 7, 8, 9]
+
+    def test_payload_may_carry_a_kind_key(self):
+        """The event name is positional-only, so a fault's own ``kind``
+        rides in the payload without a TypeError (regression: the fleet
+        reaper thread died on exactly this collision)."""
+        rec = FlightRecorder(enabled=True, capacity=4)
+        rec.record("fault.fire", site="collective.hop", kind="crash")
+        (r,) = rec.events("fault.fire")
+        assert r.kind == "fault.fire" and r.args["kind"] == "crash"
+
+    def test_kind_filter_and_clear(self):
+        rec = FlightRecorder(enabled=True, capacity=8)
+        rec.record("a")
+        rec.record("b")
+        rec.record("a")
+        assert len(rec.events("a")) == 2
+        rec.clear()
+        assert len(rec) == 0
+
+    def test_export_ingest_rewrites_pid(self):
+        child = FlightRecorder(enabled=True, capacity=8)
+        child.record("mp.step", step=3)
+        shipped = child.export_events(clear=True)
+        assert len(child) == 0
+        parent = FlightRecorder(enabled=True, capacity=8)
+        parent.ingest(shipped, pid=4242)
+        (r,) = parent.events()
+        assert r.pid == 4242 and r.args["step"] == 3
+
+    def test_resize_keeps_newest(self):
+        rec = FlightRecorder(enabled=True, capacity=8)
+        for i in range(8):
+            rec.record("tick", i=i)
+        rec.resize(2)
+        assert rec.capacity == 2
+        assert [r.args["i"] for r in rec.events()] == [6, 7]
+
+    def test_singleton_identity_survives_enable_disable(self):
+        from repro.forensics import disable, enable
+
+        rec = get_recorder()
+        assert enable(capacity=rec.capacity) is rec
+        assert rec.enabled
+        assert disable() is rec
+        assert not rec.enabled
+
+
+# ---------------------------------------------------------------------------
+class TestBundle:
+    def _write(self, tmp_path, **kw):
+        kw.setdefault("kind", "serve")
+        kw.setdefault("error", ValueError("boom"))
+        kw.setdefault("tensors", {
+            "x": np.arange(6, dtype=np.float32).reshape(2, 3),
+        })
+        kw.setdefault("events", [])
+        kw.setdefault("spans", [])
+        return write_incident(str(tmp_path), **kw)
+
+    def test_write_load_roundtrip(self, tmp_path):
+        path = self._write(
+            tmp_path, replay={"mode": "serve", "bucket": 1},
+            extra={"trigger": "test"},
+        )
+        assert os.path.basename(path).startswith("incident_serve_")
+        doc = load_incident(path)
+        m = doc["manifest"]
+        assert m["error"] == {"type": "ValueError", "message": "boom"}
+        assert m["replay"]["bucket"] == 1
+        assert m["tensor_digests"]["x"] == tensor_digest(doc["tensors"]["x"])
+        # no tmp litter survives the claim
+        assert not [n for n in os.listdir(tmp_path) if ".tmp~" in n]
+
+    def test_concurrent_names_never_collide(self, tmp_path):
+        a = self._write(tmp_path)
+        b = self._write(tmp_path)
+        assert a != b and os.path.isdir(a) and os.path.isdir(b)
+
+    def test_tampered_file_is_rejected(self, tmp_path):
+        path = self._write(tmp_path)
+        with open(os.path.join(path, "events.json"), "a") as fh:
+            fh.write(" ")
+        with pytest.raises(BundleError, match="digest mismatch"):
+            load_incident(path)
+        rows = list_incidents(str(tmp_path))
+        assert [r["valid"] for r in rows] == [False]
+
+    def test_missing_file_is_rejected(self, tmp_path):
+        path = self._write(tmp_path)
+        os.unlink(os.path.join(path, "tensors.npz"))
+        with pytest.raises(BundleError, match="missing"):
+            load_incident(path)
+
+    def test_verify_false_skips_digests(self, tmp_path):
+        path = self._write(tmp_path)
+        with open(os.path.join(path, "events.json"), "a") as fh:
+            fh.write(" ")
+        doc = load_incident(path, verify=False)
+        assert doc["manifest"]["kind"] == "serve"
+
+    def test_diff_incidents(self, tmp_path):
+        a = self._write(tmp_path, extra={"n": 1})
+        b = self._write(
+            tmp_path,
+            tensors={"x": np.ones((2, 3), dtype=np.float32)},
+        )
+        rep = diff_incidents(a, b)
+        assert not rep["same"] and "x" in rep["tensor_diffs"]
+        same = diff_incidents(a, a)
+        assert same["same"] and not same["tensor_diffs"]
+
+    def test_writer_disabled_and_capture_failure(self, tmp_path):
+        off = IncidentWriter(None)
+        assert not off.enabled
+        assert off.capture("serve") is None
+        writer = IncidentWriter(str(tmp_path))
+        before = get_metrics().value("forensics.bundle_errors")
+        # an undigestable tensor fails the capture, which is swallowed
+        # (the original failure must never be masked by forensics)
+        assert writer.capture("serve", tensors={"x": object()}) is None
+        assert get_metrics().value("forensics.bundle_errors") == before + 1
+        assert writer.written == []
+        strict = IncidentWriter(str(tmp_path), strict=True)
+        with pytest.raises(Exception):  # noqa: B017 -- any capture error
+            strict.capture("serve", tensors={"x": object()})
+
+    def test_events_only_bundle_replays_trivially(self, tmp_path):
+        path = self._write(tmp_path, replay=None, tensors={})
+        rep = replay_incident(path)
+        assert rep == {"ok": True, "mode": None, "replayed": False}
+
+
+# ---------------------------------------------------------------------------
+class TestCheckpointTornWrite:
+    """Satellite: a crash between the tmp write and ``os.replace`` must
+    leave the previous checkpoint untouched and resumable."""
+
+    def _crash_injector(self):
+        return FaultInjector(FaultPlan((
+            FaultSpec(site="checkpoint.save", kind="crash", count=1),
+        )))
+
+    def test_weight_checkpoint_survives_torn_write(self, tmp_path):
+        path = str(tmp_path / "ck.npz")
+        etg = _etg(seed=0)
+        save_checkpoint(etg, path)
+        good = [p.copy() for p in etg.params()]
+        for p in etg.params():
+            p += 1.0
+        perturbed = [p.copy() for p in etg.params()]
+        with pytest.raises(InjectedFault, match="tmp write"):
+            save_checkpoint(etg, path, injector=self._crash_injector())
+        # the tmp sibling is gone, the live arrays untouched by the
+        # failed save, and the file still holds the last good weights
+        assert not [n for n in os.listdir(tmp_path) if ".tmp~" in n]
+        assert all(
+            np.array_equal(p, q) for p, q in zip(etg.params(), perturbed)
+        )
+        fresh = _etg(seed=3)
+        load_checkpoint(fresh, path)
+        assert all(
+            np.array_equal(p, q) for p, q in zip(fresh.params(), good)
+        )
+
+    def test_training_resume_falls_back_to_last_good(self, tmp_path):
+        path = str(tmp_path / "train.npz")
+        etg = _etg(seed=0)
+        opt = SGD(etg.params(), lr=0.05)
+        save_training_checkpoint(
+            path, etg, opt, step=3, losses=[1.0, 0.9, 0.8],
+        )
+        good = [p.copy() for p in etg.params()]
+        for p in etg.params():
+            p *= 1.5
+        with pytest.raises(InjectedFault):
+            save_training_checkpoint(
+                path, etg, opt, step=4,
+                injector=self._crash_injector(),
+            )
+        fresh = _etg(seed=3)
+        ck = load_training_checkpoint(path, fresh, SGD(fresh.params()))
+        assert ck.step == 3  # the step-4 save died; resume is exact to 3
+        assert ck.losses == [1.0, 0.9, 0.8]
+        assert all(
+            np.array_equal(p, q) for p, q in zip(fresh.params(), good)
+        )
+
+    def test_recorder_breadcrumbs_for_checkpoint_and_fault(self, tmp_path):
+        from repro.forensics import enable
+
+        rec = enable(capacity=64)
+        rec.clear()
+        path = str(tmp_path / "ck.npz")
+        etg = _etg()
+        save_checkpoint(etg, path)
+        load_checkpoint(etg, path)
+        with pytest.raises(InjectedFault):
+            save_checkpoint(etg, path, injector=self._crash_injector())
+        kinds = [r.kind for r in rec.events()]
+        assert "checkpoint.save" in kinds and "checkpoint.load" in kinds
+        (fire,) = rec.events("fault.fire")
+        assert fire.args["site"] == "checkpoint.save"
+        assert fire.args["kind"] == "crash"
+
+
+# ---------------------------------------------------------------------------
+class TestTrainIncidentDrill:
+    """Tentpole drill, training side: a mid-collective worker crash
+    degrades the step, freezes exactly one bundle, and the bundle
+    replays bitwise -- through the API and through the CLI."""
+
+    def test_collective_crash_bundle_replays_bitwise(self, tmp_path):
+        inc = str(tmp_path / "incidents")
+        plan = FaultPlan(specs=(
+            FaultSpec(site="collective.hop", kind="crash",
+                      step=2, rank=1),
+        ))
+        t = ProcessParallelTrainer(
+            resnet_mini_topology(num_classes=4, width=8), (2, *SHAPE),
+            nodes=2, seed=0, step_timeout=10.0, bucket_bytes=1024,
+            fault_plan=plan, incident_dir=inc,
+        )
+        rng = np.random.default_rng(0)
+        try:
+            for _ in range(4):
+                x = rng.standard_normal((4, *SHAPE)).astype(np.float32)
+                labels = rng.integers(0, 4, 4)
+                assert np.isfinite(t.train_step(x, labels))
+            written = list(t.incidents.written)
+        finally:
+            t.close()
+
+        assert len(written) == 1, "exactly one bundle per degraded step"
+        rows = list_incidents(inc)
+        assert [r["valid"] for r in rows] == [True]
+        doc = load_incident(written[0])
+        m = doc["manifest"]
+        assert m["kind"] == "train"
+        assert m["error"]["type"] == "WorkerFailure"
+        assert m["extra"]["failed_rank"] == 1
+        assert m["replay"]["mode"] == "train" and m["replay"]["step"] == 2
+        # the recorded expectation is the digest of the bit-identically
+        # recomputed gradients -- the replay must reproduce it
+        assert m["expect"]["grads"]
+
+        rep = replay_incident(written[0])
+        assert rep["ok"] and rep["mode"] == "train"
+        assert rep["digests"]["grads"] == m["expect"]["grads"]
+        assert rep["digests"]["loss"] == m["expect"]["loss"]
+        # and the CLI agrees
+        assert cli_main(["incident", "replay", written[0]]) == 0
+
+    def test_replay_detects_a_tampered_expectation(self, tmp_path):
+        """Flip one expected digest: the replay must refuse, and the
+        CLI must exit non-zero (the bundle file digests do not cover
+        the manifest -- the manifest IS the claim being checked)."""
+        inc = str(tmp_path / "incidents")
+        plan = FaultPlan(specs=(
+            FaultSpec(site="collective.hop", kind="crash",
+                      step=0, rank=0),
+        ))
+        t = ProcessParallelTrainer(
+            resnet_mini_topology(num_classes=4, width=8), (2, *SHAPE),
+            nodes=2, seed=0, step_timeout=10.0, bucket_bytes=1024,
+            fault_plan=plan, incident_dir=inc,
+        )
+        try:
+            rng = np.random.default_rng(0)
+            x = rng.standard_normal((4, *SHAPE)).astype(np.float32)
+            t.train_step(x, rng.integers(0, 4, 4))
+            (path,) = t.incidents.written
+        finally:
+            t.close()
+        mpath = os.path.join(path, "manifest.json")
+        with open(mpath) as fh:
+            manifest = json.load(fh)
+        manifest["expect"]["grads"] = "0" * 16
+        with open(mpath, "w") as fh:
+            json.dump(manifest, fh)
+        with pytest.raises(ReplayMismatch, match="grads"):
+            replay_incident(path)
+        assert cli_main(["incident", "replay", path]) == 1
+
+
+# ---------------------------------------------------------------------------
+class TestServeIncidentDrill:
+    """Tentpole drill, serving side: shared-memory slot corruption in a
+    fleet and a canary rollback on a single server each freeze one
+    replayable bundle."""
+
+    def test_slot_corruption_bundle_replays_bitwise(self, tmp_path):
+        inc = str(tmp_path / "incidents")
+        plan = FaultPlan(specs=(
+            FaultSpec(site="fleet.replica.reply", kind="corrupt_message",
+                      rank=0),
+        ))
+        cfg = ServeConfig(buckets=(1, 2), batch_window_ms=1.0, workers=1,
+                          incident_dir=inc, recorder=256)
+        xs = serve_images(6, seed=8)
+        with InferenceFleet(cfg, replicas=2, fault_plan=plan) as fleet:
+            reqs = [fleet.submit(x) for x in xs]
+            failures = 0
+            for r in reqs:
+                try:
+                    r.result(30.0)
+                except SlotCorruption:
+                    failures += 1
+            assert failures == 1
+            written = list(fleet._incidents.written)
+            ring_kinds = {r.kind for r in get_recorder().events()}
+
+        assert len(written) == 1, "exactly one bundle per corruption"
+        assert "fleet.slot_corruption" in ring_kinds
+        doc = load_incident(written[0])
+        m = doc["manifest"]
+        assert m["kind"] == "serve"
+        assert m["error"]["type"] == "SlotCorruption"
+        assert m["extra"]["trigger"] == "slot_corruption"
+        # the frozen request is bitwise one of the submitted images
+        # (read from the shm request region before the slot reclaim)
+        assert tensor_digest(doc["tensors"]["x"]) in {
+            tensor_digest(x[None]) for x in xs
+        }
+        rep = replay_incident(written[0])
+        assert rep["ok"] and rep["mode"] == "serve"
+
+    def test_canary_rollback_bundle_replays_bitwise(self, tmp_path):
+        from dataclasses import replace
+
+        inc = str(tmp_path / "incidents")
+        cfg = ServeConfig(buckets=(1, 2), batch_window_ms=1.0,
+                          incident_dir=inc, recorder=256)
+        ck_a = str(tmp_path / "a.npz")
+        ck_b = str(tmp_path / "b.npz")
+        save_checkpoint(replace(cfg, seed=11).build_etg(1), ck_a)
+        save_checkpoint(replace(cfg, seed=22).build_etg(1), ck_b)
+        injector = FaultInjector(FaultPlan((
+            FaultSpec(site="serve.reload.canary_fail",
+                      kind="canary_fail", count=1),
+        )))
+        server = InferenceServer(
+            replace(cfg, checkpoint=ck_a), fault_injector=injector
+        )
+        server.start()
+        try:
+            with pytest.raises(CanaryError, match="rolled back"):
+                server.reload_checkpoint(ck_b)
+            (path,) = server._incidents.written
+            assert "serve.reload.rollback" in {
+                r.kind for r in get_recorder().events()
+            }
+        finally:
+            server.stop()
+        m = load_incident(path)["manifest"]
+        assert m["error"]["type"] == "CanaryError"
+        assert m["extra"] == {"checkpoint": ck_b, "trigger": "canary"}
+        # the bundle's config points at the *rejected* checkpoint, so
+        # the replay rebuilds exactly the engine the canary ran on
+        assert m["config"]["checkpoint"] == ck_b
+        rep = replay_incident(path)
+        assert rep["ok"] and rep["mode"] == "serve"
+
+    def test_dump_incident_records_and_replays(self, tmp_path):
+        inc = str(tmp_path / "incidents")
+        cfg = ServeConfig(buckets=(1, 2), incident_dir=inc, recorder=128)
+        with InferenceServer(cfg) as server:
+            server.predict(serve_images(1)[0], timeout=30.0)
+            path = server.dump_incident()
+            assert server.health()["incident_bundles"] == 1
+        doc = load_incident(path)
+        m = doc["manifest"]
+        assert m["kind"] == "manual" and m["extra"]["trigger"] == "dump"
+        # the admission and batch of the served request are in the ring
+        kinds = {e["kind"] for e in doc["events"]["ring"]}
+        assert {"serve.admit", "serve.batch", "serve.dump"} <= kinds
+        rep = replay_incident(path)
+        assert rep["ok"] and rep["digests"]["y"] == m["expect"]["y"]
+
+    def test_dump_without_incident_dir_is_refused(self):
+        from repro.types import ReproError
+
+        with InferenceServer(ServeConfig(buckets=(1,))) as server:
+            with pytest.raises(ReproError, match="incident_dir"):
+                server.dump_incident()
+
+    def test_config_fingerprint_ignores_forensics_knobs(self, tmp_path):
+        base = ServeConfig(buckets=(1, 2))
+        armed = ServeConfig(buckets=(1, 2),
+                            incident_dir=str(tmp_path), recorder=64)
+        assert base.fingerprint() == armed.fingerprint()
+
+    def test_recorder_knob_validated(self):
+        with pytest.raises(ValueError, match="recorder"):
+            ServeConfig(recorder=-1)
+
+
+# ---------------------------------------------------------------------------
+class TestIncidentCLI:
+    def _dump_bundle(self, tmp_path):
+        inc = str(tmp_path / "incidents")
+        cfg = ServeConfig(buckets=(1,), incident_dir=inc, recorder=64)
+        with InferenceServer(cfg) as server:
+            path = server.dump_incident()
+        return inc, path
+
+    def test_list_show_diff(self, tmp_path, capsys):
+        inc, path = self._dump_bundle(tmp_path)
+        assert cli_main(["incident", "list", "--dir", inc]) == 0
+        out = capsys.readouterr().out
+        assert os.path.basename(path) in out and "kind=manual" in out
+        assert cli_main(["incident", "show", path]) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert shown["kind"] == "manual" and shown["tensor_shapes"]
+        assert cli_main(["incident", "diff", path, path]) == 0
+        assert json.loads(capsys.readouterr().out)["same"]
+
+    def test_list_empty_dir(self, tmp_path, capsys):
+        assert cli_main(
+            ["incident", "list", "--dir", str(tmp_path / "nope")]
+        ) == 0
+        assert "no incident bundles" in capsys.readouterr().out
+
+    def test_list_flags_tampered_bundle(self, tmp_path, capsys):
+        inc, path = self._dump_bundle(tmp_path)
+        with open(os.path.join(path, "events.json"), "a") as fh:
+            fh.write(" ")
+        assert cli_main(["incident", "list", "--dir", inc]) == 0
+        assert "BAD" in capsys.readouterr().out
+        # show refuses the tampered bundle unless told not to verify
+        with pytest.raises(BundleError):
+            cli_main(["incident", "show", path])
+        assert cli_main(["incident", "show", path, "--no-verify"]) == 0
+
+    def test_replay_mismatch_exits_nonzero(self, tmp_path, capsys):
+        _inc, path = self._dump_bundle(tmp_path)
+        mpath = os.path.join(path, "manifest.json")
+        with open(mpath) as fh:
+            manifest = json.load(fh)
+        manifest["expect"]["y"] = "f" * 16
+        with open(mpath, "w") as fh:
+            json.dump(manifest, fh)
+        assert cli_main(["incident", "replay", path]) == 1
+        assert "REPLAY MISMATCH" in capsys.readouterr().out
+
+    def test_wrong_arity_is_a_typed_error(self, tmp_path):
+        from repro.types import ReproError
+
+        with pytest.raises(ReproError, match="exactly 1"):
+            cli_main(["incident", "show"])
+        with pytest.raises(ReproError, match="exactly 2"):
+            cli_main(["incident", "diff", "only-one"])
+
+
+# ---------------------------------------------------------------------------
+class TestDigestHelpers:
+    def test_tensor_digest_covers_dtype_shape_bytes(self):
+        a = np.arange(6, dtype=np.float32)
+        assert tensor_digest(a) == tensor_digest(a.copy())
+        assert tensor_digest(a) != tensor_digest(a.reshape(2, 3))
+        assert tensor_digest(a) != tensor_digest(a.astype(np.float64))
+        b = a.copy()
+        b[0] += 1e-7
+        assert tensor_digest(a) != tensor_digest(b)
+
+    def test_digest_tensor_list_is_order_sensitive(self):
+        a = np.ones(3, dtype=np.float32)
+        b = np.zeros(3, dtype=np.float32)
+        assert digest_tensor_list([a, b]) != digest_tensor_list([b, a])

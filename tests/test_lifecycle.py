@@ -525,6 +525,78 @@ class TestDrainResume:
 
 
 # ---------------------------------------------------------------------------
+class TestLifecycleBusy:
+    """Satellite regression: a lifecycle operation arriving while another
+    is in flight is refused deterministically (:class:`LifecycleBusy`,
+    HTTP 409) -- it never queues behind the running one, never
+    interleaves with it, and the running operation always completes."""
+
+    def _stalled_draining_server(self):
+        """A started server with one in-flight batch stalled in the
+        worker (slow-fault) and a drain thread inside the lifecycle
+        lock waiting for it."""
+        injector = FaultInjector(slow_plan(0.4, count=1))
+        server = InferenceServer(
+            tiny_config(workers=1, batch_window_ms=0.0),
+            fault_injector=injector,
+        )
+        server.start()
+        req = server.submit(images(1)[0])
+        time.sleep(0.05)  # the worker took the batch; now stalled 400ms
+        report = {}
+
+        def drainer():
+            report.update(server.drain(timeout_s=10.0))
+
+        t = threading.Thread(target=drainer)
+        t.start()
+        deadline = time.perf_counter() + 5.0
+        while (not server._lifecycle.locked()
+               and time.perf_counter() < deadline):
+            time.sleep(0.005)
+        assert server._lifecycle.locked()
+        return server, req, t, report
+
+    def test_concurrent_reload_and_drain_get_busy(self, tmp_path):
+        from repro.serve import LifecycleBusy
+
+        server, req, t, report = self._stalled_draining_server()
+        try:
+            # both a reload and a second drain racing the in-flight
+            # drain are refused, immediately and typed
+            with pytest.raises(LifecycleBusy):
+                server.reload_checkpoint(str(tmp_path / "any.npz"))
+            with pytest.raises(LifecycleBusy):
+                server.drain()
+            assert server.metrics.value("serve.reload.rollbacks") == 0
+            t.join(timeout=10.0)
+            # the original drain was untouched by the refused intruders
+            assert report["drained"]
+            assert req.result(0.0).shape == (8,)
+            server.resume()  # lock released: lifecycle ops work again
+            assert server.predict(
+                images(1)[0], timeout=10.0
+            ).shape == (8,)
+        finally:
+            server.stop()
+
+    def test_http_maps_busy_to_409(self):
+        server, _req, t, _report = self._stalled_draining_server()
+        httpd = serve_http(server, port=0)
+        try:
+            host, port = httpd.server_address[:2]
+            url = f"http://{host}:{port}"
+            status, doc = _post(url, "/admin/resume")
+            assert status == 409 and doc["busy"]
+            t.join(timeout=10.0)
+            status, doc = _post(url, "/admin/resume")
+            assert status == 200 and doc["resumed"]
+        finally:
+            httpd.shutdown()
+            server.stop()
+
+
+# ---------------------------------------------------------------------------
 class TestReload:
     def test_successful_reload_changes_served_outputs(self, tmp_path):
         cfg = tiny_config()

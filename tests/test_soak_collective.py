@@ -17,6 +17,9 @@ sustained chaos rather than in one-shot tests:
   no injected fault may perturb training numerics;
 * every loss stays finite and every fault is accounted for in the
   ``collective.*`` / ``resilience.*`` counters;
+* every degraded step froze exactly one digest-verified
+  :mod:`repro.forensics` incident bundle, and a sampled
+  ``incident replay`` of the survivors is bitwise-exact;
 * the metrics JSON written at the end (``REPRO_SOAK_OUT``) is the CI
   artifact for post-mortems.
 """
@@ -61,7 +64,8 @@ def _trainer(**kw):
     )
 
 
-def test_collective_chaos_soak():
+def test_collective_chaos_soak(tmp_path):
+    inc_dir = str(tmp_path / "incidents")
     ds = SyntheticImageDataset(n=24, num_classes=4, shape=SHAPE, seed=3)
 
     plan = FaultPlan(specs=(
@@ -75,7 +79,7 @@ def test_collective_chaos_soak():
                   probability=0.02, count=10**6),
     ), seed=7)
     get_metrics().clear()
-    t = _trainer(fault_plan=plan)
+    t = _trainer(fault_plan=plan, incident_dir=inc_dir)
     stop = threading.Event()
     chaos_kills = [0]
 
@@ -155,3 +159,24 @@ def test_collective_chaos_soak():
         f"trajectory diverged over {epochs_done} epochs"
     )
     assert all(np.array_equal(a, b) for a, b in zip(weights, ref_weights))
+
+    # forensics: every degraded step froze exactly one digest-verified
+    # bundle (no capture ever failed), and a sampled replay of the
+    # survivors reproduces the recomputed gradients bitwise
+    from repro.forensics import list_incidents, replay_incident
+
+    degraded = int(counters.get("resilience.degraded_steps", 0))
+    assert counters.get("forensics.bundle_errors", 0) == 0
+    rows = list_incidents(inc_dir)
+    bad = [r for r in rows if not r["valid"]]
+    assert not bad, f"invalid bundles after the soak: {bad[:3]}"
+    assert len(rows) == degraded, (
+        f"{len(rows)} bundles for {degraded} degraded steps"
+    )
+    replays = 0
+    for row in rows[:3]:
+        rep = replay_incident(row["path"])
+        assert rep["ok"] and rep["mode"] == "train"
+        replays += 1
+    if degraded:
+        assert replays >= 1, "chaos degraded steps but nothing replayed"

@@ -17,6 +17,9 @@ sustained chaos rather than in one-shot tests:
   sets (old or new) -- a half-swapped replica would show up here;
 * canary-failed reloads roll back (old weights keep serving), the
   successful one swaps;
+* every canary rollback froze exactly one digest-verified
+  :mod:`repro.forensics` incident bundle, and a sampled
+  ``incident replay`` of the survivors is bitwise-exact;
 * the metrics JSON written at the end (``REPRO_SOAK_OUT``) is the CI
   artifact for post-mortems.
 """
@@ -69,6 +72,7 @@ def _reference(cfg, checkpoint, x):
 
 
 def test_lifecycle_chaos_soak(tmp_path):
+    inc_dir = str(tmp_path / "incidents")
     cfg = ServeConfig(buckets=(1, 2, 4), workers=2, batch_window_ms=1.0,
                       queue_capacity=64, max_queue_wait_ms=250.0)
     ck_a = str(tmp_path / "a.npz")
@@ -91,8 +95,11 @@ def test_lifecycle_chaos_soak(tmp_path):
         FaultSpec(site="serve.reload.canary_fail", kind="canary_fail",
                   count=ROLLBACKS),
     ))
-    server = InferenceServer(replace(cfg, checkpoint=ck_a),
-                             fault_injector=FaultInjector(plan))
+    server = InferenceServer(
+        replace(cfg, checkpoint=ck_a, incident_dir=inc_dir,
+                recorder=4096),
+        fault_injector=FaultInjector(plan),
+    )
     server.start()
 
     outcomes = {"ok": 0, "shed": 0, "deadline": 0, "timeout": 0,
@@ -215,3 +222,20 @@ def test_lifecycle_chaos_soak(tmp_path):
     # the server came out of the soak serving, not wedged
     assert health["status"] in ("ok", "degraded")
     assert health["live_workers"] >= 1
+
+    # forensics: every canary rollback froze exactly one digest-verified
+    # bundle (never a capture failure), and a sampled replay rebuilds
+    # the rejected engine bitwise
+    from repro.forensics import list_incidents, replay_incident
+
+    assert counters.get("forensics.bundle_errors", 0) == 0
+    rows = list_incidents(inc_dir)
+    bad = [r for r in rows if not r["valid"]]
+    assert not bad, f"invalid bundles after the soak: {bad[:3]}"
+    assert len(rows) == counters.get("serve.reload.rollbacks", 0), (
+        f"{len(rows)} bundles for "
+        f"{counters.get('serve.reload.rollbacks', 0)} rollbacks"
+    )
+    for row in rows[:2]:
+        rep = replay_incident(row["path"])
+        assert rep["ok"] and rep["mode"] == "serve"
